@@ -1,0 +1,808 @@
+(* Experiment harness: regenerates every table and figure of the paper's
+   evaluation (Section 7) on the simulated GPUs, printing the same rows or
+   series the paper reports.  The per-experiment index lives in DESIGN.md;
+   paper-vs-measured comparisons are recorded in EXPERIMENTS.md. *)
+
+module Spec = Conv.Conv_spec
+
+let seed = 0
+let tuning_budget = 200
+
+let header title =
+  Printf.printf "\n=== %s ===\n\n" title
+
+(* When CONV_IO_CSV_DIR is set, every printed table is also mirrored to a CSV
+   file in that directory. *)
+let print_table ?name table =
+  Util.Table.print table;
+  match (Sys.getenv_opt "CONV_IO_CSV_DIR", name) with
+  | Some dir, Some name -> Util.Table.to_csv table (Filename.concat dir (name ^ ".csv"))
+  | _ -> ()
+
+let tuned arch spec algorithm =
+  Cnn.Runner.tuned_runtime ~seed ~max_measurements:tuning_budget arch spec algorithm
+
+let geomean xs = Util.Stats.geomean (Array.of_list xs)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 9: dataflow + auto-tuning vs cuDNN, direct and Winograd,
+   1080Ti; 3x3 kernels, C_in = 256, sweeping H_in/W_in, C_out, stride. *)
+
+let fig9 () =
+  header
+    "Figure 9: speedup over cuDNN on GTX 1080 Ti (Hker=Wker=3, Cin=256)";
+  let arch = Gpu_sim.Arch.gtx_1080_ti in
+  let table =
+    Util.Table.create
+      [ "Hin/Win"; "Cout"; "stride"; "direct: cuDNN us"; "ours us"; "speedup";
+        "wino: cuDNN us"; "ours us"; "speedup" ]
+  in
+  let direct_speedups = ref [] and wino_speedups = ref [] in
+  List.iter
+    (fun stride ->
+      List.iter
+        (fun size ->
+          List.iter
+            (fun cout ->
+              let pad = 1 in
+              let spec = Spec.square ~c_in:256 ~size ~c_out:cout ~k:3 ~stride ~pad () in
+              let lib_d = Gpu_sim.Library_sim.cudnn_direct arch spec in
+              let ours_d = tuned arch spec Core.Config.Direct_dataflow in
+              let sp_d = lib_d.runtime_us /. ours_d.best_runtime_us in
+              direct_speedups := sp_d :: !direct_speedups;
+              let wino_cells =
+                if stride = 1 then begin
+                  let lib_w = Gpu_sim.Library_sim.cudnn_winograd arch spec in
+                  let ours_w = tuned arch spec (Core.Config.Winograd_dataflow 4) in
+                  let sp_w = lib_w.runtime_us /. ours_w.best_runtime_us in
+                  wino_speedups := sp_w :: !wino_speedups;
+                  [
+                    Printf.sprintf "%.1f" lib_w.runtime_us;
+                    Printf.sprintf "%.1f" ours_w.best_runtime_us;
+                    Printf.sprintf "%.2fx" sp_w;
+                  ]
+                end
+                else [ "-"; "-"; "-" ]
+              in
+              Util.Table.add_row table
+                ([
+                   string_of_int size;
+                   string_of_int cout;
+                   string_of_int stride;
+                   Printf.sprintf "%.1f" lib_d.runtime_us;
+                   Printf.sprintf "%.1f" ours_d.best_runtime_us;
+                   Printf.sprintf "%.2fx" sp_d;
+                 ]
+                @ wino_cells))
+            [ 32; 64; 128; 256 ])
+        [ 28; 56; 112 ])
+    [ 1; 2 ];
+  print_table ~name:"fig9" table;
+  Printf.printf
+    "\ngeomean speedup: direct %.2fx, winograd %.2fx, overall %.2fx (paper: 3.32x average)\n"
+    (geomean !direct_speedups) (geomean !wino_speedups)
+    (geomean (!direct_speedups @ !wino_speedups))
+
+(* ------------------------------------------------------------------ *)
+(* Figure 10: batched direct convolution vs cuDNN, 1080Ti. *)
+
+let fig10 () =
+  header "Figure 10: batched direct convolution speedup over cuDNN (GTX 1080 Ti)";
+  let arch = Gpu_sim.Arch.gtx_1080_ti in
+  let table = Util.Table.create [ "Hin/Win"; "batch"; "cuDNN us"; "ours us"; "speedup" ] in
+  let speedups = ref [] in
+  List.iter
+    (fun size ->
+      List.iter
+        (fun batch ->
+          let spec = Spec.square ~batch ~c_in:256 ~size ~c_out:64 ~k:3 ~pad:1 () in
+          let lib = Gpu_sim.Library_sim.cudnn_direct arch spec in
+          let ours = tuned arch spec Core.Config.Direct_dataflow in
+          let sp = lib.runtime_us /. ours.best_runtime_us in
+          speedups := sp :: !speedups;
+          Util.Table.add_row table
+            [
+              string_of_int size;
+              string_of_int batch;
+              Printf.sprintf "%.1f" lib.runtime_us;
+              Printf.sprintf "%.1f" ours.best_runtime_us;
+              Printf.sprintf "%.2fx" sp;
+            ])
+        [ 1; 2; 4; 8 ])
+    [ 28; 56; 112 ];
+  print_table ~name:"fig10" table;
+  Printf.printf "\ngeomean speedup: %.2fx (paper: 1.51x average)\n" (geomean !speedups)
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: auto-tuning engine vs TVM on AlexNet layers, V100. *)
+
+let table2_rows () =
+  let direct =
+    List.map
+      (fun (l : Cnn.Layer.t) -> (l.name, l.spec, Core.Config.Direct_dataflow))
+      Cnn.Models.alexnet_table2
+  in
+  let wino =
+    List.filter_map
+      (fun (l : Cnn.Layer.t) ->
+        if l.name = "conv3" || l.name = "conv4" then
+          Some (l.name ^ " wino", l.spec, Core.Config.Winograd_dataflow 2)
+        else None)
+      Cnn.Models.alexnet_table2
+  in
+  direct @ wino
+
+let table2 () =
+  header "Table 2: auto-tuning engine (ATE) vs TVM-style search, AlexNet on V100";
+  let arch = Gpu_sim.Arch.v100 in
+  let table =
+    Util.Table.create
+      [ "Convolution"; "space ATE"; "space TVM"; "ATE/TVM"; "iters ATE"; "iters TVM";
+        "TVM/ATE"; "GFlops ATE"; "GFlops TVM"; "ATE/TVM" ]
+  in
+  (* Convergence indices are noisy per run; average three seeds per cell, as
+     one would repeat hardware tuning runs. *)
+  let seeds = [ 0; 1; 2 ] in
+  List.iter
+    (fun (name, spec, algorithm) ->
+      let runs searcher = List.map searcher seeds in
+      let ate_runs =
+        runs (fun seed ->
+            let space = Core.Search_space.make arch spec algorithm in
+            Core.Tuner.tune ~seed ~max_measurements:400 ~space ())
+      in
+      let tvm_runs =
+        runs (fun seed -> Core.Baselines.tvm ~seed ~max_measurements:400 arch spec algorithm)
+      in
+      let mean f rs = Util.Stats.mean (Array.of_list (List.map f rs)) in
+      let iters rs = mean (fun (r : Core.Tuner.result) -> float_of_int r.converged_at) rs in
+      let gflops rs = mean (fun (r : Core.Tuner.result) -> r.best_gflops) rs in
+      let ate_space = (List.hd ate_runs).space_size in
+      let tvm_space = (List.hd tvm_runs).space_size in
+      Util.Table.add_row table
+        [
+          name;
+          Util.Table.cell_sci ate_space;
+          Util.Table.cell_sci tvm_space;
+          Printf.sprintf "%.1f%%" (100.0 *. ate_space /. tvm_space);
+          Printf.sprintf "%.0f" (iters ate_runs);
+          Printf.sprintf "%.0f" (iters tvm_runs);
+          Printf.sprintf "%.2f" (iters tvm_runs /. iters ate_runs);
+          Printf.sprintf "%.0f" (gflops ate_runs);
+          Printf.sprintf "%.0f" (gflops tvm_runs);
+          Printf.sprintf "%.2f" (gflops ate_runs /. gflops tvm_runs);
+        ])
+    (table2_rows ());
+  print_table ~name:"table2" table;
+  print_endline
+    "\n(paper: ATE keeps 20-50% of the space, converges 1.5-2.3x faster, and matches or";
+  print_endline " beats TVM's final GFlops on every layer)"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 11: search-strategy comparison on AlexNet conv1, V100. *)
+
+let fig11 () =
+  header "Figure 11: automation methods on AlexNet conv1 (V100): best GFlops vs measurements";
+  let arch = Gpu_sim.Arch.v100 in
+  let spec = (List.hd Cnn.Models.alexnet_table2).spec in
+  let budget = 300 in
+  let curves =
+    [
+      ("ATE",
+       Core.Tuner.tune ~seed ~max_measurements:budget
+         ~space:(Core.Search_space.make arch spec Core.Config.Direct_dataflow)
+         ());
+      ("TVM-ML", Core.Baselines.tvm ~seed ~max_measurements:budget arch spec
+                   Core.Config.Direct_dataflow);
+      ("Random", Core.Baselines.random_search ~seed ~max_measurements:budget arch spec
+                   Core.Config.Direct_dataflow);
+      ("GA", Core.Baselines.genetic ~seed ~population:16 ~generations:(budget / 16) arch spec
+               Core.Config.Direct_dataflow);
+      ("SA", Core.Baselines.simulated_annealing ~seed ~max_measurements:budget arch spec
+               Core.Config.Direct_dataflow);
+    ]
+  in
+  let checkpoints = [ 1; 4; 8; 16; 32; 64; 128; 200; 300 ] in
+  let table =
+    Util.Table.create ("measurements" :: List.map (fun (n, _) -> n) curves)
+  in
+  let value_at (r : Core.Tuner.result) k =
+    (* Best-so-far at measurement k: the last history entry <= k. *)
+    let best =
+      List.fold_left
+        (fun acc (p : Core.Tuner.progress) ->
+          if p.measurement <= k then Some p.best_runtime_us else acc)
+        None r.history
+    in
+    match best with
+    | Some runtime -> Printf.sprintf "%.0f" (Core.Tuner.nominal_gflops spec ~runtime_us:runtime)
+    | None -> "-"
+  in
+  List.iter
+    (fun k ->
+      Util.Table.add_row table
+        (string_of_int k :: List.map (fun (_, r) -> value_at r k) curves))
+    checkpoints;
+  print_table ~name:"fig11" table;
+  List.iter
+    (fun (name, (r : Core.Tuner.result)) ->
+      Printf.printf "%-8s final %.0f GFlops after %d measurements (best found at #%d)\n" name
+        r.best_gflops r.measurements r.converged_at)
+    curves;
+  print_endline "\n(paper: all methods climb, ATE finds better configurations much faster)"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 12: end-to-end CNN models vs cuDNN, V100. *)
+
+let fig12 () =
+  header "Figure 12: end-to-end CNN inference speedup over cuDNN (V100)";
+  let arch = Gpu_sim.Arch.v100 in
+  let paper = [ ("SqueezeNet", 2.67); ("VGG-19", 1.09); ("ResNet-18", 1.02);
+                ("ResNet-34", 1.09); ("Inception-v3", 1.23) ] in
+  let table =
+    Util.Table.create [ "model"; "ours (us)"; "cuDNN (us)"; "speedup"; "paper" ]
+  in
+  List.iter
+    (fun (m : Cnn.Models.t) ->
+      let t = Cnn.Runner.time_model ~seed ~max_measurements:tuning_budget arch m in
+      let paper_value =
+        match List.assoc_opt m.name paper with
+        | Some v -> Printf.sprintf "%.2fx" v
+        | None -> "-"
+      in
+      Util.Table.add_row table
+        [
+          t.model;
+          Printf.sprintf "%.0f" t.ours_total_us;
+          Printf.sprintf "%.0f" t.library_total_us;
+          Printf.sprintf "%.2fx" t.speedup;
+          paper_value;
+        ])
+    Cnn.Models.evaluation_models;
+  print_table ~name:"fig12" table
+
+(* ------------------------------------------------------------------ *)
+(* Figure 13: sensitivity across GPU architectures + the MIOpen/GFX906
+   comparison described alongside it. *)
+
+let fig13_suite =
+  [
+    Spec.square ~c_in:256 ~size:28 ~c_out:64 ~k:3 ~pad:1 ();
+    Spec.square ~c_in:256 ~size:56 ~c_out:64 ~k:3 ~pad:1 ();
+    Spec.square ~c_in:256 ~size:56 ~c_out:128 ~k:3 ~pad:1 ();
+    Spec.square ~c_in:128 ~size:112 ~c_out:128 ~k:3 ~pad:1 ();
+  ]
+
+let fig13 () =
+  header "Figure 13: sensitivity across GPU architectures";
+  let nvidia_arches = [ Gpu_sim.Arch.gtx_1080_ti; Gpu_sim.Arch.titan_x ] in
+  let table =
+    Util.Table.create
+      [ "architecture"; "direct vs lib"; "direct vs TVM"; "wino vs lib"; "wino vs TVM" ]
+  in
+  let row (arch : Gpu_sim.Arch.t) ~lib_direct ~lib_wino =
+    let vs_lib_d = ref [] and vs_tvm_d = ref [] and vs_lib_w = ref [] and vs_tvm_w = ref [] in
+    List.iter
+      (fun spec ->
+        let ours_d = tuned arch spec Core.Config.Direct_dataflow in
+        let tvm_d =
+          Core.Baselines.tvm ~seed ~max_measurements:tuning_budget arch spec
+            Core.Config.Direct_dataflow
+        in
+        let lib_d : Gpu_sim.Library_sim.verdict = lib_direct arch spec in
+        vs_lib_d := (lib_d.runtime_us /. ours_d.best_runtime_us) :: !vs_lib_d;
+        vs_tvm_d := (tvm_d.best_runtime_us /. ours_d.best_runtime_us) :: !vs_tvm_d;
+        let ours_w = tuned arch spec (Core.Config.Winograd_dataflow 4) in
+        let tvm_w =
+          Core.Baselines.tvm ~seed ~max_measurements:tuning_budget arch spec
+            (Core.Config.Winograd_dataflow 4)
+        in
+        let lib_w : Gpu_sim.Library_sim.verdict = lib_wino arch spec in
+        vs_lib_w := (lib_w.runtime_us /. ours_w.best_runtime_us) :: !vs_lib_w;
+        vs_tvm_w := (tvm_w.best_runtime_us /. ours_w.best_runtime_us) :: !vs_tvm_w)
+      fig13_suite;
+    Util.Table.add_row table
+      [
+        Printf.sprintf "%s (%s)" arch.name arch.generation;
+        Printf.sprintf "%.2fx" (geomean !vs_lib_d);
+        Printf.sprintf "%.2fx" (geomean !vs_tvm_d);
+        Printf.sprintf "%.2fx" (geomean !vs_lib_w);
+        Printf.sprintf "%.2fx" (geomean !vs_tvm_w);
+      ]
+  in
+  List.iter
+    (fun arch ->
+      row arch ~lib_direct:Gpu_sim.Library_sim.cudnn_direct
+        ~lib_wino:Gpu_sim.Library_sim.cudnn_winograd)
+    nvidia_arches;
+  row Gpu_sim.Arch.gfx906 ~lib_direct:Gpu_sim.Library_sim.miopen_direct
+    ~lib_wino:Gpu_sim.Library_sim.miopen_winograd;
+  print_table ~name:"fig13" table;
+  print_endline
+    "\n(paper: vs TVM 1.05x/1.27x direct and 1.12x/1.01x wino on Pascal/Maxwell;";
+  print_endline
+    " on GFX906 vs MIOpen up to 2.86x direct / 1.10x wino, vs TVM 1.21x / 1.03x)"
+
+(* ------------------------------------------------------------------ *)
+(* Theory validation: executable pebble game vs Theorems 4.12 / 4.20. *)
+
+let bounds () =
+  header "Theory validation: red-blue pebble game vs the lower bounds";
+  let dag_spec =
+    { Dag.Conv_dag.w_in = 10; h_in = 10; c_in = 3; c_out = 3; w_ker = 3; h_ker = 3; stride = 1 }
+  in
+  let conv_spec = Spec.make ~c_in:3 ~h_in:10 ~w_in:10 ~c_out:3 ~k_h:3 ~k_w:3 () in
+  let dag = Dag.Conv_dag.build dag_spec in
+  let table =
+    Util.Table.create
+      [ "S"; "Thm 4.12 bound"; "blocked+LRU"; "blocked+Belady"; "by-step+LRU"; "bound held" ]
+  in
+  List.iter
+    (fun s ->
+      let run schedule policy =
+        Pebble.Pebble_game.total_io (Pebble.Pebble_game.run dag.graph ~schedule ~s ~policy)
+      in
+      let blocked = Dag.Conv_dag.schedule_blocked dag ~bx:4 ~by:4 ~bz:1 in
+      let by_step = Dag.Conv_dag.schedule_by_step dag in
+      let bound = Core.Direct_bound.q_lower conv_spec ~s:(float_of_int s) in
+      let q_lru = run blocked Pebble.Pebble_game.Lru in
+      let q_bel = run blocked Pebble.Pebble_game.Belady in
+      let q_step = run by_step Pebble.Pebble_game.Lru in
+      Util.Table.add_row table
+        [
+          string_of_int s;
+          Printf.sprintf "%.0f" bound;
+          string_of_int q_lru;
+          string_of_int q_bel;
+          string_of_int q_step;
+          (if float_of_int (min q_lru (min q_bel q_step)) >= bound then "yes" else "VIOLATED");
+        ])
+    [ 8; 16; 32; 64; 128; 256; 512 ];
+  print_table ~name:"bounds" table
+
+(* ------------------------------------------------------------------ *)
+(* Ablations called out in DESIGN.md. *)
+
+let ablation_tile_shape () =
+  header "Ablation: I/O vs tile shape at fixed volume (the xy = Rz condition)";
+  let spec = Spec.square ~c_in:64 ~size:56 ~c_out:64 ~k:3 ~pad:1 () in
+  let r = Spec.reuse spec in
+  let table = Util.Table.create [ "tile x*y*z"; "xy/(Rz)"; "I/O (elements)"; "vs optimal" ] in
+  let volume = 448 in
+  let shapes = [ (28, 16, 1); (28, 8, 2); (14, 8, 4); (7, 8, 8); (7, 4, 16); (4, 2, 56) ] in
+  let ios =
+    List.map
+      (fun (x, y, z) ->
+        ignore volume;
+        Conv.Io_count.total (Conv.Tiled_direct.io_only spec ~tile:{ Conv.Tiled_direct.x; y; z }))
+      shapes
+  in
+  let best = List.fold_left Float.min infinity ios in
+  List.iter2
+    (fun (x, y, z) io ->
+      Util.Table.add_row table
+        [
+          Printf.sprintf "%dx%dx%d" x y z;
+          Printf.sprintf "%.2f" (Core.Optimality.condition_ratio ~r ~x ~y ~z);
+          Printf.sprintf "%.0f" io;
+          Printf.sprintf "%.2fx" (io /. best);
+        ])
+    shapes ios;
+  Util.Table.print table;
+  print_endline "\n(the minimum sits where xy/(Rz) is nearest 1, as Section 5.2 derives)"
+
+let ablation_alpha () =
+  header "Ablation: channel-stage depth alpha (Section 5.2 argues alpha = 1)";
+  let spec = Spec.square ~c_in:64 ~size:56 ~c_out:64 ~k:3 ~pad:1 () in
+  let budget = 12288 in
+  let table =
+    Util.Table.create [ "alpha"; "largest tile fitting S"; "I/O (elements)"; "vs alpha=1" ]
+  in
+  (* For each alpha, grow the (manifold-respecting) tile until the working
+     set exceeds the budget, then report the traffic: staging more channels
+     shrinks the resident output block and costs I/O. *)
+  let io_at alpha =
+    let best = ref None in
+    List.iter
+      (fun z ->
+        let xy = int_of_float (Spec.reuse spec *. float_of_int z) in
+        let side = max 1 (int_of_float (sqrt (float_of_int xy))) in
+        let tile = { Conv.Tiled_direct.x = side; y = side; z } in
+        if Conv.Tiled_direct.working_set spec ~tile ~alpha <= budget then begin
+          let io = Conv.Io_count.total (Conv.Tiled_direct.io_only ~alpha spec ~tile) in
+          match !best with
+          | Some (_, best_io) when best_io <= io -> ()
+          | _ -> best := Some (tile, io)
+        end)
+      [ 1; 2; 4; 8; 16; 32; 64 ];
+    Option.get !best
+  in
+  let _, io1 = io_at 1 in
+  List.iter
+    (fun alpha ->
+      let tile, io = io_at alpha in
+      Util.Table.add_row table
+        [
+          string_of_int alpha;
+          Printf.sprintf "%dx%dx%d" tile.x tile.y tile.z;
+          Printf.sprintf "%.0f" io;
+          Printf.sprintf "%.2fx" (io /. io1);
+        ])
+    [ 1; 2; 4; 8; 16 ];
+  Util.Table.print table
+
+let ablation_winograd_e () =
+  header "Ablation: Winograd tile parameter e (traffic, multiplications, accuracy)";
+  let spec = Spec.square ~c_in:16 ~size:24 ~c_out:16 ~k:3 ~pad:1 () in
+  let rng = Util.Rng.create 1 in
+  let input, weights = Conv.Direct.random_problem rng spec in
+  (* Simulate fp32 storage (the GPUs' precision) for the stability columns. *)
+  Util.Float32.round_inplace (Tensor.data input);
+  Util.Float32.round_inplace (Tensor.data weights);
+  let reference = Conv.Direct.run spec ~input ~weights in
+  let table =
+    Util.Table.create
+      [ "e"; "alpha"; "multiplications"; "vs direct"; "max err (fp64)"; "max err (fp32)";
+        "Thm 4.20 bound (S=12K)" ]
+  in
+  List.iter
+    (fun e ->
+      let out = Conv.Winograd.run ~e spec ~input ~weights in
+      let out32 = Tensor.map Util.Float32.round out in
+      let muls = Conv.Winograd.multiplications ~e spec in
+      Util.Table.add_row table
+        [
+          string_of_int e;
+          string_of_int (e + 2);
+          Printf.sprintf "%.3g" muls;
+          Printf.sprintf "%.2f" (muls /. Conv.Winograd.direct_multiplications spec);
+          Printf.sprintf "%.2e" (Tensor.max_abs_diff reference out);
+          Printf.sprintf "%.2e" (Tensor.max_abs_diff reference out32);
+          Util.Table.cell_sci (Core.Winograd_bound.q_lower ~e spec ~s:12288.0);
+        ])
+    [ 1; 2; 3; 4; 6 ];
+  print_table ~name:"ablation_winograd_e" table;
+  print_endline "\n(bigger tiles cut multiplications and bound alike but cost numerical error)"
+
+let ablation_eviction () =
+  header "Ablation: LRU vs Belady eviction in the pebble game";
+  let dag_spec =
+    { Dag.Conv_dag.w_in = 8; h_in = 8; c_in = 3; c_out = 3; w_ker = 3; h_ker = 3; stride = 1 }
+  in
+  let dag = Dag.Conv_dag.build dag_spec in
+  let schedule = Dag.Conv_dag.schedule_output_stationary dag in
+  let table = Util.Table.create [ "S"; "LRU"; "Belady"; "LRU/Belady" ] in
+  List.iter
+    (fun s ->
+      let q policy =
+        Pebble.Pebble_game.total_io
+          (Pebble.Pebble_game.run dag.graph ~schedule ~s ~policy)
+      in
+      let lru = q Pebble.Pebble_game.Lru and belady = q Pebble.Pebble_game.Belady in
+      Util.Table.add_row table
+        [
+          string_of_int s;
+          string_of_int lru;
+          string_of_int belady;
+          Printf.sprintf "%.2f" (float_of_int lru /. float_of_int belady);
+        ])
+    [ 8; 16; 32; 64; 128 ];
+  Util.Table.print table
+
+let ablation_algorithm_crossover () =
+  header "Ablation: algorithm crossover with kernel size (traffic per algorithm)";
+  let table =
+    Util.Table.create
+      [ "kernel"; "tiled direct"; "tiled winograd"; "im2col"; "FFT"; "cheapest" ]
+  in
+  List.iter
+    (fun k ->
+      let pad = k / 2 in
+      let spec = Spec.square ~c_in:16 ~size:32 ~c_out:16 ~k ~pad () in
+      let s = 12288.0 in
+      let direct_tile = Core.Optimality.optimal_tile_direct spec ~s ~np:1 in
+      let direct = Conv.Io_count.total (Conv.Tiled_direct.io_only spec ~tile:direct_tile) in
+      let wino =
+        if Conv.Winograd.supported spec && k + 1 <= 7 then begin
+          let tile = Core.Optimality.optimal_tile_winograd ~e:2 spec ~s ~np:1 in
+          Some (Conv.Io_count.total (Conv.Tiled_winograd.io_only ~e:2 spec ~tile))
+        end
+        else None
+      in
+      let im2col = Conv.Io_count.total (Conv.Im2col.io spec) in
+      let fft = Conv.Io_count.total (Conv.Fft_conv.io spec) in
+      let candidates =
+        ("tiled direct", direct)
+        :: (match wino with Some w -> [ ("tiled winograd", w) ] | None -> [])
+        @ [ ("im2col", im2col); ("FFT", fft) ]
+      in
+      let cheapest =
+        fst (List.fold_left (fun (bn, bv) (n, v) -> if v < bv then (n, v) else (bn, bv))
+               (List.hd candidates) (List.tl candidates))
+      in
+      Util.Table.add_row table
+        [
+          Printf.sprintf "%dx%d" k k;
+          Printf.sprintf "%.3g" direct;
+          (match wino with Some w -> Printf.sprintf "%.3g" w | None -> "-");
+          Printf.sprintf "%.3g" im2col;
+          Printf.sprintf "%.3g" fft;
+          cheapest;
+        ])
+    [ 1; 3; 5; 7; 9; 11; 13 ];
+  Util.Table.print table;
+  print_endline
+    "\n(traffic grows ~linearly in k for the optimal dataflow — the k^2 taps are offset by";
+  print_endline " the k^2 reuse factor — versus ~k^2 for im2col; FFT is k-independent but its";
+  print_endline " complex spectra only pay off when the kernel approaches the image size.";
+  print_endline " Winograd's advantage is multiplications, not raw traffic: see the e-ablation)"
+
+let ablation_processors () =
+  header "Ablation: dataflow traffic vs processor count Np (Equation 21/23)";
+  let spec = Spec.square ~c_in:64 ~size:56 ~c_out:64 ~k:3 ~pad:1 () in
+  let s = 24576.0 in
+  let table =
+    Util.Table.create [ "Np"; "Q_DC (Eq 21)"; "vs Np=1"; "Q_WA e=2 (Eq 23)"; "vs Np=1" ]
+  in
+  let q1_dc = Core.Dataflow_cost.q_dc_optimal spec ~s ~np:1 in
+  let q1_wa = Core.Dataflow_cost.q_wa_optimal ~e:2 spec ~s ~np:1 in
+  List.iter
+    (fun np ->
+      let qdc = Core.Dataflow_cost.q_dc_optimal spec ~s ~np in
+      let qwa = Core.Dataflow_cost.q_wa_optimal ~e:2 spec ~s ~np in
+      Util.Table.add_row table
+        [
+          string_of_int np;
+          Printf.sprintf "%.3g" qdc;
+          Printf.sprintf "%.2fx" (qdc /. q1_dc);
+          Printf.sprintf "%.3g" qwa;
+          Printf.sprintf "%.2fx" (qwa /. q1_wa);
+        ])
+    [ 1; 2; 4; 8; 16; 32; 64 ];
+  Util.Table.print table;
+  print_endline
+    "\n(splitting the fast memory across Np processors costs sqrt(Np) in traffic — the";
+  print_endline " price of parallelism the paper's Equation 21 quantifies)"
+
+let ablation_phi_attribution () =
+  header
+    "Ablation: which step owns the traffic (Section 5.1's highest-order-term argument)";
+  let dag_spec =
+    { Dag.Conv_dag.w_in = 8; h_in = 8; c_in = 3; c_out = 3; w_ker = 3; h_ker = 3; stride = 1 }
+  in
+  let dag = Dag.Conv_dag.build dag_spec in
+  let table =
+    Util.Table.create
+      [ "S"; "schedule"; "step-1 loads (products)"; "step-2 loads (summation)";
+        "step-2 share" ]
+  in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (name, schedule) ->
+          let d = Pebble.Pebble_game.run_detailed dag.graph ~schedule ~s ~policy:Pebble.Pebble_game.Lru in
+          let s1 = d.loads_by_step.(1) and s2 = d.loads_by_step.(2) in
+          Util.Table.add_row table
+            [
+              string_of_int s;
+              name;
+              string_of_int s1;
+              string_of_int s2;
+              Printf.sprintf "%.0f%%" (100.0 *. float_of_int s2 /. float_of_int (max 1 (s1 + s2)));
+            ])
+        [
+          ("by-step", Dag.Conv_dag.schedule_by_step dag);
+          ("blocked (Sec 5.2)", Dag.Conv_dag.schedule_blocked dag ~bx:4 ~by:4 ~bz:1);
+        ])
+    [ 64; 128; 256 ];
+  Util.Table.print table;
+  print_endline
+    "\n(the summation step's spilled partials are the highest-order traffic the theory";
+  print_endline
+    " attributes to phi_2; the output-stationary dataflow eliminates exactly that term)"
+
+let ablation_dataflow_discipline () =
+  header "Ablation: dataflow discipline (output- vs weight- vs input-stationary)";
+  let table =
+    Util.Table.create
+      [ "layer"; "R"; "output-stationary"; "weight-stationary"; "input-stationary";
+        "best alternative / OS" ]
+  in
+  List.iter
+    (fun (name, spec) ->
+      let s = 12288.0 in
+      let tile = Core.Optimality.optimal_tile_direct spec ~s ~np:1 in
+      let os = Conv.Io_count.total (Conv.Tiled_direct.io_only spec ~tile) in
+      let ws =
+        Conv.Io_count.total
+          (Conv.Dataflow_variants.io_weight_stationary spec ~z:tile.z ~channel_chunk:2)
+      in
+      let is_ =
+        Conv.Io_count.total
+          (Conv.Dataflow_variants.io_input_stationary spec ~x:tile.x ~y:tile.y
+             ~channel_chunk:2)
+      in
+      Util.Table.add_row table
+        [
+          name;
+          Printf.sprintf "%.2f" (Spec.reuse spec);
+          Printf.sprintf "%.3g" os;
+          Printf.sprintf "%.3g" ws;
+          Printf.sprintf "%.3g" is_;
+          Printf.sprintf "%.2fx" (Float.min ws is_ /. os);
+        ])
+      [
+        ("28x28x64->64 3x3", Spec.square ~c_in:64 ~size:28 ~c_out:64 ~k:3 ~pad:1 ());
+        ("56x56x32->32 3x3", Spec.square ~c_in:32 ~size:56 ~c_out:32 ~k:3 ~pad:1 ());
+        ("14x14x256->256 3x3", Spec.square ~c_in:256 ~size:14 ~c_out:256 ~k:3 ~pad:1 ());
+        ("28x28x64->64 5x5", Spec.square ~c_in:64 ~size:28 ~c_out:64 ~k:5 ~pad:2 ());
+      ];
+  Util.Table.print table;
+  print_endline
+    "\n(output-stationary wins everywhere R > 1, as the phi_2-dominance argument predicts)"
+
+let ablation_prune_slack () =
+  header "Ablation: optimality-condition slack vs search-space size and tuned quality";
+  let arch = Gpu_sim.Arch.v100 in
+  let spec = (List.nth Cnn.Models.alexnet_table2 2).spec in
+  (* The shipped Search_space uses slack 2.0; re-derive the pruned tile count
+     per slack value against the full space, then tune within a budget to see
+     what quality each slack level reaches. *)
+  let full = Core.Search_space.make ~pruned:false arch spec Core.Config.Direct_dataflow in
+  let full_size = Core.Search_space.size full in
+  let r = Spec.reuse spec in
+  let table =
+    Util.Table.create [ "slack"; "tiles kept"; "space vs full"; "best GFlops (200 meas)" ]
+  in
+  List.iter
+    (fun slack ->
+      let kept =
+        Array.to_list (Core.Search_space.tile_candidates full)
+        |> List.filter (fun t -> Core.Optimality.satisfied ~slack ~r t)
+        |> List.length
+      in
+      (* Quality at this slack: the shipped space approximates slack 2.0; for
+         the sweep we tune the full space but seed/escape identically and
+         report the shipped-pruned result on the 2.0 row. *)
+      let gflops =
+        if slack = 2.0 then
+          (Core.Tuner.tune ~seed ~max_measurements:200
+             ~space:(Core.Search_space.make arch spec Core.Config.Direct_dataflow) ())
+            .best_gflops
+        else if slack >= 1e9 then
+          (Core.Tuner.tune ~seed ~max_measurements:200 ~space:full ()).best_gflops
+        else nan
+      in
+      Util.Table.add_row table
+        [
+          (if slack >= 1e9 then "inf (full)" else Printf.sprintf "%.1f" slack);
+          string_of_int kept;
+          Printf.sprintf "%.1f%%"
+            (100.0 *. float_of_int kept
+            /. float_of_int (Array.length (Core.Search_space.tile_candidates full)));
+          (if Float.is_nan gflops then "-" else Printf.sprintf "%.0f" gflops);
+        ])
+    [ 1.2; 1.5; 2.0; 4.0; 1e18 ];
+  print_table ~name:"ablation_prune_slack" table;
+  ignore full_size;
+  print_endline
+    "\n(slack 2 keeps a sliver of the tile space without giving up tuned quality)"
+
+let ablation_multicore () =
+  header "Ablation: real multicore scaling of the dataflow (OCaml domains)";
+  (* The only wall-clock measurement in the harness: the Section 5 dataflow
+     is embarrassingly parallel over output blocks, and the paper's N_p
+     analysis assumes that parallelism is realisable — here it actually is,
+     on this machine's cores. *)
+  let spec = Spec.square ~c_in:32 ~size:64 ~c_out:32 ~k:3 ~pad:1 () in
+  let rng = Util.Rng.create 3 in
+  let input, weights = Conv.Direct.random_problem rng spec in
+  let tile = { Conv.Tiled_direct.x = 8; y = 8; z = 8 } in
+  let time_once domains =
+    let t0 = Unix.gettimeofday () in
+    let r = Conv.Parallel_exec.tiled_direct ~domains spec ~tile ~input ~weights in
+    let dt = Unix.gettimeofday () -. t0 in
+    (dt, r.output)
+  in
+  (* Warm up and take the best of three to tame scheduler noise. *)
+  let best_of_three domains =
+    let t1, out = time_once domains in
+    let t2, _ = time_once domains in
+    let t3, _ = time_once domains in
+    (Float.min t1 (Float.min t2 t3), out)
+  in
+  let t1, reference = best_of_three 1 in
+  let table = Util.Table.create [ "domains"; "wall time (ms)"; "speedup"; "correct" ] in
+  List.iter
+    (fun domains ->
+      let t, out = best_of_three domains in
+      Util.Table.add_row table
+        [
+          string_of_int domains;
+          Printf.sprintf "%.2f" (t *. 1e3);
+          Printf.sprintf "%.2fx" (t1 /. t);
+          (if Tensor.allclose reference out then "yes" else "NO");
+        ])
+    [ 1; 2; 4; 8 ];
+  print_table ~name:"ablation_multicore" table;
+  Printf.printf
+    "\n(this machine exposes %d core(s) to the runtime; speedups scale with real cores —\n"
+    (Domain.recommended_domain_count ());
+  print_endline " correctness of the concurrent block decomposition is asserted regardless)" 
+
+let ablation_recomputation () =
+  header "Ablation: recomputation in the pebble game (the red-blue-white model's blind spot)";
+  let wspec =
+    { Dag.Winograd_dag.tiles_w = 2; tiles_h = 2; c_in = 2; c_out = 16; e = 2; r = 3 }
+  in
+  let wdag = Dag.Winograd_dag.build wspec in
+  let w_in, h_in = Dag.Winograd_dag.in_size wspec in
+  let conv_spec = Spec.make ~c_in:2 ~h_in ~w_in ~c_out:16 ~k_h:3 ~k_w:3 () in
+  let table =
+    Util.Table.create
+      [ "S"; "policy"; "Thm 4.20 bound"; "keep/spill transforms"; "recompute transforms";
+        "recompute/keep"; "extra arithmetic" ]
+  in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (pname, policy) ->
+          let natural =
+            Pebble.Pebble_game.run wdag.graph
+              ~schedule:(Dag.Winograd_dag.schedule_natural wdag) ~s ~policy
+          in
+          let rec_ =
+            Pebble.Pebble_game.run_recompute wdag.graph
+              ~schedule:(Dag.Winograd_dag.schedule_recompute_transforms wdag)
+              ~s ~policy
+          in
+          Util.Table.add_row table
+            [
+              string_of_int s;
+              pname;
+              Printf.sprintf "%.0f"
+                (Core.Winograd_bound.q_lower ~e:2 conv_spec ~s:(float_of_int s));
+              string_of_int (Pebble.Pebble_game.total_io natural);
+              string_of_int (Pebble.Pebble_game.total_io rec_);
+              Printf.sprintf "%.2f"
+                (float_of_int (Pebble.Pebble_game.total_io rec_)
+                /. float_of_int (Pebble.Pebble_game.total_io natural));
+              Printf.sprintf "%.2fx"
+                (float_of_int rec_.computes /. float_of_int natural.computes);
+            ])
+        [ ("LRU", Pebble.Pebble_game.Lru); ("Belady", Pebble.Pebble_game.Belady) ])
+    [ 64; 96; 192 ];
+  print_table ~name:"ablation_recomputation" table;
+  print_endline
+    "\n(re-deriving kernel transforms instead of spilling them halves the traffic under";
+  print_endline
+    " offline-optimal eviction -- and Theorem 4.20 holds throughout, which is why the";
+  print_endline
+    " paper's theory must and does permit recomputation, unlike the red-blue-white";
+  print_endline
+    " model.  Under LRU the transform trees' transients pollute the cache and the";
+  print_endline " trade backfires: recomputation needs an eviction policy that knows about it)"
+
+let ablations () =
+  ablation_phi_attribution ();
+  ablation_recomputation ();
+  ablation_multicore ();
+  ablation_prune_slack ();
+  ablation_dataflow_discipline ();
+  ablation_tile_shape ();
+  ablation_alpha ();
+  ablation_winograd_e ();
+  ablation_eviction ();
+  ablation_algorithm_crossover ();
+  ablation_processors ()
+
+let all = [
+  ("fig9", fig9);
+  ("fig10", fig10);
+  ("table2", table2);
+  ("fig11", fig11);
+  ("fig12", fig12);
+  ("fig13", fig13);
+  ("bounds", bounds);
+  ("ablations", ablations);
+]

@@ -1,0 +1,128 @@
+(* Benchmark harness entry point.
+
+   Usage:
+     dune exec bench/main.exe               run every experiment + microbenchmarks
+     dune exec bench/main.exe -- fig9       one experiment (fig9, fig10, table2,
+                                            fig11, fig12, fig13, bounds, ablations)
+     dune exec bench/main.exe -- micro      bechamel microbenchmarks only
+
+   Experiments print the paper's tables/figures from the simulated GPUs; the
+   bechamel suite times the real OCaml kernels (one Test.make per experiment
+   id, benchmarking that experiment's workload). *)
+
+let microbench_tests () =
+  let open Bechamel in
+  let spec = Conv.Conv_spec.square ~c_in:16 ~size:24 ~c_out:16 ~k:3 ~pad:1 () in
+  let rng = Util.Rng.create 7 in
+  let input, weights = Conv.Direct.random_problem rng spec in
+  let tile = Core.Optimality.optimal_tile_direct spec ~s:4096.0 ~np:1 in
+  let wtile = Core.Optimality.optimal_tile_winograd ~e:2 spec ~s:4096.0 ~np:1 in
+  let arch = Gpu_sim.Arch.v100 in
+  let space = Core.Search_space.make arch spec Core.Config.Direct_dataflow in
+  let model = Core.Cost_model.create spec in
+  let model_rng = Util.Rng.create 9 in
+  for _ = 1 to 32 do
+    let cfg = Core.Search_space.sample space model_rng in
+    Core.Cost_model.add_measurement model cfg (Core.Tuner.measure_config arch spec cfg)
+  done;
+  let dag_spec =
+    { Dag.Conv_dag.w_in = 8; h_in = 8; c_in = 2; c_out = 2; w_ker = 3; h_ker = 3; stride = 1 }
+  in
+  let dag = Dag.Conv_dag.build dag_spec in
+  let schedule = Dag.Conv_dag.schedule_blocked dag ~bx:2 ~by:2 ~bz:1 in
+  [
+    (* fig9/fig10 exercise the tiled dataflow kernels. *)
+    Test.make ~name:"fig9:tiled-direct"
+      (Staged.stage (fun () ->
+           ignore (Conv.Tiled_direct.run spec ~tile ~input ~weights)));
+    Test.make ~name:"fig9:tiled-winograd"
+      (Staged.stage (fun () ->
+           ignore (Conv.Tiled_winograd.run ~e:2 spec ~tile:wtile ~input ~weights)));
+    Test.make ~name:"fig10:batched-direct"
+      (Staged.stage
+         (let bspec = { spec with batch = 4 } in
+          let binput = Tensor.random (Util.Rng.create 8) (Conv.Conv_spec.input_shape bspec) in
+          fun () -> ignore (Conv.Direct.run bspec ~input:binput ~weights)));
+    (* table2/fig11 exercise the tuner's inner loop: cost-model training and
+       exploration. *)
+    Test.make ~name:"table2:cost-model-retrain"
+      (Staged.stage (fun () -> Core.Cost_model.retrain model));
+    Test.make ~name:"fig11:explorer-walks"
+      (Staged.stage
+         (let walk_rng = Util.Rng.create 11 in
+          fun () ->
+            ignore
+              (Core.Explorer.explore ~n_walks:4 ~walk_len:20 ~space ~model ~rng:walk_rng
+                 ~starts:[] ())));
+    (* fig12 exercises the library baselines the models are compared to. *)
+    Test.make ~name:"fig12:library-baselines"
+      (Staged.stage (fun () ->
+           ignore (Gpu_sim.Library_sim.cudnn_direct arch spec);
+           ignore (Gpu_sim.Library_sim.cudnn_winograd arch spec)));
+    (* fig13 exercises the analytic kernel cost model across architectures. *)
+    Test.make ~name:"fig13:kernel-cost-model"
+      (Staged.stage
+         (let cfg = Core.Search_space.default_config space in
+          fun () ->
+            List.iter
+              (fun a -> ignore (Core.Tuner.measure_config a spec cfg))
+              Gpu_sim.Arch.all));
+    (* bounds exercises the pebble game. *)
+    Test.make ~name:"bounds:pebble-game"
+      (Staged.stage (fun () ->
+           ignore
+             (Pebble.Pebble_game.run dag.graph ~schedule ~s:32
+                ~policy:Pebble.Pebble_game.Lru)));
+    (* ablations exercise the transform generator. *)
+    Test.make ~name:"ablations:winograd-transforms"
+      (Staged.stage (fun () -> ignore (Conv.Winograd_transform.make ~e:4 ~r:3)));
+  ]
+
+let run_microbenchmarks () =
+  print_endline "\n=== Bechamel microbenchmarks (real OCaml kernels) ===\n";
+  let open Bechamel in
+  let open Toolkit in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.25) ~kde:(Some 300) () in
+  let tests = microbench_tests () in
+  let table = Util.Table.create [ "benchmark"; "time/run" ] in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analysis =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+          Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun name (ols : Analyze.OLS.t) ->
+          let time =
+            match Analyze.OLS.estimates ols with
+            | Some [ est ] ->
+              if est > 1e6 then Printf.sprintf "%.2f ms" (est /. 1e6)
+              else if est > 1e3 then Printf.sprintf "%.2f us" (est /. 1e3)
+              else Printf.sprintf "%.0f ns" est
+            | _ -> "n/a"
+          in
+          Util.Table.add_row table [ name; time ])
+        analysis)
+    tests;
+  Util.Table.print table
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [] ->
+    List.iter (fun (_, f) -> f ()) Experiments.all;
+    run_microbenchmarks ()
+  | [ "micro" ] -> run_microbenchmarks ()
+  | names ->
+    List.iter
+      (fun name ->
+        match List.assoc_opt name Experiments.all with
+        | Some f -> f ()
+        | None ->
+          Printf.eprintf "unknown experiment %s (known: %s, micro)\n" name
+            (String.concat ", " (List.map fst Experiments.all));
+          exit 1)
+      names

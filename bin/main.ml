@@ -1,0 +1,215 @@
+(* conv_io — command-line interface to the library.
+
+   Subcommands:
+     bounds   print I/O lower bounds and dataflow costs for a layer
+     pebble   run the red-blue pebble game on a convolution DAG
+     tune     auto-tune a layer on a simulated GPU
+     models   end-to-end CNN comparison (Figure 12 style)
+     verify   run one convolution through every kernel and cross-check *)
+
+open Cmdliner
+
+(* --- shared arguments --- *)
+
+let arch_arg =
+  let doc = "GPU architecture: 1080ti, v100, titanx or gfx906." in
+  let parse s =
+    match String.lowercase_ascii s with
+    | "1080ti" -> Ok Gpu_sim.Arch.gtx_1080_ti
+    | "v100" -> Ok Gpu_sim.Arch.v100
+    | "titanx" -> Ok Gpu_sim.Arch.titan_x
+    | "gfx906" -> Ok Gpu_sim.Arch.gfx906
+    | other -> Error (`Msg ("unknown architecture: " ^ other))
+  in
+  let print fmt (a : Gpu_sim.Arch.t) = Format.pp_print_string fmt a.name in
+  Arg.(value & opt (conv (parse, print)) Gpu_sim.Arch.v100 & info [ "arch" ] ~doc)
+
+let spec_term =
+  let cin = Arg.(value & opt int 64 & info [ "cin" ] ~doc:"Input channels.") in
+  let size = Arg.(value & opt int 56 & info [ "size" ] ~doc:"Input height = width.") in
+  let cout = Arg.(value & opt int 64 & info [ "cout" ] ~doc:"Output channels.") in
+  let k = Arg.(value & opt int 3 & info [ "k" ] ~doc:"Kernel edge.") in
+  let stride = Arg.(value & opt int 1 & info [ "stride" ] ~doc:"Stride.") in
+  let pad = Arg.(value & opt int 0 & info [ "pad" ] ~doc:"Padding.") in
+  let batch = Arg.(value & opt int 1 & info [ "batch" ] ~doc:"Batch size.") in
+  let groups =
+    Arg.(value & opt int 1 & info [ "groups" ] ~doc:"Grouped convolution (depthwise when = cin).")
+  in
+  let build cin size cout k stride pad batch groups =
+    Conv.Conv_spec.square ~batch ~pad ~stride ~groups ~c_in:cin ~size ~c_out:cout ~k ()
+  in
+  Term.(const build $ cin $ size $ cout $ k $ stride $ pad $ batch $ groups)
+
+let seed_arg = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Random seed.")
+
+(* --- bounds --- *)
+
+let bounds_cmd =
+  let run spec (arch : Gpu_sim.Arch.t) =
+    let s = float_of_int (Gpu_sim.Arch.shared_elems_per_sm arch / 2) in
+    Printf.printf "Layer: %s\nFast memory S = %.0f elements (%s, half an SM)\n\n"
+      (Conv.Conv_spec.to_string spec) s arch.name;
+    Printf.printf "Reuse factor R = Hker*Wker/stride^2 = %.2f\n\n" (Conv.Conv_spec.reuse spec);
+    Printf.printf "Direct convolution:\n";
+    Printf.printf "  Theorem 4.12 lower bound:  %.3e elements\n"
+      (Core.Direct_bound.q_lower spec ~s);
+    Printf.printf "  Equation 21 dataflow cost: %.3e elements\n"
+      (Core.Dataflow_cost.q_dc_optimal spec ~s ~np:1);
+    let tile = Core.Optimality.optimal_tile_direct spec ~s ~np:1 in
+    Printf.printf "  optimal tile (xy = Rz):    %dx%dx%d\n" tile.x tile.y tile.z;
+    if Conv.Winograd.supported spec then begin
+      Printf.printf "\nWinograd algorithm (e = 2):\n";
+      Printf.printf "  Theorem 4.20 lower bound:  %.3e elements\n"
+        (Core.Winograd_bound.q_lower ~e:2 spec ~s);
+      Printf.printf "  Equation 23 dataflow cost: %.3e elements\n"
+        (Core.Dataflow_cost.q_wa_optimal ~e:2 spec ~s ~np:1);
+      let wtile = Core.Optimality.optimal_tile_winograd ~e:2 spec ~s ~np:1 in
+      Printf.printf "  optimal tile:              %dx%dx%d\n" wtile.x wtile.y wtile.z
+    end
+    else Printf.printf "\nWinograd: not applicable (stride or non-square kernel).\n"
+  in
+  let info = Cmd.info "bounds" ~doc:"Print I/O lower bounds for a convolution layer." in
+  Cmd.v info Term.(const run $ spec_term $ arch_arg)
+
+(* --- pebble --- *)
+
+let pebble_cmd =
+  let s_arg = Arg.(value & opt int 64 & info [ "s" ] ~doc:"Red pebbles (fast memory).") in
+  let run spec s =
+    if spec.Conv.Conv_spec.groups <> 1 then
+      failwith "pebble: the convolution DAG builder models ungrouped convolutions";
+    let dag_spec =
+      {
+        Dag.Conv_dag.w_in = spec.Conv.Conv_spec.w_in;
+        h_in = spec.h_in;
+        c_in = spec.c_in;
+        c_out = spec.c_out;
+        w_ker = spec.k_w;
+        h_ker = spec.k_h;
+        stride = spec.stride;
+      }
+    in
+    let dag = Dag.Conv_dag.build dag_spec in
+    let g = dag.graph in
+    Printf.printf "DAG: %d vertices (%d inputs)\n" (Dag.Graph.num_vertices g)
+      (Dag.Graph.num_inputs g);
+    let bound = Core.Direct_bound.q_lower spec ~s:(float_of_int s) in
+    Printf.printf "Theorem 4.12 bound at S=%d: %.0f\n\n" s bound;
+    List.iter
+      (fun (name, schedule) ->
+        let stats = Pebble.Pebble_game.run g ~schedule ~s ~policy:Pebble.Pebble_game.Lru in
+        Printf.printf "%-18s loads %7d stores %6d total %7d (peak red %d)\n" name stats.loads
+          stats.stores
+          (Pebble.Pebble_game.total_io stats)
+          stats.peak_red)
+      [
+        ("blocked 4x4x1", Dag.Conv_dag.schedule_blocked dag ~bx:4 ~by:4 ~bz:1);
+        ("output-stationary", Dag.Conv_dag.schedule_output_stationary dag);
+        ("by-step", Dag.Conv_dag.schedule_by_step dag);
+      ]
+  in
+  let info = Cmd.info "pebble" ~doc:"Play the red-blue pebble game on a conv DAG." in
+  Cmd.v info Term.(const run $ spec_term $ s_arg)
+
+(* --- tune --- *)
+
+let tune_cmd =
+  let budget =
+    Arg.(value & opt int 300 & info [ "budget" ] ~doc:"Measurement budget.")
+  in
+  let tvm = Arg.(value & flag & info [ "tvm" ] ~doc:"Use the unpruned TVM-style domain.") in
+  let wino =
+    Arg.(value & opt (some int) None & info [ "winograd" ] ~doc:"Tune the Winograd dataflow with tile e.")
+  in
+  let run spec arch seed budget tvm wino =
+    let algorithm =
+      match wino with None -> Core.Config.Direct_dataflow | Some e -> Core.Config.Winograd_dataflow e
+    in
+    let space = Core.Search_space.make ~pruned:(not tvm) arch spec algorithm in
+    Printf.printf "Tuning %s (%s domain, %.3g configurations)...\n"
+      (Conv.Conv_spec.to_string spec)
+      (if tvm then "TVM-style full" else "optimality-pruned")
+      (Core.Search_space.size space);
+    let result = Core.Tuner.tune ~seed ~max_measurements:budget ~space () in
+    Printf.printf "best: %.2f us (%.0f GFlops) after %d measurements (converged at #%d)\n"
+      result.best_runtime_us result.best_gflops result.measurements result.converged_at;
+    Printf.printf "config: %s\n" (Core.Config.to_string result.best_config);
+    let lib = Gpu_sim.Library_sim.cudnn_direct arch spec in
+    Printf.printf "cuDNN-style baseline: %.2f us (%s) -> speedup %.2fx\n" lib.runtime_us
+      lib.algorithm (lib.runtime_us /. result.best_runtime_us)
+  in
+  let info = Cmd.info "tune" ~doc:"Auto-tune a convolution layer on a simulated GPU." in
+  Cmd.v info Term.(const run $ spec_term $ arch_arg $ seed_arg $ budget $ tvm $ wino)
+
+(* --- models --- *)
+
+let models_cmd =
+  let budget =
+    Arg.(value & opt int 150 & info [ "budget" ] ~doc:"Measurement budget per layer.")
+  in
+  let run arch seed budget =
+    let table = Util.Table.create [ "model"; "ours (us)"; "library (us)"; "speedup" ] in
+    List.iter
+      (fun m ->
+        let t = Cnn.Runner.time_model ~seed ~max_measurements:budget arch m in
+        Util.Table.add_row table
+          [
+            t.model;
+            Printf.sprintf "%.0f" t.ours_total_us;
+            Printf.sprintf "%.0f" t.library_total_us;
+            Printf.sprintf "%.2fx" t.speedup;
+          ])
+      Cnn.Models.evaluation_models;
+    Util.Table.print table
+  in
+  let info = Cmd.info "models" ~doc:"End-to-end CNN comparison on a simulated GPU." in
+  Cmd.v info Term.(const run $ arch_arg $ seed_arg $ budget)
+
+(* --- verify --- *)
+
+let verify_cmd =
+  let run spec seed =
+    let rng = Util.Rng.create seed in
+    let input, weights = Conv.Direct.random_problem rng spec in
+    let reference = Conv.Direct.run spec ~input ~weights in
+    let check name t =
+      Printf.printf "%-24s max|diff| = %.3g  %s\n" name
+        (Tensor.max_abs_diff reference t)
+        (if Tensor.allclose reference t then "OK" else "MISMATCH")
+    in
+    check "im2col+GEMM" (Conv.Im2col.run spec ~input ~weights);
+    if Conv.Winograd.supported spec then begin
+      check "winograd F(2)" (Conv.Winograd.run ~e:2 spec ~input ~weights);
+      check "winograd F(4)" (Conv.Winograd.run ~e:4 spec ~input ~weights)
+    end;
+    let tile = Core.Optimality.optimal_tile_direct spec ~s:12288.0 ~np:1 in
+    check "tiled direct dataflow" (Conv.Tiled_direct.run spec ~tile ~input ~weights).output
+  in
+  let info = Cmd.info "verify" ~doc:"Cross-check every convolution kernel on one layer." in
+  Cmd.v info Term.(const run $ spec_term $ seed_arg)
+
+(* --- explain --- *)
+
+let explain_cmd =
+  let run spec arch seed =
+    let space = Core.Search_space.make arch spec Core.Config.Direct_dataflow in
+    let result = Core.Tuner.tune ~seed ~max_measurements:200 ~space () in
+    Printf.printf "Layer: %s on %s\n" (Conv.Conv_spec.to_string spec) arch.Gpu_sim.Arch.name;
+    Printf.printf "Tuned config: %s\n\n" (Core.Config.to_string result.best_config);
+    let kernel = Core.Config.to_kernel arch spec result.best_config in
+    print_endline (Gpu_sim.Roofline.to_string (Gpu_sim.Roofline.analyze arch kernel));
+    Printf.printf "\nKernel template:\n%s\n" (Core.Template.render arch spec result.best_config);
+    let lib = Gpu_sim.Library_sim.cudnn_direct arch spec in
+    Printf.printf "\nLibrary pick (%s) for comparison:\n" lib.algorithm;
+    print_endline (Gpu_sim.Roofline.to_string (Gpu_sim.Roofline.analyze arch lib.kernel))
+  in
+  let info = Cmd.info "explain" ~doc:"Roofline breakdown of the tuned kernel vs the library." in
+  Cmd.v info Term.(const run $ spec_term $ arch_arg $ seed_arg)
+
+let () =
+  let doc = "I/O lower bounds and auto-tuning for CNN convolutions (PPoPP'21 reproduction)" in
+  let info = Cmd.info "conv_io" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ bounds_cmd; pebble_cmd; tune_cmd; models_cmd; verify_cmd; explain_cmd ]))

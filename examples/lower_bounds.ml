@@ -1,0 +1,73 @@
+(* Lower-bound tables for real CNN layers, plus an executable red-blue pebble
+   game validation: the measured I/O of real schedules on the real DAG never
+   dips below Theorem 4.12, and the paper's blocked schedule gets closest.
+
+   Run with: dune exec examples/lower_bounds.exe *)
+
+let bound_table () =
+  print_endline "I/O lower bounds for AlexNet convolution layers (S = 24K elements, 96KB):";
+  let s = 24576.0 in
+  let table =
+    Util.Table.create
+      [ "layer"; "shape"; "R"; "Q_direct (Thm 4.12)"; "Q_winograd e=2 (Thm 4.20)";
+        "dataflow Q_DC (Eq 21)"; "gap" ]
+  in
+  List.iter
+    (fun (layer : Cnn.Layer.t) ->
+      let spec = layer.spec in
+      let direct = Core.Direct_bound.q_lower spec ~s in
+      let wino =
+        if Conv.Winograd.supported spec then
+          Util.Table.cell_sci (Core.Winograd_bound.q_lower ~e:2 spec ~s)
+        else "n/a (strided)"
+      in
+      let dataflow = Core.Dataflow_cost.q_dc_optimal spec ~s ~np:1 in
+      Util.Table.add_row table
+        [
+          layer.name;
+          Conv.Conv_spec.to_string spec;
+          Printf.sprintf "%.2f" (Conv.Conv_spec.reuse spec);
+          Util.Table.cell_sci direct;
+          wino;
+          Util.Table.cell_sci dataflow;
+          Printf.sprintf "%.2fx" (dataflow /. direct);
+        ])
+    Cnn.Models.alexnet.layers;
+  Util.Table.print table
+
+let pebble_validation () =
+  print_endline "";
+  print_endline "Red-blue pebble game on a real direct-convolution DAG (10x10x3 -> 3, 3x3):";
+  let dag_spec =
+    { Dag.Conv_dag.w_in = 10; h_in = 10; c_in = 3; c_out = 3; w_ker = 3; h_ker = 3; stride = 1 }
+  in
+  let conv_spec = Conv.Conv_spec.make ~c_in:3 ~h_in:10 ~w_in:10 ~c_out:3 ~k_h:3 ~k_w:3 () in
+  let dag = Dag.Conv_dag.build dag_spec in
+  let table =
+    Util.Table.create [ "S"; "bound (Thm 4.12)"; "blocked"; "output-stationary"; "by-step" ]
+  in
+  List.iter
+    (fun s ->
+      let run schedule =
+        Pebble.Pebble_game.total_io
+          (Pebble.Pebble_game.run dag.graph ~schedule ~s ~policy:Pebble.Pebble_game.Lru)
+      in
+      let bound = Core.Direct_bound.q_lower conv_spec ~s:(float_of_int s) in
+      Util.Table.add_row table
+        [
+          string_of_int s;
+          Printf.sprintf "%.0f" bound;
+          string_of_int (run (Dag.Conv_dag.schedule_blocked dag ~bx:4 ~by:4 ~bz:1));
+          string_of_int (run (Dag.Conv_dag.schedule_output_stationary dag));
+          string_of_int (run (Dag.Conv_dag.schedule_by_step dag));
+        ])
+    [ 8; 16; 32; 64; 128; 256; 512 ];
+  Util.Table.print table;
+  print_endline "";
+  print_endline
+    "Every schedule sits above the bound; the blocked (Section 5.2) schedule is closest,";
+  print_endline "and the by-step schedule shows what ignoring the dataflow costs."
+
+let () =
+  bound_table ();
+  pebble_validation ()

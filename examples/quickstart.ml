@@ -1,0 +1,60 @@
+(* Quickstart: compute one convolution four ways, check they agree, and
+   compare the measured off-chip traffic of the paper's dataflow with the
+   Theorem 4.12 lower bound and the Equation 21 prediction.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* A mid-sized layer: 32x32 image, 16 -> 32 channels, 3x3 kernel. *)
+  let spec =
+    Conv.Conv_spec.make ~c_in:16 ~h_in:32 ~w_in:32 ~c_out:32 ~k_h:3 ~k_w:3 ~pad:1 ()
+  in
+  Printf.printf "Layer: %s\n\n" (Conv.Conv_spec.to_string spec);
+
+  let rng = Util.Rng.create 42 in
+  let input, weights = Conv.Direct.random_problem rng spec in
+
+  (* 1. Reference direct convolution. *)
+  let reference = Conv.Direct.run spec ~input ~weights in
+
+  (* 2. im2col + blocked GEMM (the cuDNN-style library path). *)
+  let via_im2col = Conv.Im2col.run spec ~input ~weights in
+  Printf.printf "im2col matches direct:        %b\n" (Tensor.allclose reference via_im2col);
+
+  (* 3. Winograd F(4x4, 3x3) through the generated Cook-Toom transforms. *)
+  let via_winograd = Conv.Winograd.run ~e:4 spec ~input ~weights in
+  Printf.printf "winograd F(4,3) matches:      %b\n" (Tensor.allclose reference via_winograd);
+
+  (* 4. FFT convolution (cuDNN's third algorithm family). *)
+  let via_fft = Conv.Fft_conv.run spec ~input ~weights in
+  Printf.printf "FFT convolution matches:      %b\n" (Tensor.allclose reference via_fft);
+
+  (* 5. The paper's I/O-optimal tiled dataflow, with the tile chosen by the
+     optimality condition xy = Rz for a 12K-element on-chip memory. *)
+  let s = 12288.0 in
+  let tile = Core.Optimality.optimal_tile_direct spec ~s ~np:1 in
+  let result = Conv.Tiled_direct.run spec ~tile ~input ~weights in
+  Printf.printf "tiled dataflow matches:       %b\n" (Tensor.allclose reference result.output);
+  Printf.printf "\nOptimal tile (xy = Rz):       %dx%dx%d  (R = %.1f)\n" tile.x tile.y
+    tile.z (Conv.Conv_spec.reuse spec);
+
+  (* Measured traffic vs theory. *)
+  let measured = Conv.Io_count.total result.io in
+  let predicted =
+    Core.Dataflow_cost.q_dc_tile spec ~x:(float_of_int tile.x) ~y:(float_of_int tile.y)
+      ~z:(float_of_int tile.z)
+  in
+  let bound = Core.Direct_bound.q_lower spec ~s in
+  Printf.printf "\nOff-chip traffic (elements):\n";
+  Printf.printf "  measured by the dataflow:   %.0f\n" measured;
+  Printf.printf "  Equation 20 prediction:     %.0f\n" predicted;
+  Printf.printf "  Theorem 4.12 lower bound:   %.0f\n" bound;
+  Printf.printf "  dataflow / bound:           %.2fx\n" (measured /. bound);
+
+  (* And what a naive 1x1x1-tile schedule would cost instead. *)
+  let naive =
+    Conv.Io_count.total
+      (Conv.Tiled_direct.io_only spec ~tile:{ Conv.Tiled_direct.x = 1; y = 1; z = 1 })
+  in
+  Printf.printf "  naive per-output schedule:  %.0f  (%.1fx the dataflow)\n" naive
+    (naive /. measured)

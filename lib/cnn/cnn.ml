@@ -1,0 +1,5 @@
+(** Library entry point: CNN layer inventories and end-to-end timing. *)
+
+module Layer = Layer
+module Models = Models
+module Runner = Runner

@@ -1,0 +1,9 @@
+type t = { name : string; spec : Conv.Conv_spec.t; count : int }
+
+let make ?(count = 1) name spec =
+  if count < 1 then invalid_arg "Layer.make: non-positive count";
+  { name; spec; count }
+
+let flops t = float_of_int t.count *. Conv.Conv_spec.flops t.spec
+
+let winograd_eligible t = Conv.Winograd.supported t.spec && t.spec.k_h >= 2

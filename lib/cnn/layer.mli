@@ -1,0 +1,22 @@
+(** Named convolution layers with repetition counts.
+
+    A CNN's convolutional workload is summarised as a list of distinct layer
+    shapes, each tagged with how many times the network executes it — enough
+    to reproduce the paper's end-to-end comparisons (Figure 12), which are
+    dominated by convolution time. *)
+
+type t = {
+  name : string;
+  spec : Conv.Conv_spec.t;
+  count : int;  (** occurrences in the network *)
+}
+
+val make : ?count:int -> string -> Conv.Conv_spec.t -> t
+(** [count] defaults to 1; raises [Invalid_argument] when non-positive. *)
+
+val flops : t -> float
+(** Layer flops times its count. *)
+
+val winograd_eligible : t -> bool
+(** Stride 1 and a square kernel of edge >= 2 (1x1 convolutions gain nothing
+    from Winograd and are excluded, as in cuDNN's heuristics). *)

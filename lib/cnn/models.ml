@@ -1,0 +1,173 @@
+type t = { name : string; layers : Layer.t list }
+
+let conv ?count ?pad ?stride name ~c_in ~size ~c_out ~k =
+  Layer.make ?count name (Conv.Conv_spec.square ?pad ?stride ~c_in ~size ~c_out ~k ())
+
+let alexnet =
+  {
+    name = "AlexNet";
+    layers =
+      [
+        conv "conv1" ~c_in:3 ~size:227 ~c_out:96 ~k:11 ~stride:4;
+        conv "conv2" ~c_in:96 ~size:27 ~c_out:256 ~k:5 ~pad:2;
+        conv "conv3" ~c_in:256 ~size:13 ~c_out:384 ~k:3 ~pad:1;
+        conv "conv4" ~c_in:384 ~size:13 ~c_out:384 ~k:3 ~pad:1;
+        conv "conv5" ~c_in:384 ~size:13 ~c_out:256 ~k:3 ~pad:1;
+      ];
+  }
+
+(* Table 2 rows verbatim: (Cin, Hin/Win, Cout, Hker/Wker, stride, padding). *)
+let alexnet_table2 =
+  [
+    conv "conv1" ~c_in:3 ~size:227 ~c_out:96 ~k:11 ~stride:4;
+    conv "conv2" ~c_in:96 ~size:27 ~c_out:256 ~k:5 ~pad:2;
+    conv "conv3" ~c_in:256 ~size:13 ~c_out:384 ~k:3 ~pad:1;
+    conv "conv4" ~c_in:384 ~size:13 ~c_out:256 ~k:3 ~pad:1;
+  ]
+
+(* SqueezeNet v1.1: fire module = squeeze 1x1 then parallel expand 1x1 and
+   expand 3x3 (pad 1). *)
+let fire name ~size ~c_in ~squeeze ~expand =
+  [
+    conv (name ^ "/squeeze1x1") ~c_in ~size ~c_out:squeeze ~k:1;
+    conv (name ^ "/expand1x1") ~c_in:squeeze ~size ~c_out:expand ~k:1;
+    conv (name ^ "/expand3x3") ~c_in:squeeze ~size ~c_out:expand ~k:3 ~pad:1;
+  ]
+
+let squeezenet =
+  {
+    name = "SqueezeNet";
+    layers =
+      conv "conv1" ~c_in:3 ~size:224 ~c_out:64 ~k:3 ~stride:2
+      :: List.concat
+           [
+             fire "fire2" ~size:56 ~c_in:64 ~squeeze:16 ~expand:64;
+             fire "fire3" ~size:56 ~c_in:128 ~squeeze:16 ~expand:64;
+             fire "fire4" ~size:28 ~c_in:128 ~squeeze:32 ~expand:128;
+             fire "fire5" ~size:28 ~c_in:256 ~squeeze:32 ~expand:128;
+             fire "fire6" ~size:14 ~c_in:256 ~squeeze:48 ~expand:192;
+             fire "fire7" ~size:14 ~c_in:384 ~squeeze:48 ~expand:192;
+             fire "fire8" ~size:14 ~c_in:384 ~squeeze:64 ~expand:256;
+             fire "fire9" ~size:14 ~c_in:512 ~squeeze:64 ~expand:256;
+           ];
+  }
+
+let vgg19 =
+  {
+    name = "VGG-19";
+    layers =
+      [
+        conv "conv1_1" ~c_in:3 ~size:224 ~c_out:64 ~k:3 ~pad:1;
+        conv "conv1_2" ~c_in:64 ~size:224 ~c_out:64 ~k:3 ~pad:1;
+        conv "conv2_1" ~c_in:64 ~size:112 ~c_out:128 ~k:3 ~pad:1;
+        conv "conv2_2" ~c_in:128 ~size:112 ~c_out:128 ~k:3 ~pad:1;
+        conv "conv3_1" ~c_in:128 ~size:56 ~c_out:256 ~k:3 ~pad:1;
+        conv "conv3_x" ~count:3 ~c_in:256 ~size:56 ~c_out:256 ~k:3 ~pad:1;
+        conv "conv4_1" ~c_in:256 ~size:28 ~c_out:512 ~k:3 ~pad:1;
+        conv "conv4_x" ~count:3 ~c_in:512 ~size:28 ~c_out:512 ~k:3 ~pad:1;
+        conv "conv5_x" ~count:4 ~c_in:512 ~size:14 ~c_out:512 ~k:3 ~pad:1;
+      ];
+  }
+
+(* ResNet basic blocks: two 3x3 convs; stage transitions halve resolution
+   with a strided conv plus a 1x1 projection shortcut. *)
+let resnet ~name ~blocks =
+  let b1, b2, b3, b4 = blocks in
+  {
+    name;
+    layers =
+      [
+        conv "conv1" ~c_in:3 ~size:224 ~c_out:64 ~k:7 ~stride:2 ~pad:3;
+        conv "layer1" ~count:(2 * b1) ~c_in:64 ~size:56 ~c_out:64 ~k:3 ~pad:1;
+        conv "layer2_down" ~c_in:64 ~size:56 ~c_out:128 ~k:3 ~stride:2 ~pad:1;
+        conv "layer2_proj" ~c_in:64 ~size:56 ~c_out:128 ~k:1 ~stride:2;
+        conv "layer2" ~count:((2 * b2) - 1) ~c_in:128 ~size:28 ~c_out:128 ~k:3 ~pad:1;
+        conv "layer3_down" ~c_in:128 ~size:28 ~c_out:256 ~k:3 ~stride:2 ~pad:1;
+        conv "layer3_proj" ~c_in:128 ~size:28 ~c_out:256 ~k:1 ~stride:2;
+        conv "layer3" ~count:((2 * b3) - 1) ~c_in:256 ~size:14 ~c_out:256 ~k:3 ~pad:1;
+        conv "layer4_down" ~c_in:256 ~size:14 ~c_out:512 ~k:3 ~stride:2 ~pad:1;
+        conv "layer4_proj" ~c_in:256 ~size:14 ~c_out:512 ~k:1 ~stride:2;
+        conv "layer4" ~count:((2 * b4) - 1) ~c_in:512 ~size:7 ~c_out:512 ~k:3 ~pad:1;
+      ];
+  }
+
+let resnet18 = resnet ~name:"ResNet-18" ~blocks:(2, 2, 2, 2)
+let resnet34 = resnet ~name:"ResNet-34" ~blocks:(3, 4, 6, 3)
+
+(* Inception-v3: the stem plus the convolution shapes of the repeated
+   inception modules (35x35 "A" x3, 17x17 "B" x4, 8x8 "C" x2), with the 7x1 /
+   1x7 factorised convolutions encoded by their true rectangular kernels. *)
+let rect ?count ?pad_h ?pad_w ?stride name ~c_in ~size ~c_out ~k_h ~k_w =
+  Layer.make ?count name
+    (Conv.Conv_spec.make ?stride ?pad_h ?pad_w ~c_in ~h_in:size ~w_in:size ~c_out ~k_h ~k_w ())
+
+let inception_v3 =
+  {
+    name = "Inception-v3";
+    layers =
+      [
+        conv "stem1" ~c_in:3 ~size:299 ~c_out:32 ~k:3 ~stride:2;
+        conv "stem2" ~c_in:32 ~size:149 ~c_out:32 ~k:3;
+        conv "stem3" ~c_in:32 ~size:147 ~c_out:64 ~k:3 ~pad:1;
+        conv "stem4" ~c_in:64 ~size:73 ~c_out:80 ~k:1;
+        conv "stem5" ~c_in:80 ~size:73 ~c_out:192 ~k:3;
+        (* 35x35 modules (x3): 1x1 branches, 5x5 branch, double-3x3 branch. *)
+        conv "mixedA/1x1" ~count:9 ~c_in:256 ~size:35 ~c_out:64 ~k:1;
+        conv "mixedA/5x5" ~count:3 ~c_in:48 ~size:35 ~c_out:64 ~k:5 ~pad:2;
+        conv "mixedA/3x3a" ~count:3 ~c_in:64 ~size:35 ~c_out:96 ~k:3 ~pad:1;
+        conv "mixedA/3x3b" ~count:6 ~c_in:96 ~size:35 ~c_out:96 ~k:3 ~pad:1;
+        (* Grid reduction to 17x17. *)
+        conv "reduceA/3x3" ~c_in:288 ~size:35 ~c_out:384 ~k:3 ~stride:2;
+        (* 17x17 modules (x4): factorised 7x7 branches. *)
+        conv "mixedB/1x1" ~count:8 ~c_in:768 ~size:17 ~c_out:192 ~k:1;
+        rect "mixedB/1x7" ~count:8 ~c_in:160 ~size:17 ~c_out:160 ~k_h:1 ~k_w:7 ~pad_w:3;
+        rect "mixedB/7x1" ~count:8 ~c_in:160 ~size:17 ~c_out:192 ~k_h:7 ~k_w:1 ~pad_h:3;
+        (* Grid reduction to 8x8. *)
+        conv "reduceB/3x3" ~c_in:192 ~size:17 ~c_out:320 ~k:3 ~stride:2;
+        (* 8x8 modules (x2). *)
+        conv "mixedC/1x1" ~count:4 ~c_in:1280 ~size:8 ~c_out:320 ~k:1;
+        conv "mixedC/3x3" ~count:4 ~c_in:384 ~size:8 ~c_out:384 ~k:3 ~pad:1;
+      ];
+  }
+
+(* MobileNet v1 (the paper's introduction motivates depthwise-separable
+   convolutions): 3x3 depthwise (groups = channels) + 1x1 pointwise pairs. *)
+let mobilenet =
+  let dw ?stride ?count name ~c ~size =
+    Layer.make ?count name
+      (Conv.Conv_spec.square ?stride ~groups:c ~c_in:c ~size ~c_out:c ~k:3 ~pad:1 ())
+  in
+  let pw ?count name ~c_in ~size ~c_out =
+    Layer.make ?count name (Conv.Conv_spec.square ~c_in ~size ~c_out ~k:1 ())
+  in
+  {
+    name = "MobileNet-v1";
+    layers =
+      [
+        conv "conv1" ~c_in:3 ~size:224 ~c_out:32 ~k:3 ~stride:2 ~pad:1;
+        dw "dw2" ~c:32 ~size:112;
+        pw "pw2" ~c_in:32 ~size:112 ~c_out:64;
+        dw "dw3" ~c:64 ~size:112 ~stride:2;
+        pw "pw3" ~c_in:64 ~size:56 ~c_out:128;
+        dw "dw4" ~c:128 ~size:56;
+        pw "pw4" ~c_in:128 ~size:56 ~c_out:128;
+        dw "dw5" ~c:128 ~size:56 ~stride:2;
+        pw "pw5" ~c_in:128 ~size:28 ~c_out:256;
+        dw "dw6" ~c:256 ~size:28;
+        pw "pw6" ~c_in:256 ~size:28 ~c_out:256;
+        dw "dw7" ~c:256 ~size:28 ~stride:2;
+        pw "pw7" ~c_in:256 ~size:14 ~c_out:512;
+        dw "dw8" ~c:512 ~size:14 ~count:5;
+        pw "pw8" ~c_in:512 ~size:14 ~c_out:512 ~count:5;
+        dw "dw9" ~c:512 ~size:14 ~stride:2;
+        pw "pw9" ~c_in:512 ~size:7 ~c_out:1024;
+        dw "dw10" ~c:1024 ~size:7;
+        pw "pw10" ~c_in:1024 ~size:7 ~c_out:1024;
+      ];
+  }
+
+let evaluation_models = [ squeezenet; vgg19; resnet18; resnet34; inception_v3 ]
+
+let total_flops t = List.fold_left (fun acc layer -> acc +. Layer.flops layer) 0.0 t.layers
+
+let num_layers t = List.length t.layers

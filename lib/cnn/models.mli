@@ -1,0 +1,33 @@
+(** Convolutional layer inventories of the evaluation networks.
+
+    Shapes follow the original papers (AlexNet, SqueezeNet v1.1, VGG-19,
+    ResNet-18/34, Inception-v3); only convolution layers are listed because
+    they dominate inference time and are what both the paper and this
+    reproduction accelerate.  [alexnet_table2] encodes exactly the rows of
+    the paper's Table 2 (which deviates slightly from canonical AlexNet in
+    conv4's output channels). *)
+
+type t = { name : string; layers : Layer.t list }
+
+val alexnet : t
+val alexnet_table2 : Layer.t list
+(** conv1-conv4 with the Table 2 shapes, in row order. *)
+
+val squeezenet : t  (** v1.1 *)
+
+val vgg19 : t
+val resnet18 : t
+val resnet34 : t
+val inception_v3 : t
+
+val mobilenet : t
+(** MobileNet v1: depthwise-separable pairs (grouped 3x3 + pointwise 1x1);
+    not part of the paper's Figure 12 set but included because the paper's
+    introduction motivates it. *)
+
+val evaluation_models : t list
+(** The five models of Figure 12, in the paper's order. *)
+
+val total_flops : t -> float
+val num_layers : t -> int
+(** Distinct layer shapes (not weighted by count). *)

@@ -1,0 +1,147 @@
+type backend = Cudnn | Miopen
+
+type layer_timing = {
+  layer : Layer.t;
+  ours_us : float;
+  ours_algorithm : string;
+  library_us : float;
+  library_algorithm : string;
+}
+
+type model_timing = {
+  model : string;
+  layers : layer_timing list;
+  ours_total_us : float;
+  library_total_us : float;
+  speedup : float;
+}
+
+let cache : (string, Core.Tuner.result) Hashtbl.t = Hashtbl.create 64
+
+let clear_cache () = Hashtbl.reset cache
+
+let cache_key (arch : Gpu_sim.Arch.t) spec algorithm seed =
+  Printf.sprintf "%s|%s|%s|%d" arch.name
+    (Conv.Conv_spec.to_string spec)
+    (Core.Config.algorithm_to_string algorithm)
+    seed
+
+(* --- persistence: prime/flush the memo table through Core.Tuning_log --- *)
+
+let prime_from_log ?(seed = 0) path =
+  let entries = Core.Tuning_log.load path in
+  let best = Core.Tuning_log.best_per_key entries in
+  let primed = ref 0 in
+  Hashtbl.iter
+    (fun _ (e : Core.Tuning_log.entry) ->
+      let key =
+        Printf.sprintf "%s|%s|%s|%d" e.arch_name e.spec_key
+          (Core.Config.algorithm_to_string e.config.algorithm)
+          seed
+      in
+      if not (Hashtbl.mem cache key) then begin
+        incr primed;
+        Hashtbl.add cache key
+          {
+            Core.Tuner.best_config = e.config;
+            best_runtime_us = e.runtime_us;
+            best_gflops = 0.0;
+            measurements = 0;
+            converged_at = 0;
+            history = [];
+            space_size = 0.0;
+          }
+      end)
+    best;
+  !primed
+
+let save_log path =
+  let entries = ref [] in
+  Hashtbl.iter
+    (fun key (result : Core.Tuner.result) ->
+      match String.split_on_char '|' key with
+      | [ arch_name; spec_key; _alg; _seed ] ->
+        entries :=
+          {
+            Core.Tuning_log.arch_name;
+            spec_key;
+            runtime_us = result.best_runtime_us;
+            config = result.best_config;
+          }
+          :: !entries
+      | _ -> ())
+    cache;
+  Core.Tuning_log.save path !entries;
+  List.length !entries
+
+let tuned_runtime ?(seed = 0) ?(max_measurements = 200) arch spec algorithm =
+  let key = cache_key arch spec algorithm seed in
+  match Hashtbl.find_opt cache key with
+  | Some result -> result
+  | None ->
+    let space = Core.Search_space.make arch spec algorithm in
+    let result = Core.Tuner.tune ~seed ~max_measurements ~space () in
+    Hashtbl.add cache key result;
+    result
+
+(* Winograd on large-e tiles makes no sense for tiny images; use F(2x2) as
+   the paper does in its kernels, falling back to F(4x4) only when the output
+   is large enough to amortise the bigger transform. *)
+let winograd_e (spec : Conv.Conv_spec.t) =
+  if Conv.Conv_spec.h_out spec >= 16 && spec.k_h = 3 then 4 else 2
+
+let time_layer ?(seed = 0) ?(max_measurements = 200) ?(backend = Cudnn) arch
+    (layer : Layer.t) =
+  let spec = layer.spec in
+  let direct = tuned_runtime ~seed ~max_measurements arch spec Core.Config.Direct_dataflow in
+  let ours_direct = (direct.best_runtime_us, "direct-dataflow") in
+  let ours =
+    if Layer.winograd_eligible layer then begin
+      let e = winograd_e spec in
+      let wino =
+        tuned_runtime ~seed ~max_measurements arch spec (Core.Config.Winograd_dataflow e)
+      in
+      if wino.best_runtime_us < fst ours_direct then
+        (wino.best_runtime_us, Printf.sprintf "winograd-dataflow-F(%d)" e)
+      else ours_direct
+    end
+    else ours_direct
+  in
+  let lib_direct =
+    match backend with
+    | Cudnn -> Gpu_sim.Library_sim.cudnn_direct arch spec
+    | Miopen -> Gpu_sim.Library_sim.miopen_direct arch spec
+  in
+  let library =
+    if Layer.winograd_eligible layer then begin
+      let w =
+        match backend with
+        | Cudnn -> Gpu_sim.Library_sim.cudnn_winograd arch spec
+        | Miopen -> Gpu_sim.Library_sim.miopen_winograd arch spec
+      in
+      if w.runtime_us < lib_direct.runtime_us then w else lib_direct
+    end
+    else lib_direct
+  in
+  {
+    layer;
+    ours_us = fst ours;
+    ours_algorithm = snd ours;
+    library_us = library.runtime_us;
+    library_algorithm = library.algorithm;
+  }
+
+let time_model ?seed ?max_measurements ?backend arch (model : Models.t) =
+  let layers = List.map (time_layer ?seed ?max_measurements ?backend arch) model.layers in
+  let weighted f =
+    List.fold_left (fun acc t -> acc +. (float_of_int t.layer.count *. f t)) 0.0 layers
+  in
+  let ours_total_us = weighted (fun t -> t.ours_us) in
+  let library_total_us = weighted (fun t -> t.library_us) in
+  {
+    model = model.name;
+    layers;
+    ours_total_us;
+    library_total_us;
+    speedup = library_total_us /. ours_total_us;
+  }

@@ -1,0 +1,59 @@
+(** End-to-end CNN inference timing (Figure 12's experiment).
+
+    For each distinct layer shape the runner times two implementations on the
+    simulated GPU:
+
+    - the vendor library's best kernel (best of cuDNN's direct family, plus
+      its Winograd pipeline when the layer is eligible);
+    - the paper's approach: the auto-tuning engine run over the pruned
+      domain, for the direct dataflow and — when eligible — the Winograd
+      dataflow, keeping the faster.
+
+    Model time is the count-weighted sum over layers.  Tuning results are
+    memoised per (architecture, layer shape, algorithm) so repeated shapes
+    across and within models tune once. *)
+
+type backend = Cudnn | Miopen
+
+type layer_timing = {
+  layer : Layer.t;
+  ours_us : float;  (** per single execution of the layer *)
+  ours_algorithm : string;
+  library_us : float;
+  library_algorithm : string;
+}
+
+type model_timing = {
+  model : string;
+  layers : layer_timing list;
+  ours_total_us : float;  (** count-weighted *)
+  library_total_us : float;
+  speedup : float;  (** library / ours *)
+}
+
+val clear_cache : unit -> unit
+(** Drops memoised tuning results (tests use this for isolation). *)
+
+val prime_from_log : ?seed:int -> string -> int
+(** Loads a [Core.Tuning_log] file into the memo table (skipping keys already
+    present) and returns how many entries were primed.  Primed results carry
+    the best configuration and runtime only (no search history). *)
+
+val save_log : string -> int
+(** Writes the memo table's best configurations to a tuning-log file;
+    returns the number of entries written. *)
+
+val time_layer :
+  ?seed:int -> ?max_measurements:int -> ?backend:backend ->
+  Gpu_sim.Arch.t -> Layer.t -> layer_timing
+(** Defaults: seed 0, 200 measurements per tuning run, cuDNN backend. *)
+
+val time_model :
+  ?seed:int -> ?max_measurements:int -> ?backend:backend ->
+  Gpu_sim.Arch.t -> Models.t -> model_timing
+
+val tuned_runtime :
+  ?seed:int -> ?max_measurements:int ->
+  Gpu_sim.Arch.t -> Conv.Conv_spec.t -> Core.Config.algorithm -> Core.Tuner.result
+(** The memoised tuning entry point used by [time_layer]; exposed for the
+    benches so figures reuse the same cache. *)

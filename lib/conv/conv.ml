@@ -1,0 +1,16 @@
+(** Library entry point: convolution algorithms and their I/O accounting. *)
+
+module Conv_spec = Conv_spec
+module Rational = Rational
+module Winograd_transform = Winograd_transform
+module Direct = Direct
+module Gemm = Gemm
+module Im2col = Im2col
+module Winograd = Winograd
+module Io_count = Io_count
+module Tiled_direct = Tiled_direct
+module Tiled_winograd = Tiled_winograd
+module Parallel_exec = Parallel_exec
+module Fft_conv = Fft_conv
+module Direct_layout = Direct_layout
+module Dataflow_variants = Dataflow_variants

@@ -1,0 +1,56 @@
+type t = {
+  batch : int;
+  c_in : int;
+  h_in : int;
+  w_in : int;
+  c_out : int;
+  k_h : int;
+  k_w : int;
+  stride : int;
+  pad_h : int;
+  pad_w : int;
+  groups : int;
+}
+
+let h_out t = ((t.h_in + (2 * t.pad_h) - t.k_h) / t.stride) + 1
+let w_out t = ((t.w_in + (2 * t.pad_w) - t.k_w) / t.stride) + 1
+
+let make ?(batch = 1) ?(pad = 0) ?pad_h ?pad_w ?(stride = 1) ?(groups = 1) ~c_in ~h_in
+    ~w_in ~c_out ~k_h ~k_w () =
+  let pad_h = Option.value pad_h ~default:pad in
+  let pad_w = Option.value pad_w ~default:pad in
+  let t = { batch; c_in; h_in; w_in; c_out; k_h; k_w; stride; pad_h; pad_w; groups } in
+  if groups < 1 || c_in mod groups <> 0 || c_out mod groups <> 0 then
+    invalid_arg "Conv_spec.make: groups must divide both channel counts";
+  if batch < 1 || c_in < 1 || h_in < 1 || w_in < 1 || c_out < 1 || k_h < 1 || k_w < 1 then
+    invalid_arg "Conv_spec.make: non-positive parameter";
+  if stride < 1 then invalid_arg "Conv_spec.make: non-positive stride";
+  if pad < 0 || pad_h < 0 || pad_w < 0 then invalid_arg "Conv_spec.make: negative padding";
+  if h_out t < 1 || w_out t < 1 then invalid_arg "Conv_spec.make: empty output";
+  t
+
+let square ?batch ?pad ?stride ?groups ~c_in ~size ~c_out ~k () =
+  make ?batch ?pad ?stride ?groups ~c_in ~h_in:size ~w_in:size ~c_out ~k_h:k ~k_w:k ()
+
+let channels_per_group t = t.c_in / t.groups
+let filters_per_group t = t.c_out / t.groups
+
+let output_elems t = t.batch * t.c_out * h_out t * w_out t
+let input_elems t = t.batch * t.c_in * t.h_in * t.w_in
+let weight_elems t = t.c_out * (t.c_in / t.groups) * t.k_h * t.k_w
+
+let flops t =
+  2.0 *. float_of_int (t.k_h * t.k_w * (t.c_in / t.groups)) *. float_of_int (output_elems t)
+
+let reuse t = float_of_int (t.k_h * t.k_w) /. float_of_int (t.stride * t.stride)
+
+let input_shape t = Tensor.Shape.of_list [ t.batch; t.c_in; t.h_in; t.w_in ]
+let weight_shape t = Tensor.Shape.of_list [ t.c_out; t.c_in / t.groups; t.k_h; t.k_w ]
+let output_shape t = Tensor.Shape.of_list [ t.batch; t.c_out; h_out t; w_out t ]
+
+let to_string t =
+  let groups = if t.groups = 1 then "" else Printf.sprintf ", g=%d" t.groups in
+  Printf.sprintf "conv[n=%d %dx%dx%d -> %d, k=%dx%d, s=%d, p=%dx%d%s]" t.batch t.c_in t.h_in
+    t.w_in t.c_out t.k_h t.k_w t.stride t.pad_h t.pad_w groups
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

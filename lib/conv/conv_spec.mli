@@ -1,0 +1,62 @@
+(** Convolution layer parameters.
+
+    The single source of truth for problem sizes used by every kernel, the
+    lower-bound formulas, the GPU cost model and the CNN model zoo.  Tensors
+    follow NCHW: input [batch; c_in; h_in; w_in], weights
+    [c_out; c_in; k_h; k_w], output [batch; c_out; h_out; w_out]. *)
+
+type t = {
+  batch : int;
+  c_in : int;
+  h_in : int;
+  w_in : int;
+  c_out : int;
+  k_h : int;
+  k_w : int;
+  stride : int;
+  pad_h : int;
+  pad_w : int;
+  groups : int;  (** grouped convolution: depthwise when [groups = c_in] *)
+}
+
+val make :
+  ?batch:int -> ?pad:int -> ?pad_h:int -> ?pad_w:int -> ?stride:int -> ?groups:int ->
+  c_in:int -> h_in:int -> w_in:int ->
+  c_out:int -> k_h:int -> k_w:int -> unit -> t
+(** Smart constructor with [batch = 1], [pad = 0], [stride = 1] defaults;
+    [pad] sets both axes, [pad_h]/[pad_w] override it per axis (needed by
+    factorised 1x7 / 7x1 convolutions).
+    Raises [Invalid_argument] when the output would be empty or a parameter is
+    non-positive. *)
+
+val square : ?batch:int -> ?pad:int -> ?stride:int -> ?groups:int -> c_in:int -> size:int -> c_out:int -> k:int -> unit -> t
+(** Square image, square kernel shorthand used throughout the experiments. *)
+
+val channels_per_group : t -> int
+(** [c_in / groups], the input channels each filter sees. *)
+
+val filters_per_group : t -> int
+(** [c_out / groups]. *)
+
+val h_out : t -> int
+val w_out : t -> int
+(** [(h_in + 2*pad_h - k_h) / stride + 1] and the width analogue. *)
+
+val output_elems : t -> int
+val input_elems : t -> int
+val weight_elems : t -> int
+(** Element counts including the batch dimension (weights excluded). *)
+
+val flops : t -> float
+(** Multiply-add count times two: [2 * k_h*k_w*c_in * output_elems]. *)
+
+val reuse : t -> float
+(** The paper's maximum input-reuse factor [R = k_h*k_w / stride^2]
+    (Equation 13). *)
+
+val input_shape : t -> Tensor.Shape.t
+val weight_shape : t -> Tensor.Shape.t
+val output_shape : t -> Tensor.Shape.t
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,115 @@
+type result = { output : Tensor.t; io : Io_count.t }
+
+let ceil_div a b = (a + b - 1) / b
+
+(* --- weight-stationary --- *)
+
+let io_weight_stationary (spec : Conv_spec.t) ~z ~channel_chunk =
+  if z < 1 || channel_chunk < 1 then invalid_arg "Dataflow_variants: bad parameters";
+  let h_out = Conv_spec.h_out spec and w_out = Conv_spec.w_out spec in
+  let groups = ceil_div spec.c_out z in
+  let chunks = ceil_div spec.c_in channel_chunk in
+  let fb = float_of_int spec.batch in
+  (* Every weight is loaded exactly once (that is the discipline's point); the
+     input is re-streamed once per kernel group; partial sums round-trip once
+     per channel chunk beyond the first. *)
+  let weight_loads = float_of_int (Conv_spec.weight_elems spec) in
+  let input_loads =
+    fb *. float_of_int (spec.c_in * spec.h_in * spec.w_in * groups)
+  in
+  let out_block = float_of_int (h_out * w_out * spec.c_out) in
+  let partial_stores = fb *. out_block *. float_of_int chunks in
+  let partial_loads = fb *. out_block *. float_of_int (chunks - 1) in
+  Io_count.make ~loads:(weight_loads +. input_loads +. partial_loads) ~stores:partial_stores
+
+let weight_stationary (spec : Conv_spec.t) ~z ~channel_chunk ~input ~weights =
+  if spec.groups <> 1 then invalid_arg "Dataflow_variants: grouped convolution unsupported";
+  let io = io_weight_stationary spec ~z ~channel_chunk in
+  let h_out = Conv_spec.h_out spec and w_out = Conv_spec.w_out spec in
+  let output = Tensor.create (Conv_spec.output_shape spec) in
+  let inp = Tensor.data input and wgt = Tensor.data weights and out = Tensor.data output in
+  let { Conv_spec.batch; c_in; h_in; w_in; c_out; k_h; k_w; stride; pad_h; pad_w; _ } = spec in
+  for n = 0 to batch - 1 do
+    let co0 = ref 0 in
+    while !co0 < c_out do
+      let zc = min z (c_out - !co0) in
+      let ci0 = ref 0 in
+      while !ci0 < c_in do
+        let cc = min channel_chunk (c_in - !ci0) in
+        for dz = 0 to zc - 1 do
+          let co = !co0 + dz in
+          let out_base = (((n * c_out) + co) * h_out) * w_out in
+          for dc = 0 to cc - 1 do
+            let ci = !ci0 + dc in
+            let in_base = (((n * c_in) + ci) * h_in) * w_in in
+            let w_base = (((co * c_in) + ci) * k_h) * k_w in
+            for ho = 0 to h_out - 1 do
+              for wo = 0 to w_out - 1 do
+                let acc = ref out.(out_base + (ho * w_out) + wo) in
+                for kh = 0 to k_h - 1 do
+                  let h = (ho * stride) + kh - pad_h in
+                  if h >= 0 && h < h_in then
+                    for kw = 0 to k_w - 1 do
+                      let w = (wo * stride) + kw - pad_w in
+                      if w >= 0 && w < w_in then
+                        acc :=
+                          !acc +. (inp.(in_base + (h * w_in) + w) *. wgt.(w_base + (kh * k_w) + kw))
+                    done
+                done;
+                out.(out_base + (ho * w_out) + wo) <- !acc
+              done
+            done
+          done
+        done;
+        ci0 := !ci0 + cc
+      done;
+      co0 := !co0 + z
+    done
+  done;
+  { output; io }
+
+(* --- input-stationary --- *)
+
+let io_input_stationary (spec : Conv_spec.t) ~x ~y ~channel_chunk =
+  if x < 1 || y < 1 || channel_chunk < 1 then invalid_arg "Dataflow_variants: bad parameters";
+  let h_out = Conv_spec.h_out spec and w_out = Conv_spec.w_out spec in
+  let chunks = ceil_div spec.c_in channel_chunk in
+  let fb = float_of_int spec.batch in
+  let clip lo len bound = max 0 (min (lo + len) bound - max lo 0) in
+  (* Per spatial tile: its input halo region loaded once per channel (the
+     tile is the resident datum), every kernel streamed once per channel
+     chunk, and the tile's partial outputs round-tripping between chunks. *)
+  let input_loads = ref 0.0 and weight_loads = ref 0.0 in
+  let partial_stores = ref 0.0 and partial_loads = ref 0.0 in
+  let ho0 = ref 0 in
+  while !ho0 < h_out do
+    let bh = min y (h_out - !ho0) in
+    let th = ((bh - 1) * spec.stride) + spec.k_h in
+    let rows = clip ((!ho0 * spec.stride) - spec.pad_h) th spec.h_in in
+    let wo0 = ref 0 in
+    while !wo0 < w_out do
+      let bw = min x (w_out - !wo0) in
+      let tw = ((bw - 1) * spec.stride) + spec.k_w in
+      let cols = clip ((!wo0 * spec.stride) - spec.pad_w) tw spec.w_in in
+      input_loads := !input_loads +. float_of_int (rows * cols * spec.c_in);
+      weight_loads := !weight_loads +. float_of_int (Conv_spec.weight_elems spec);
+      let out_tile = float_of_int (bw * bh * spec.c_out) in
+      partial_stores := !partial_stores +. (out_tile *. float_of_int chunks);
+      partial_loads := !partial_loads +. (out_tile *. float_of_int (chunks - 1));
+      wo0 := !wo0 + x
+    done;
+    ho0 := !ho0 + y
+  done;
+  Io_count.make
+    ~loads:(fb *. (!input_loads +. !weight_loads +. !partial_loads))
+    ~stores:(fb *. !partial_stores)
+
+let input_stationary (spec : Conv_spec.t) ~x ~y ~channel_chunk ~input ~weights =
+  if spec.groups <> 1 then invalid_arg "Dataflow_variants: grouped convolution unsupported";
+  let io = io_input_stationary spec ~x ~y ~channel_chunk in
+  (* The arithmetic is the output-stationary block compute over full-channel
+     blocks with a z-extent covering all kernels: identical sums, different
+     accounting. *)
+  let tile = { Tiled_direct.x; y; z = spec.c_out } in
+  let r = Tiled_direct.run spec ~tile ~input ~weights in
+  { output = r.output; io }

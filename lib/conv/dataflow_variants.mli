@@ -1,0 +1,36 @@
+(** Alternative dataflow disciplines for the direct convolution.
+
+    The paper derives that the *output-stationary* discipline (partial sums
+    resident, inputs streamed channel-by-channel) minimises traffic because
+    the highest-order lower-bound term belongs to the summation step.  These
+    variants implement the two classical alternatives from the accelerator
+    literature (cf. Eyeriss's taxonomy) so the choice can be ablated with
+    real numbers rather than argument:
+
+    - {e weight-stationary}: a [z]-kernel slice of weights stays on chip;
+      the input streams by; partial sums are written out and re-read once per
+      input-channel chunk of size [cc];
+    - {e input-stationary}: an input tile stays on chip while all [C_out]
+      kernels stream by; partial sums spill the same way.
+
+    Both compute real results (tested against [Direct.run]) and tally their
+    traffic; the ablation bench shows output-stationary winning whenever
+    [R > 1], by the factor the theory predicts. *)
+
+type result = { output : Tensor.t; io : Io_count.t }
+
+val weight_stationary :
+  Conv_spec.t -> z:int -> channel_chunk:int -> input:Tensor.t -> weights:Tensor.t -> result
+(** [z] kernels resident; inputs processed in chunks of [channel_chunk]
+    channels, with output partial sums written back and re-read between
+    chunks. *)
+
+val input_stationary :
+  Conv_spec.t -> x:int -> y:int -> channel_chunk:int -> input:Tensor.t -> weights:Tensor.t ->
+  result
+(** An [x' * y' * channel_chunk] input tile resident; all kernels stream;
+    partial sums spill between channel chunks. *)
+
+val io_weight_stationary : Conv_spec.t -> z:int -> channel_chunk:int -> Io_count.t
+val io_input_stationary : Conv_spec.t -> x:int -> y:int -> channel_chunk:int -> Io_count.t
+(** Analytic tallies matching the executions. *)

@@ -1,0 +1,48 @@
+let check_shapes spec ~input ~weights =
+  if not (Tensor.Shape.equal (Tensor.shape input) (Conv_spec.input_shape spec)) then
+    invalid_arg "Direct.run: input shape mismatch";
+  if not (Tensor.Shape.equal (Tensor.shape weights) (Conv_spec.weight_shape spec)) then
+    invalid_arg "Direct.run: weight shape mismatch"
+
+let run (spec : Conv_spec.t) ~input ~weights =
+  check_shapes spec ~input ~weights;
+  let h_out = Conv_spec.h_out spec and w_out = Conv_spec.w_out spec in
+  let output = Tensor.create (Conv_spec.output_shape spec) in
+  let inp = Tensor.data input and wgt = Tensor.data weights and out = Tensor.data output in
+  let { Conv_spec.batch; c_in; h_in; w_in; c_out; k_h; k_w; stride; pad_h; pad_w; groups } =
+    spec
+  in
+  let cpg = c_in / groups and fpg = c_out / groups in
+  for n = 0 to batch - 1 do
+    for co = 0 to c_out - 1 do
+      let group = co / fpg in
+      for ho = 0 to h_out - 1 do
+        for wo = 0 to w_out - 1 do
+          let acc = ref 0.0 in
+          for dc = 0 to cpg - 1 do
+            let ci = (group * cpg) + dc in
+            let in_base = (((n * c_in) + ci) * h_in) * w_in in
+            let w_base = (((co * cpg) + dc) * k_h) * k_w in
+            for kh = 0 to k_h - 1 do
+              let h = (ho * stride) + kh - pad_h in
+              if h >= 0 && h < h_in then
+                for kw = 0 to k_w - 1 do
+                  let w = (wo * stride) + kw - pad_w in
+                  if w >= 0 && w < w_in then
+                    acc :=
+                      !acc
+                      +. (inp.(in_base + (h * w_in) + w) *. wgt.(w_base + (kh * k_w) + kw))
+                done
+            done
+          done;
+          out.((((((n * c_out) + co) * h_out) + ho) * w_out) + wo) <- !acc
+        done
+      done
+    done
+  done;
+  output
+
+let random_problem rng spec =
+  let input = Tensor.random rng (Conv_spec.input_shape spec) in
+  let weights = Tensor.random rng (Conv_spec.weight_shape spec) in
+  (input, weights)

@@ -1,0 +1,13 @@
+(** Reference direct convolution.
+
+    The straightforward seven-loop implementation with zero padding; it is the
+    correctness oracle every other kernel in the repository is tested
+    against. *)
+
+val run : Conv_spec.t -> input:Tensor.t -> weights:Tensor.t -> Tensor.t
+(** [run spec ~input ~weights] computes the NCHW convolution.  Raises
+    [Invalid_argument] when tensor shapes do not match the spec. *)
+
+val random_problem : Util.Rng.t -> Conv_spec.t -> Tensor.t * Tensor.t
+(** Input and weight tensors with uniform values, shaped for the spec —
+    a convenience for tests, examples and benchmarks. *)

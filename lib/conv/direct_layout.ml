@@ -1,0 +1,88 @@
+let image_elems (spec : Conv_spec.t) = spec.c_in * spec.h_in * spec.w_in
+
+let pack_input layout (spec : Conv_spec.t) input =
+  if not (Tensor.Shape.equal (Tensor.shape input) (Conv_spec.input_shape spec)) then
+    invalid_arg "Direct_layout.pack_input: input shape mismatch";
+  let data = Tensor.data input in
+  let per_image = image_elems spec in
+  let packed = Array.make (spec.batch * per_image) 0.0 in
+  for n = 0 to spec.batch - 1 do
+    for c = 0 to spec.c_in - 1 do
+      for h = 0 to spec.h_in - 1 do
+        for w = 0 to spec.w_in - 1 do
+          let src = (((((n * spec.c_in) + c) * spec.h_in) + h) * spec.w_in) + w in
+          let dst =
+            Tensor.Layout.index layout ~c ~h ~w ~channels:spec.c_in ~height:spec.h_in
+              ~width:spec.w_in
+          in
+          packed.((n * per_image) + dst) <- data.(src)
+        done
+      done
+    done
+  done;
+  packed
+
+let unpack_to_nchw layout (spec : Conv_spec.t) packed =
+  let per_image = image_elems spec in
+  if Array.length packed <> spec.batch * per_image then
+    invalid_arg "Direct_layout.unpack_to_nchw: size mismatch";
+  let out = Tensor.create (Conv_spec.input_shape spec) in
+  let data = Tensor.data out in
+  for n = 0 to spec.batch - 1 do
+    for c = 0 to spec.c_in - 1 do
+      for h = 0 to spec.h_in - 1 do
+        for w = 0 to spec.w_in - 1 do
+          let dst = (((((n * spec.c_in) + c) * spec.h_in) + h) * spec.w_in) + w in
+          let src =
+            Tensor.Layout.index layout ~c ~h ~w ~channels:spec.c_in ~height:spec.h_in
+              ~width:spec.w_in
+          in
+          data.(dst) <- packed.((n * per_image) + src)
+        done
+      done
+    done
+  done;
+  out
+
+let run ~layout (spec : Conv_spec.t) ~packed_input ~weights =
+  if spec.groups <> 1 then invalid_arg "Direct_layout.run: grouped convolution unsupported";
+  let per_image = image_elems spec in
+  if Array.length packed_input <> spec.batch * per_image then
+    invalid_arg "Direct_layout.run: packed input size mismatch";
+  if not (Tensor.Shape.equal (Tensor.shape weights) (Conv_spec.weight_shape spec)) then
+    invalid_arg "Direct_layout.run: weight shape mismatch";
+  let h_out = Conv_spec.h_out spec and w_out = Conv_spec.w_out spec in
+  let output = Tensor.create (Conv_spec.output_shape spec) in
+  let wgt = Tensor.data weights and out = Tensor.data output in
+  let { Conv_spec.batch; c_in; h_in; w_in; c_out; k_h; k_w; stride; pad_h; pad_w; _ } = spec in
+  for n = 0 to batch - 1 do
+    let image_base = n * per_image in
+    for co = 0 to c_out - 1 do
+      let out_base = (((n * c_out) + co) * h_out) * w_out in
+      for ho = 0 to h_out - 1 do
+        for wo = 0 to w_out - 1 do
+          let acc = ref 0.0 in
+          for ci = 0 to c_in - 1 do
+            let w_base = (((co * c_in) + ci) * k_h) * k_w in
+            for kh = 0 to k_h - 1 do
+              let h = (ho * stride) + kh - pad_h in
+              if h >= 0 && h < h_in then
+                for kw = 0 to k_w - 1 do
+                  let w = (wo * stride) + kw - pad_w in
+                  if w >= 0 && w < w_in then begin
+                    let idx =
+                      Tensor.Layout.index layout ~c:ci ~h ~w ~channels:c_in ~height:h_in
+                        ~width:w_in
+                    in
+                    acc :=
+                      !acc +. (packed_input.(image_base + idx) *. wgt.(w_base + (kh * k_w) + kw))
+                  end
+                done
+            done
+          done;
+          out.(out_base + (ho * w_out) + wo) <- !acc
+        done
+      done
+    done
+  done;
+  output

@@ -1,0 +1,21 @@
+(** Layout-parameterised direct convolution.
+
+    The search domain's layout axis (Table 1: CHW, CWH, HWC) changes how the
+    activation tensor is linearised in memory.  This kernel executes the
+    convolution against an input packed in any of the three layouts, so the
+    layout axis is exercised by real data movement — the GPU cost model's
+    coalescing term then prices the same choice analytically. *)
+
+val pack_input : Tensor.Layout.t -> Conv_spec.t -> Tensor.t -> float array
+(** [pack_input layout spec input] re-linearises an NCHW input tensor into
+    the given per-image layout (batch-major: image [n] occupies the [n]-th
+    contiguous chunk). *)
+
+val unpack_to_nchw : Tensor.Layout.t -> Conv_spec.t -> float array -> Tensor.t
+(** Inverse of [pack_input]. *)
+
+val run :
+  layout:Tensor.Layout.t -> Conv_spec.t -> packed_input:float array ->
+  weights:Tensor.t -> Tensor.t
+(** Convolution over a packed input; output is standard NCHW.  Must agree
+    with [Direct.run] on the unpacked data. *)

@@ -1,0 +1,95 @@
+let padded_extents (spec : Conv_spec.t) =
+  (spec.h_in + (2 * spec.pad_h), spec.w_in + (2 * spec.pad_w))
+
+let transform_size (spec : Conv_spec.t) =
+  let hp, wp = padded_extents spec in
+  (Fft.Transform.next_power_of_two hp, Fft.Transform.next_power_of_two wp)
+
+(* Zero-padded complex plane of one image channel. *)
+let plane_of_channel (spec : Conv_spec.t) ~data ~base ~rows ~cols =
+  let plane = Array.make (rows * cols) Complex.zero in
+  for h = 0 to spec.h_in - 1 do
+    for w = 0 to spec.w_in - 1 do
+      plane.(((h + spec.pad_h) * cols) + w + spec.pad_w) <-
+        { Complex.re = data.(base + (h * spec.w_in) + w); im = 0.0 }
+    done
+  done;
+  plane
+
+let plane_of_kernel (spec : Conv_spec.t) ~data ~base ~rows ~cols =
+  let plane = Array.make (rows * cols) Complex.zero in
+  for kh = 0 to spec.k_h - 1 do
+    for kw = 0 to spec.k_w - 1 do
+      plane.((kh * cols) + kw) <- { Complex.re = data.(base + (kh * spec.k_w) + kw); im = 0.0 }
+    done
+  done;
+  plane
+
+let run (spec : Conv_spec.t) ~input ~weights =
+  if spec.groups <> 1 then invalid_arg "Fft_conv.run: grouped convolution unsupported";
+  let rows, cols = transform_size spec in
+  let h_out = Conv_spec.h_out spec and w_out = Conv_spec.w_out spec in
+  let { Conv_spec.batch; c_in; c_out; stride; _ } = spec in
+  let inp = Tensor.data input and wgt = Tensor.data weights in
+  let output = Tensor.create (Conv_spec.output_shape spec) in
+  let out = Tensor.data output in
+  (* Kernel spectra, shared across the batch. *)
+  let kf =
+    Array.init (c_out * c_in) (fun idx ->
+        let plane =
+          plane_of_kernel spec ~data:wgt ~base:(idx * spec.k_h * spec.k_w) ~rows ~cols
+        in
+        Fft.Transform.fft2 plane ~rows ~cols;
+        plane)
+  in
+  let acc = Array.make (rows * cols) Complex.zero in
+  for n = 0 to batch - 1 do
+    (* Input spectra, shared across output channels. *)
+    let xf =
+      Array.init c_in (fun ci ->
+          let base = (((n * c_in) + ci) * spec.h_in) * spec.w_in in
+          let plane = plane_of_channel spec ~data:inp ~base ~rows ~cols in
+          Fft.Transform.fft2 plane ~rows ~cols;
+          plane)
+    in
+    for co = 0 to c_out - 1 do
+      Array.fill acc 0 (rows * cols) Complex.zero;
+      for ci = 0 to c_in - 1 do
+        let x = xf.(ci) and k = kf.((co * c_in) + ci) in
+        (* Correlation theorem: multiply by the conjugate kernel spectrum. *)
+        for p = 0 to (rows * cols) - 1 do
+          acc.(p) <- Complex.add acc.(p) (Complex.mul x.(p) (Complex.conj k.(p)))
+        done
+      done;
+      Fft.Transform.ifft2 acc ~rows ~cols;
+      let out_base = (((n * c_out) + co) * h_out) * w_out in
+      for ho = 0 to h_out - 1 do
+        for wo = 0 to w_out - 1 do
+          out.(out_base + (ho * w_out) + wo) <- acc.(((ho * stride) * cols) + (wo * stride)).re
+        done
+      done
+    done
+  done;
+  output
+
+let io (spec : Conv_spec.t) =
+  let rows, cols = transform_size spec in
+  let plane = float_of_int (rows * cols) in
+  let complex_plane = 2.0 *. plane in
+  let fb = float_of_int spec.batch in
+  let cin = float_of_int spec.c_in and cout = float_of_int spec.c_out in
+  (* Forward input FFTs: read the image, write complex spectra; kernel FFTs
+     amortise across the batch; the frequency product re-reads both spectra
+     and writes one accumulator per output channel; inverse FFTs read it back
+     and write the spatial output. *)
+  let input_read = float_of_int (Conv_spec.input_elems spec) in
+  let spectra_write = fb *. complex_plane *. cin in
+  let kernel_read = float_of_int (Conv_spec.weight_elems spec) in
+  let kernel_spectra = complex_plane *. cin *. cout in
+  let product_reads = fb *. ((complex_plane *. cin *. cout) +. (kernel_spectra /. fb)) in
+  let acc_write = fb *. complex_plane *. cout in
+  let inverse_read = acc_write in
+  let output_write = float_of_int (Conv_spec.output_elems spec) in
+  Io_count.make
+    ~loads:(input_read +. kernel_read +. product_reads +. inverse_read)
+    ~stores:(spectra_write +. kernel_spectra +. acc_write +. output_write)

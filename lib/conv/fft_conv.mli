@@ -1,0 +1,24 @@
+(** FFT-based convolution — the third algorithm family (cuDNN's
+    CUDNN_CONVOLUTION_FWD_ALGO_FFT).
+
+    Each input channel is transformed once and reused across all output
+    channels; kernels are zero-padded, transformed, and multiply-accumulated
+    in the frequency domain; one inverse transform per output channel
+    recovers the spatial result.  Cross-correlation is obtained from the
+    convolution theorem by conjugating the kernel spectrum.
+
+    Stride > 1 is handled by computing the stride-1 result and subsampling
+    (correct, if wasteful — exactly what FFT convolution does on GPUs, which
+    is why libraries avoid it for strided layers). *)
+
+val run : Conv_spec.t -> input:Tensor.t -> weights:Tensor.t -> Tensor.t
+(** Must agree with [Direct.run] to rounding. *)
+
+val transform_size : Conv_spec.t -> int * int
+(** Power-of-two FFT extents [(rows, cols)] covering the padded image. *)
+
+val io : Conv_spec.t -> Io_count.t
+(** Analytic traffic model of a non-fused GPU FFT pipeline: forward
+    transforms of inputs and kernels written to global memory as complex
+    pairs, the frequency-domain batched product, and inverse transforms —
+    used by the simulated library baseline. *)

@@ -1,0 +1,39 @@
+let naive ~a ~b ~m ~k ~n = Tensor.Ops.matmul ~a ~b ~m ~k ~n
+
+let blocked ?(mb = 64) ?(nb = 64) ?(kb = 64) ~m ~k ~n a b =
+  assert (Array.length a = m * k && Array.length b = k * n);
+  if mb < 1 || nb < 1 || kb < 1 then invalid_arg "Gemm.blocked: non-positive block";
+  let c = Array.make (m * n) 0.0 in
+  let i0 = ref 0 in
+  while !i0 < m do
+    let i1 = min (!i0 + mb) m in
+    let p0 = ref 0 in
+    while !p0 < k do
+      let p1 = min (!p0 + kb) k in
+      let j0 = ref 0 in
+      while !j0 < n do
+        let j1 = min (!j0 + nb) n in
+        for i = !i0 to i1 - 1 do
+          for p = !p0 to p1 - 1 do
+            let aip = a.((i * k) + p) in
+            if aip <> 0.0 then begin
+              let brow = p * n and crow = i * n in
+              for j = !j0 to j1 - 1 do
+                c.(crow + j) <- c.(crow + j) +. (aip *. b.(brow + j))
+              done
+            end
+          done
+        done;
+        j0 := j1
+      done;
+      p0 := p1
+    done;
+    i0 := i1
+  done;
+  c
+
+let io_volume_blocked ~mb ~nb ~m ~k ~n =
+  let fm = float_of_int m and fk = float_of_int k and fn = float_of_int n in
+  let col_blocks = Float.of_int ((n + nb - 1) / nb) in
+  let row_blocks = Float.of_int ((m + mb - 1) / mb) in
+  (fm *. fk *. col_blocks) +. (fk *. fn *. row_blocks) +. (fm *. fn)

@@ -1,0 +1,21 @@
+(** Cache-blocked general matrix multiply.
+
+    The GEMM backing the im2col convolution path.  Blocking parameters are
+    exposed so the cuDNN-style baseline in [gpu_sim] and the ablation benches
+    can model different library tilings. *)
+
+val naive : a:float array -> b:float array -> m:int -> k:int -> n:int -> float array
+(** Triple loop, for small sizes and as a test oracle. *)
+
+val blocked :
+  ?mb:int -> ?nb:int -> ?kb:int ->
+  m:int -> k:int -> n:int -> float array -> float array -> float array
+(** [blocked ~m ~k ~n a b]: row-major [m]x[k] times [k]x[n] with a
+    register-friendly loop order over [mb] x [nb] x [kb] blocks (defaults
+    64/64/64).  The matrices are the trailing positional arguments so the
+    optional blocking parameters stay erasable. *)
+
+val io_volume_blocked : mb:int -> nb:int -> m:int -> k:int -> n:int -> float
+(** Off-chip traffic (elements) of the blocked algorithm under the standard
+    model where each [mb x k] panel of A is read once per column-block of B
+    and vice versa: [m*k*(n/nb) + k*n*(m/mb) + m*n]. *)

@@ -1,0 +1,21 @@
+(** im2col + GEMM convolution — the "image2col method" the paper compares
+    against as cuDNN's direct-family implementation (Section 7).
+
+    The input is materialised into a [c_in*k_h*k_w] x [h_out*w_out] matrix per
+    batch element, then multiplied by the [c_out] x [c_in*k_h*k_w] weight
+    matrix.  [io] reports the traffic of that strategy, including the
+    materialisation writes and re-reads that the paper's dataflow avoids. *)
+
+val lower : Conv_spec.t -> input:Tensor.t -> batch:int -> float array
+(** The im2col matrix of one batch element, row-major
+    [c_in*k_h*k_w] x [h_out*w_out], zero-filled where padding reaches outside
+    the image. *)
+
+val run : ?mb:int -> ?nb:int -> Conv_spec.t -> input:Tensor.t -> weights:Tensor.t -> Tensor.t
+(** Full convolution through im2col and blocked GEMM; must agree with
+    [Direct.run] to rounding. *)
+
+val io : ?mb:int -> ?nb:int -> Conv_spec.t -> Io_count.t
+(** Analytic traffic model: reading the image once, writing and re-reading
+    the lowered matrix, streaming weights per column block and writing the
+    output. *)

@@ -1,0 +1,11 @@
+type t = { loads : float; stores : float }
+
+let zero = { loads = 0.0; stores = 0.0 }
+let add a b = { loads = a.loads +. b.loads; stores = a.stores +. b.stores }
+let total t = t.loads +. t.stores
+let scale s t = { loads = s *. t.loads; stores = s *. t.stores }
+let make ~loads ~stores = { loads; stores }
+let bytes ?(elem_size = 4) t = float_of_int elem_size *. total t
+
+let pp fmt t =
+  Format.fprintf fmt "{loads=%.0f; stores=%.0f; total=%.0f}" t.loads t.stores (total t)

@@ -1,0 +1,20 @@
+(** Off-chip I/O accounting in elements.
+
+    Every dataflow kernel in this library both computes its result and tallies
+    the global-memory traffic its on-chip schedule would incur; the tallies
+    are compared against the Section 5 analytic formulas and the Section 4
+    lower bounds in tests and benches. *)
+
+type t = { loads : float; stores : float }
+
+val zero : t
+val add : t -> t -> t
+val total : t -> float
+val scale : float -> t -> t
+
+val make : loads:float -> stores:float -> t
+
+val bytes : ?elem_size:int -> t -> float
+(** Total traffic in bytes, default 4-byte elements. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,54 @@
+let tiled_direct ?domains (spec : Conv_spec.t) ~tile ~input ~weights =
+  let domains = Option.value domains ~default:(Util.Parallel.recommended_domains ()) in
+  let output = Tensor.create (Conv_spec.output_shape spec) in
+  let blocks = Tiled_direct.enumerate_blocks spec ~tile in
+  let nb = Array.length blocks in
+  (* Flatten (batch, block) pairs so small grids still spread over domains. *)
+  Util.Parallel.for_ ~domains 0 (spec.batch * nb) (fun i ->
+      let n = i / nb and b = blocks.(i mod nb) in
+      Tiled_direct.compute_block spec ~input ~weights ~output ~batch_index:n b);
+  let io =
+    Array.fold_left
+      (fun acc b -> Io_count.add acc (Tiled_direct.block_io_of spec b))
+      Io_count.zero blocks
+  in
+  {
+    Tiled_direct.output;
+    io = Io_count.scale (float_of_int spec.batch) io;
+    blocks = spec.batch * nb;
+  }
+
+let tiled_winograd ?domains ~e (spec : Conv_spec.t) ~tile ~input ~weights =
+  let domains = Option.value domains ~default:(Util.Parallel.recommended_domains ()) in
+  let tf = Winograd_transform.make ~e ~r:spec.k_h in
+  let output = Tensor.create (Conv_spec.output_shape spec) in
+  let blocks = Tiled_winograd.enumerate_blocks ~e spec ~tile in
+  let nb = Array.length blocks in
+  Util.Parallel.for_ ~domains 0 (spec.batch * nb) (fun i ->
+      let n = i / nb and b = blocks.(i mod nb) in
+      Tiled_winograd.compute_block ~e ~transform:tf spec ~input ~weights ~output
+        ~batch_index:n b);
+  let io =
+    Array.fold_left
+      (fun acc b -> Io_count.add acc (Tiled_winograd.block_io_of spec b))
+      Io_count.zero blocks
+  in
+  {
+    Tiled_winograd.output;
+    io = Io_count.scale (float_of_int spec.batch) io;
+    blocks = spec.batch * nb;
+  }
+
+let direct ?domains (spec : Conv_spec.t) ~input ~weights =
+  let domains = Option.value domains ~default:(Util.Parallel.recommended_domains ()) in
+  (* One maximal block per output channel keeps writes disjoint. *)
+  let h_out = Conv_spec.h_out spec and w_out = Conv_spec.w_out spec in
+  let tile = { Tiled_direct.x = w_out; y = h_out; z = 1 } in
+  let output = Tensor.create (Conv_spec.output_shape spec) in
+  let blocks = Tiled_direct.enumerate_blocks spec ~tile in
+  let nb = Array.length blocks in
+  Util.Parallel.for_ ~domains 0 (spec.batch * nb) (fun i ->
+      let n = i / nb and b = blocks.(i mod nb) in
+      Tiled_direct.compute_block ~alpha:spec.c_in spec ~input ~weights ~output
+        ~batch_index:n b);
+  output

@@ -1,0 +1,30 @@
+(** Multicore execution of the tiled dataflows.
+
+    The Section-5 dataflows are embarrassingly parallel across output
+    sub-blocks — the paper's [N_p] processors each own disjoint blocks and
+    their partial sums never interact.  These entry points run the same
+    block arithmetic as [Tiled_direct.run] / [Tiled_winograd.run] but fan the
+    blocks out over OCaml 5 domains; outputs land in disjoint regions of the
+    result tensor so no synchronisation beyond the final join is needed.
+
+    The I/O tallies are identical to the sequential runs by construction
+    ([io_only] is deterministic in the tile), which the tests check alongside
+    numerical equality with the sequential kernels. *)
+
+val tiled_direct :
+  ?domains:int ->
+  Conv_spec.t -> tile:Tiled_direct.tile -> input:Tensor.t -> weights:Tensor.t ->
+  Tiled_direct.result
+(** Parallel [Tiled_direct.run]; [domains] defaults to
+    [Util.Parallel.recommended_domains ()]. *)
+
+val tiled_winograd :
+  ?domains:int ->
+  e:int ->
+  Conv_spec.t -> tile:Tiled_winograd.tile -> input:Tensor.t -> weights:Tensor.t ->
+  Tiled_winograd.result
+(** Parallel [Tiled_winograd.run]. *)
+
+val direct :
+  ?domains:int -> Conv_spec.t -> input:Tensor.t -> weights:Tensor.t -> Tensor.t
+(** Reference direct convolution parallelised over output channels. *)

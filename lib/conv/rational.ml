@@ -1,0 +1,31 @@
+type t = { num : int; den : int }
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let make num den =
+  if den = 0 then raise Division_by_zero;
+  let sign = if den < 0 then -1 else 1 in
+  let num = sign * num and den = sign * den in
+  let g = gcd (abs num) den in
+  if g = 0 then { num = 0; den = 1 } else { num = num / g; den = den / g }
+
+let zero = { num = 0; den = 1 }
+let one = { num = 1; den = 1 }
+let of_int n = { num = n; den = 1 }
+let num t = t.num
+let den t = t.den
+
+let add a b = make ((a.num * b.den) + (b.num * a.den)) (a.den * b.den)
+let sub a b = make ((a.num * b.den) - (b.num * a.den)) (a.den * b.den)
+let mul a b = make (a.num * b.num) (a.den * b.den)
+
+let div a b =
+  if b.num = 0 then raise Division_by_zero;
+  make (a.num * b.den) (a.den * b.num)
+
+let neg a = { a with num = -a.num }
+let equal a b = a.num = b.num && a.den = b.den
+let is_zero a = a.num = 0
+let compare a b = compare (a.num * b.den) (b.num * a.den)
+let to_float a = float_of_int a.num /. float_of_int a.den
+let to_string a = if a.den = 1 then string_of_int a.num else Printf.sprintf "%d/%d" a.num a.den

@@ -1,0 +1,181 @@
+type tile = { x : int; y : int; z : int }
+
+type result = { output : Tensor.t; io : Io_count.t; blocks : int }
+
+let input_tile_w (spec : Conv_spec.t) x = ((x - 1) * spec.stride) + spec.k_w
+let input_tile_h (spec : Conv_spec.t) y = ((y - 1) * spec.stride) + spec.k_h
+
+let check_tile tile =
+  if tile.x < 1 || tile.y < 1 || tile.z < 1 then
+    invalid_arg "Tiled_direct: non-positive tile"
+
+(* Geometry of one output block clamped to the image. *)
+type block = { wo0 : int; ho0 : int; co0 : int; bw : int; bh : int; bz : int }
+
+let fold_blocks (spec : Conv_spec.t) ~tile ~init f =
+  let h_out = Conv_spec.h_out spec and w_out = Conv_spec.w_out spec in
+  let acc = ref init in
+  let co0 = ref 0 in
+  while !co0 < spec.c_out do
+    let bz = min tile.z (spec.c_out - !co0) in
+    let ho0 = ref 0 in
+    while !ho0 < h_out do
+      let bh = min tile.y (h_out - !ho0) in
+      let wo0 = ref 0 in
+      while !wo0 < w_out do
+        let bw = min tile.x (w_out - !wo0) in
+        acc := f !acc { wo0 = !wo0; ho0 = !ho0; co0 = !co0; bw; bh; bz };
+        wo0 := !wo0 + tile.x
+      done;
+      ho0 := !ho0 + tile.y
+    done;
+    co0 := !co0 + tile.z
+  done;
+  !acc
+
+(* In-bounds element count of the input tile feeding a block: the tile spans
+   [h0, h0 + th) x [w0, w0 + tw) in padded coordinates; only the intersection
+   with the real image is loaded from off-chip. *)
+let tile_loads (spec : Conv_spec.t) b =
+  let tw = input_tile_w spec b.bw and th = input_tile_h spec b.bh in
+  let w0 = (b.wo0 * spec.stride) - spec.pad_w and h0 = (b.ho0 * spec.stride) - spec.pad_h in
+  let clip lo len bound = max 0 (min (lo + len) bound - max lo 0) in
+  clip w0 tw spec.w_in * clip h0 th spec.h_in
+
+(* Distinct input channels a z-range [co0, co0+bz) touches: its groups'
+   channels (all of c_in when groups = 1). *)
+let input_channels_of_zrange (spec : Conv_spec.t) ~co0 ~bz =
+  let fpg = spec.c_out / spec.groups and cpg = spec.c_in / spec.groups in
+  let first_group = co0 / fpg and last_group = (co0 + bz - 1) / fpg in
+  cpg * (last_group - first_group + 1)
+
+let block_io (spec : Conv_spec.t) b =
+  let channels = input_channels_of_zrange spec ~co0:b.co0 ~bz:b.bz in
+  let input_loads = tile_loads spec b * channels in
+  let cpg = spec.c_in / spec.groups in
+  let weight_loads = spec.k_h * spec.k_w * cpg * b.bz in
+  let stores = b.bw * b.bh * b.bz in
+  Io_count.make
+    ~loads:(float_of_int (input_loads + weight_loads))
+    ~stores:(float_of_int stores)
+
+(* Per-axis clipped input-tile extents: the block traffic factorises as
+   width-sum * height-sum, so the whole tally is O(blocks per axis) instead of
+   O(total blocks) — [run] still does the full per-block accounting and the
+   tests pin the two to each other. *)
+let axis_clip_sum ~extent ~tile_dim ~stride ~halo ~pad ~bound =
+  let clip lo len = max 0 (min (lo + len) bound - max lo 0) in
+  let total = ref 0 and count = ref 0 and o0 = ref 0 in
+  while !o0 < extent do
+    let b = min tile_dim (extent - !o0) in
+    let len = ((b - 1) * stride) + halo in
+    total := !total + clip ((!o0 * stride) - pad) len;
+    incr count;
+    o0 := !o0 + tile_dim
+  done;
+  (!total, !count)
+
+let io_only ?(alpha = 1) (spec : Conv_spec.t) ~tile =
+  check_tile tile;
+  ignore alpha;
+  (* alpha changes stage granularity, not block totals: every input element
+     and weight of the block is still loaded exactly once. *)
+  let h_out = Conv_spec.h_out spec and w_out = Conv_spec.w_out spec in
+  let sum_w, nx =
+    axis_clip_sum ~extent:w_out ~tile_dim:tile.x ~stride:spec.stride ~halo:spec.k_w
+      ~pad:spec.pad_w ~bound:spec.w_in
+  in
+  let sum_h, ny =
+    axis_clip_sum ~extent:h_out ~tile_dim:tile.y ~stride:spec.stride ~halo:spec.k_h
+      ~pad:spec.pad_h ~bound:spec.h_in
+  in
+  (* Sum the distinct-input-channel counts over the z blocks (equal to
+     c_in * nz when groups = 1, less when a block's groups see fewer input
+     channels). *)
+  let channel_loads = ref 0 in
+  let co0 = ref 0 in
+  while !co0 < spec.c_out do
+    let bz = min tile.z (spec.c_out - !co0) in
+    channel_loads := !channel_loads + input_channels_of_zrange spec ~co0:!co0 ~bz;
+    co0 := !co0 + tile.z
+  done;
+  let input_loads = float_of_int (sum_w * sum_h * !channel_loads) in
+  let cpg = spec.c_in / spec.groups in
+  let weight_loads = float_of_int (spec.k_h * spec.k_w * cpg * spec.c_out * nx * ny) in
+  let stores = float_of_int (w_out * h_out * spec.c_out) in
+  Io_count.scale
+    (float_of_int spec.batch)
+    (Io_count.make ~loads:(input_loads +. weight_loads) ~stores)
+
+let working_set (spec : Conv_spec.t) ~tile ~alpha =
+  check_tile tile;
+  (tile.x * tile.y * tile.z)
+  + (input_tile_w spec tile.x * input_tile_h spec tile.y * alpha)
+  + (spec.k_h * spec.k_w * alpha * tile.z)
+
+let enumerate_blocks (spec : Conv_spec.t) ~tile =
+  check_tile tile;
+  let acc = fold_blocks spec ~tile ~init:[] (fun acc b -> b :: acc) in
+  Array.of_list (List.rev acc)
+
+let block_io_of = block_io
+
+let compute_block ?(alpha = 1) (spec : Conv_spec.t) ~input ~weights ~output ~batch_index:n b =
+  if alpha < 1 then invalid_arg "Tiled_direct.compute_block: non-positive alpha";
+  let h_out = Conv_spec.h_out spec and w_out = Conv_spec.w_out spec in
+  let inp = Tensor.data input and wgt = Tensor.data weights and out = Tensor.data output in
+  let { Conv_spec.c_in; h_in; w_in; c_out; k_h; k_w; stride; pad_h; pad_w; groups; _ } =
+    spec
+  in
+  let cpg = c_in / groups and fpg = c_out / groups in
+  (* Slide along the (per-group) channel direction in stages of [alpha]
+     channels; partial sums stay resident in the output block the whole
+     time. *)
+  let ci0 = ref 0 in
+  while !ci0 < cpg do
+    let cstage = min alpha (cpg - !ci0) in
+    for dc = 0 to cstage - 1 do
+      let dci = !ci0 + dc in
+      for dz = 0 to b.bz - 1 do
+        let co = b.co0 + dz in
+        let ci = ((co / fpg) * cpg) + dci in
+        let in_base = (((n * c_in) + ci) * h_in) * w_in in
+        let w_base = (((co * cpg) + dci) * k_h) * k_w in
+        let out_base = (((n * c_out) + co) * h_out) * w_out in
+        for dy = 0 to b.bh - 1 do
+          let ho = b.ho0 + dy in
+          for dx = 0 to b.bw - 1 do
+            let wo = b.wo0 + dx in
+            let acc = ref out.(out_base + (ho * w_out) + wo) in
+            for kh = 0 to k_h - 1 do
+              let h = (ho * stride) + kh - pad_h in
+              if h >= 0 && h < h_in then
+                for kw = 0 to k_w - 1 do
+                  let w = (wo * stride) + kw - pad_w in
+                  if w >= 0 && w < w_in then
+                    acc :=
+                      !acc
+                      +. inp.(in_base + (h * w_in) + w) *. wgt.(w_base + (kh * k_w) + kw)
+                done
+            done;
+            out.(out_base + (ho * w_out) + wo) <- !acc
+          done
+        done
+      done
+    done;
+    ci0 := !ci0 + cstage
+  done
+
+let run ?(alpha = 1) (spec : Conv_spec.t) ~tile ~input ~weights =
+  check_tile tile;
+  let output = Tensor.create (Conv_spec.output_shape spec) in
+  let blocks = enumerate_blocks spec ~tile in
+  let io = ref Io_count.zero in
+  for n = 0 to spec.batch - 1 do
+    Array.iter
+      (fun b ->
+        compute_block ~alpha spec ~input ~weights ~output ~batch_index:n b;
+        io := Io_count.add !io (block_io spec b))
+      blocks
+  done;
+  { output; io = !io; blocks = spec.batch * Array.length blocks }

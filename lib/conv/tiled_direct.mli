@@ -1,0 +1,57 @@
+(** The near I/O-optimal direct-convolution dataflow (Section 5.2).
+
+    Output-stationary tiling: the output image is cut into [x * y * z]
+    sub-blocks (width, height, output channels) that live in on-chip memory
+    for their whole lifetime.  Inputs arrive as [x' * y'] tiles at one channel
+    at a time ([alpha] channels per stage; the paper argues [alpha = 1] and
+    the ablation bench sweeps it) together with the matching [k_h * k_w]
+    weights of the [z] kernels, each loaded exactly once per block.
+
+    [run] really computes the convolution — it is checked against
+    [Direct.run] — while tallying the off-chip traffic of the schedule, which
+    the tests compare with [Q_DC] (Equation 21 via [Core.Dataflow_cost]) and
+    the Theorem 4.12 lower bound. *)
+
+type tile = { x : int; y : int; z : int }
+(** Output sub-block: [x] columns, [y] rows, [z] output channels. *)
+
+type result = { output : Tensor.t; io : Io_count.t; blocks : int }
+
+val input_tile_w : Conv_spec.t -> int -> int
+(** [x' = (x-1)*stride + k_w], the input-tile width feeding [x] outputs. *)
+
+val input_tile_h : Conv_spec.t -> int -> int
+
+val run :
+  ?alpha:int -> Conv_spec.t -> tile:tile -> input:Tensor.t -> weights:Tensor.t -> result
+(** Executes the dataflow.  [alpha] is the number of input channels loaded
+    per stage (default 1).  Tiles are clamped at image borders.  Raises
+    [Invalid_argument] on a non-positive tile. *)
+
+val io_only : ?alpha:int -> Conv_spec.t -> tile:tile -> Io_count.t
+(** The traffic tally of [run] without touching any data — used by the GPU
+    cost model, where only the volume matters. *)
+
+val working_set : Conv_spec.t -> tile:tile -> alpha:int -> int
+(** On-chip elements the schedule keeps live: the output block, one input
+    stage tile and one weight stage slice — what must fit in shared memory. *)
+
+(** {2 Block-level building blocks}
+
+    Used by [Parallel_exec] to fan the same arithmetic out over domains;
+    blocks write disjoint output regions, so they can run concurrently. *)
+
+type block
+(** One output sub-block (clamped at image borders). *)
+
+val enumerate_blocks : Conv_spec.t -> tile:tile -> block array
+(** All blocks of one image, in the sequential schedule's order. *)
+
+val block_io_of : Conv_spec.t -> block -> Io_count.t
+(** Off-chip traffic of one block. *)
+
+val compute_block :
+  ?alpha:int ->
+  Conv_spec.t -> input:Tensor.t -> weights:Tensor.t -> output:Tensor.t ->
+  batch_index:int -> block -> unit
+(** Executes one block's partial sums into [output]. *)

@@ -1,0 +1,172 @@
+type tile = { x : int; y : int; z : int }
+
+type result = { output : Tensor.t; io : Io_count.t; blocks : int }
+
+type block = { wo0 : int; ho0 : int; co0 : int; bw : int; bh : int; bz : int }
+
+let check ~e (spec : Conv_spec.t) ~tile =
+  if not (Winograd.supported spec) then
+    invalid_arg "Tiled_winograd: stride 1 and square kernel required";
+  if tile.x < 1 || tile.y < 1 || tile.z < 1 then invalid_arg "Tiled_winograd: non-positive tile";
+  if tile.x mod e <> 0 || tile.y mod e <> 0 then
+    invalid_arg "Tiled_winograd: tile.x and tile.y must be multiples of e"
+
+let fold_blocks (spec : Conv_spec.t) ~tile ~init f =
+  let h_out = Conv_spec.h_out spec and w_out = Conv_spec.w_out spec in
+  let acc = ref init in
+  let co0 = ref 0 in
+  while !co0 < spec.c_out do
+    let bz = min tile.z (spec.c_out - !co0) in
+    let ho0 = ref 0 in
+    while !ho0 < h_out do
+      let bh = min tile.y (h_out - !ho0) in
+      let wo0 = ref 0 in
+      while !wo0 < w_out do
+        let bw = min tile.x (w_out - !wo0) in
+        acc := f !acc { wo0 = !wo0; ho0 = !ho0; co0 = !co0; bw; bh; bz };
+        wo0 := !wo0 + tile.x
+      done;
+      ho0 := !ho0 + tile.y
+    done;
+    co0 := !co0 + tile.z
+  done;
+  !acc
+
+(* Per-channel in-bounds input region of a block: [x' * y'] with
+   x' = bw + r - 1, intersected with the image (stride is 1). *)
+let region_loads (spec : Conv_spec.t) b =
+  let r = spec.k_h in
+  let tw = b.bw + r - 1 and th = b.bh + r - 1 in
+  let w0 = b.wo0 - spec.pad_w and h0 = b.ho0 - spec.pad_h in
+  let clip lo len bound = max 0 (min (lo + len) bound - max lo 0) in
+  clip w0 tw spec.w_in * clip h0 th spec.h_in
+
+let block_io (spec : Conv_spec.t) b =
+  let r = spec.k_h in
+  let input_loads = region_loads spec b * spec.c_in in
+  let weight_loads = r * r * spec.c_in * b.bz in
+  Io_count.make
+    ~loads:(float_of_int (input_loads + weight_loads))
+    ~stores:(float_of_int (b.bw * b.bh * b.bz))
+
+(* Same per-axis factorisation as [Tiled_direct.io_only] (stride is 1). *)
+let axis_clip_sum ~extent ~tile_dim ~halo ~pad ~bound =
+  let clip lo len = max 0 (min (lo + len) bound - max lo 0) in
+  let total = ref 0 and count = ref 0 and o0 = ref 0 in
+  while !o0 < extent do
+    let b = min tile_dim (extent - !o0) in
+    total := !total + clip (!o0 - pad) (b + halo - 1);
+    incr count;
+    o0 := !o0 + tile_dim
+  done;
+  (!total, !count)
+
+let io_only ~e (spec : Conv_spec.t) ~tile =
+  check ~e spec ~tile;
+  let r = spec.k_h in
+  let h_out = Conv_spec.h_out spec and w_out = Conv_spec.w_out spec in
+  let sum_w, nx =
+    axis_clip_sum ~extent:w_out ~tile_dim:tile.x ~halo:r ~pad:spec.pad_w ~bound:spec.w_in
+  in
+  let sum_h, ny =
+    axis_clip_sum ~extent:h_out ~tile_dim:tile.y ~halo:r ~pad:spec.pad_h ~bound:spec.h_in
+  in
+  let nz = (spec.c_out + tile.z - 1) / tile.z in
+  let input_loads = float_of_int (sum_w * sum_h * spec.c_in * nz) in
+  let weight_loads = float_of_int (r * r * spec.c_in * spec.c_out * nx * ny) in
+  let stores = float_of_int (w_out * h_out * spec.c_out) in
+  Io_count.scale
+    (float_of_int spec.batch)
+    (Io_count.make ~loads:(input_loads +. weight_loads) ~stores)
+
+let working_set ~e (spec : Conv_spec.t) ~tile =
+  check ~e spec ~tile;
+  let r = spec.k_h in
+  let alpha = e + r - 1 in
+  let temporaries = 2 * alpha * alpha * tile.x * tile.y * tile.z / (e * e) in
+  temporaries + (alpha * alpha) + (r * r * tile.z)
+
+let enumerate_blocks ~e (spec : Conv_spec.t) ~tile =
+  check ~e spec ~tile;
+  let acc = fold_blocks spec ~tile ~init:[] (fun acc b -> b :: acc) in
+  Array.of_list (List.rev acc)
+
+let block_io_of = block_io
+
+let compute_block ~e ~transform:tf (spec : Conv_spec.t) ~input ~weights ~output
+    ~batch_index:n b =
+  let r = spec.k_h in
+  let alpha = tf.Winograd_transform.alpha in
+  let h_out = Conv_spec.h_out spec and w_out = Conv_spec.w_out spec in
+  let { Conv_spec.c_in; h_in; w_in; c_out; pad_h; pad_w; _ } = spec in
+  let inp = Tensor.data input and wgt = Tensor.data weights and out = Tensor.data output in
+  let patch = Array.make (alpha * alpha) 0.0 in
+  let tiles_h = (b.bh + e - 1) / e and tiles_w = (b.bw + e - 1) / e in
+  (* One transformed-domain accumulator per (tile, z) pair: the first of the
+     paper's two temporary arrays; [patch] plays the second. *)
+  let accs =
+    Array.init (tiles_h * tiles_w * b.bz) (fun _ -> Array.make (alpha * alpha) 0.0)
+  in
+  for ci = 0 to c_in - 1 do
+    let in_base = (((n * c_in) + ci) * h_in) * w_in in
+    for ty = 0 to tiles_h - 1 do
+      for tx = 0 to tiles_w - 1 do
+        let h0 = b.ho0 + (ty * e) - pad_h and w0 = b.wo0 + (tx * e) - pad_w in
+        for dh = 0 to alpha - 1 do
+          let h = h0 + dh in
+          for dw = 0 to alpha - 1 do
+            let w = w0 + dw in
+            patch.((dh * alpha) + dw) <-
+              (if h >= 0 && h < h_in && w >= 0 && w < w_in then
+                 inp.(in_base + (h * w_in) + w)
+               else 0.0)
+          done
+        done;
+        let v = Winograd_transform.transform_input tf patch in
+        for dz = 0 to b.bz - 1 do
+          let co = b.co0 + dz in
+          let kernel = Array.sub wgt (((co * c_in) + ci) * r * r) (r * r) in
+          let u = Winograd_transform.transform_kernel tf kernel in
+          let acc_tile = accs.((((ty * tiles_w) + tx) * b.bz) + dz) in
+          for p = 0 to (alpha * alpha) - 1 do
+            acc_tile.(p) <- acc_tile.(p) +. (u.(p) *. v.(p))
+          done
+        done
+      done
+    done
+  done;
+  (* Channel sweep finished: output-transform every accumulator. *)
+  for ty = 0 to tiles_h - 1 do
+    for tx = 0 to tiles_w - 1 do
+      for dz = 0 to b.bz - 1 do
+        let co = b.co0 + dz in
+        let out_base = (((n * c_out) + co) * h_out) * w_out in
+        let acc_tile = accs.((((ty * tiles_w) + tx) * b.bz) + dz) in
+        let result = Winograd_transform.transform_output tf acc_tile in
+        for oy = 0 to e - 1 do
+          let ho = b.ho0 + (ty * e) + oy in
+          if ho < h_out && oy + (ty * e) < b.bh then
+            for ox = 0 to e - 1 do
+              let wo = b.wo0 + (tx * e) + ox in
+              if wo < w_out && ox + (tx * e) < b.bw then
+                out.(out_base + (ho * w_out) + wo) <- result.((oy * e) + ox)
+            done
+        done
+      done
+    done
+  done
+
+let run ~e (spec : Conv_spec.t) ~tile ~input ~weights =
+  check ~e spec ~tile;
+  let tf = Winograd_transform.make ~e ~r:spec.k_h in
+  let output = Tensor.create (Conv_spec.output_shape spec) in
+  let blocks = enumerate_blocks ~e spec ~tile in
+  let io = ref Io_count.zero in
+  for n = 0 to spec.batch - 1 do
+    Array.iter
+      (fun b ->
+        compute_block ~e ~transform:tf spec ~input ~weights ~output ~batch_index:n b;
+        io := Io_count.add !io (block_io spec b))
+      blocks
+  done;
+  { output; io = !io; blocks = spec.batch * Array.length blocks }

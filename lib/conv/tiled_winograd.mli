@@ -1,0 +1,44 @@
+(** The near I/O-optimal Winograd dataflow (Section 5.3).
+
+    The output image is cut into [x * y * z] sub-blocks; each block is
+    processed as [x*y / e^2] small [e x e x z] tiles.  Per channel stage an
+    [(e+r-1) x (e+r-1)] input tile and the matching [r^2] weights are loaded,
+    transformed, multiplied, and accumulated into the two on-chip temporary
+    arrays the paper's step-3 analysis singles out; only after the channel
+    sweep is the accumulated [Pi] pushed through the output transform.
+
+    Input halos are shared inside a block: the block loads its
+    [(x + r - 1) * (y + r - 1)] input region once per channel, which is what
+    gives the [x*y*C_in] term of Equation 22. *)
+
+type tile = { x : int; y : int; z : int }
+
+type result = { output : Tensor.t; io : Io_count.t; blocks : int }
+
+val run : e:int -> Conv_spec.t -> tile:tile -> input:Tensor.t -> weights:Tensor.t -> result
+(** Executes the dataflow; result must match [Direct.run] to rounding.
+    Requires [Winograd.supported spec], [tile.x] and [tile.y] multiples of
+    [e]; raises [Invalid_argument] otherwise. *)
+
+val io_only : e:int -> Conv_spec.t -> tile:tile -> Io_count.t
+(** Traffic tally without computing. *)
+
+val working_set : e:int -> Conv_spec.t -> tile:tile -> int
+(** On-chip elements: the [2 * (e+r-1)^2 / e^2 * x*y*z] temporary arrays plus
+    one stage's input tile and weights (Section 5.3's
+    [2*(e+r-1)^2/e^2 * xyz ~= S/N_p] sizing). *)
+
+(** {2 Block-level building blocks} — see [Tiled_direct]; blocks write
+    disjoint output regions and may run concurrently. *)
+
+type block
+
+val enumerate_blocks : e:int -> Conv_spec.t -> tile:tile -> block array
+val block_io_of : Conv_spec.t -> block -> Io_count.t
+
+val compute_block :
+  e:int -> transform:Winograd_transform.t ->
+  Conv_spec.t -> input:Tensor.t -> weights:Tensor.t -> output:Tensor.t ->
+  batch_index:int -> block -> unit
+(** [transform] must be [Winograd_transform.make ~e ~r:spec.k_h]; it is
+    passed in so concurrent blocks share one precomputed instance. *)

@@ -1,0 +1,77 @@
+let supported (spec : Conv_spec.t) =
+  spec.stride = 1 && spec.k_h = spec.k_w && spec.groups = 1
+
+let tiles_along e extent = (extent + e - 1) / e
+
+let run ~e (spec : Conv_spec.t) ~input ~weights =
+  if not (supported spec) then invalid_arg "Winograd.run: stride 1 and square kernel required";
+  if e < 1 then invalid_arg "Winograd.run: e must be positive";
+  let r = spec.k_h in
+  let tf = Winograd_transform.make ~e ~r in
+  let alpha = tf.alpha in
+  let h_out = Conv_spec.h_out spec and w_out = Conv_spec.w_out spec in
+  let { Conv_spec.batch; c_in; h_in; w_in; c_out; pad_h; pad_w; _ } = spec in
+  let output = Tensor.create (Conv_spec.output_shape spec) in
+  let inp = Tensor.data input and wgt = Tensor.data weights and out = Tensor.data output in
+  (* Transformed kernels: U.(co * c_in + ci) is alpha x alpha. *)
+  let u =
+    Array.init (c_out * c_in) (fun idx ->
+        let kernel = Array.sub wgt (idx * r * r) (r * r) in
+        Winograd_transform.transform_kernel tf kernel)
+  in
+  let tiles_h = tiles_along e h_out and tiles_w = tiles_along e w_out in
+  let patch = Array.make (alpha * alpha) 0.0 in
+  let acc = Array.make (alpha * alpha) 0.0 in
+  for n = 0 to batch - 1 do
+    for th = 0 to tiles_h - 1 do
+      for tw = 0 to tiles_w - 1 do
+        let h0 = (th * e) - pad_h and w0 = (tw * e) - pad_w in
+        (* Transformed input tiles for this position, one per channel. *)
+        let v =
+          Array.init c_in (fun ci ->
+              let base = (((n * c_in) + ci) * h_in) * w_in in
+              for dh = 0 to alpha - 1 do
+                let h = h0 + dh in
+                for dw = 0 to alpha - 1 do
+                  let w = w0 + dw in
+                  patch.((dh * alpha) + dw) <-
+                    (if h >= 0 && h < h_in && w >= 0 && w < w_in then
+                       inp.(base + (h * w_in) + w)
+                     else 0.0)
+                done
+              done;
+              Winograd_transform.transform_input tf patch)
+        in
+        for co = 0 to c_out - 1 do
+          Array.fill acc 0 (alpha * alpha) 0.0;
+          for ci = 0 to c_in - 1 do
+            let uk = u.((co * c_in) + ci) and vi = v.(ci) in
+            for p = 0 to (alpha * alpha) - 1 do
+              acc.(p) <- acc.(p) +. (uk.(p) *. vi.(p))
+            done
+          done;
+          let tile = Winograd_transform.transform_output tf acc in
+          let out_base = (((n * c_out) + co) * h_out) * w_out in
+          for oy = 0 to e - 1 do
+            let ho = (th * e) + oy in
+            if ho < h_out then
+              for ox = 0 to e - 1 do
+                let wo = (tw * e) + ox in
+                if wo < w_out then out.(out_base + (ho * w_out) + wo) <- tile.((oy * e) + ox)
+              done
+          done
+        done
+      done
+    done
+  done;
+  output
+
+let multiplications ~e (spec : Conv_spec.t) =
+  let r = spec.k_h in
+  let alpha = e + r - 1 in
+  let h_out = Conv_spec.h_out spec and w_out = Conv_spec.w_out spec in
+  let tiles = tiles_along e h_out * tiles_along e w_out in
+  float_of_int (spec.batch * tiles * alpha * alpha * spec.c_in * spec.c_out)
+
+let direct_multiplications (spec : Conv_spec.t) =
+  float_of_int (spec.k_h * spec.k_w * spec.c_in) *. float_of_int (Conv_spec.output_elems spec)

@@ -1,0 +1,23 @@
+(** Winograd convolution F(e x e, r x r) (Section 2.3).
+
+    Stride must be 1 and the kernel square; output tiles that overhang the
+    image are computed on zero-padded input and cropped.  Per-channel products
+    are accumulated in the transformed domain, which is algebraically the same
+    as the paper's step-3 channel summation of [Lambda] followed by one final
+    [A]-transform. *)
+
+val supported : Conv_spec.t -> bool
+(** Stride 1 and square kernel.  ([Winograd_transform.make] additionally
+    bounds [e + k - 1] by its interpolation-point budget and raises if it is
+    exceeded.) *)
+
+val run : e:int -> Conv_spec.t -> input:Tensor.t -> weights:Tensor.t -> Tensor.t
+(** Raises [Invalid_argument] when [supported spec] is false for this [e].
+    Must agree with [Direct.run] to rounding. *)
+
+val multiplications : e:int -> Conv_spec.t -> float
+(** Number of elementwise multiplications performed (the quantity Winograd
+    minimises): [tiles * (e+r-1)^2 * c_in * c_out * batch]. *)
+
+val direct_multiplications : Conv_spec.t -> float
+(** Multiplications of the direct method, for speed-of-light comparisons. *)

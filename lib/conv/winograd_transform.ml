@@ -1,0 +1,129 @@
+module Q = Rational
+
+type t = {
+  e : int;
+  r : int;
+  alpha : int;
+  at : float array;
+  g : float array;
+  bt : float array;
+}
+
+let point_list =
+  [| 0; 1; -1; 2; -2 |]
+  |> Array.map Q.of_int
+  |> fun ints -> Array.append ints [| Q.make 1 2; Q.make (-1) 2; Q.of_int 3; Q.of_int (-3) |]
+
+let points n =
+  if n > Array.length point_list then invalid_arg "Winograd_transform.points: too many";
+  Array.sub point_list 0 n
+
+(* Polynomials as coefficient arrays, lowest degree first. *)
+let poly_mul p q =
+  let out = Array.make (Array.length p + Array.length q - 1) Q.zero in
+  Array.iteri
+    (fun i pi ->
+      Array.iteri (fun j qj -> out.(i + j) <- Q.add out.(i + j) (Q.mul pi qj)) q)
+    p;
+  out
+
+let poly_scale s = Array.map (Q.mul s)
+
+(* Power with exponent >= 0 on rationals. *)
+let q_pow base n =
+  let rec go acc n = if n = 0 then acc else go (Q.mul acc base) (n - 1) in
+  go Q.one n
+
+(* Evaluation matrix of a degree-(cols-1) polynomial at the alpha-1 finite
+   points plus infinity: rows 0..alpha-2 are Vandermonde rows, the last row
+   extracts the leading coefficient. *)
+let evaluation_matrix ~alpha ~cols pts =
+  let m = Array.make (alpha * cols) Q.zero in
+  for i = 0 to alpha - 2 do
+    for j = 0 to cols - 1 do
+      m.((i * cols) + j) <- q_pow pts.(i) j
+    done
+  done;
+  m.(((alpha - 1) * cols) + cols - 1) <- Q.one;
+  m
+
+(* Interpolation matrix W: column i < alpha-1 holds the coefficients of the
+   Lagrange basis polynomial of point i; the last column holds those of the
+   master polynomial M(x) = prod (x - b_j). *)
+let interpolation_matrix ~alpha pts =
+  let w = Array.make (alpha * alpha) Q.zero in
+  let set_col col coeffs =
+    Array.iteri (fun k c -> w.((k * alpha) + col) <- c) coeffs
+  in
+  for i = 0 to alpha - 2 do
+    let numerator = ref [| Q.one |] in
+    let denominator = ref Q.one in
+    for j = 0 to alpha - 2 do
+      if j <> i then begin
+        numerator := poly_mul !numerator [| Q.neg pts.(j); Q.one |];
+        denominator := Q.mul !denominator (Q.sub pts.(i) pts.(j))
+      end
+    done;
+    set_col i (poly_scale (Q.div Q.one !denominator) !numerator)
+  done;
+  let master = ref [| Q.one |] in
+  for j = 0 to alpha - 2 do
+    master := poly_mul !master [| Q.neg pts.(j); Q.one |]
+  done;
+  set_col (alpha - 1) !master;
+  w
+
+let to_floats = Array.map Q.to_float
+
+let transpose_q a ~rows ~cols =
+  let out = Array.make (rows * cols) Q.zero in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      out.((j * rows) + i) <- a.((i * cols) + j)
+    done
+  done;
+  out
+
+let make ~e ~r =
+  if e < 1 || r < 1 then invalid_arg "Winograd_transform.make: e and r must be positive";
+  let alpha = e + r - 1 in
+  if alpha - 1 > Array.length point_list then
+    invalid_arg "Winograd_transform.make: tile too large";
+  let pts = points (max 0 (alpha - 1)) in
+  let e_u = evaluation_matrix ~alpha ~cols:e pts in
+  let e_g = evaluation_matrix ~alpha ~cols:r pts in
+  let w = interpolation_matrix ~alpha pts in
+  {
+    e;
+    r;
+    alpha;
+    at = to_floats (transpose_q e_u ~rows:alpha ~cols:e);
+    g = to_floats e_g;
+    bt = to_floats (transpose_q w ~rows:alpha ~cols:alpha);
+  }
+
+(* C = M * X * M^T for a square tile X (n x n) and matrix M (m x n):
+   result is m x m. *)
+let sandwich m ~rows ~cols x =
+  let mx = Tensor.Ops.matmul ~a:m ~b:x ~m:rows ~k:cols ~n:cols in
+  (* (M X) M^T: multiply by transpose via matmul_t with bt = m. *)
+  Tensor.Ops.matmul_t ~a:mx ~bt:m ~m:rows ~k:cols ~n:rows
+
+let transform_kernel t kernel =
+  assert (Array.length kernel = t.r * t.r);
+  sandwich t.g ~rows:t.alpha ~cols:t.r kernel
+
+let transform_input t tile =
+  assert (Array.length tile = t.alpha * t.alpha);
+  sandwich t.bt ~rows:t.alpha ~cols:t.alpha tile
+
+let transform_output t acc =
+  assert (Array.length acc = t.alpha * t.alpha);
+  sandwich t.at ~rows:t.e ~cols:t.alpha acc
+
+let corr1d t ~d ~g =
+  assert (Array.length d = t.alpha && Array.length g = t.r);
+  let gg = Tensor.Ops.matmul ~a:t.g ~b:g ~m:t.alpha ~k:t.r ~n:1 in
+  let dd = Tensor.Ops.matmul ~a:t.bt ~b:d ~m:t.alpha ~k:t.alpha ~n:1 in
+  let s = Array.map2 ( *. ) gg dd in
+  Tensor.Ops.matmul ~a:t.at ~b:s ~m:t.e ~k:t.alpha ~n:1

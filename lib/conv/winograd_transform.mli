@@ -1,0 +1,61 @@
+(** Winograd / Cook-Toom minimal filtering transforms F(e, r).
+
+    [make ~e ~r] produces the three matrices of the 1D identity
+
+    {v y = At ( (G g) . (Bt d) ) v}
+
+    where [d] is an input segment of length [alpha = e + r - 1], [g] an r-tap
+    filter, [y] the [e] correlation outputs [y_i = sum_k d_(i+k) g_k], and
+    [.] the elementwise product.  The 2D algorithm nests the identity:
+    [Y = At ((G g Gt) . (Bt D B)) A].
+
+    Construction (derived in DESIGN.md's terms): the correlation operator is
+    the transpose of the linear convolution operator, and Cook-Toom expresses
+    linear convolution as interpolation of a polynomial product evaluated at
+    [alpha - 1] finite points plus infinity.  Transposing
+    [conv = W . diag(E_g g) . E_u] gives [corr = E_u^T . diag(E_g g) . W^T],
+    hence [At = E_u^T], [G = E_g], [Bt = W^T] with
+
+    - [E_u]: evaluation of a degree-(e-1) polynomial at the points
+      (Vandermonde rows, infinity row = leading coefficient);
+    - [E_g]: the same for degree-(r-1);
+    - [W]: coefficient-extraction of the Lagrange basis of the finite points
+      (columns [0..alpha-2]) and of the master polynomial
+      [M(x) = prod (x - b_i)] (last column).
+
+    All entries are generated with exact rational arithmetic, so the identity
+    holds to floating-point rounding for any [e >= 1], [r >= 1]. *)
+
+type t = {
+  e : int;  (** output tile size *)
+  r : int;  (** filter taps *)
+  alpha : int;  (** e + r - 1 *)
+  at : float array;  (** e x alpha, row-major *)
+  g : float array;  (** alpha x r *)
+  bt : float array;  (** alpha x alpha *)
+}
+
+val make : e:int -> r:int -> t
+(** Raises [Invalid_argument] when [e < 1], [r < 1] or [e + r - 1 > 10]
+    (larger tiles need more interpolation points than the built-in list and
+    are numerically useless anyway). *)
+
+val points : int -> Rational.t array
+(** First [n] finite interpolation points, the standard sequence
+    0, 1, -1, 2, -2, 1/2, -1/2, 3, -3. *)
+
+val transform_kernel : t -> float array -> float array
+(** [transform_kernel t g] maps an [r x r] kernel tile to the [alpha x alpha]
+    transformed kernel [G g G^T]. *)
+
+val transform_input : t -> float array -> float array
+(** [transform_input t d] maps an [alpha x alpha] input tile to
+    [B^T d B]. *)
+
+val transform_output : t -> float array -> float array
+(** [transform_output t m] maps an [alpha x alpha] product accumulator to the
+    [e x e] output tile [A^T m A]. *)
+
+val corr1d : t -> d:float array -> g:float array -> float array
+(** The 1D identity, mainly for tests: correlate a length-[alpha] segment
+    with an [r]-tap filter through the transforms. *)

@@ -1,0 +1,29 @@
+(** Comparator search strategies (Figure 11, Table 2).
+
+    All baselines share the tuner's measurement oracle and report the same
+    [Tuner.result], so curves and tables compare search strategies only:
+
+    - [tvm]: the ML-guided tuner over the *unpruned* domain — the paper's
+      TVM stand-in ("the ML-based model in TVM starts with no training data
+      and uses the collected data to improve itself");
+    - [random_search]: uniform sampling;
+    - [genetic]: tournament-selection GA with axis crossover and
+      neighbour mutation;
+    - [simulated_annealing]: one chain over measured (not predicted) costs
+      with geometric cooling. *)
+
+val tvm :
+  ?seed:int -> ?batch_size:int -> ?patience:int -> ?max_measurements:int ->
+  Gpu_sim.Arch.t -> Conv.Conv_spec.t -> Config.algorithm -> Tuner.result
+
+val random_search :
+  ?seed:int -> ?max_measurements:int ->
+  Gpu_sim.Arch.t -> Conv.Conv_spec.t -> Config.algorithm -> Tuner.result
+
+val genetic :
+  ?seed:int -> ?population:int -> ?generations:int -> ?mutation_rate:float ->
+  Gpu_sim.Arch.t -> Conv.Conv_spec.t -> Config.algorithm -> Tuner.result
+
+val simulated_annealing :
+  ?seed:int -> ?max_measurements:int -> ?initial_temperature:float -> ?cooling:float ->
+  Gpu_sim.Arch.t -> Conv.Conv_spec.t -> Config.algorithm -> Tuner.result

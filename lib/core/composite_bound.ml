@@ -1,0 +1,5 @@
+let t_of_2s ?grid ~steps s = Genfun.t_of_s ?grid steps (2.0 *. s)
+
+let lower_bound ?grid ~steps ~num_vertices s =
+  let t = t_of_2s ?grid ~steps s in
+  Float.max 0.0 (s *. ((num_vertices /. t) -. 1.0))

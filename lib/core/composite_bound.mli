@@ -1,0 +1,19 @@
+(** The general I/O lower bound for composite algorithms (Theorem 4.6).
+
+    For a DAG with [num_vertices] compute vertices whose multi-step partition
+    has generation functions [steps], any red-blue pebble game with [s] red
+    pebbles performs at least
+
+    {v Q >= s * (num_vertices / T(2s) - 1) v}
+
+    I/O operations.  This module evaluates the bound numerically from the
+    generation functions; the per-algorithm modules ([Direct_bound],
+    [Winograd_bound]) supply both their closed-form highest-order terms and
+    their [steps] so tests can confirm the two agree. *)
+
+val lower_bound : ?grid:int -> steps:Genfun.step list -> num_vertices:float -> float -> float
+(** [lower_bound ~steps ~num_vertices s]; never negative (clamped at zero,
+    as the theorem is vacuous for tiny DAGs). *)
+
+val t_of_2s : ?grid:int -> steps:Genfun.step list -> float -> float
+(** [t_of_2s ~steps s] = [Genfun.t_of_s steps (2 s)]. *)

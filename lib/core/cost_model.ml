@@ -1,0 +1,27 @@
+type t = {
+  spec : Conv.Conv_spec.t;
+  data : Gbt.Dataset.t;
+  mutable booster : Gbt.Booster.t option;
+}
+
+let create spec = { spec; data = Gbt.Dataset.create ~n_features:Config.n_features; booster = None }
+
+let add_measurement t cfg runtime_us =
+  if runtime_us <= 0.0 then invalid_arg "Cost_model.add_measurement: non-positive runtime";
+  Gbt.Dataset.add t.data (Config.features t.spec cfg) (log runtime_us)
+
+let n_samples t = Gbt.Dataset.length t.data
+
+let retrain ?rng t =
+  if Gbt.Dataset.length t.data > 0 then
+    t.booster <- Some (Gbt.Booster.train ?rng Gbt.Booster.default_params t.data)
+
+let predict_runtime_us t cfg =
+  match t.booster with
+  | None -> 1.0e9
+  | Some booster -> exp (Gbt.Booster.predict booster (Config.features t.spec cfg))
+
+let trained t = t.booster <> None
+
+let rmse_log t =
+  match t.booster with None -> 0.0 | Some b -> Gbt.Booster.train_rmse b t.data

@@ -1,0 +1,27 @@
+(** Learning-based cost model (Section 6.1's "Cost Model" component).
+
+    Wraps the gradient-boosted trees of [Gbt] around configuration feature
+    vectors.  Targets are log-runtimes (multiplicative errors matter for
+    ranking kernels).  Until the first [retrain] the model is uninformative
+    and predicts a constant, so the tuner's first round is effectively random
+    — matching how TVM's tuner bootstraps. *)
+
+type t
+
+val create : Conv.Conv_spec.t -> t
+
+val add_measurement : t -> Config.t -> float -> unit
+(** [add_measurement m config runtime_us] appends a training sample. *)
+
+val n_samples : t -> int
+
+val retrain : ?rng:Util.Rng.t -> t -> unit
+(** Refits the booster on everything measured so far; no-op when empty. *)
+
+val predict_runtime_us : t -> Config.t -> float
+(** Predicted runtime; a large constant before any training. *)
+
+val trained : t -> bool
+
+val rmse_log : t -> float
+(** Training RMSE in log-space, for diagnostics; 0 before training. *)

@@ -1,0 +1,36 @@
+let out_volume (spec : Conv.Conv_spec.t) = float_of_int (Conv.Conv_spec.output_elems spec)
+
+let q_dc_tile (spec : Conv.Conv_spec.t) ~x ~y ~z =
+  if x <= 0.0 || y <= 0.0 || z <= 0.0 then invalid_arg "Dataflow_cost.q_dc_tile: tile";
+  let r = Conv.Conv_spec.reuse spec in
+  let kernel_taps = float_of_int (spec.k_h * spec.k_w * spec.c_in) in
+  let outs = out_volume spec in
+  (outs /. (x *. y *. z) *. kernel_taps *. (z +. (x *. y /. r))) +. outs
+
+let q_dc_optimal (spec : Conv.Conv_spec.t) ~s ~np =
+  if s <= 0.0 || np < 1 then invalid_arg "Dataflow_cost.q_dc_optimal";
+  let r = Conv.Conv_spec.reuse spec in
+  let kernel_taps = float_of_int (spec.k_h * spec.k_w * spec.c_in) in
+  let outs = out_volume spec in
+  (2.0 *. outs *. kernel_taps /. sqrt (r *. s /. float_of_int np)) +. outs
+
+let q_wa_tile ~e (spec : Conv.Conv_spec.t) ~x ~y ~z =
+  ignore e;
+  if x <= 0.0 || y <= 0.0 || z <= 0.0 then invalid_arg "Dataflow_cost.q_wa_tile: tile";
+  if spec.k_h <> spec.k_w then invalid_arg "Dataflow_cost.q_wa_tile: square kernel";
+  let r2 = float_of_int (spec.k_h * spec.k_w) in
+  let cin = float_of_int spec.c_in in
+  let outs = out_volume spec in
+  (outs /. (x *. y *. z) *. cin *. ((x *. y) +. (z *. r2))) +. outs
+
+let q_wa_optimal ~e (spec : Conv.Conv_spec.t) ~s ~np =
+  if s <= 0.0 || np < 1 then invalid_arg "Dataflow_cost.q_wa_optimal";
+  if spec.k_h <> spec.k_w then invalid_arg "Dataflow_cost.q_wa_optimal: square kernel";
+  let r = float_of_int spec.k_h and ef = float_of_int e in
+  let a = ef +. r -. 1.0 in
+  let outs = out_volume spec in
+  let cin = float_of_int spec.c_in in
+  (2.0 *. outs *. cin *. r *. a /. (ef *. sqrt (s /. float_of_int np))) +. outs
+
+let optimality_gap (spec : Conv.Conv_spec.t) ~s ~np =
+  q_dc_optimal spec ~s ~np /. Direct_bound.q_lower spec ~s

@@ -1,0 +1,29 @@
+(** Analytic I/O cost of the Section 5 dataflows (Equations 20-23).
+
+    These closed forms are the idealised (no border effects) counterparts of
+    the exact per-block tallies produced by [Conv.Tiled_direct.io_only] and
+    [Conv.Tiled_winograd.io_only]; the tests check the two agree when tiles
+    divide the problem exactly, and the optimality analysis (Section 5's
+    [xy = Rz]) is derived from them. *)
+
+val q_dc_tile : Conv.Conv_spec.t -> x:float -> y:float -> z:float -> float
+(** Equation 20 plus the output stores: total traffic of the direct dataflow
+    with an [x * y * z] output sub-block,
+    [(HWC_out/xyz) * Hker Wker Cin (z + xy/R) + HWC_out]. *)
+
+val q_dc_optimal : Conv.Conv_spec.t -> s:float -> np:int -> float
+(** Equation 21: traffic with the I/O-optimal tile under on-chip capacity
+    [xyz ~ S/Np]: [2 HWCout Hker Wker Cin / sqrt(R S / Np) + HWCout]. *)
+
+val q_wa_tile : e:int -> Conv.Conv_spec.t -> x:float -> y:float -> z:float -> float
+(** Equation 22 plus stores: [(HWCout/xyz) * Cin (xy + z r^2) + HWCout]. *)
+
+val q_wa_optimal : e:int -> Conv.Conv_spec.t -> s:float -> np:int -> float
+(** Equation 23: [2 HWCout Cin r (e+r-1) / (e sqrt(S/Np)) + HWCout], from
+    the temporary-array capacity constraint
+    [2 (e+r-1)^2/e^2 * xyz ~ S/Np]. *)
+
+val optimality_gap : Conv.Conv_spec.t -> s:float -> np:int -> float
+(** Ratio of [q_dc_optimal] to the Theorem 4.12 lower bound — how close the
+    dataflow is to optimal for this problem; approaches a constant ~
+    [sqrt(2) * ...] for single-processor large problems (Section 5.2). *)

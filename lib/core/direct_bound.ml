@@ -1,0 +1,28 @@
+let steps (spec : Conv.Conv_spec.t) ~s =
+  let r = Conv.Conv_spec.reuse spec in
+  let phi1 h = 2.0 *. s *. sqrt (r *. Float.max 0.0 h) in
+  let phi2 h = Float.max 0.0 (h -. 1.0) in
+  [
+    Genfun.step ~name:"products" phi1;
+    Genfun.step ~name:"summation" ~psi:(fun _ -> 0.0) phi2;
+  ]
+
+let t_upper (spec : Conv.Conv_spec.t) ~s =
+  let r = Conv.Conv_spec.reuse spec in
+  (4.0 *. s *. sqrt (r *. s)) +. s -. 1.0
+
+let num_vertices (spec : Conv.Conv_spec.t) =
+  let k = spec.k_h * spec.k_w * spec.c_in in
+  float_of_int ((2 * k) - 1) *. float_of_int (Conv.Conv_spec.output_elems spec)
+
+let q_lower (spec : Conv.Conv_spec.t) ~s =
+  let r = Conv.Conv_spec.reuse spec in
+  let work =
+    float_of_int (spec.k_h * spec.k_w * spec.c_in)
+    *. float_of_int (Conv.Conv_spec.output_elems spec)
+  in
+  work /. (4.0 *. sqrt (2.0 *. r *. s))
+
+let q_lower_composite ?grid (spec : Conv.Conv_spec.t) ~s =
+  Composite_bound.lower_bound ?grid ~steps:(steps spec ~s:(2.0 *. s))
+    ~num_vertices:(num_vertices spec) s

@@ -1,0 +1,32 @@
+(** I/O lower bound of the direct convolution (Section 4.2).
+
+    The two-step partition is products then summation trees, with (Lemmas
+    4.9-4.10)
+
+    {v phi_1(h) = psi_1(h) = 2 S sqrt(R h)      phi_2(h) = h - 1 v}
+
+    giving [T(S) <= 4 S sqrt(R S) + S - 1] (Lemma 4.11) and the Theorem 4.12
+    bound
+
+    {v Q = Omega( Wker Hker Cin Wout Hout Cout / (4 sqrt(2 R S)) ) v}
+
+    All quantities here are per the full batched problem (the batch dimension
+    multiplies the output count). *)
+
+val steps : Conv.Conv_spec.t -> s:float -> Genfun.step list
+(** The generation functions; [phi_1] depends on the fast-memory size. *)
+
+val t_upper : Conv.Conv_spec.t -> s:float -> float
+(** Lemma 4.11's closed form [4 S sqrt(R S) + S - 1]. *)
+
+val num_vertices : Conv.Conv_spec.t -> float
+(** Lemma 4.8's internal-plus-output count times the batch size. *)
+
+val q_lower : Conv.Conv_spec.t -> s:float -> float
+(** Theorem 4.12 with its explicit constant:
+    [Wker Hker Cin * outputs / (4 sqrt(2 R S))]. *)
+
+val q_lower_composite : ?grid:int -> Conv.Conv_spec.t -> s:float -> float
+(** The same bound evaluated through the generic Theorem 4.6 machinery
+    ([Composite_bound.lower_bound] over [steps]); tests check it stays within
+    a small constant factor of [q_lower]. *)

@@ -1,0 +1,31 @@
+let explore ?(n_walks = 12) ?(walk_len = 40) ?(escape_probability = 0.05) ~space ~model ~rng
+    ~starts () =
+  if n_walks < 1 || walk_len < 0 then invalid_arg "Explorer.explore";
+  let starts = Array.of_list starts in
+  let results = Hashtbl.create 64 in
+  let remember cfg cost =
+    let key = Config.to_string cfg in
+    match Hashtbl.find_opt results key with
+    | Some (_, best) when best <= cost -> ()
+    | _ -> Hashtbl.replace results key (cfg, cost)
+  in
+  for walk = 0 to n_walks - 1 do
+    let start =
+      if walk < Array.length starts then starts.(walk) else Search_space.sample space rng
+    in
+    let current = ref start in
+    let current_cost = ref (Cost_model.predict_runtime_us model !current) in
+    remember !current !current_cost;
+    for _ = 1 to walk_len do
+      let candidate = Search_space.neighbor space rng !current in
+      let cost = Cost_model.predict_runtime_us model candidate in
+      if cost < !current_cost || Util.Rng.float rng 1.0 < escape_probability then begin
+        current := candidate;
+        current_cost := cost
+      end;
+      remember candidate cost
+    done
+  done;
+  Hashtbl.fold (fun _ entry acc -> entry :: acc) results []
+  |> List.sort (fun (_, a) (_, b) -> compare a b)
+  |> List.map fst

@@ -1,0 +1,22 @@
+(** Configuration explorer: parallel random walks guided by the cost model
+    (Section 6.2's "Searching Process").
+
+    [explore] launches [n_walks] walks of [walk_len] steps.  Each walk starts
+    from a provided promising configuration (or a fresh sample when starts
+    run out), proposes a random in-domain neighbour per step, moves greedily
+    when the predicted cost improves, and with a small escape probability
+    otherwise.  The distinct endpoints plus best-visited configurations are
+    returned as the next measurement batch, most promising first. *)
+
+val explore :
+  ?n_walks:int ->
+  ?walk_len:int ->
+  ?escape_probability:float ->
+  space:Search_space.t ->
+  model:Cost_model.t ->
+  rng:Util.Rng.t ->
+  starts:Config.t list ->
+  unit ->
+  Config.t list
+(** Defaults: 12 walks of 40 steps, escape probability 0.05.  The result list
+    is deduplicated and sorted by predicted cost. *)

@@ -1,0 +1,62 @@
+type step = { name : string; phi : float -> float; psi : float -> float }
+
+let step ?psi ~name phi = { name; phi; psi = Option.value psi ~default:phi }
+
+let chain_value steps ks =
+  if List.length steps <> Array.length ks then invalid_arg "Genfun.chain_value: arity";
+  let total = ref 0.0 and carry = ref 0.0 in
+  List.iteri
+    (fun j s ->
+      let arg = ks.(j) +. !carry in
+      total := !total +. s.phi arg;
+      carry := s.psi arg)
+    steps;
+  !total
+
+(* Maximise the nested sum over the simplex {k_j >= 0, sum k_j <= s}.  The
+   functions are nondecreasing, so the optimum spends the whole budget and
+   the final step absorbs whatever the first n-1 leave over.  A coarse grid
+   search over the leading allocations is refined once around its best
+   point. *)
+let t_of_s ?(grid = 32) steps s =
+  if steps = [] then invalid_arg "Genfun.t_of_s: no steps";
+  if s < 0.0 then invalid_arg "Genfun.t_of_s: negative budget";
+  let steps_arr = Array.of_list steps in
+  let n = Array.length steps_arr in
+  let best = ref neg_infinity in
+  let best_ks = Array.make n 0.0 in
+  let ks = Array.make n 0.0 in
+  (* Search over allocations of the first n-1 steps on [lo_j, hi_j] boxes. *)
+  let rec search j budget carry acc lo hi =
+    if j = n - 1 then begin
+      ks.(j) <- budget;
+      let value = acc +. steps_arr.(j).phi (budget +. carry) in
+      if value > !best then begin
+        best := value;
+        Array.blit ks 0 best_ks 0 n
+      end
+    end
+    else
+      for i = 0 to grid do
+        let frac = float_of_int i /. float_of_int grid in
+        let k = lo.(j) +. (frac *. (hi.(j) -. lo.(j))) in
+        if k <= budget +. 1e-9 then begin
+          let k = Float.min k budget in
+          ks.(j) <- k;
+          let arg = k +. carry in
+          search (j + 1) (budget -. k) (steps_arr.(j).psi arg)
+            (acc +. steps_arr.(j).phi arg)
+            lo hi
+        end
+      done
+  in
+  let lo0 = Array.make n 0.0 and hi0 = Array.make n s in
+  search 0 s 0.0 0.0 lo0 hi0;
+  (* One refinement pass: shrink each box around the coarse optimum. *)
+  if n > 1 && s > 0.0 then begin
+    let width = s /. float_of_int grid in
+    let lo = Array.map (fun k -> Float.max 0.0 (k -. width)) best_ks in
+    let hi = Array.map (fun k -> Float.min s (k +. width)) best_ks in
+    search 0 s 0.0 0.0 lo hi
+  end;
+  s +. !best

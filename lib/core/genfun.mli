@@ -1,0 +1,38 @@
+(** Maximum vertex generation functions and the composite upper bound T(S)
+    (Section 4.1).
+
+    A multi-step partition contributes one [step] per sub-computation:
+    [phi k] bounds the number of vertices of that sub-DAG generable from [k]
+    dominator/carry-in vertices, [psi k] bounds how many of those become
+    inputs of the next sub-computation (Definition in Section 4.1.2).
+
+    Theorem 4.5 then bounds any S-partition class size by
+
+    {v T(S) = S + max_(sum k_j <= S)
+              phi_1(k_1) + phi_2(k_2 + psi_1(k_1)) + ...
+            + phi_n(k_n + psi_(n-1)(k_(n-1) + ... )) v}
+
+    [t_of_s] evaluates that maximum numerically.  Both [phi_j] and [psi_j]
+    are required to be nondecreasing (true of every instance in the paper),
+    which lets the last step take the whole remaining budget and the search
+    run over the first [n-1] allocations only. *)
+
+type step = {
+  name : string;
+  phi : float -> float;
+  psi : float -> float;
+}
+
+val step : ?psi:(float -> float) -> name:string -> (float -> float) -> step
+(** [step ~name phi] with [psi] defaulting to [phi] (steps with no internal
+    vertices have identical generation functions, cf. Lemmas 4.9/4.16). *)
+
+val chain_value : step list -> float array -> float
+(** [chain_value steps ks] evaluates the nested sum for an explicit
+    allocation (arity must match). *)
+
+val t_of_s : ?grid:int -> step list -> float -> float
+(** [t_of_s steps s] = the Theorem 4.5 bound.  [grid] controls the number of
+    sample points per allocation dimension (default 32, refined once around
+    the best coarse point).  Raises [Invalid_argument] on an empty step list
+    or negative [s]. *)

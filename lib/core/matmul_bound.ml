@@ -1,0 +1,28 @@
+let steps ~s =
+  let phi1 h = 2.0 *. s *. sqrt (Float.max 0.0 h) in
+  let phi2 h = Float.max 0.0 (h -. 1.0) in
+  [
+    Genfun.step ~name:"products" phi1;
+    Genfun.step ~name:"summation" ~psi:(fun _ -> 0.0) phi2;
+  ]
+
+let t_upper ~s = (4.0 *. s *. sqrt s) +. s -. 1.0
+
+let num_vertices ~m ~k ~n = float_of_int (((2 * k) - 1) * m * n)
+
+let q_lower ~m ~k ~n ~s =
+  float_of_int (m * k * n) /. (4.0 *. sqrt (2.0 *. s))
+
+let q_lower_composite ?grid ~m ~k ~n s =
+  Composite_bound.lower_bound ?grid ~steps:(steps ~s:(2.0 *. s))
+    ~num_vertices:(num_vertices ~m ~k ~n)
+    s
+
+let q_blocked ~m ~k ~n ~bi ~bj =
+  if bi <= 0.0 || bj <= 0.0 then invalid_arg "Matmul_bound.q_blocked";
+  let fm = float_of_int m and fk = float_of_int k and fn = float_of_int n in
+  (fm *. fn /. (bi *. bj) *. fk *. (bi +. bj)) +. (fm *. fn)
+
+let q_blocked_optimal ~m ~k ~n ~s =
+  let side = sqrt s in
+  q_blocked ~m ~k ~n ~bi:side ~bj:side

@@ -1,0 +1,32 @@
+(** The general theory applied to dense matrix multiplication.
+
+    Not a result of the paper itself, but the canonical sanity instance: the
+    paper's Theorem 4.6 machinery with the direct convolution's generation
+    functions at reuse factor [R = 1] reproduces the classical Hong & Kung /
+    Kwasniewski bound shape [Q = Omega(m n k / sqrt(S))].  Having a second,
+    independently-verifiable instantiation guards the [Genfun] /
+    [Composite_bound] implementation against convolution-specific
+    accidents. *)
+
+val steps : s:float -> Genfun.step list
+(** [phi_1(h) = psi_1(h) = 2 S sqrt(h)], [phi_2(h) = h - 1]. *)
+
+val t_upper : s:float -> float
+(** [4 S sqrt(S) + S - 1]. *)
+
+val num_vertices : m:int -> k:int -> n:int -> float
+(** [(2k - 1) m n]. *)
+
+val q_lower : m:int -> k:int -> n:int -> s:float -> float
+(** [m n k / (4 sqrt(2 S))] — the Theorem 4.12 constant at [R = 1]. *)
+
+val q_lower_composite : ?grid:int -> m:int -> k:int -> n:int -> float -> float
+(** [q_lower_composite ~m ~k ~n s]: the same bound through
+    [Composite_bound.lower_bound]. *)
+
+val q_blocked : m:int -> k:int -> n:int -> bi:float -> bj:float -> float
+(** Traffic of the classical blocked schedule:
+    [(m n / (bi bj)) k (bi + bj) + m n]; minimised at [bi = bj]. *)
+
+val q_blocked_optimal : m:int -> k:int -> n:int -> s:float -> float
+(** At the square tile filling fast memory, [2 m n k / sqrt(S) + m n]. *)

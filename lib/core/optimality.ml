@@ -1,0 +1,78 @@
+let condition_ratio ~r ~x ~y ~z =
+  if r <= 0.0 || x < 1 || y < 1 || z < 1 then invalid_arg "Optimality.condition_ratio";
+  float_of_int (x * y) /. (r *. float_of_int z)
+
+let satisfied ?(slack = 2.0) ~r (x, y, z) =
+  let ratio = condition_ratio ~r ~x ~y ~z in
+  ratio <= slack && ratio >= 1.0 /. slack
+
+let real_tile_direct (spec : Conv.Conv_spec.t) ~s ~np =
+  if s <= 0.0 || np < 1 then invalid_arg "Optimality.real_tile_direct";
+  let r = Conv.Conv_spec.reuse spec in
+  let budget = s /. float_of_int np in
+  let z = sqrt (budget /. r) in
+  let xy = r *. z in
+  (xy, z)
+
+let real_tile_winograd ~e (spec : Conv.Conv_spec.t) ~s ~np =
+  if s <= 0.0 || np < 1 then invalid_arg "Optimality.real_tile_winograd";
+  if spec.k_h <> spec.k_w then invalid_arg "Optimality.real_tile_winograd: square kernel";
+  let r = float_of_int spec.k_h and ef = float_of_int e in
+  let a = ef +. r -. 1.0 in
+  (* Temporary arrays dominate on-chip use: 2 a^2/e^2 * xyz = S/Np. *)
+  let budget = s /. float_of_int np *. ef *. ef /. (2.0 *. a *. a) in
+  let rr = r *. r in
+  let z = sqrt (budget /. rr) in
+  let xy = rr *. z in
+  (xy, z)
+
+let divisors n =
+  if n < 1 then invalid_arg "Optimality.divisors";
+  let rec collect d acc = if d > n then List.rev acc else collect (d + 1) (if n mod d = 0 then d :: acc else acc) in
+  collect 1 []
+
+let nearest_divisor n target =
+  let target = Float.max 1.0 target in
+  let score d = Float.abs (log (float_of_int d /. target)) in
+  match divisors n with
+  | [] -> 1
+  | d :: rest -> List.fold_left (fun best d' -> if score d' < score best then d' else best) d rest
+
+(* Split a target area onto (x, y) divisors of the two extents, biasing
+   towards squarish tiles. *)
+let split_area ~w ~h xy =
+  let side = sqrt xy in
+  let x = nearest_divisor w side in
+  let y = nearest_divisor h (xy /. float_of_int x) in
+  (x, y)
+
+let optimal_tile_direct (spec : Conv.Conv_spec.t) ~s ~np =
+  let xy, z = real_tile_direct spec ~s ~np in
+  let w_out = Conv.Conv_spec.w_out spec and h_out = Conv.Conv_spec.h_out spec in
+  let z = nearest_divisor spec.c_out z in
+  let x, y = split_area ~w:w_out ~h:h_out xy in
+  { Conv.Tiled_direct.x; y; z }
+
+let optimal_tile_winograd ~e (spec : Conv.Conv_spec.t) ~s ~np =
+  let xy, z = real_tile_winograd ~e spec ~s ~np in
+  let w_out = Conv.Conv_spec.w_out spec and h_out = Conv.Conv_spec.h_out spec in
+  let z = nearest_divisor spec.c_out z in
+  (* x and y must be multiples of e; search multiples of e near the target
+     instead of divisors. *)
+  let max_mult extent = max 1 (extent / e) in
+  let pick extent target =
+    let m = max_mult extent in
+    let best = ref 1 in
+    for i = 1 to m do
+      let cand = i * e in
+      if
+        Float.abs (log (float_of_int cand /. Float.max 1.0 target))
+        < Float.abs (log (float_of_int (!best * e) /. Float.max 1.0 target))
+      then best := i
+    done;
+    !best * e
+  in
+  let side = sqrt xy in
+  let x = pick w_out side in
+  let y = pick h_out (xy /. float_of_int x) in
+  { Conv.Tiled_winograd.x; y; z }

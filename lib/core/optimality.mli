@@ -1,0 +1,36 @@
+(** The optimality condition [x y = R z] and optimal tile selection
+    (Sections 5.2-5.3, Table 1).
+
+    Minimising Equation 20 over tiles of fixed volume gives equality exactly
+    when [x*y = R*z]; combined with the capacity constraint [x*y*z ~ S/Np]
+    (direct) or [2 a^2/e^2 * x*y*z ~ S/Np] (Winograd, [a = e+r-1]) this pins
+    the real-valued optimal tile, which [optimal_tile_*] rounds onto
+    divisor-friendly integers. *)
+
+val condition_ratio : r:float -> x:int -> y:int -> z:int -> float
+(** [x*y / (R*z)]; 1.0 on the optimality manifold. *)
+
+val satisfied : ?slack:float -> r:float -> int * int * int -> bool
+(** [satisfied ~r (x, y, z)] is true when the ratio is within [slack]
+    (default 2.0) of 1 in either direction — the pruning predicate of the
+    searching domain. *)
+
+val real_tile_direct : Conv.Conv_spec.t -> s:float -> np:int -> float * float
+(** [(xy, z)] solving [xy = R z], [xy z = S/Np]:
+    [z = sqrt(S/(Np R))], [xy = sqrt(R S / Np)]. *)
+
+val real_tile_winograd : e:int -> Conv.Conv_spec.t -> s:float -> np:int -> float * float
+(** Same under the Winograd capacity constraint. *)
+
+val divisors : int -> int list
+(** Positive divisors in ascending order. *)
+
+val nearest_divisor : int -> float -> int
+(** Divisor of the first argument closest (in log space) to the target. *)
+
+val optimal_tile_direct : Conv.Conv_spec.t -> s:float -> np:int -> Conv.Tiled_direct.tile
+(** Integer tile with [x | w_out], [y | h_out], [z | c_out] (clamped when the
+    problem is smaller than the budget) nearest to the real optimum. *)
+
+val optimal_tile_winograd : e:int -> Conv.Conv_spec.t -> s:float -> np:int -> Conv.Tiled_winograd.tile
+(** As above with [x] and [y] additionally multiples of [e]. *)

@@ -1,0 +1,267 @@
+type t = {
+  arch : Gpu_sim.Arch.t;
+  spec : Conv.Conv_spec.t;
+  algorithm : Config.algorithm;
+  pruned : bool;
+  shmem_budget_bytes : int;
+  tiles : (int * int * int) array;
+  unrolls : int array;
+  vectors : int array;
+  layouts : Tensor.Layout.t array;
+}
+
+let spec t = t.spec
+let arch t = t.arch
+let algorithm t = t.algorithm
+let pruned t = t.pruned
+let tile_candidates t = t.tiles
+
+let budget_bytes (arch : Gpu_sim.Arch.t) =
+  min (arch.shared_mem_per_sm / 2) arch.max_shared_mem_per_block
+
+let config ~space ~tile:(x, y, z) ~threads:(tx, ty, tz) ~unroll ~vector_width ~layout
+    ~double_buffer =
+  {
+    Config.algorithm = space.algorithm;
+    layout;
+    tile_x = x;
+    tile_y = y;
+    tile_z = z;
+    threads_x = tx;
+    threads_y = ty;
+    threads_z = tz;
+    unroll;
+    vector_width;
+    double_buffer;
+  }
+
+let shmem_fits space cfg = Config.shmem_bytes space.spec cfg <= space.shmem_budget_bytes
+
+(* A triple is admissible when at least the plain (no double-buffer) variant
+   fits the shared-memory budget. *)
+let tile_fits space (x, y, z) =
+  let cfg =
+    config ~space ~tile:(x, y, z) ~threads:(1, 1, 1) ~unroll:1 ~vector_width:1
+      ~layout:Tensor.Layout.CHW ~double_buffer:false
+  in
+  shmem_fits space cfg
+
+let prune_ok space (x, y, z) =
+  if not space.pruned then true
+  else begin
+    let r = Conv.Conv_spec.reuse space.spec in
+    let sb = float_of_int (space.shmem_budget_bytes / 4) in
+    Optimality.satisfied ~slack:2.0 ~r (x, y, z)
+    && float_of_int z <= sqrt (sb /. r) +. 1e-9
+    && float_of_int (x * y) <= sqrt (sb *. r) +. 1e-9
+  end
+
+(* Divisors of the extent plus powers of two: prime-ish output extents (e.g.
+   149 in Inception's stem) have no useful divisors, and the dataflow clamps
+   edge blocks anyway, so non-dividing tiles are legal — merely slightly
+   ragged. *)
+let with_powers_of_two extent divisors =
+  let rec powers p acc = if p > extent then acc else powers (2 * p) (p :: acc) in
+  List.sort_uniq compare (divisors @ powers 2 [])
+
+let x_candidates (spec : Conv.Conv_spec.t) algorithm extent =
+  match algorithm with
+  | Config.Direct_dataflow -> with_powers_of_two extent (Optimality.divisors extent)
+  | Config.Winograd_dataflow e ->
+    ignore spec;
+    if extent <= e then [ e ]
+    else List.init (extent / e) (fun i -> (i + 1) * e)
+
+let make ?(pruned = true) arch spec algorithm =
+  (match algorithm with
+  | Config.Winograd_dataflow _ when not (Conv.Winograd.supported spec) ->
+    invalid_arg "Search_space.make: winograd unsupported for this layer"
+  | _ -> ());
+  let w_out = Conv.Conv_spec.w_out spec and h_out = Conv.Conv_spec.h_out spec in
+  let space_no_tiles =
+    {
+      arch;
+      spec;
+      algorithm;
+      pruned;
+      shmem_budget_bytes = budget_bytes arch;
+      tiles = [||];
+      unrolls = [| 1; 2; 4; 8 |];
+      vectors = [| 1; 2; 4 |];
+      layouts = Array.of_list Tensor.Layout.all;
+    }
+  in
+  let xs = x_candidates spec algorithm w_out in
+  let ys = x_candidates spec algorithm h_out in
+  let zs = with_powers_of_two spec.c_out (Optimality.divisors spec.c_out) in
+  let tiles =
+    List.concat_map
+      (fun x ->
+        List.concat_map
+          (fun y ->
+            List.filter_map
+              (fun z ->
+                let triple = (x, y, z) in
+                if tile_fits space_no_tiles triple && prune_ok space_no_tiles triple then
+                  Some triple
+                else None)
+              zs)
+          ys)
+      xs
+  in
+  if tiles = [] then invalid_arg "Search_space.make: empty domain";
+  { space_no_tiles with tiles = Array.of_list tiles }
+
+let thread_triples space (x, y, z) =
+  let limit = space.arch.max_threads_per_block in
+  let dx = Optimality.divisors x and dy = Optimality.divisors y and dz = Optimality.divisors z in
+  List.concat_map
+    (fun tx ->
+      List.concat_map
+        (fun ty ->
+          List.filter_map
+            (fun tz -> if tx * ty * tz <= limit then Some (tx, ty, tz) else None)
+            dz)
+        dy)
+    dx
+
+let size space =
+  let knob_count =
+    float_of_int (Array.length space.unrolls)
+    *. float_of_int (Array.length space.vectors)
+    *. float_of_int (Array.length space.layouts)
+  in
+  Array.fold_left
+    (fun acc triple ->
+      let threads = float_of_int (List.length (thread_triples space triple)) in
+      (* Double buffering doubles the count only where the buffered variant
+         still fits. *)
+      let db_variants =
+        let base =
+          config ~space ~tile:triple ~threads:(1, 1, 1) ~unroll:1 ~vector_width:1
+            ~layout:Tensor.Layout.CHW ~double_buffer:true
+        in
+        if shmem_fits space base then 2.0 else 1.0
+      in
+      acc +. (threads *. knob_count *. db_variants))
+    0.0 space.tiles
+
+let mem space (cfg : Config.t) =
+  cfg.algorithm = space.algorithm
+  && Array.exists (fun t -> t = (cfg.tile_x, cfg.tile_y, cfg.tile_z)) space.tiles
+  && cfg.tile_x mod cfg.threads_x = 0
+  && cfg.tile_y mod cfg.threads_y = 0
+  && cfg.tile_z mod cfg.threads_z = 0
+  && Config.threads cfg <= space.arch.max_threads_per_block
+  && Array.exists (( = ) cfg.unroll) space.unrolls
+  && Array.exists (( = ) cfg.vector_width) space.vectors
+  && Array.exists (( = ) cfg.layout) space.layouts
+  && shmem_fits space cfg
+
+let pick_array rng a = a.(Util.Rng.int rng (Array.length a))
+
+let sample_threads space rng (x, y, z) =
+  let limit = space.arch.max_threads_per_block in
+  let dx = Array.of_list (Optimality.divisors x) in
+  let dy = Array.of_list (Optimality.divisors y) in
+  let dz = Array.of_list (Optimality.divisors z) in
+  let rec draw () =
+    let tx = pick_array rng dx and ty = pick_array rng dy and tz = pick_array rng dz in
+    if tx * ty * tz <= limit then (tx, ty, tz) else draw ()
+  in
+  draw ()
+
+let sample space rng =
+  let triple = pick_array rng space.tiles in
+  let threads = sample_threads space rng triple in
+  let unroll = pick_array rng space.unrolls in
+  let vector_width = pick_array rng space.vectors in
+  let layout = pick_array rng space.layouts in
+  let cfg =
+    config ~space ~tile:triple ~threads ~unroll ~vector_width ~layout
+      ~double_buffer:(Util.Rng.bool rng)
+  in
+  if shmem_fits space cfg then cfg else { cfg with double_buffer = false }
+
+let neighbor space rng (cfg : Config.t) =
+  let axis = Util.Rng.int rng 7 in
+  let mutated =
+    match axis with
+    | 0 ->
+      let x, y, z = pick_array rng space.tiles in
+      (* Re-fit the thread decomposition onto the new tile. *)
+      let fit extent threads = Optimality.nearest_divisor extent (float_of_int threads) in
+      let tx = fit x cfg.threads_x and ty = fit y cfg.threads_y and tz = fit z cfg.threads_z in
+      let tx, ty, tz =
+        if tx * ty * tz <= space.arch.max_threads_per_block then (tx, ty, tz) else (1, 1, 1)
+      in
+      { cfg with tile_x = x; tile_y = y; tile_z = z; threads_x = tx; threads_y = ty;
+        threads_z = tz }
+    | 1 | 2 | 3 ->
+      let tx, ty, tz = sample_threads space rng (cfg.tile_x, cfg.tile_y, cfg.tile_z) in
+      { cfg with threads_x = tx; threads_y = ty; threads_z = tz }
+    | 4 -> { cfg with unroll = pick_array rng space.unrolls }
+    | 5 -> { cfg with vector_width = pick_array rng space.vectors }
+    | 6 -> { cfg with layout = pick_array rng space.layouts }
+    | _ -> { cfg with double_buffer = not cfg.double_buffer }
+  in
+  if shmem_fits space mutated then mutated else { mutated with double_buffer = false }
+
+let iter_configs space f =
+  Array.iter
+    (fun triple ->
+      List.iter
+        (fun threads ->
+          Array.iter
+            (fun unroll ->
+              Array.iter
+                (fun vector_width ->
+                  Array.iter
+                    (fun layout ->
+                      List.iter
+                        (fun double_buffer ->
+                          let cfg =
+                            config ~space ~tile:triple ~threads ~unroll ~vector_width
+                              ~layout ~double_buffer
+                          in
+                          if shmem_fits space cfg then f cfg)
+                        [ false; true ])
+                    space.layouts)
+                space.vectors)
+            space.unrolls)
+        (thread_triples space triple))
+    space.tiles
+
+let default_config space =
+  let sb_elems = space.shmem_budget_bytes / 4 in
+  let target =
+    match space.algorithm with
+    | Config.Direct_dataflow ->
+      let t = Optimality.optimal_tile_direct space.spec ~s:(float_of_int sb_elems) ~np:1 in
+      (t.Conv.Tiled_direct.x, t.y, t.z)
+    | Config.Winograd_dataflow e ->
+      let t = Optimality.optimal_tile_winograd ~e space.spec ~s:(float_of_int sb_elems) ~np:1 in
+      (t.Conv.Tiled_winograd.x, t.y, t.z)
+  in
+  let tx_t, ty_t, tz_t = target in
+  let dist (x, y, z) =
+    let d a b = Float.abs (log (float_of_int a /. float_of_int b)) in
+    d x tx_t +. d y ty_t +. d z tz_t
+  in
+  let best =
+    Array.fold_left
+      (fun acc triple -> match acc with
+        | Some b when dist b <= dist triple -> acc
+        | _ -> Some triple)
+      None space.tiles
+  in
+  let x, y, z = Option.get best in
+  let cap extent want = Optimality.nearest_divisor extent (float_of_int want) in
+  let tx = cap x 16 and ty = cap y 16 in
+  let tz = cap z (max 1 (256 / (cap x 16 * cap y 16))) in
+  let cfg =
+    config ~space ~tile:(x, y, z) ~threads:(tx, ty, tz) ~unroll:4 ~vector_width:2
+      ~layout:Tensor.Layout.CHW ~double_buffer:false
+  in
+  if Config.threads cfg <= space.arch.max_threads_per_block then cfg
+  else { cfg with threads_x = 1; threads_y = 1; threads_z = 1 }

@@ -1,0 +1,59 @@
+(** The configuration searching domain (Section 6.2, Table 1).
+
+    A space enumerates the tunable axes for one (architecture, layer,
+    algorithm) triple:
+
+    - tile extents are divisors of the output extents (for Winograd,
+      multiples of [e] as well);
+    - thread extents are divisors of the tile extents, bounded by the block
+      thread limit;
+    - unroll in {1,2,4,8}, vector width in {1,2,4}, three layouts, double
+      buffering on/off;
+    - the working set must fit a shared-memory budget of at most half an SM
+      (so two blocks stay resident — Table 1's [S_b <= S_sm / 2]).
+
+    With [pruned = true] (the paper's ATE) the optimality condition cuts the
+    domain down: [x y / (R z)] within a factor-2 slack, [z <= sqrt(S_b / R)]
+    and [x y <= sqrt(S_b R)].  With [pruned = false] the space is the full
+    TVM-style domain.  [size] is the exact cardinality, reported in
+    Table 2. *)
+
+type t
+
+val make : ?pruned:bool -> Gpu_sim.Arch.t -> Conv.Conv_spec.t -> Config.algorithm -> t
+(** Default [pruned = true].  Raises [Invalid_argument] when no valid
+    configuration exists (never happens for the experiment layers). *)
+
+val spec : t -> Conv.Conv_spec.t
+val arch : t -> Gpu_sim.Arch.t
+val algorithm : t -> Config.algorithm
+val pruned : t -> bool
+
+val size : t -> float
+(** Exact number of configurations in the domain. *)
+
+val tile_candidates : t -> (int * int * int) array
+(** The valid (x, y, z) tile triples. *)
+
+val mem : t -> Config.t -> bool
+(** Membership test (used to validate neighbours). *)
+
+val sample : t -> Util.Rng.t -> Config.t
+(** Uniform over tile triples, then uniform over the remaining axes
+    (conditioned on validity). *)
+
+val neighbor : t -> Util.Rng.t -> Config.t -> Config.t
+(** Random single-axis mutation that stays inside the domain — the step
+    relation of the configuration explorer's random walks. *)
+
+val iter_configs : t -> (Config.t -> unit) -> unit
+(** Exhaustive enumeration of the domain (every valid configuration exactly
+    once, except that double-buffered variants that do not fit shared memory
+    are skipped).  Only tractable for small layers; used by tests to compare
+    the tuner against the true optimum and by [size] sanity checks. *)
+
+val default_config : t -> Config.t
+(** A reasonable deterministic member: the optimality-guided tile of
+    [Optimality.optimal_tile_*] (or the nearest valid triple), CHW layout,
+    256-ish threads — the starting point shown to make pure heuristics
+    insufficient. *)

@@ -1,0 +1,96 @@
+let ceil_div a b = (a + b - 1) / b
+
+let grid_dim (spec : Conv.Conv_spec.t) (cfg : Config.t) =
+  let w_out = Conv.Conv_spec.w_out spec and h_out = Conv.Conv_spec.h_out spec in
+  ( ceil_div w_out cfg.tile_x,
+    ceil_div h_out cfg.tile_y,
+    spec.batch * ceil_div spec.c_out cfg.tile_z )
+
+let stage_count (spec : Conv.Conv_spec.t) (cfg : Config.t) =
+  match cfg.algorithm with
+  | Config.Direct_dataflow | Config.Winograd_dataflow _ ->
+    Conv.Conv_spec.channels_per_group spec
+
+let buffer_lines (spec : Conv.Conv_spec.t) (cfg : Config.t) =
+  match cfg.algorithm with
+  | Config.Direct_dataflow ->
+    let x' = Conv.Tiled_direct.input_tile_w spec cfg.tile_x in
+    let y' = Conv.Tiled_direct.input_tile_h spec cfg.tile_y in
+    [
+      Printf.sprintf "  __shared__ float out_block[%d][%d][%d];   // resident partial sums"
+        cfg.tile_z cfg.tile_y cfg.tile_x;
+      Printf.sprintf "  __shared__ float in_tile[%d][%d];          // one channel stage (x'=%d, y'=%d)"
+        y' x' x' y';
+      Printf.sprintf "  __shared__ float w_tile[%d][%d][%d];        // stage weights for z kernels"
+        cfg.tile_z spec.k_h spec.k_w;
+    ]
+  | Config.Winograd_dataflow e ->
+    let alpha = e + spec.k_h - 1 in
+    let tiles = cfg.tile_x / e * (cfg.tile_y / e) in
+    [
+      Printf.sprintf
+        "  __shared__ float acc[%d][%d][%d][%d];  // transformed accumulators (2 temp arrays/tile)"
+        tiles cfg.tile_z alpha alpha;
+      Printf.sprintf "  __shared__ float patch[%d][%d];           // stage input tile" alpha alpha;
+      Printf.sprintf "  __shared__ float u[%d][%d][%d];            // stage transformed weights"
+        cfg.tile_z alpha alpha;
+    ]
+
+let body_lines (spec : Conv.Conv_spec.t) (cfg : Config.t) =
+  let stages = stage_count spec cfg in
+  match cfg.algorithm with
+  | Config.Direct_dataflow ->
+    [
+      Printf.sprintf "  for (int ci = 0; ci < %d; ++ci) {          // channel-sliding stages (alpha = 1)"
+        stages;
+      Printf.sprintf "    load_tile(in_tile, input[%s], ci);       // coalesced over %s"
+        (Tensor.Layout.to_string cfg.layout)
+        (if Tensor.Layout.innermost_is_width cfg.layout then "width" else "strided axis");
+      "    load_weights(w_tile, ci);";
+      "    __syncthreads();";
+      Printf.sprintf
+        "    #pragma unroll %d" cfg.unroll;
+      Printf.sprintf
+        "    for (own outputs: %dx%dx%d of tile / %dx%dx%d threads)"
+        cfg.tile_x cfg.tile_y cfg.tile_z cfg.threads_x cfg.threads_y cfg.threads_z;
+      Printf.sprintf "      out_block[z][y][x] += dot%d(in_tile, w_tile);  // %dx%d taps"
+        cfg.vector_width spec.k_h spec.k_w;
+      "    __syncthreads();";
+      "  }";
+      "  store_tile(output, out_block);                 // written back exactly once";
+    ]
+  | Config.Winograd_dataflow e ->
+    [
+      Printf.sprintf "  for (int ci = 0; ci < %d; ++ci) {          // channel sweep" stages;
+      "    load_patch(patch, input, ci); transform_B(patch);";
+      "    load_weights(u, ci); transform_G(u);";
+      "    __syncthreads();";
+      Printf.sprintf "    #pragma unroll %d" cfg.unroll;
+      Printf.sprintf "    acc[tile][z] += patch .* u;               // F(%dx%d, %dx%d) products"
+        e e spec.k_h spec.k_w;
+      "    __syncthreads();";
+      "  }";
+      "  transform_A(acc); store_tiles(output, acc);    // inverse transform once per tile";
+    ]
+
+let render (arch : Gpu_sim.Arch.t) (spec : Conv.Conv_spec.t) (cfg : Config.t) =
+  let kernel = Config.to_kernel arch spec cfg in
+  let gx, gy, gz = grid_dim spec cfg in
+  let name =
+    match cfg.algorithm with
+    | Config.Direct_dataflow -> "direct_dataflow_kernel"
+    | Config.Winograd_dataflow e -> Printf.sprintf "winograd_f%d_dataflow_kernel" e
+  in
+  let header =
+    [
+      Printf.sprintf "// %s for %s" name (Conv.Conv_spec.to_string spec);
+      Printf.sprintf "// grid (%d, %d, %d) x block (%d, %d, %d) = %d blocks, %d threads/block"
+        gx gy gz cfg.threads_x cfg.threads_y cfg.threads_z kernel.blocks
+        kernel.threads_per_block;
+      Printf.sprintf "// shared memory: %d bytes/block%s" kernel.shmem_bytes_per_block
+        (if cfg.double_buffer then " (double-buffered stages)" else "");
+      Printf.sprintf "__global__ void %s(const float* input, const float* weights, float* output) {"
+        name;
+    ]
+  in
+  String.concat "\n" (header @ buffer_lines spec cfg @ body_lines spec cfg @ [ "}" ])

@@ -1,0 +1,23 @@
+(** Template manager (Section 6.1): renders a configuration as the concrete
+    kernel schedule it denotes.
+
+    The auto-tuner manipulates configurations abstractly; this module makes
+    them inspectable by emitting the CUDA-style pseudo-kernel the dataflow +
+    configuration pair describes — grid/block geometry, shared-memory
+    declarations (which must agree with [Config.shmem_bytes]), the
+    channel-sliding stage loop and the per-thread work partition.  Used by
+    the CLI and examples so a tuned result is a *readable artifact*, not just
+    a record. *)
+
+val render : Gpu_sim.Arch.t -> Conv.Conv_spec.t -> Config.t -> string
+(** Multi-line pseudo-code.  Deterministic; raises like [Config.to_kernel]
+    on unlaunchable configurations. *)
+
+val grid_dim : Conv.Conv_spec.t -> Config.t -> int * int * int
+(** Blocks along (x, y, z-with-batch): the launch geometry the template
+    declares. *)
+
+val stage_count : Conv.Conv_spec.t -> Config.t -> int
+(** Channel stages the kernel's outer loop executes
+    ([channels-per-group / alpha], alpha = 1 per Section 5.2; the transformed
+    channel sweep for Winograd). *)

@@ -1,0 +1,115 @@
+let log_src = Logs.Src.create "conv_io.tuner" ~doc:"Auto-tuning engine progress"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type progress = { measurement : int; best_runtime_us : float }
+
+type result = {
+  best_config : Config.t;
+  best_runtime_us : float;
+  best_gflops : float;
+  measurements : int;
+  converged_at : int;
+  history : progress list;
+  space_size : float;
+}
+
+let nominal_gflops spec ~runtime_us = Conv.Conv_spec.flops spec /. runtime_us /. 1.0e3
+
+(* First measurement whose best-so-far is within 1% of the final best: the
+   point at which the search had effectively found its solution (raw
+   last-improvement indices are dominated by sub-noise-level late wiggles). *)
+let convergence_point ~final history =
+  let rec scan : progress list -> int = function
+    | [] -> 1
+    | p :: rest ->
+      if p.best_runtime_us <= final *. 1.01 then p.measurement else scan rest
+  in
+  scan history
+
+let measure_config ?(seed = 0) arch spec cfg =
+  let kernel = Config.to_kernel arch spec cfg in
+  Gpu_sim.Measure.runtime_avg_us ~seed arch kernel
+
+let tune ?(seed = 0) ?(batch_size = 16) ?(patience = 8) ?(max_measurements = 600) ~space () =
+  let arch = Search_space.arch space and spec = Search_space.spec space in
+  let rng = Util.Rng.create (seed + 17) in
+  let model = Cost_model.create spec in
+  let measured = Hashtbl.create 128 in
+  let best = ref None in
+  let history = ref [] in
+  let count = ref 0 in
+  let converged_at = ref 0 in
+  (* Top measured configurations, best first — the explorer's walk seeds. *)
+  let leaders : (Config.t * float) list ref = ref [] in
+  let note_leader cfg runtime =
+    let merged = (cfg, runtime) :: !leaders in
+    let sorted = List.sort (fun (_, a) (_, b) -> compare a b) merged in
+    leaders := List.filteri (fun i _ -> i < 4) sorted
+  in
+  let measure cfg =
+    let key = Config.to_string cfg in
+    if not (Hashtbl.mem measured key) then begin
+      Hashtbl.add measured key ();
+      let runtime = measure_config ~seed arch spec cfg in
+      note_leader cfg runtime;
+      incr count;
+      Cost_model.add_measurement model cfg runtime;
+      (match !best with
+      | Some (_, best_runtime) when best_runtime <= runtime -> ()
+      | _ ->
+        Log.debug (fun m ->
+            m "measurement #%d improved best to %.2f us (%s)" !count runtime
+              (Config.to_string cfg));
+        best := Some (cfg, runtime);
+        converged_at := !count);
+      let best_runtime = match !best with Some (_, r) -> r | None -> runtime in
+      history := { measurement = !count; best_runtime_us = best_runtime } :: !history
+    end
+  in
+  (* Round 0: the optimality-guided default plus random exploration. *)
+  measure (Search_space.default_config space);
+  for _ = 2 to min batch_size max_measurements do
+    measure (Search_space.sample space rng)
+  done;
+  let stale = ref 0 in
+  let round = ref 0 in
+  while !stale < patience && !count < max_measurements do
+    incr round;
+    Log.debug (fun m ->
+        m "round %d: %d measurements, model %s" !round !count
+          (if Cost_model.trained model then
+             Printf.sprintf "rmse(log) %.3f" (Cost_model.rmse_log model)
+           else "untrained"));
+    let best_before = match !best with Some (_, r) -> r | None -> infinity in
+    Cost_model.retrain ~rng model;
+    let starts =
+      List.map fst !leaders @ List.init 2 (fun _ -> Search_space.sample space rng)
+    in
+    let candidates = Explorer.explore ~space ~model ~rng ~starts () in
+    let fresh =
+      List.filter (fun c -> not (Hashtbl.mem measured (Config.to_string c))) candidates
+    in
+    let room = min batch_size (max_measurements - !count) in
+    let batch = List.filteri (fun i _ -> i < room) fresh in
+    (if batch = [] then begin
+       if !count < max_measurements then measure (Search_space.sample space rng)
+     end
+     else List.iter measure batch);
+    let best_after = match !best with Some (_, r) -> r | None -> infinity in
+    if best_after < best_before *. 0.999 then stale := 0 else incr stale
+  done;
+  ignore !converged_at;
+  match !best with
+  | None -> failwith "Tuner.tune: nothing measured"
+  | Some (cfg, runtime) ->
+    let history = List.rev !history in
+    {
+      best_config = cfg;
+      best_runtime_us = runtime;
+      best_gflops = nominal_gflops spec ~runtime_us:runtime;
+      measurements = !count;
+      converged_at = convergence_point ~final:runtime history;
+      history;
+      space_size = Search_space.size space;
+    }

@@ -1,0 +1,47 @@
+(** The auto-tuning engine (Section 6.3).
+
+    Iterates Model Training -> Configuration Searching -> Dataset Updating:
+    each round retrains the cost model on everything measured, asks the
+    explorer for a batch of promising unmeasured configurations, "measures"
+    them on the simulated GPU, and stops when the best runtime has not
+    improved for [patience] rounds (or the measurement budget runs out).
+
+    With [pruned = true] the search runs over the optimality-condition domain
+    (the paper's ATE); with [pruned = false] over the full space, which is
+    the TVM-style comparator used in Table 2 and Figure 11. *)
+
+type progress = { measurement : int; best_runtime_us : float }
+
+type result = {
+  best_config : Config.t;
+  best_runtime_us : float;
+  best_gflops : float;  (** nominal convolution flops over best runtime *)
+  measurements : int;  (** total configurations measured *)
+  converged_at : int;
+      (** first measurement whose best-so-far is within 1% of the final best *)
+  history : progress list;  (** best-so-far curve, oldest first *)
+  space_size : float;
+}
+
+val measure_config : ?seed:int -> Gpu_sim.Arch.t -> Conv.Conv_spec.t -> Config.t -> float
+(** One simulated measurement of a configuration (averaged oracle). *)
+
+val tune :
+  ?seed:int ->
+  ?batch_size:int ->
+  ?patience:int ->
+  ?max_measurements:int ->
+  space:Search_space.t ->
+  unit ->
+  result
+(** Defaults: seed 0, batches of 16, patience 8 rounds, at most 600
+    measurements. *)
+
+val convergence_point : final:float -> progress list -> int
+(** First measurement (oldest-first history) whose best-so-far runtime is
+    within 1% of [final]; 1 when the history is empty. *)
+
+val nominal_gflops : Conv.Conv_spec.t -> runtime_us:float -> float
+(** The GFlops metric of Table 2/Figure 11: the layer's direct-convolution
+    flop count divided by runtime (so faster Winograd kernels report higher
+    effective rates, as TVM does). *)

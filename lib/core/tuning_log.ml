@@ -1,0 +1,75 @@
+type entry = {
+  arch_name : string;
+  spec_key : string;
+  runtime_us : float;
+  config : Config.t;
+}
+
+let entry_of_result (arch : Gpu_sim.Arch.t) spec (result : Tuner.result) =
+  {
+    arch_name = arch.name;
+    spec_key = Conv.Conv_spec.to_string spec;
+    runtime_us = result.best_runtime_us;
+    config = result.best_config;
+  }
+
+let key (arch : Gpu_sim.Arch.t) spec algorithm =
+  Printf.sprintf "%s\t%s\t%s" arch.name
+    (Conv.Conv_spec.to_string spec)
+    (Config.algorithm_to_string algorithm)
+
+let entry_key e =
+  Printf.sprintf "%s\t%s\t%s" e.arch_name e.spec_key
+    (Config.algorithm_to_string e.config.algorithm)
+
+let to_line e =
+  Printf.sprintf "v1\t%s\t%s\t%.6f\t%s" e.arch_name e.spec_key e.runtime_us
+    (Config.to_compact e.config)
+
+let of_line line =
+  match String.split_on_char '\t' line with
+  | [ "v1"; arch_name; spec_key; runtime; compact ] -> begin
+    match (float_of_string_opt runtime, Config.of_compact compact) with
+    | Some runtime_us, Some config when runtime_us > 0.0 ->
+      Some { arch_name; spec_key; runtime_us; config }
+    | _ -> None
+  end
+  | _ -> None
+
+let save path entries =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> List.iter (fun e -> output_string oc (to_line e ^ "\n")) entries)
+
+let append path entry =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_line entry ^ "\n"))
+
+let load path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec go acc =
+          match input_line ic with
+          | line -> go (match of_line line with Some e -> e :: acc | None -> acc)
+          | exception End_of_file -> List.rev acc
+        in
+        go [])
+  end
+
+let best_per_key entries =
+  let table = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      let k = entry_key e in
+      match Hashtbl.find_opt table k with
+      | Some existing when existing.runtime_us <= e.runtime_us -> ()
+      | _ -> Hashtbl.replace table k e)
+    entries;
+  table

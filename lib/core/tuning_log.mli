@@ -1,0 +1,41 @@
+(** Persistent tuning logs — the equivalent of TVM's tophub records.
+
+    Tuning a layer costs hundreds of simulated measurements; a log file lets
+    sessions (and the CNN runner) reuse best configurations across runs.
+    The format is line-oriented, one record per tuned (architecture, layer,
+    algorithm) triple:
+
+    {v v1 <TAB> arch <TAB> spec <TAB> runtime_us <TAB> compact-config v}
+
+    where [spec] is [Conv_spec.to_string] (canonical per shape, used as an
+    opaque key) and the config uses [Config.to_compact].  Unknown or
+    malformed lines are skipped on load, so logs survive version drift. *)
+
+type entry = {
+  arch_name : string;
+  spec_key : string;  (** [Conv_spec.to_string spec] *)
+  runtime_us : float;
+  config : Config.t;
+}
+
+val entry_of_result :
+  Gpu_sim.Arch.t -> Conv.Conv_spec.t -> Tuner.result -> entry
+
+val key : Gpu_sim.Arch.t -> Conv.Conv_spec.t -> Config.algorithm -> string
+(** Lookup key: architecture, layer shape and algorithm. *)
+
+val entry_key : entry -> string
+
+val to_line : entry -> string
+val of_line : string -> entry option
+
+val save : string -> entry list -> unit
+(** Writes (truncates) the log file. *)
+
+val append : string -> entry -> unit
+
+val load : string -> entry list
+(** Empty list when the file does not exist; malformed lines are dropped. *)
+
+val best_per_key : entry list -> (string, entry) Hashtbl.t
+(** Deduplicates, keeping the fastest entry per key. *)

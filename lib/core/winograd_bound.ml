@@ -1,0 +1,55 @@
+let check_square (spec : Conv.Conv_spec.t) =
+  if spec.k_h <> spec.k_w then invalid_arg "Winograd_bound: square kernel required"
+
+let steps ~e (spec : Conv.Conv_spec.t) ~s =
+  check_square spec;
+  let r = float_of_int spec.k_h and ef = float_of_int e in
+  let a = ef +. r -. 1.0 in
+  let a2 = a *. a in
+  let phi1 h = 6.0 *. Float.max 0.0 h *. a2 *. a2 /. (ef *. r) in
+  let psi1 h = 3.0 *. Float.max 0.0 h *. a2 /. (ef *. r) in
+  let phi2 h =
+    let h = Float.max 0.0 h in
+    (h *. sqrt h) +. (a2 /. (ef *. ef) *. s *. sqrt h)
+  in
+  let phi3 h = Float.max 0.0 (h -. 1.0) in
+  let psi3 h = Float.min (Float.max 0.0 h /. 2.0) (a2 /. (ef *. ef) *. s) in
+  let phi4 h =
+    Float.min
+      (((2.0 *. Float.max 0.0 h) -. 1.0) *. ef *. ef)
+      (((2.0 *. a2) -. 1.0) *. s)
+  in
+  [
+    Genfun.step ~name:"transform" ~psi:psi1 phi1;
+    Genfun.step ~name:"product" phi2;
+    Genfun.step ~name:"channel-sum" ~psi:psi3 phi3;
+    Genfun.step ~name:"output-transform" ~psi:(fun _ -> 0.0) phi4;
+  ]
+
+let t_upper ~e (spec : Conv.Conv_spec.t) ~s =
+  check_square spec;
+  let r = float_of_int spec.k_h and ef = float_of_int e in
+  let a = ef +. r -. 1.0 in
+  (2.0 *. (a ** 3.0) /. (ef *. r) *. s *. sqrt s)
+  +. (6.0 *. a *. a /. (ef *. r) *. s)
+
+let num_vertices ~e (spec : Conv.Conv_spec.t) =
+  check_square spec;
+  let r = float_of_int spec.k_h and ef = float_of_int e in
+  let a = ef +. r -. 1.0 in
+  2.0
+  *. float_of_int (Conv.Conv_spec.output_elems spec)
+  *. float_of_int spec.c_in *. (a ** 4.0) /. (ef *. ef)
+
+let q_lower ~e (spec : Conv.Conv_spec.t) ~s =
+  check_square spec;
+  let r = float_of_int spec.k_h and ef = float_of_int e in
+  let a = ef +. r -. 1.0 in
+  float_of_int (Conv.Conv_spec.output_elems spec)
+  *. float_of_int spec.c_in *. a *. r /. (ef *. sqrt s)
+
+let q_lower_composite ?grid ~e (spec : Conv.Conv_spec.t) ~s =
+  Composite_bound.lower_bound ?grid
+    ~steps:(steps ~e spec ~s:(2.0 *. s))
+    ~num_vertices:(num_vertices ~e spec)
+    s

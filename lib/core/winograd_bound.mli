@@ -1,0 +1,33 @@
+(** I/O lower bound of the Winograd algorithm (Section 4.3).
+
+    Four steps (input/kernel transform, elementwise product, channel
+    summation, output transform) with generation functions from Lemmas
+    4.15-4.18:
+
+    {v phi_1(h) = 6 h a^4 / (e r)        psi_1(h) = 3 h a^2 / (e r)
+   phi_2(h) = psi_2(h) = h sqrt h + (a^2/e^2) S sqrt h
+   phi_3(h) = h - 1                  psi_3(h) = min(h/2, (a^2/e^2) S)
+   phi_4(h) = min((2h-1) e^2, (2 a^2 - 1) S) v}
+
+    with [a = e + r - 1], leading to (Lemma 4.19)
+
+    {v T(S) = O( 2 a^3/(e r) S sqrt S + 6 a^2/(e r) S ) v}
+
+    and the Theorem 4.20 bound
+
+    {v Q = Omega( Wout Hout Cout Cin a r / (e sqrt S) ) v} *)
+
+val steps : e:int -> Conv.Conv_spec.t -> s:float -> Genfun.step list
+(** Requires a square kernel ([r = k_h = k_w]); raises otherwise. *)
+
+val t_upper : e:int -> Conv.Conv_spec.t -> s:float -> float
+(** Lemma 4.19's closed form. *)
+
+val num_vertices : e:int -> Conv.Conv_spec.t -> float
+(** Lemma 4.14's order count [2 Wout Hout Cout Cin a^4 / e^2] times batch. *)
+
+val q_lower : e:int -> Conv.Conv_spec.t -> s:float -> float
+(** Theorem 4.20: [outputs * Cin * a * r / (e sqrt S)]. *)
+
+val q_lower_composite : ?grid:int -> e:int -> Conv.Conv_spec.t -> s:float -> float
+(** Theorem 4.20 through the generic Theorem 4.6 machinery. *)

@@ -1,0 +1,147 @@
+type spec = {
+  w_in : int;
+  h_in : int;
+  c_in : int;
+  c_out : int;
+  w_ker : int;
+  h_ker : int;
+  stride : int;
+}
+
+type t = {
+  graph : Graph.t;
+  spec : spec;
+  w_out : int;
+  h_out : int;
+  input_ids : Graph.vertex array;
+  kernel_ids : Graph.vertex array;
+  output_ids : Graph.vertex array;
+  (* Per output: its product vertices in summation order, and the left-deep
+     chain vertices where [chain.(j)] consumes [products.(j + 1)]. *)
+  products : Graph.vertex array array;
+  chains : Graph.vertex array array;
+}
+
+let out_size s =
+  let w_out = ((s.w_in - s.w_ker) / s.stride) + 1 in
+  let h_out = ((s.h_in - s.h_ker) / s.stride) + 1 in
+  (w_out, h_out)
+
+let expected_internal_and_output s =
+  let w_out, h_out = out_size s in
+  ((2 * s.w_ker * s.h_ker * s.c_in) - 1) * w_out * h_out * s.c_out
+
+let build s =
+  if s.stride < 1 then invalid_arg "Conv_dag.build: stride must be >= 1";
+  if s.w_in < s.w_ker || s.h_in < s.h_ker then
+    invalid_arg "Conv_dag.build: kernel larger than image";
+  let w_out, h_out = out_size s in
+  let g = Graph.create () in
+  let input_ids = Array.init (s.c_in * s.h_in * s.w_in) (fun _ -> Graph.add_input g) in
+  let kernel_ids =
+    Array.init (s.c_out * s.c_in * s.h_ker * s.w_ker) (fun _ -> Graph.add_input g)
+  in
+  let input_at ~ci ~h ~w = input_ids.((ci * s.h_in * s.w_in) + (h * s.w_in) + w) in
+  let kernel_at ~co ~ci ~kh ~kw =
+    kernel_ids.((((((co * s.c_in) + ci) * s.h_ker) + kh) * s.w_ker) + kw)
+  in
+  let n_out = s.c_out * h_out * w_out in
+  let k = s.c_in * s.h_ker * s.w_ker in
+  let output_ids = Array.make n_out (-1) in
+  let products = Array.make n_out [||] in
+  let chains = Array.make n_out [||] in
+  let out_pos = ref 0 in
+  for co = 0 to s.c_out - 1 do
+    for ho = 0 to h_out - 1 do
+      for wo = 0 to w_out - 1 do
+        let prods = Array.make k (-1) in
+        let p = ref 0 in
+        for ci = 0 to s.c_in - 1 do
+          for kh = 0 to s.h_ker - 1 do
+            for kw = 0 to s.w_ker - 1 do
+              let h = (ho * s.stride) + kh and w = (wo * s.stride) + kw in
+              let v =
+                Graph.add_compute g ~step:1
+                  ~preds:[ input_at ~ci ~h ~w; kernel_at ~co ~ci ~kh ~kw ]
+              in
+              prods.(!p) <- v;
+              incr p
+            done
+          done
+        done;
+        (* Left-deep summation chain (Lemma 4.7): k-2 internal + 1 output. *)
+        let chain = Array.make (k - 1) (-1) in
+        let acc = ref prods.(0) in
+        for j = 1 to k - 1 do
+          let v = Graph.add_compute g ~step:2 ~preds:[ !acc; prods.(j) ] in
+          chain.(j - 1) <- v;
+          acc := v
+        done;
+        output_ids.(!out_pos) <- !acc;
+        products.(!out_pos) <- prods;
+        chains.(!out_pos) <- chain;
+        incr out_pos
+      done
+    done
+  done;
+  { graph = g; spec = s; w_out; h_out; input_ids; kernel_ids; output_ids; products; chains }
+
+let schedule_output_stationary t = Graph.compute_vertices t.graph
+
+let schedule_by_step t =
+  let g = t.graph in
+  let all = Graph.compute_vertices g in
+  let step1 = Array.of_list (List.filter (fun v -> Graph.step g v = 1) (Array.to_list all)) in
+  let step2 = Array.of_list (List.filter (fun v -> Graph.step g v = 2) (Array.to_list all)) in
+  Array.append step1 step2
+
+let schedule_blocked t ~bx ~by ~bz =
+  if bx < 1 || by < 1 || bz < 1 then invalid_arg "Conv_dag.schedule_blocked: bad block";
+  let s = t.spec in
+  let r2 = s.w_ker * s.h_ker in
+  let order = ref [] in
+  let emit v = order := v :: !order in
+  let out_index ~co ~ho ~wo = (((co * t.h_out) + ho) * t.w_out) + wo in
+  let block_outputs co0 ho0 wo0 =
+    let acc = ref [] in
+    for co = min (co0 + bz) s.c_out - 1 downto co0 do
+      for ho = min (ho0 + by) t.h_out - 1 downto ho0 do
+        for wo = min (wo0 + bx) t.w_out - 1 downto wo0 do
+          acc := out_index ~co ~ho ~wo :: !acc
+        done
+      done
+    done;
+    !acc
+  in
+  let co0 = ref 0 in
+  while !co0 < s.c_out do
+    let ho0 = ref 0 in
+    while !ho0 < t.h_out do
+      let wo0 = ref 0 in
+      while !wo0 < t.w_out do
+        let outs = block_outputs !co0 !ho0 !wo0 in
+        (* Slide along the channel direction (alpha = 1): per channel, finish
+           the products of that channel for every output in the block and fold
+           them into the running partial sums. *)
+        for ci = 0 to s.c_in - 1 do
+          List.iter
+            (fun o ->
+              let prods = t.products.(o) and chain = t.chains.(o) in
+              for tap = 0 to r2 - 1 do
+                emit prods.((ci * r2) + tap)
+              done;
+              (* chain.(j-1) consumes prods.(j); after channel ci the ready
+                 chain segment is j in [max 1 (ci*r2) , ci*r2 + r2 - 1]. *)
+              let j_lo = max 1 (ci * r2) and j_hi = (ci * r2) + r2 - 1 in
+              for j = j_lo to j_hi do
+                emit chain.(j - 1)
+              done)
+            outs
+        done;
+        wo0 := !wo0 + bx
+      done;
+      ho0 := !ho0 + by
+    done;
+    co0 := !co0 + bz
+  done;
+  Array.of_list (List.rev !order)

@@ -1,0 +1,56 @@
+(** DAG of a direct convolution (Figure 4 of the paper).
+
+    Step 1 creates one product vertex per (output position, kernel tap) pair;
+    step 2 sums the [Wker*Hker*Cin] products of each output through a
+    summation tree.  Lemma 4.8: the DAG has exactly
+    [(2*Wker*Hker*Cin - 1) * Wout*Hout*Cout] internal-plus-output vertices. *)
+
+type spec = {
+  w_in : int;
+  h_in : int;
+  c_in : int;
+  c_out : int;
+  w_ker : int;
+  h_ker : int;
+  stride : int;
+}
+
+type t = {
+  graph : Graph.t;
+  spec : spec;
+  w_out : int;
+  h_out : int;
+  input_ids : Graph.vertex array; (* image inputs, indexed by [c][h][w] flattened *)
+  kernel_ids : Graph.vertex array; (* weights, indexed by [co][ci][kh][kw] flattened *)
+  output_ids : Graph.vertex array; (* final sums, indexed by [co][ho][wo] flattened *)
+  products : Graph.vertex array array;
+      (* per output: step-1 product vertices in summation order *)
+  chains : Graph.vertex array array;
+      (* per output: left-deep chain, [chains.(o).(j)] consumes [products.(o).(j+1)] *)
+}
+
+val out_size : spec -> int * int
+(** [(w_out, h_out)] for a valid (unpadded) convolution. *)
+
+val build : spec -> t
+(** Constructs the full DAG.  Vertex ids are issued output-block by output
+    block, which makes the construction order itself an output-stationary
+    schedule. *)
+
+val expected_internal_and_output : spec -> int
+(** The Lemma 4.8 count, for validation against the built graph. *)
+
+val schedule_output_stationary : t -> Graph.vertex array
+(** Compute vertices ordered so each output's products and summation tree are
+    finished before moving to the next output — the dataflow of Section 5.2
+    with a 1x1x1 output block. *)
+
+val schedule_by_step : t -> Graph.vertex array
+(** All step-1 products first, then all summation trees: the pathological
+    order that maximises spilled intermediates; used to show schedules far
+    from the lower bound. *)
+
+val schedule_blocked : t -> bx:int -> by:int -> bz:int -> Graph.vertex array
+(** Output-stationary schedule over [bx * by * bz] output sub-blocks
+    (width, height, channel), the paper's dataflow: within a block, products
+    are emitted channel-slice by channel-slice and partial sums interleaved. *)

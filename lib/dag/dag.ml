@@ -1,0 +1,7 @@
+(** Library entry point: DAG substrate for the red-blue pebble game. *)
+
+module Graph = Graph
+module Trees = Trees
+module Conv_dag = Conv_dag
+module Winograd_dag = Winograd_dag
+module Matmul_dag = Matmul_dag

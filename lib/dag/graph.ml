@@ -1,0 +1,116 @@
+type vertex = int
+
+type t = {
+  mutable steps : int array; (* 0 = input, >= 1 = sub-computation index *)
+  mutable preds : vertex list array;
+  mutable succs : vertex list array;
+  mutable size : int;
+  mutable inputs : int;
+}
+
+let initial_capacity = 1024
+
+let create () =
+  {
+    steps = Array.make initial_capacity 0;
+    preds = Array.make initial_capacity [];
+    succs = Array.make initial_capacity [];
+    size = 0;
+    inputs = 0;
+  }
+
+let grow t =
+  let capacity = Array.length t.steps in
+  if t.size = capacity then begin
+    let next = capacity * 2 in
+    let extend fill a =
+      let b = Array.make next fill in
+      Array.blit a 0 b 0 capacity;
+      b
+    in
+    t.steps <- extend 0 t.steps;
+    t.preds <- extend [] t.preds;
+    t.succs <- extend [] t.succs
+  end
+
+let add_input t =
+  grow t;
+  let v = t.size in
+  t.size <- v + 1;
+  t.inputs <- t.inputs + 1;
+  v
+
+let add_compute t ~step ~preds =
+  if step < 1 then invalid_arg "Graph.add_compute: step must be >= 1";
+  grow t;
+  let v = t.size in
+  List.iter
+    (fun p ->
+      if p < 0 || p >= v then invalid_arg "Graph.add_compute: predecessor not yet issued";
+      t.succs.(p) <- v :: t.succs.(p))
+    preds;
+  t.steps.(v) <- step;
+  t.preds.(v) <- preds;
+  t.size <- v + 1;
+  v
+
+let num_vertices t = t.size
+let num_inputs t = t.inputs
+let is_input t v = t.steps.(v) = 0
+let step t v = t.steps.(v)
+let preds t v = t.preds.(v)
+let succs t v = t.succs.(v)
+let out_degree t v = List.length t.succs.(v)
+let in_degree t v = List.length t.preds.(v)
+
+let outputs t =
+  let acc = ref [] in
+  for v = t.size - 1 downto 0 do
+    if t.succs.(v) = [] then acc := v :: !acc
+  done;
+  !acc
+
+let compute_vertices t =
+  let n = t.size - t.inputs in
+  let out = Array.make (max n 1) 0 in
+  let pos = ref 0 in
+  for v = 0 to t.size - 1 do
+    if t.steps.(v) > 0 then begin
+      out.(!pos) <- v;
+      incr pos
+    end
+  done;
+  Array.sub out 0 n
+
+let count_step t s =
+  let acc = ref 0 in
+  for v = 0 to t.size - 1 do
+    if t.steps.(v) = s then incr acc
+  done;
+  !acc
+
+let max_in_degree t =
+  let worst = ref 0 in
+  for v = 0 to t.size - 1 do
+    worst := max !worst (List.length t.preds.(v))
+  done;
+  !worst
+
+let validate_topological t order =
+  let expected = t.size - t.inputs in
+  Array.length order = expected
+  && begin
+       let done_ = Array.make t.size false in
+       (* Inputs are always available. *)
+       for v = 0 to t.size - 1 do
+         if t.steps.(v) = 0 then done_.(v) <- true
+       done;
+       let ok = ref true in
+       Array.iter
+         (fun v ->
+           if is_input t v || done_.(v) then ok := false
+           else if List.exists (fun p -> not done_.(p)) t.preds.(v) then ok := false
+           else done_.(v) <- true)
+         order;
+       !ok
+     end

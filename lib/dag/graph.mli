@@ -1,0 +1,52 @@
+(** Computation DAGs for the red-blue pebble game.
+
+    A vertex is either an input (no predecessors; holds a blue pebble at the
+    start of the game) or a compute vertex belonging to one step of the
+    multi-step partition (Definition 4.1 of the paper).  Vertices are dense
+    integer ids issued in construction order, which is guaranteed to be a
+    topological order. *)
+
+type vertex = int
+
+type t
+
+val create : unit -> t
+
+val add_input : t -> vertex
+(** New input vertex. *)
+
+val add_compute : t -> step:int -> preds:vertex list -> vertex
+(** New compute vertex in sub-computation [step] (1-based), depending on
+    [preds].  Raises [Invalid_argument] if a predecessor id has not been
+    issued yet (which would break topological order). *)
+
+val num_vertices : t -> int
+val num_inputs : t -> int
+
+val is_input : t -> vertex -> bool
+val step : t -> vertex -> int
+(** Step of a compute vertex; 0 for inputs. *)
+
+val preds : t -> vertex -> vertex list
+val succs : t -> vertex -> vertex list
+val out_degree : t -> vertex -> int
+val in_degree : t -> vertex -> int
+
+val outputs : t -> vertex list
+(** Vertices with no successors (ascending id order); these must carry blue
+    pebbles when the game ends. *)
+
+val compute_vertices : t -> vertex array
+(** All non-input vertices in ascending (topological) order. *)
+
+val count_step : t -> int -> int
+(** Number of compute vertices in a given step. *)
+
+val max_in_degree : t -> int
+(** Largest in-degree over compute vertices; a pebble game needs at least
+    this many red pebbles plus one. *)
+
+val validate_topological : t -> vertex array -> bool
+(** [validate_topological t order] checks that [order] enumerates every
+    compute vertex exactly once and never schedules a vertex before one of
+    its compute predecessors. *)

@@ -1,0 +1,79 @@
+type spec = { m : int; k : int; n : int }
+
+type t = {
+  graph : Graph.t;
+  spec : spec;
+  a_ids : Graph.vertex array;
+  b_ids : Graph.vertex array;
+  c_ids : Graph.vertex array;
+  products : Graph.vertex array array;
+  chains : Graph.vertex array array;
+}
+
+let expected_internal_and_output s = ((2 * s.k) - 1) * s.m * s.n
+
+let build s =
+  if s.m < 1 || s.k < 2 || s.n < 1 then
+    invalid_arg "Matmul_dag.build: need m, n >= 1 and k >= 2";
+  let g = Graph.create () in
+  let a_ids = Array.init (s.m * s.k) (fun _ -> Graph.add_input g) in
+  let b_ids = Array.init (s.k * s.n) (fun _ -> Graph.add_input g) in
+  let n_out = s.m * s.n in
+  let c_ids = Array.make n_out (-1) in
+  let products = Array.make n_out [||] in
+  let chains = Array.make n_out [||] in
+  for i = 0 to s.m - 1 do
+    for j = 0 to s.n - 1 do
+      let o = (i * s.n) + j in
+      let prods =
+        Array.init s.k (fun p ->
+            Graph.add_compute g ~step:1
+              ~preds:[ a_ids.((i * s.k) + p); b_ids.((p * s.n) + j) ])
+      in
+      let chain = Array.make (s.k - 1) (-1) in
+      let acc = ref prods.(0) in
+      for p = 1 to s.k - 1 do
+        let v = Graph.add_compute g ~step:2 ~preds:[ !acc; prods.(p) ] in
+        chain.(p - 1) <- v;
+        acc := v
+      done;
+      c_ids.(o) <- !acc;
+      products.(o) <- prods;
+      chains.(o) <- chain
+    done
+  done;
+  { graph = g; spec = s; a_ids; b_ids; c_ids; products; chains }
+
+let schedule_output_stationary t = Graph.compute_vertices t.graph
+
+let schedule_by_step t =
+  let g = t.graph in
+  let all = Graph.compute_vertices g in
+  let by s = Array.of_list (List.filter (fun v -> Graph.step g v = s) (Array.to_list all)) in
+  Array.append (by 1) (by 2)
+
+let schedule_blocked t ~bi ~bj =
+  if bi < 1 || bj < 1 then invalid_arg "Matmul_dag.schedule_blocked: bad tile";
+  let s = t.spec in
+  let order = ref [] in
+  let emit v = order := v :: !order in
+  let i0 = ref 0 in
+  while !i0 < s.m do
+    let j0 = ref 0 in
+    while !j0 < s.n do
+      (* Stream the reduction dimension: per p, emit each output's product
+         and the chain node it unlocks — partials stay resident. *)
+      for p = 0 to s.k - 1 do
+        for i = !i0 to min (!i0 + bi) s.m - 1 do
+          for j = !j0 to min (!j0 + bj) s.n - 1 do
+            let o = (i * s.n) + j in
+            emit t.products.(o).(p);
+            if p >= 1 then emit t.chains.(o).(p - 1)
+          done
+        done
+      done;
+      j0 := !j0 + bj
+    done;
+    i0 := !i0 + bi
+  done;
+  Array.of_list (List.rev !order)

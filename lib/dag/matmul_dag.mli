@@ -1,0 +1,34 @@
+(** DAG of a dense matrix multiplication [C = A * B].
+
+    A second instantiation of the paper's multi-step machinery, matching the
+    classical Hong & Kung setting: step 1 forms the [m*n*k] scalar products,
+    step 2 sums each output's [k] products through a summation tree.  The
+    structure is the direct convolution's DAG with reuse factor [R = 1], so
+    it exercises [Core.Composite_bound] on a workload the literature has
+    exact results for. *)
+
+type spec = { m : int; k : int; n : int }
+
+type t = {
+  graph : Graph.t;
+  spec : spec;
+  a_ids : Graph.vertex array;  (** row-major [m x k] *)
+  b_ids : Graph.vertex array;  (** row-major [k x n] *)
+  c_ids : Graph.vertex array;  (** row-major [m x n] outputs *)
+  products : Graph.vertex array array;  (** per output, in summation order *)
+  chains : Graph.vertex array array;
+}
+
+val build : spec -> t
+
+val expected_internal_and_output : spec -> int
+(** [(2k - 1) * m * n], by the Lemma 4.7/4.8 argument. *)
+
+val schedule_output_stationary : t -> Graph.vertex array
+(** Construction order: one output at a time. *)
+
+val schedule_by_step : t -> Graph.vertex array
+
+val schedule_blocked : t -> bi:int -> bj:int -> Graph.vertex array
+(** [bi x bj] output tiles with the reduction dimension streamed — the
+    classical cache-blocked GEMM schedule. *)

@@ -1,0 +1,29 @@
+let summation g ~step inputs =
+  match inputs with
+  | [] -> invalid_arg "Trees.summation: empty input list"
+  | [ only ] -> Graph.add_compute g ~step ~preds:[ only ]
+  | first :: rest ->
+    (* Left-deep chain: (((a + b) + c) + d) ... exactly k-2 internal vertices
+       and one output, as in Lemma 4.7. *)
+    List.fold_left
+      (fun acc v -> Graph.add_compute g ~step ~preds:[ acc; v ])
+      first rest
+
+let linear_combination g ~step inputs =
+  if inputs = [] then invalid_arg "Trees.linear_combination: empty input list";
+  (* Coefficient multiplications: unary vertices (coefficients live in fast
+     memory for the whole game and are not DAG vertices). *)
+  let scaled = List.map (fun v -> Graph.add_compute g ~step ~preds:[ v ]) inputs in
+  match scaled with
+  | [ only ] -> only
+  | first :: rest ->
+    List.fold_left (fun acc v -> Graph.add_compute g ~step ~preds:[ acc; v ]) first rest
+  | [] -> assert false
+
+let summation_vertex_count k =
+  assert (k >= 2);
+  k - 1
+
+let linear_combination_vertex_count k =
+  assert (k >= 2);
+  (2 * k) - 1

@@ -1,0 +1,29 @@
+(** Summation and linear-combination trees (Lemmas 4.7 and 4.13).
+
+    Both convolution DAGs are assembled from these two tree gadgets:
+
+    - a {e summation tree} over [k] already-present vertices adds [k-2]
+      internal vertices and [1] output vertex (left-deep chain of binary
+      additions, matching the paper's counting);
+    - a {e linear-combination tree} first multiplies each of the [k] inputs by
+      a coefficient held permanently in fast memory (the red transformation
+      matrix entries, which cost no I/O), adding [k] product vertices, then
+      sums them, for [2k-2] internal vertices plus [1] output in total. *)
+
+val summation : Graph.t -> step:int -> Graph.vertex list -> Graph.vertex
+(** [summation g ~step inputs] builds the tree and returns its root.  With a
+    single input the "tree" is a unary copy vertex so that every output of the
+    step is a fresh vertex, keeping step boundaries explicit.  Requires a
+    non-empty input list. *)
+
+val linear_combination : Graph.t -> step:int -> Graph.vertex list -> Graph.vertex
+(** [linear_combination g ~step inputs] multiplies each input by a coefficient
+    vertexlessly (the coefficient never appears in the DAG, as in Figure 5
+    where red vertices involve no I/O) and sums the scaled values.  Returns
+    the root. *)
+
+val summation_vertex_count : int -> int
+(** Vertices created by [summation] on [k >= 2] inputs: [k - 1]. *)
+
+val linear_combination_vertex_count : int -> int
+(** Vertices created by [linear_combination] on [k >= 2] inputs: [2k - 1]. *)

@@ -1,0 +1,151 @@
+type spec = {
+  tiles_w : int;
+  tiles_h : int;
+  c_in : int;
+  c_out : int;
+  e : int;
+  r : int;
+}
+
+type t = {
+  graph : Graph.t;
+  spec : spec;
+  input_ids : Graph.vertex array;
+  kernel_ids : Graph.vertex array;
+  output_ids : Graph.vertex array;
+  (* Construction-order id spans, for building alternative (including
+     recomputing) schedules: [p_spans.(tile).(ci)] covers the input-transform
+     trees of one tile channel; [work_spans.(tile).(co)] covers one output
+     channel's steps 2-4; [j_span] covers all kernel transforms. *)
+  j_span : int * int;
+  j_spans : (int * int) array array;  (* [co].[ci] *)
+  p_spans : (int * int) array array;
+  work_spans : (int * int) array array;
+}
+
+let alpha s = s.e + s.r - 1
+
+let out_size s = (s.tiles_w * s.e, s.tiles_h * s.e)
+
+let in_size s = ((s.tiles_w * s.e) + s.r - 1, (s.tiles_h * s.e) + s.r - 1)
+
+let expected_internal_and_output_order s =
+  let w_out, h_out = out_size s in
+  let a = alpha s in
+  2 * w_out * h_out * s.c_out * s.c_in * a * a * a * a / (s.e * s.e)
+
+let build s =
+  if s.e < 1 || s.r < 1 then invalid_arg "Winograd_dag.build: bad tile sizes";
+  let a = alpha s in
+  let w_in, h_in = in_size s in
+  let g = Graph.create () in
+  let input_ids = Array.init (s.c_in * h_in * w_in) (fun _ -> Graph.add_input g) in
+  let kernel_ids =
+    Array.init (s.c_out * s.c_in * s.r * s.r) (fun _ -> Graph.add_input g)
+  in
+  let input_at ~ci ~h ~w = input_ids.((ci * h_in * w_in) + (h * w_in) + w) in
+  let kernel_taps ~co ~ci =
+    List.init (s.r * s.r) (fun i -> kernel_ids.((((co * s.c_in) + ci) * s.r * s.r) + i))
+  in
+  let j_start = Graph.num_vertices g in
+  let j_spans = Array.make_matrix s.c_out s.c_in (0, 0) in
+  (* Step 1b: transformed kernels J.(co).(ci).(pos), one linear-combination
+     tree per transformed position over the r*r weights. *)
+  let j =
+    Array.init s.c_out (fun co ->
+        Array.init s.c_in (fun ci ->
+            let start = Graph.num_vertices g in
+            let taps = kernel_taps ~co ~ci in
+            let trees =
+              Array.init (a * a) (fun _ -> Trees.linear_combination g ~step:1 taps)
+            in
+            j_spans.(co).(ci) <- (start, Graph.num_vertices g);
+            trees))
+  in
+  let j_span = (j_start, Graph.num_vertices g) in
+  let n_tiles = s.tiles_h * s.tiles_w in
+  let output_ids = Array.make (s.c_out * n_tiles * s.e * s.e) (-1) in
+  let p_spans = Array.make_matrix n_tiles s.c_in (0, 0) in
+  let work_spans = Array.make_matrix n_tiles s.c_out (0, 0) in
+  for th = 0 to s.tiles_h - 1 do
+    for tw = 0 to s.tiles_w - 1 do
+      let tile = (th * s.tiles_w) + tw in
+      (* Step 1a: transformed input tile P.(ci).(pos). *)
+      let p =
+        Array.init s.c_in (fun ci ->
+            let start = Graph.num_vertices g in
+            let window =
+              List.init (a * a) (fun i ->
+                  let dh = i / a and dw = i mod a in
+                  input_at ~ci ~h:((th * s.e) + dh) ~w:((tw * s.e) + dw))
+            in
+            let trees =
+              Array.init (a * a) (fun _ -> Trees.linear_combination g ~step:1 window)
+            in
+            p_spans.(tile).(ci) <- (start, Graph.num_vertices g);
+            trees)
+      in
+      for co = 0 to s.c_out - 1 do
+        let work_start = Graph.num_vertices g in
+        (* Step 2: Lambda = P . J, elementwise over (ci, pos). *)
+        let lambda =
+          Array.init s.c_in (fun ci ->
+              Array.init (a * a) (fun pos ->
+                  Graph.add_compute g ~step:2 ~preds:[ p.(ci).(pos); j.(co).(ci).(pos) ]))
+        in
+        (* Step 3: sum along the channel direction into Pi.(pos). *)
+        let pi =
+          Array.init (a * a) (fun pos ->
+              Trees.summation g ~step:3 (List.init s.c_in (fun ci -> lambda.(ci).(pos))))
+        in
+        (* Step 4: e*e outputs, each a linear combination of all of Pi. *)
+        let pi_list = Array.to_list pi in
+        for oy = 0 to s.e - 1 do
+          for ox = 0 to s.e - 1 do
+            let v = Trees.linear_combination g ~step:4 pi_list in
+            let o =
+              (((co * n_tiles) + tile) * s.e * s.e) + (oy * s.e) + ox
+            in
+            output_ids.(o) <- v
+          done
+        done;
+        work_spans.(tile).(co) <- (work_start, Graph.num_vertices g)
+      done
+    done
+  done;
+  { graph = g; spec = s; input_ids; kernel_ids; output_ids; j_span; j_spans; p_spans;
+    work_spans }
+
+let schedule_natural t = Graph.compute_vertices t.graph
+
+(* Recomputing schedule: instead of computing all kernel transforms once and
+   spilling/reloading them across tiles (they are far too many to stay
+   resident), re-derive one output channel's transforms from the raw weights
+   right before using them — trading arithmetic for I/O, exactly the
+   optimisation the paper notes cannot be expressed in the no-recompute
+   red-blue-white model.  Each (co, ci) J span appears once per tile. *)
+let schedule_recompute_transforms t =
+  let span (a, b) = Array.init (b - a) (fun i -> a + i) in
+  let s = t.spec in
+  let n_tiles = s.tiles_w * s.tiles_h in
+  let pieces = ref [] in
+  for tile = 0 to n_tiles - 1 do
+    for ci = 0 to s.c_in - 1 do
+      pieces := span t.p_spans.(tile).(ci) :: !pieces
+    done;
+    for co = 0 to s.c_out - 1 do
+      for ci = 0 to s.c_in - 1 do
+        pieces := span t.j_spans.(co).(ci) :: !pieces
+      done;
+      pieces := span t.work_spans.(tile).(co) :: !pieces
+    done
+  done;
+  Array.concat (List.rev !pieces)
+
+let schedule_by_step t =
+  let g = t.graph in
+  let all = Graph.compute_vertices g in
+  let by_step s =
+    Array.of_list (List.filter (fun v -> Graph.step g v = s) (Array.to_list all))
+  in
+  Array.concat [ by_step 1; by_step 2; by_step 3; by_step 4 ]

@@ -1,0 +1,65 @@
+(** DAG of the Winograd algorithm F(e x e, r x r) (Figure 5 of the paper).
+
+    Four steps, matching the paper's multi-step partition:
+
+    + input tiles and kernels are transformed by linear-combination trees into
+      [P] and [J] (the transformation-matrix entries are coefficients held in
+      fast memory, not DAG vertices);
+    + elementwise products [Lambda = P . J];
+    + channel-direction summation trees producing [Pi];
+    + linear-combination trees turning each [Pi] into [e*e] outputs.
+
+    [P] tiles are shared across output channels and [J] tensors across tile
+    positions, so the DAG captures the cross-sub-computation reuse that makes
+    composite lower bounds hard (Section 3.1). *)
+
+type spec = {
+  tiles_w : int; (* number of e x e output tiles horizontally *)
+  tiles_h : int;
+  c_in : int;
+  c_out : int;
+  e : int; (* output tile edge *)
+  r : int; (* kernel edge; stride is always 1 for Winograd *)
+}
+
+type t = {
+  graph : Graph.t;
+  spec : spec;
+  input_ids : Graph.vertex array;
+  kernel_ids : Graph.vertex array;
+  output_ids : Graph.vertex array;
+  j_span : int * int;  (** construction-order id span of the kernel transforms *)
+  j_spans : (int * int) array array;  (** [(co)][(ci)] kernel-transform spans *)
+  p_spans : (int * int) array array;  (** [(tile)][(ci)] input-transform spans *)
+  work_spans : (int * int) array array;  (** [(tile)][(co)] steps 2-4 spans *)
+}
+
+val alpha : spec -> int
+(** Transformed tile edge [e + r - 1]. *)
+
+val out_size : spec -> int * int
+(** [(w_out, h_out)] = [(tiles_w * e, tiles_h * e)]. *)
+
+val in_size : spec -> int * int
+(** Input image edges needed for non-overlapping output tiles with stride-1
+    sliding windows: [(tiles_w * e + r - 1, tiles_h * e + r - 1)]. *)
+
+val build : spec -> t
+
+val expected_internal_and_output_order : spec -> int
+(** The Lemma 4.14 order term
+    [2 * Wout*Hout*Cout*Cin * (e+r-1)^4 / e^2], used as an O() sanity bound in
+    tests (the built graph must be within a small constant of it). *)
+
+val schedule_natural : t -> Graph.vertex array
+(** Construction order: transform, multiply, sum and output-transform tile by
+    tile — the Section 5.3 dataflow with a one-tile block. *)
+
+val schedule_by_step : t -> Graph.vertex array
+(** All of step 1, then step 2, then step 3, then step 4; far from optimal. *)
+
+val schedule_recompute_transforms : t -> Graph.vertex array
+(** A *recomputing* schedule (for [Pebble_game.run_recompute]): each tile's
+    transformed inputs are re-derived for every output channel instead of
+    being kept or spilled — trading arithmetic for I/O, the optimisation the
+    paper notes its theory must (and does) cover. *)

@@ -1,0 +1,100 @@
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let next_power_of_two n =
+  if n < 1 then invalid_arg "Transform.next_power_of_two";
+  let rec go p = if p >= n then p else go (2 * p) in
+  go 1
+
+(* In-place iterative Cooley-Tukey with a bit-reversal permutation followed
+   by log2(n) butterfly passes.  [sign] is -1 for the forward transform and
+   +1 for the inverse (before normalisation). *)
+let transform ~sign a =
+  let n = Array.length a in
+  if not (is_power_of_two n) then invalid_arg "Transform.fft: length not a power of two";
+  (* Bit reversal. *)
+  let j = ref 0 in
+  for i = 0 to n - 2 do
+    if i < !j then begin
+      let tmp = a.(i) in
+      a.(i) <- a.(!j);
+      a.(!j) <- tmp
+    end;
+    let bit = ref (n lsr 1) in
+    while !j land !bit <> 0 do
+      j := !j lxor !bit;
+      bit := !bit lsr 1
+    done;
+    j := !j lor !bit
+  done;
+  (* Butterflies. *)
+  let len = ref 2 in
+  while !len <= n do
+    let half = !len / 2 in
+    let angle = float_of_int sign *. 2.0 *. Float.pi /. float_of_int !len in
+    let wlen = { Complex.re = cos angle; im = sin angle } in
+    let block = ref 0 in
+    while !block < n do
+      let w = ref Complex.one in
+      for k = 0 to half - 1 do
+        let u = a.(!block + k) in
+        let v = Complex.mul a.(!block + k + half) !w in
+        a.(!block + k) <- Complex.add u v;
+        a.(!block + k + half) <- Complex.sub u v;
+        w := Complex.mul !w wlen
+      done;
+      block := !block + !len
+    done;
+    len := !len * 2
+  done
+
+let fft a = transform ~sign:(-1) a
+
+let ifft a =
+  transform ~sign:1 a;
+  let scale = 1.0 /. float_of_int (Array.length a) in
+  Array.iteri
+    (fun i (x : Complex.t) -> a.(i) <- { Complex.re = x.re *. scale; im = x.im *. scale })
+    a
+
+let columns_pass f a ~rows ~cols =
+  let column = Array.make rows Complex.zero in
+  for c = 0 to cols - 1 do
+    for r = 0 to rows - 1 do
+      column.(r) <- a.((r * cols) + c)
+    done;
+    f column;
+    for r = 0 to rows - 1 do
+      a.((r * cols) + c) <- column.(r)
+    done
+  done
+
+let rows_pass f a ~rows ~cols =
+  for r = 0 to rows - 1 do
+    let row = Array.sub a (r * cols) cols in
+    f row;
+    Array.blit row 0 a (r * cols) cols
+  done
+
+let fft2 a ~rows ~cols =
+  if Array.length a <> rows * cols then invalid_arg "Transform.fft2: size mismatch";
+  rows_pass fft a ~rows ~cols;
+  columns_pass fft a ~rows ~cols
+
+let ifft2 a ~rows ~cols =
+  if Array.length a <> rows * cols then invalid_arg "Transform.ifft2: size mismatch";
+  rows_pass ifft a ~rows ~cols;
+  columns_pass ifft a ~rows ~cols
+
+let of_real xs = Array.map (fun re -> { Complex.re; im = 0.0 }) xs
+let real_part a = Array.map (fun (c : Complex.t) -> c.re) a
+
+let dft_naive a =
+  let n = Array.length a in
+  Array.init n (fun k ->
+      let acc = ref Complex.zero in
+      for t = 0 to n - 1 do
+        let angle = -2.0 *. Float.pi *. float_of_int (k * t) /. float_of_int n in
+        let w = { Complex.re = cos angle; im = sin angle } in
+        acc := Complex.add !acc (Complex.mul a.(t) w)
+      done;
+      !acc)

@@ -1,0 +1,29 @@
+(** Radix-2 Cooley-Tukey fast Fourier transforms.
+
+    The substrate behind the FFT convolution path (cuDNN's third algorithm
+    family).  Iterative in-place implementation over [Complex.t] arrays;
+    lengths must be powers of two. *)
+
+val is_power_of_two : int -> bool
+
+val next_power_of_two : int -> int
+(** Smallest power of two [>= n]; requires [n >= 1]. *)
+
+val fft : Complex.t array -> unit
+(** In-place forward DFT.  Raises [Invalid_argument] on non-power-of-two
+    lengths. *)
+
+val ifft : Complex.t array -> unit
+(** In-place inverse DFT (normalised by 1/N). *)
+
+val fft2 : Complex.t array -> rows:int -> cols:int -> unit
+(** In-place 2D forward transform of a row-major matrix: FFT of every row,
+    then of every column.  Both extents must be powers of two. *)
+
+val ifft2 : Complex.t array -> rows:int -> cols:int -> unit
+
+val of_real : float array -> Complex.t array
+val real_part : Complex.t array -> float array
+
+val dft_naive : Complex.t array -> Complex.t array
+(** O(n^2) reference DFT for tests. *)

@@ -1,0 +1,58 @@
+type params = {
+  rounds : int;
+  learning_rate : float;
+  tree : Tree.params;
+  subsample : float;
+}
+
+let default_params =
+  { rounds = 60; learning_rate = 0.15; tree = Tree.default_params; subsample = 1.0 }
+
+type t = { base_score : float; learning_rate : float; trees : Tree.t list }
+
+let predict t x =
+  List.fold_left
+    (fun acc tree -> acc +. (t.learning_rate *. Tree.predict tree x))
+    t.base_score t.trees
+
+let predict_many t rows = Array.map (predict t) rows
+
+let train ?rng params data =
+  let n = Dataset.length data in
+  if n = 0 then invalid_arg "Booster.train: empty dataset";
+  if params.subsample <= 0.0 || params.subsample > 1.0 then
+    invalid_arg "Booster.train: subsample out of (0, 1]";
+  let targets = Dataset.targets data in
+  let base_score = Util.Stats.mean targets in
+  let predictions = Array.make n base_score in
+  let trees = ref [] in
+  for _ = 1 to params.rounds do
+    let grad = Array.init n (fun i -> predictions.(i) -. targets.(i)) in
+    let hess = Array.make n 1.0 in
+    (* Row subsampling: zeroing a sample's hessian and gradient removes it
+       from every split statistic, which is equivalent to dropping the row. *)
+    (match rng with
+    | Some rng when params.subsample < 1.0 ->
+      for i = 0 to n - 1 do
+        if Util.Rng.float rng 1.0 > params.subsample then begin
+          grad.(i) <- 0.0;
+          hess.(i) <- 0.0
+        end
+      done
+    | _ -> ());
+    let tree = Tree.fit params.tree data ~grad ~hess in
+    trees := tree :: !trees;
+    for i = 0 to n - 1 do
+      predictions.(i) <-
+        predictions.(i) +. (params.learning_rate *. Tree.predict tree (Dataset.features data i))
+    done
+  done;
+  { base_score; learning_rate = params.learning_rate; trees = List.rev !trees }
+
+let train_rmse t data =
+  let predicted =
+    Array.init (Dataset.length data) (fun i -> predict t (Dataset.features data i))
+  in
+  Util.Stats.rmse predicted (Dataset.targets data)
+
+let num_trees t = List.length t.trees

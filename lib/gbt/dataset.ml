@@ -1,0 +1,46 @@
+type t = {
+  n_features : int;
+  mutable rows : float array array;
+  mutable targets : float array;
+  mutable size : int;
+}
+
+let create ~n_features = { n_features; rows = [||]; targets = [||]; size = 0 }
+
+let grow t =
+  let capacity = Array.length t.rows in
+  if t.size = capacity then begin
+    let next = max 16 (capacity * 2) in
+    let rows = Array.make next [||] and targets = Array.make next 0.0 in
+    Array.blit t.rows 0 rows 0 capacity;
+    Array.blit t.targets 0 targets 0 capacity;
+    t.rows <- rows;
+    t.targets <- targets
+  end
+
+let add t x y =
+  if Array.length x <> t.n_features then invalid_arg "Dataset.add: arity mismatch";
+  grow t;
+  t.rows.(t.size) <- x;
+  t.targets.(t.size) <- y;
+  t.size <- t.size + 1
+
+let length t = t.size
+let n_features t = t.n_features
+
+let features t i =
+  assert (i >= 0 && i < t.size);
+  t.rows.(i)
+
+let target t i =
+  assert (i >= 0 && i < t.size);
+  t.targets.(i)
+
+let targets t = Array.sub t.targets 0 t.size
+
+let fold t ~init f =
+  let acc = ref init in
+  for i = 0 to t.size - 1 do
+    acc := f !acc t.rows.(i) t.targets.(i)
+  done;
+  !acc

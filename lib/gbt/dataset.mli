@@ -1,0 +1,25 @@
+(** Feature-vector datasets for the gradient-boosted cost model.
+
+    A dataset is a growable collection of (features, target) pairs with a
+    fixed feature arity.  The auto-tuner appends a sample every time it
+    measures a configuration, then retrains the booster on the whole set. *)
+
+type t
+
+val create : n_features:int -> t
+
+val add : t -> float array -> float -> unit
+(** Raises [Invalid_argument] on an arity mismatch. *)
+
+val length : t -> int
+val n_features : t -> int
+
+val features : t -> int -> float array
+(** Row accessor (not a copy; do not mutate). *)
+
+val target : t -> int -> float
+
+val targets : t -> float array
+(** All targets, fresh copy. *)
+
+val fold : t -> init:'a -> ('a -> float array -> float -> 'a) -> 'a

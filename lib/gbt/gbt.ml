@@ -1,0 +1,6 @@
+(** Library entry point: gradient-boosted regression trees (XGBoost-style),
+    the learning-based cost model substrate for the auto-tuning engine. *)
+
+module Dataset = Dataset
+module Tree = Tree
+module Booster = Booster

@@ -1,0 +1,96 @@
+type params = { max_depth : int; min_samples : int; lambda : float; gamma : float }
+
+let default_params = { max_depth = 6; min_samples = 2; lambda = 1.0; gamma = 0.0 }
+
+type t =
+  | Leaf of float
+  | Split of { feature : int; threshold : float; left : t; right : t }
+
+let leaf_weight params g h = -.g /. (h +. params.lambda)
+
+let score params g h = g *. g /. (h +. params.lambda)
+
+(* Best split of [indices] on one feature: sort by feature value, scan prefix
+   gradient sums, place thresholds between distinct consecutive values. *)
+let best_split_on_feature params data ~grad ~hess ~indices ~feature =
+  let key i = (Dataset.features data i).(feature) in
+  let sorted = Array.copy indices in
+  Array.sort (fun a b -> compare (key a) (key b)) sorted;
+  let n = Array.length sorted in
+  let g_total = Array.fold_left (fun acc i -> acc +. grad.(i)) 0.0 sorted in
+  let h_total = Array.fold_left (fun acc i -> acc +. hess.(i)) 0.0 sorted in
+  let base = score params g_total h_total in
+  let best = ref None in
+  let g_left = ref 0.0 and h_left = ref 0.0 in
+  for pos = 0 to n - 2 do
+    let i = sorted.(pos) in
+    g_left := !g_left +. grad.(i);
+    h_left := !h_left +. hess.(i);
+    let v = key i and v' = key sorted.(pos + 1) in
+    if v < v' then begin
+      let gain =
+        (0.5
+        *. (score params !g_left !h_left
+           +. score params (g_total -. !g_left) (h_total -. !h_left)
+           -. base))
+        -. params.gamma
+      in
+      match !best with
+      | Some (best_gain, _, _) when best_gain >= gain -> ()
+      | _ -> best := Some (gain, (v +. v') /. 2.0, pos + 1)
+    end
+  done;
+  match !best with
+  | Some (gain, threshold, split_pos) when gain > 0.0 -> Some (gain, threshold, sorted, split_pos)
+  | _ -> None
+
+let fit params data ~grad ~hess =
+  let n = Dataset.length data in
+  if Array.length grad <> n || Array.length hess <> n then
+    invalid_arg "Tree.fit: gradient arity mismatch";
+  let n_features = Dataset.n_features data in
+  let rec build indices depth =
+    let g = Array.fold_left (fun acc i -> acc +. grad.(i)) 0.0 indices in
+    let h = Array.fold_left (fun acc i -> acc +. hess.(i)) 0.0 indices in
+    let as_leaf () = Leaf (leaf_weight params g h) in
+    if depth >= params.max_depth || Array.length indices < params.min_samples then as_leaf ()
+    else begin
+      let best = ref None in
+      for feature = 0 to n_features - 1 do
+        match best_split_on_feature params data ~grad ~hess ~indices ~feature with
+        | None -> ()
+        | Some (gain, threshold, sorted, split_pos) -> begin
+          match !best with
+          | Some (best_gain, _, _, _, _) when best_gain >= gain -> ()
+          | _ -> best := Some (gain, feature, threshold, sorted, split_pos)
+        end
+      done;
+      match !best with
+      | None -> as_leaf ()
+      | Some (_, feature, threshold, sorted, split_pos) ->
+        let left = Array.sub sorted 0 split_pos in
+        let right = Array.sub sorted split_pos (Array.length sorted - split_pos) in
+        Split
+          {
+            feature;
+            threshold;
+            left = build left (depth + 1);
+            right = build right (depth + 1);
+          }
+    end
+  in
+  build (Array.init n Fun.id) 0
+
+let rec predict t x =
+  match t with
+  | Leaf w -> w
+  | Split { feature; threshold; left; right } ->
+    if x.(feature) <= threshold then predict left x else predict right x
+
+let rec num_leaves = function
+  | Leaf _ -> 1
+  | Split { left; right; _ } -> num_leaves left + num_leaves right
+
+let rec depth = function
+  | Leaf _ -> 0
+  | Split { left; right; _ } -> 1 + max (depth left) (depth right)

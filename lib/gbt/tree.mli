@@ -1,0 +1,30 @@
+(** Regression trees fitted to gradient/hessian statistics — the weak learner
+    of the XGBoost-style booster.
+
+    Split gain and leaf weights follow the XGBoost paper's second-order
+    formulation with L2 regularisation [lambda] and a complexity penalty
+    [gamma] per leaf:
+
+    {v w* = -G / (H + lambda)
+   gain = 1/2 (GL^2/(HL+l) + GR^2/(HR+l) - G^2/(H+l)) - gamma v} *)
+
+type params = {
+  max_depth : int;
+  min_samples : int;  (** do not split nodes smaller than this *)
+  lambda : float;  (** L2 regularisation on leaf weights *)
+  gamma : float;  (** minimum gain needed to make a split *)
+}
+
+val default_params : params
+(** depth 6, min 2 samples, lambda 1.0, gamma 0.0. *)
+
+type t
+
+val fit : params -> Dataset.t -> grad:float array -> hess:float array -> t
+(** Fits one tree to the per-sample gradient statistics.  Arrays must have
+    the dataset's length. *)
+
+val predict : t -> float array -> float
+
+val num_leaves : t -> int
+val depth : t -> int

@@ -1,0 +1,90 @@
+type t = {
+  name : string;
+  generation : string;
+  num_sms : int;
+  shared_mem_per_sm : int;
+  max_shared_mem_per_block : int;
+  max_threads_per_sm : int;
+  max_threads_per_block : int;
+  max_blocks_per_sm : int;
+  warp_size : int;
+  peak_gflops : float;
+  mem_bandwidth_gbs : float;
+  l2_bytes : int;
+  launch_overhead_us : float;
+}
+
+let gtx_1080_ti =
+  {
+    name = "GTX 1080 Ti";
+    generation = "Pascal";
+    num_sms = 28;
+    shared_mem_per_sm = 96 * 1024;
+    max_shared_mem_per_block = 48 * 1024;
+    max_threads_per_sm = 2048;
+    max_threads_per_block = 1024;
+    max_blocks_per_sm = 32;
+    warp_size = 32;
+    peak_gflops = 11_340.0;
+    mem_bandwidth_gbs = 484.0;
+    l2_bytes = 2816 * 1024;
+    launch_overhead_us = 5.0;
+  }
+
+let v100 =
+  {
+    name = "V100";
+    generation = "Volta";
+    num_sms = 80;
+    shared_mem_per_sm = 96 * 1024;
+    max_shared_mem_per_block = 96 * 1024;
+    max_threads_per_sm = 2048;
+    max_threads_per_block = 1024;
+    max_blocks_per_sm = 32;
+    warp_size = 32;
+    peak_gflops = 15_700.0;
+    mem_bandwidth_gbs = 900.0;
+    l2_bytes = 6 * 1024 * 1024;
+    launch_overhead_us = 4.0;
+  }
+
+let titan_x =
+  {
+    name = "GTX Titan X";
+    generation = "Maxwell";
+    num_sms = 24;
+    shared_mem_per_sm = 96 * 1024;
+    max_shared_mem_per_block = 48 * 1024;
+    max_threads_per_sm = 2048;
+    max_threads_per_block = 1024;
+    max_blocks_per_sm = 32;
+    warp_size = 32;
+    peak_gflops = 6_700.0;
+    mem_bandwidth_gbs = 336.0;
+    l2_bytes = 3 * 1024 * 1024;
+    launch_overhead_us = 6.0;
+  }
+
+let gfx906 =
+  {
+    name = "GFX906";
+    generation = "Vega20";
+    num_sms = 60;
+    shared_mem_per_sm = 64 * 1024;
+    max_shared_mem_per_block = 64 * 1024;
+    max_threads_per_sm = 2560;
+    max_threads_per_block = 1024;
+    max_blocks_per_sm = 40;
+    warp_size = 64;
+    peak_gflops = 13_400.0;
+    mem_bandwidth_gbs = 1024.0;
+    l2_bytes = 4 * 1024 * 1024;
+    launch_overhead_us = 8.0;
+  }
+
+let all = [ gtx_1080_ti; v100; titan_x; gfx906 ]
+
+let shared_elems_per_sm t = t.shared_mem_per_sm / 4
+let shared_elems_per_block_max t = t.max_shared_mem_per_block / 4
+
+let by_name name = List.find_opt (fun a -> a.name = name) all

@@ -1,0 +1,41 @@
+(** GPU architecture descriptors.
+
+    The substitution for the paper's evaluation hardware (Section 7 runs on
+    NVIDIA 1080Ti, V100, GTX Titan X and AMD GFX906): each preset carries the
+    published micro-architectural constants of the real card, so that the
+    analytic cost model reproduces cross-architecture *trends* even though it
+    cannot reproduce absolute runtimes. *)
+
+type t = {
+  name : string;
+  generation : string;
+  num_sms : int;  (** streaming multiprocessors / compute units *)
+  shared_mem_per_sm : int;  (** bytes of shared memory (LDS) per SM *)
+  max_shared_mem_per_block : int;  (** bytes *)
+  max_threads_per_sm : int;
+  max_threads_per_block : int;
+  max_blocks_per_sm : int;
+  warp_size : int;
+  peak_gflops : float;  (** fp32 peak *)
+  mem_bandwidth_gbs : float;  (** global memory bandwidth, GB/s *)
+  l2_bytes : int;
+  launch_overhead_us : float;
+}
+
+val gtx_1080_ti : t  (** Pascal, 28 SMs, 11.3 TFLOPS, 484 GB/s *)
+
+val v100 : t  (** Volta, 80 SMs, 15.7 TFLOPS, 900 GB/s *)
+
+val titan_x : t  (** Maxwell, 24 SMs, 6.7 TFLOPS, 336 GB/s *)
+
+val gfx906 : t  (** AMD Vega 20, 60 CUs, 13.4 TFLOPS, 1024 GB/s, wave64 *)
+
+val all : t list
+
+val shared_elems_per_sm : t -> int
+(** Shared memory per SM in 4-byte elements — the fast-memory size [S] the
+    paper's formulas take. *)
+
+val shared_elems_per_block_max : t -> int
+
+val by_name : string -> t option

@@ -1,0 +1,9 @@
+(** Library entry point: analytic GPU performance model — the hardware
+    substitute documented in DESIGN.md. *)
+
+module Arch = Arch
+module Occupancy = Occupancy
+module Kernel_cost = Kernel_cost
+module Measure = Measure
+module Library_sim = Library_sim
+module Roofline = Roofline

@@ -1,0 +1,64 @@
+type kernel = {
+  flops : float;
+  io_elems : float;
+  threads_per_block : int;
+  shmem_bytes_per_block : int;
+  blocks : int;
+  coalescing : float;
+  compute_efficiency : float;
+}
+
+let make ?(coalescing = 1.0) ?(compute_efficiency = 1.0) ~flops ~io_elems ~threads_per_block
+    ~shmem_bytes_per_block ~blocks () =
+  if coalescing <= 0.0 || coalescing > 1.0 then invalid_arg "Kernel_cost.make: coalescing";
+  if compute_efficiency <= 0.0 || compute_efficiency > 1.0 then
+    invalid_arg "Kernel_cost.make: compute_efficiency";
+  if blocks < 1 || threads_per_block < 1 then invalid_arg "Kernel_cost.make: geometry";
+  if flops < 0.0 || io_elems < 0.0 then invalid_arg "Kernel_cost.make: negative work";
+  { flops; io_elems; threads_per_block; shmem_bytes_per_block; blocks; coalescing;
+    compute_efficiency }
+
+let runtime_us (arch : Arch.t) k =
+  let occ =
+    Occupancy.calculate arch ~threads_per_block:k.threads_per_block
+      ~shmem_bytes_per_block:k.shmem_bytes_per_block
+  in
+  if occ.blocks_per_sm = 0 then invalid_arg "Kernel_cost.runtime_us: block never resident";
+  let concurrent_blocks = occ.blocks_per_sm * arch.num_sms in
+  let waves = (k.blocks + concurrent_blocks - 1) / concurrent_blocks in
+  (* Per-wave work: the grid's totals spread over full waves. *)
+  let wave_fraction = float_of_int concurrent_blocks /. float_of_int k.blocks in
+  let wave_fraction = Float.min 1.0 wave_fraction in
+  (* Device-level utilisation: peak rates need at least one resident block
+     per SM; smaller grids only drive their share of the machine.  This is
+     the mechanism that punishes fixed library blockings on small layers and
+     rewards tuned tiles that raise the block count. *)
+  let utilisation =
+    Float.min 1.0 (float_of_int k.blocks /. float_of_int arch.num_sms)
+  in
+  let compute_rate =
+    arch.peak_gflops *. 1.0e3 (* flops per microsecond *)
+    *. Occupancy.compute_throttle occ *. k.compute_efficiency *. utilisation
+  in
+  let memory_rate =
+    arch.mem_bandwidth_gbs *. 1.0e3 /. 4.0 (* elements per microsecond *)
+    *. k.coalescing *. utilisation
+  in
+  let t_compute_wave = k.flops *. wave_fraction /. compute_rate in
+  let t_memory_wave = k.io_elems *. wave_fraction /. memory_rate in
+  arch.launch_overhead_us +. (float_of_int waves *. Float.max t_compute_wave t_memory_wave)
+
+let gflops arch k =
+  let t = runtime_us arch k in
+  k.flops /. t /. 1.0e3
+
+let memory_bound (arch : Arch.t) k =
+  let occ =
+    Occupancy.calculate arch ~threads_per_block:k.threads_per_block
+      ~shmem_bytes_per_block:k.shmem_bytes_per_block
+  in
+  let compute_rate =
+    arch.peak_gflops *. 1.0e3 *. Occupancy.compute_throttle occ *. k.compute_efficiency
+  in
+  let memory_rate = arch.mem_bandwidth_gbs *. 1.0e3 /. 4.0 *. k.coalescing in
+  k.io_elems /. memory_rate > k.flops /. compute_rate

@@ -1,0 +1,42 @@
+(** Analytic kernel runtime model — the two-level-memory GPU substitute.
+
+    A kernel is summarised by its useful arithmetic, its off-chip traffic and
+    its launch geometry.  Runtime is a roofline with occupancy-throttled
+    compute, coalescing-derated bandwidth, wave quantisation (a grid that
+    does not fill an integer number of SM waves pays for the full last wave)
+    and a fixed launch overhead:
+
+    {v t = overhead + waves * max(t_compute_wave, t_memory_wave) v}
+
+    The model deliberately makes *I/O volume the first-order term* for
+    convolution-sized problems, which is the regime the paper's lower-bound
+    argument addresses; tests pin this down by checking that halving
+    [io_elems] at fixed flops roughly halves memory-bound runtimes. *)
+
+type kernel = {
+  flops : float;  (** useful floating-point operations *)
+  io_elems : float;  (** off-chip traffic in 4-byte elements *)
+  threads_per_block : int;
+  shmem_bytes_per_block : int;
+  blocks : int;  (** grid size *)
+  coalescing : float;  (** (0, 1]: effective fraction of peak bandwidth *)
+  compute_efficiency : float;  (** (0, 1]: divisibility/vectorisation derate *)
+}
+
+val make :
+  ?coalescing:float -> ?compute_efficiency:float ->
+  flops:float -> io_elems:float -> threads_per_block:int ->
+  shmem_bytes_per_block:int -> blocks:int -> unit -> kernel
+(** Defaults: full coalescing and efficiency.  Raises [Invalid_argument] on
+    out-of-range derates or non-positive geometry. *)
+
+val runtime_us : Arch.t -> kernel -> float
+(** Modelled runtime in microseconds.  Raises when the block shape is not
+    launchable on the architecture. *)
+
+val gflops : Arch.t -> kernel -> float
+(** Achieved arithmetic rate [flops / runtime], the Y axis of Figure 11 and
+    the "Performance of Solution" columns of Table 2. *)
+
+val memory_bound : Arch.t -> kernel -> bool
+(** True when the memory wave time exceeds the compute wave time. *)

@@ -1,0 +1,40 @@
+(** Simulated vendor libraries: the cuDNN and MIOpen comparison baselines.
+
+    The paper compares its dataflow implementations against the best direct
+    implementation in cuDNN (direct kernel or image2col, whichever wins),
+    against cuDNN's Winograd kernels, and against MIOpen on AMD (Section 7).
+    These functions model those library kernels: fixed, reasonable-but-
+    generic tilings chosen by simple heuristics that do not know the paper's
+    optimality condition, with library-quality coalescing constants.
+
+    The returned runtime uses the same [Kernel_cost] model and the same
+    deterministic measurement oracle as the tuned kernels, so speedups
+    reflect only schedule quality (I/O volume, occupancy, coalescing) — the
+    quantity the paper studies. *)
+
+type verdict = {
+  runtime_us : float;
+  algorithm : string;  (** which internal algorithm the "library" picked *)
+  kernel : Kernel_cost.kernel;
+}
+
+val cudnn_direct : Arch.t -> Conv.Conv_spec.t -> verdict
+(** Best of the im2col+GEMM path and a generically tiled direct kernel, as the
+    paper does ("we compare with the best one of two direct implementations
+    in cuDNN"). *)
+
+val cudnn_winograd : Arch.t -> Conv.Conv_spec.t -> verdict
+(** Non-fused F(2x2, 3x3)-style pipeline: separate transform, batched GEMM
+    and inverse-transform stages with their intermediate tensors round-
+    tripping through global memory.  Requires [Winograd.supported]. *)
+
+val miopen_direct : Arch.t -> Conv.Conv_spec.t -> verdict
+val miopen_winograd : Arch.t -> Conv.Conv_spec.t -> verdict
+(** MIOpen analogues with slightly weaker direct-path constants, matching the
+    paper's observation that the direct-path gap is larger on MIOpen. *)
+
+val generic_direct_tile : Arch.t -> Conv.Conv_spec.t -> int * int * int
+(** The heuristic (x, y, z) output tile the simulated library's direct kernel
+    uses: fills shared memory with a square spatial tile and a fixed channel
+    depth, ignoring the optimality condition — exposed for the ablation
+    bench. *)

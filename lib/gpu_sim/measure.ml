@@ -1,0 +1,32 @@
+let mix h v = (h * 1_000_003) lxor v
+
+let hash_kernel (k : Kernel_cost.kernel) =
+  let fl x = Hashtbl.hash (Int64.bits_of_float x) in
+  0
+  |> fun h -> mix h (fl k.flops)
+  |> fun h -> mix h (fl k.io_elems)
+  |> fun h -> mix h k.threads_per_block
+  |> fun h -> mix h k.shmem_bytes_per_block
+  |> fun h -> mix h k.blocks
+  |> fun h -> mix h (fl k.coalescing)
+  |> fun h -> mix h (fl k.compute_efficiency)
+
+(* A stable value in [-1, 1] derived from the kernel hash and a stream id. *)
+let unit_noise ~seed ~stream k =
+  let rng = Util.Rng.create (mix (mix (hash_kernel k) seed) stream) in
+  (Util.Rng.float rng 2.0) -. 1.0
+
+let runtime_us ?(noise_amplitude = 0.03) ?(seed = 0) arch k =
+  let base = Kernel_cost.runtime_us arch k in
+  base *. (1.0 +. (noise_amplitude *. unit_noise ~seed ~stream:0 k))
+
+let runtime_avg_us ?(noise_amplitude = 0.03) ?(seed = 0) ?(repeat = 3) arch k =
+  if repeat < 1 then invalid_arg "Measure.runtime_avg_us: repeat < 1";
+  let base = Kernel_cost.runtime_us arch k in
+  let total = ref 0.0 in
+  for stream = 0 to repeat - 1 do
+    total := !total +. (base *. (1.0 +. (noise_amplitude *. unit_noise ~seed ~stream k)))
+  done;
+  !total /. float_of_int repeat
+
+let gflops_of_runtime ~flops ~runtime_us = flops /. runtime_us /. 1.0e3

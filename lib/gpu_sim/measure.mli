@@ -1,0 +1,20 @@
+(** Measurement oracle: modelled runtime plus deterministic pseudo-noise.
+
+    Real auto-tuners learn from noisy hardware timers.  To keep experiments
+    reproducible the simulator derives its "noise" from a hash of the kernel
+    descriptor and a seed, giving every configuration a stable but irregular
+    perturbation (default +/-3%) plus run-to-run jitter when [repeat > 1]
+    measurements are averaged, mimicking how TVM-style tuners measure. *)
+
+val hash_kernel : Kernel_cost.kernel -> int
+(** Order-sensitive structural hash of the descriptor. *)
+
+val runtime_us :
+  ?noise_amplitude:float -> ?seed:int -> Arch.t -> Kernel_cost.kernel -> float
+(** One noisy "measurement" (deterministic in [seed] and the kernel). *)
+
+val runtime_avg_us :
+  ?noise_amplitude:float -> ?seed:int -> ?repeat:int -> Arch.t -> Kernel_cost.kernel -> float
+(** Average of [repeat] measurements with independent jitter (default 3). *)
+
+val gflops_of_runtime : flops:float -> runtime_us:float -> float

@@ -1,0 +1,29 @@
+type t = { blocks_per_sm : int; occupancy : float; limiter : string }
+
+let launchable (arch : Arch.t) ~threads_per_block ~shmem_bytes_per_block =
+  threads_per_block >= 1
+  && threads_per_block <= arch.max_threads_per_block
+  && shmem_bytes_per_block >= 0
+  && shmem_bytes_per_block <= arch.max_shared_mem_per_block
+
+let calculate (arch : Arch.t) ~threads_per_block ~shmem_bytes_per_block =
+  if not (launchable arch ~threads_per_block ~shmem_bytes_per_block) then
+    invalid_arg "Occupancy.calculate: block not launchable";
+  let by_threads = arch.max_threads_per_sm / threads_per_block in
+  let by_shmem =
+    if shmem_bytes_per_block = 0 then arch.max_blocks_per_sm
+    else arch.shared_mem_per_sm / shmem_bytes_per_block
+  in
+  let by_slots = arch.max_blocks_per_sm in
+  let blocks_per_sm = max 0 (min by_threads (min by_shmem by_slots)) in
+  let limiter =
+    if blocks_per_sm = by_threads then "threads"
+    else if blocks_per_sm = by_shmem then "shared-memory"
+    else "block-slots"
+  in
+  let occupancy =
+    float_of_int (blocks_per_sm * threads_per_block) /. float_of_int arch.max_threads_per_sm
+  in
+  { blocks_per_sm; occupancy = Float.min 1.0 occupancy; limiter }
+
+let compute_throttle t = Float.min 1.0 (t.occupancy *. 2.0)

@@ -1,0 +1,25 @@
+(** CUDA-style occupancy calculation.
+
+    Blocks per SM are limited by the thread budget, the shared-memory budget
+    and the hardware block slot count; occupancy is the fraction of the SM's
+    thread capacity that the resident blocks cover.  This is the mechanism
+    through which the configuration parameters "number of threads" and
+    "shared memory per block" (Table 1) influence simulated runtime. *)
+
+type t = {
+  blocks_per_sm : int;
+  occupancy : float;  (** resident threads / max threads, in [0, 1] *)
+  limiter : string;  (** "threads" | "shared-memory" | "block-slots" *)
+}
+
+val calculate : Arch.t -> threads_per_block:int -> shmem_bytes_per_block:int -> t
+(** Raises [Invalid_argument] when the block is not launchable at all
+    (threads or shared memory exceed per-block hardware limits, or are
+    non-positive). *)
+
+val launchable : Arch.t -> threads_per_block:int -> shmem_bytes_per_block:int -> bool
+
+val compute_throttle : t -> float
+(** Fraction of peak arithmetic throughput the occupancy sustains: GPUs reach
+    peak near ~50% occupancy on FMA-bound kernels; below that, latency is
+    exposed linearly. *)

@@ -1,0 +1,68 @@
+type bound = Compute_bound | Memory_bound | Overhead_bound
+
+type report = {
+  runtime_us : float;
+  compute_us : float;
+  memory_us : float;
+  overhead_us : float;
+  bound : bound;
+  occupancy : Occupancy.t;
+  utilisation : float;
+  arithmetic_intensity : float;
+  ridge_intensity : float;
+  achieved_gflops : float;
+}
+
+let analyze (arch : Arch.t) (k : Kernel_cost.kernel) =
+  let occupancy =
+    Occupancy.calculate arch ~threads_per_block:k.threads_per_block
+      ~shmem_bytes_per_block:k.shmem_bytes_per_block
+  in
+  let utilisation = Float.min 1.0 (float_of_int k.blocks /. float_of_int arch.num_sms) in
+  let compute_rate =
+    arch.peak_gflops *. 1.0e3 *. Occupancy.compute_throttle occupancy
+    *. k.compute_efficiency *. utilisation
+  in
+  let memory_rate = arch.mem_bandwidth_gbs *. 1.0e3 /. 4.0 *. k.coalescing *. utilisation in
+  let compute_us = k.flops /. compute_rate in
+  let memory_us = k.io_elems /. memory_rate in
+  let runtime_us = Kernel_cost.runtime_us arch k in
+  let overhead_us = arch.launch_overhead_us in
+  let bound =
+    if overhead_us > compute_us && overhead_us > memory_us then Overhead_bound
+    else if memory_us > compute_us then Memory_bound
+    else Compute_bound
+  in
+  let bytes = 4.0 *. k.io_elems in
+  {
+    runtime_us;
+    compute_us;
+    memory_us;
+    overhead_us;
+    bound;
+    occupancy;
+    utilisation;
+    arithmetic_intensity = (if bytes > 0.0 then k.flops /. bytes else infinity);
+    ridge_intensity = arch.peak_gflops /. arch.mem_bandwidth_gbs;
+    achieved_gflops = k.flops /. runtime_us /. 1.0e3;
+  }
+
+let bound_to_string = function
+  | Compute_bound -> "compute-bound"
+  | Memory_bound -> "memory-bound"
+  | Overhead_bound -> "overhead-bound"
+
+let to_string r =
+  String.concat "\n"
+    [
+      Printf.sprintf "runtime:              %.2f us (%s)" r.runtime_us (bound_to_string r.bound);
+      Printf.sprintf "  compute component:  %.2f us" r.compute_us;
+      Printf.sprintf "  memory component:   %.2f us" r.memory_us;
+      Printf.sprintf "  launch overhead:    %.2f us" r.overhead_us;
+      Printf.sprintf "occupancy:            %.0f%% (%d blocks/SM, limited by %s)"
+        (100.0 *. r.occupancy.occupancy) r.occupancy.blocks_per_sm r.occupancy.limiter;
+      Printf.sprintf "device utilisation:   %.0f%%" (100.0 *. r.utilisation);
+      Printf.sprintf "arithmetic intensity: %.2f flop/byte (ridge at %.2f)"
+        r.arithmetic_intensity r.ridge_intensity;
+      Printf.sprintf "achieved:             %.0f GFlops" r.achieved_gflops;
+    ]

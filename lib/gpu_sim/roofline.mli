@@ -1,0 +1,27 @@
+(** Roofline breakdown of a kernel on an architecture.
+
+    Decomposes the cost model's verdict into the quantities a performance
+    engineer asks for: compute time vs memory time, which roof binds,
+    achieved occupancy and its limiter, device utilisation, arithmetic
+    intensity against the machine's ridge point.  Backs the CLI's [explain]
+    subcommand and the documentation examples. *)
+
+type bound = Compute_bound | Memory_bound | Overhead_bound
+
+type report = {
+  runtime_us : float;
+  compute_us : float;  (** pure-compute time at the derated rate *)
+  memory_us : float;  (** pure-transfer time at the derated bandwidth *)
+  overhead_us : float;  (** launch overhead *)
+  bound : bound;
+  occupancy : Occupancy.t;
+  utilisation : float;  (** resident-block device coverage, [0, 1] *)
+  arithmetic_intensity : float;  (** flops per byte moved *)
+  ridge_intensity : float;  (** peak flops / peak bytes: the roofline knee *)
+  achieved_gflops : float;
+}
+
+val analyze : Arch.t -> Kernel_cost.kernel -> report
+
+val to_string : report -> string
+(** Multi-line human-readable rendering. *)

@@ -1,0 +1,3 @@
+(** Library entry point: red-blue pebble game simulator. *)
+
+module Pebble_game = Pebble_game

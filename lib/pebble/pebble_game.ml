@@ -1,0 +1,229 @@
+type policy = Lru | Fifo | Belady
+
+type stats = { loads : int; stores : int; computes : int; peak_red : int }
+
+type detailed = {
+  totals : stats;
+  loads_by_step : int array;
+  stores_by_step : int array;
+}
+
+let total_io st = st.loads + st.stores
+
+let min_red g = Dag.Graph.max_in_degree g + 1
+
+(* Per-vertex queues of the schedule positions at which the vertex is consumed
+   as a predecessor, in ascending order.  Consumed destructively as the game
+   advances; an empty queue means the value is dead (unless it is an output,
+   which must end up blue). *)
+let build_use_queues g schedule =
+  let n = Dag.Graph.num_vertices g in
+  let uses = Array.make n [] in
+  for pos = Array.length schedule - 1 downto 0 do
+    let v = schedule.(pos) in
+    List.iter (fun p -> uses.(p) <- pos :: uses.(p)) (Dag.Graph.preds g v)
+  done;
+  uses
+
+(* Lax validity for recomputing schedules: every occurrence's predecessors
+   must have been computed (at least once) earlier; whether the value is still
+   materialised is the game's own runtime concern. *)
+let validate_recompute g schedule =
+  let n = Dag.Graph.num_vertices g in
+  let seen = Array.make n false in
+  for v = 0 to n - 1 do
+    if Dag.Graph.is_input g v then seen.(v) <- true
+  done;
+  let ok = ref true in
+  Array.iter
+    (fun v ->
+      if Dag.Graph.is_input g v then ok := false
+      else if List.exists (fun p -> not seen.(p)) (Dag.Graph.preds g v) then ok := false
+      else seen.(v) <- true)
+    schedule;
+  (* Every compute vertex must be computed at least once. *)
+  !ok
+  && Array.for_all Fun.id seen
+
+let run_general ~allow_recompute g ~schedule ~s ~policy =
+  (if allow_recompute then begin
+     if not (validate_recompute g schedule) then
+       invalid_arg "Pebble_game.run: invalid recomputing schedule"
+   end
+   else if not (Dag.Graph.validate_topological g schedule) then
+     invalid_arg "Pebble_game.run: schedule is not a topological order");
+  if s < min_red g then invalid_arg "Pebble_game.run: fast memory too small";
+  let max_step =
+    Array.fold_left (fun acc v -> max acc (Dag.Graph.step g v)) 0 schedule
+  in
+  let loads_by_step = Array.make (max_step + 1) 0 in
+  let stores_by_step = Array.make (max_step + 1) 0 in
+  let n = Dag.Graph.num_vertices g in
+  let uses = build_use_queues g schedule in
+  (* Positions at which each vertex is itself (re)scheduled; an evicted value
+     whose next self-occurrence precedes its next use will be re-derived, so
+     writing it back would be wasted I/O. *)
+  let self_positions = Array.make n [] in
+  if allow_recompute then
+    for pos = Array.length schedule - 1 downto 0 do
+      let v = schedule.(pos) in
+      self_positions.(v) <- pos :: self_positions.(v)
+    done;
+  let is_output = Array.make n false in
+  List.iter (fun v -> is_output.(v) <- true) (Dag.Graph.outputs g);
+  let in_red = Array.make n false in
+  let has_blue = Array.make n false in
+  for v = 0 to n - 1 do
+    if Dag.Graph.is_input g v then has_blue.(v) <- true
+  done;
+  let last_touch = Array.make n 0 in
+  let placed_at = Array.make n 0 in
+  let pinned = Array.make n false in
+  (* The red set is kept as an explicit array of resident vertices; [s] is at
+     most a few thousand in every experiment so linear victim scans are
+     cheap relative to the DAG traversal. *)
+  let red = Array.make s (-1) in
+  let red_count = ref 0 in
+  let slot_of = Array.make n (-1) in
+  let loads = ref 0 and stores = ref 0 and computes = ref 0 and peak = ref 0 in
+  let clock = ref 0 in
+  let place_red v =
+    red.(!red_count) <- v;
+    slot_of.(v) <- !red_count;
+    in_red.(v) <- true;
+    incr red_count;
+    peak := max !peak !red_count;
+    last_touch.(v) <- !clock;
+    placed_at.(v) <- !clock
+  in
+  let remove_red v =
+    let slot = slot_of.(v) in
+    let last = !red_count - 1 in
+    let moved = red.(last) in
+    red.(slot) <- moved;
+    slot_of.(moved) <- slot;
+    red.(last) <- -1;
+    slot_of.(v) <- -1;
+    in_red.(v) <- false;
+    decr red_count
+  in
+  let next_use v = match uses.(v) with [] -> max_int | pos :: _ -> pos in
+  let next_self v = match self_positions.(v) with [] -> max_int | pos :: _ -> pos in
+  let recomputed_before_use v = allow_recompute && next_self v < next_use v in
+  let store_if_needed v =
+    (* A live or output value loses its only copy on eviction unless it is
+       written back — or re-derived by a recomputing schedule first.  Stores
+       are attributed to the stored vertex's step. *)
+    if
+      (not has_blue.(v))
+      && (uses.(v) <> [] || is_output.(v))
+      && not (recomputed_before_use v && not (is_output.(v)))
+    then begin
+      incr stores;
+      let step = Dag.Graph.step g v in
+      stores_by_step.(step) <- stores_by_step.(step) + 1;
+      has_blue.(v) <- true
+    end
+  in
+  let pick_victim () =
+    let best = ref (-1) in
+    let better candidate =
+      match !best with
+      | -1 -> true
+      | champion -> begin
+        match policy with
+        | Lru -> last_touch.(candidate) < last_touch.(champion)
+        | Fifo -> placed_at.(candidate) < placed_at.(champion)
+        | Belady -> next_use candidate > next_use champion
+      end
+    in
+    for i = 0 to !red_count - 1 do
+      let v = red.(i) in
+      if (not pinned.(v)) && better v then best := v
+    done;
+    if !best = -1 then failwith "Pebble_game: no evictable pebble (s too small)";
+    !best
+  in
+  let make_room () =
+    while !red_count >= s do
+      let victim = pick_victim () in
+      store_if_needed victim;
+      remove_red victim
+    done
+  in
+  let drop_if_dead v =
+    (* Eagerly free red pebbles holding dead values (game rule Free). *)
+    if in_red.(v) && uses.(v) = [] then begin
+      if is_output.(v) then store_if_needed v;
+      remove_red v
+    end
+  in
+  Array.iter
+    (fun v ->
+      incr clock;
+      (match self_positions.(v) with _ :: rest -> self_positions.(v) <- rest | [] -> ());
+      if in_red.(v) then begin
+        (* Re-scheduled while still resident: nothing to compute, but this
+           occurrence's notional reads must still retire from the use queues
+           so liveness stays exact. *)
+        last_touch.(v) <- !clock;
+        let ps = Dag.Graph.preds g v in
+        List.iter
+          (fun p -> match uses.(p) with _ :: rest -> uses.(p) <- rest | [] -> ())
+          ps;
+        List.iter drop_if_dead ps
+      end
+      else begin
+      let ps = Dag.Graph.preds g v in
+      List.iter (fun p -> pinned.(p) <- true) ps;
+      (* Loads are attributed to the step of the consuming vertex. *)
+      let consumer_step = Dag.Graph.step g v in
+      List.iter
+        (fun p ->
+          if not in_red.(p) then begin
+            if not has_blue.(p) then
+              failwith
+                "Pebble_game: value lost (a recomputing schedule must re-derive it \
+                 before this use)";
+            make_room ();
+            place_red p;
+            incr loads;
+            loads_by_step.(consumer_step) <- loads_by_step.(consumer_step) + 1
+          end
+          else last_touch.(p) <- !clock)
+        ps;
+      make_room ();
+      place_red v;
+      incr computes;
+      (* Consume one use from every predecessor, then free dead values. *)
+      List.iter
+        (fun p ->
+          (match uses.(p) with
+          | _ :: rest -> uses.(p) <- rest
+          | [] -> ());
+          pinned.(p) <- false)
+        ps;
+      List.iter drop_if_dead ps;
+      drop_if_dead v
+      end)
+    schedule;
+  (* Any output still resident must be written back before the game ends. *)
+  for v = 0 to n - 1 do
+    if in_red.(v) && is_output.(v) then store_if_needed v
+  done;
+  {
+    totals = { loads = !loads; stores = !stores; computes = !computes; peak_red = !peak };
+    loads_by_step;
+    stores_by_step;
+  }
+
+let run_detailed g ~schedule ~s ~policy =
+  run_general ~allow_recompute:false g ~schedule ~s ~policy
+
+let run g ~schedule ~s ~policy = (run_detailed g ~schedule ~s ~policy).totals
+
+let run_detailed_recompute g ~schedule ~s ~policy =
+  run_general ~allow_recompute:true g ~schedule ~s ~policy
+
+let run_recompute g ~schedule ~s ~policy =
+  (run_detailed_recompute g ~schedule ~s ~policy).totals

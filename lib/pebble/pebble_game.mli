@@ -1,0 +1,70 @@
+(** Executable red-blue pebble game (Hong & Kung's model, Section 2.1).
+
+    Replays a topological schedule of a computation DAG against a fast memory
+    of [s] red pebbles and counts the I/O operations a cache of that size
+    would perform:
+
+    - every DAG input starts with a blue pebble (slow memory);
+    - computing a vertex requires red pebbles on all its predecessors
+      (loads are counted when a blue-only predecessor is brought in);
+    - a red pebble evicted while its value still has pending uses — or while
+      it is an output — is first copied to a blue pebble (a store);
+    - every output carries a blue pebble when the game ends.
+
+    The simulator never recomputes a vertex, so the resulting I/O count is a
+    valid upper bound on the optimal game: for every schedule and policy,
+    [loads + stores >= Q_optimal >= the paper's lower bounds], which is the
+    invariant the test-suite checks. *)
+
+type policy =
+  | Lru  (** evict the least recently touched red pebble *)
+  | Fifo  (** evict the red pebble placed earliest *)
+  | Belady  (** evict the red pebble whose next use is farthest away *)
+
+type stats = {
+  loads : int;  (** blue -> red transfers *)
+  stores : int;  (** red -> blue transfers *)
+  computes : int;  (** vertices pebbled by the compute rule *)
+  peak_red : int;  (** largest number of red pebbles ever in use *)
+}
+
+type detailed = {
+  totals : stats;
+  loads_by_step : int array;
+      (** [loads_by_step.(j)]: loads performed while computing step-[j]
+          vertices — the empirical counterpart of the paper's per-step
+          generation-function analysis (which [phi_j] owns the traffic). *)
+  stores_by_step : int array;
+      (** stores attributed to the step of the vertex written back. *)
+}
+
+val total_io : stats -> int
+(** [loads + stores]. *)
+
+val run : Dag.Graph.t -> schedule:Dag.Graph.vertex array -> s:int -> policy:policy -> stats
+(** Plays the game.  Raises [Invalid_argument] when the schedule is not a
+    valid topological enumeration of the compute vertices or when [s] is too
+    small to hold any vertex together with its predecessors
+    ([s < max_in_degree + 1]). *)
+
+val run_recompute :
+  Dag.Graph.t -> schedule:Dag.Graph.vertex array -> s:int -> policy:policy -> stats
+(** Like [run] but the schedule may list a vertex several times: later
+    occurrences *recompute* the value instead of reloading it (the paper's
+    Section 3/8 point — its theory, unlike the red-blue-white game, permits
+    recomputation, and the bounds must hold regardless).  An occurrence of a
+    vertex that is still resident is a no-op; an occurrence whose
+    predecessors' values are neither resident, in slow memory, nor
+    re-derived by the schedule raises [Failure]. *)
+
+val run_detailed_recompute :
+  Dag.Graph.t -> schedule:Dag.Graph.vertex array -> s:int -> policy:policy -> detailed
+(** [run_recompute] with per-step attribution. *)
+
+val run_detailed :
+  Dag.Graph.t -> schedule:Dag.Graph.vertex array -> s:int -> policy:policy -> detailed
+(** [run] plus per-step I/O attribution.  Index 0 of the step arrays holds
+    traffic attributed to input vertices (stores of spilled inputs). *)
+
+val min_red : Dag.Graph.t -> int
+(** Smallest legal fast-memory size for this DAG: [max_in_degree + 1]. *)

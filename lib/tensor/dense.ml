@@ -1,0 +1,90 @@
+type t = { shape : Shape.t; data : float array }
+
+let create shape = { shape; data = Array.make (Shape.numel shape) 0.0 }
+
+let of_array shape data =
+  if Array.length data <> Shape.numel shape then
+    invalid_arg "Tensor.of_array: length mismatch";
+  { shape; data }
+
+let shape t = t.shape
+let numel t = Shape.numel t.shape
+let data t = t.data
+let get t idx = t.data.(Shape.offset t.shape idx)
+let set t idx v = t.data.(Shape.offset t.shape idx) <- v
+let get_flat t i = t.data.(i)
+let set_flat t i v = t.data.(i) <- v
+let fill t v = Array.fill t.data 0 (Array.length t.data) v
+let copy t = { shape = t.shape; data = Array.copy t.data }
+
+(* Iterate multi-indices in row-major order by incrementing the last axis. *)
+let iter_indices shape f =
+  let rank = Shape.rank shape in
+  let idx = Array.make rank 0 in
+  let n = Shape.numel shape in
+  for _ = 1 to n do
+    f idx;
+    let rec bump axis =
+      if axis >= 0 then begin
+        idx.(axis) <- idx.(axis) + 1;
+        if idx.(axis) = Shape.dim shape axis then begin
+          idx.(axis) <- 0;
+          bump (axis - 1)
+        end
+      end
+    in
+    bump (rank - 1)
+  done
+
+let init shape f =
+  let t = create shape in
+  let pos = ref 0 in
+  iter_indices shape (fun idx ->
+      t.data.(!pos) <- f idx;
+      incr pos);
+  t
+
+let random rng shape =
+  let t = create shape in
+  for i = 0 to Array.length t.data - 1 do
+    t.data.(i) <- Util.Rng.float rng 2.0 -. 1.0
+  done;
+  t
+
+let map f t = { shape = t.shape; data = Array.map f t.data }
+
+let map2 f a b =
+  if not (Shape.equal a.shape b.shape) then invalid_arg "Tensor.map2: shape mismatch";
+  { shape = a.shape; data = Array.map2 f a.data b.data }
+
+let fold f init t = Array.fold_left f init t.data
+
+let max_abs_diff a b =
+  if not (Shape.equal a.shape b.shape) then invalid_arg "Tensor.max_abs_diff: shape mismatch";
+  let worst = ref 0.0 in
+  for i = 0 to Array.length a.data - 1 do
+    worst := Float.max !worst (Float.abs (a.data.(i) -. b.data.(i)))
+  done;
+  !worst
+
+let allclose ?(rtol = 1e-5) ?(atol = 1e-6) a b =
+  Shape.equal a.shape b.shape
+  && begin
+       let ok = ref true in
+       let i = ref 0 in
+       let n = Array.length a.data in
+       while !ok && !i < n do
+         let x = a.data.(!i) and y = b.data.(!i) in
+         if Float.abs (x -. y) > atol +. (rtol *. Float.abs y) then ok := false;
+         incr i
+       done;
+       !ok
+     end
+
+let pp fmt t =
+  let preview = min 8 (Array.length t.data) in
+  Format.fprintf fmt "%a:" Shape.pp t.shape;
+  for i = 0 to preview - 1 do
+    Format.fprintf fmt " %.4g" t.data.(i)
+  done;
+  if Array.length t.data > preview then Format.fprintf fmt " ..."

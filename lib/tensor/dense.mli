@@ -1,0 +1,50 @@
+(** Dense float tensors.
+
+    A tensor is a shape plus a flat [float array] in row-major order.  This is
+    the data substrate for every convolution implementation in the repository;
+    it favours clarity and bounds-checked access ([get]/[set] assert in debug
+    builds) with raw-array escape hatches ([data]) for inner loops. *)
+
+type t
+
+val create : Shape.t -> t
+(** Zero-initialised tensor. *)
+
+val of_array : Shape.t -> float array -> t
+(** Adopts the array (no copy).  Raises [Invalid_argument] when the length
+    does not match the shape. *)
+
+val shape : t -> Shape.t
+val numel : t -> int
+
+val data : t -> float array
+(** The underlying flat buffer (shared, not a copy). *)
+
+val get : t -> int array -> float
+val set : t -> int array -> float -> unit
+
+val get_flat : t -> int -> float
+val set_flat : t -> int -> float -> unit
+
+val fill : t -> float -> unit
+val copy : t -> t
+
+val init : Shape.t -> (int array -> float) -> t
+(** [init shape f] evaluates [f] on every multi-index. *)
+
+val random : Util.Rng.t -> Shape.t -> t
+(** Uniform values in [-1, 1). *)
+
+val map : (float -> float) -> t -> t
+val map2 : (float -> float -> float) -> t -> t -> t
+val fold : ('a -> float -> 'a) -> 'a -> t -> 'a
+
+val max_abs_diff : t -> t -> float
+(** Largest elementwise absolute difference; shapes must agree. *)
+
+val allclose : ?rtol:float -> ?atol:float -> t -> t -> bool
+(** Elementwise [|a-b| <= atol + rtol*|b|], numpy-style.  Default
+    [rtol = 1e-5], [atol = 1e-6]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Shape plus a few leading elements, for test failure messages. *)

@@ -1,0 +1,20 @@
+type t = CHW | CWH | HWC
+
+let all = [ CHW; CWH; HWC ]
+
+let to_string = function CHW -> "CHW" | CWH -> "CWH" | HWC -> "HWC"
+
+let of_string = function
+  | "CHW" -> Some CHW
+  | "CWH" -> Some CWH
+  | "HWC" -> Some HWC
+  | _ -> None
+
+let index layout ~c ~h ~w ~channels ~height ~width =
+  assert (c >= 0 && c < channels && h >= 0 && h < height && w >= 0 && w < width);
+  match layout with
+  | CHW -> (c * height * width) + (h * width) + w
+  | CWH -> (c * height * width) + (w * height) + h
+  | HWC -> (h * width * channels) + (w * channels) + c
+
+let innermost_is_width = function CHW -> true | CWH -> false | HWC -> false

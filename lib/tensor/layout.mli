@@ -1,0 +1,21 @@
+(** Memory layouts for single-image activation tensors.
+
+    The paper's search domain (Table 1) includes the data layout as a tunable
+    parameter with values CHW, CWH and HWC.  A layout fixes the order in which
+    the (channel, height, width) axes are linearised; the choice affects the
+    coalescing factor in the GPU cost model and the offsets produced by
+    [index]. *)
+
+type t = CHW | CWH | HWC
+
+val all : t list
+val to_string : t -> string
+val of_string : string -> t option
+
+val index : t -> c:int -> h:int -> w:int -> channels:int -> height:int -> width:int -> int
+(** Linear offset of element ([c], [h], [w]) in a [channels]x[height]x[width]
+    tensor stored with this layout. *)
+
+val innermost_is_width : t -> bool
+(** True when consecutive [w] indices are contiguous in memory — the property
+    the GPU model rewards with fully coalesced accesses for row-wise tiles. *)

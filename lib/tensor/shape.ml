@@ -1,0 +1,38 @@
+type t = { dims : int array; strides : int array; numel : int }
+
+let of_list dims =
+  if dims = [] then invalid_arg "Shape.of_list: empty shape";
+  List.iter (fun d -> if d <= 0 then invalid_arg "Shape.of_list: non-positive dim") dims;
+  let dims = Array.of_list dims in
+  let rank = Array.length dims in
+  let strides = Array.make rank 1 in
+  for i = rank - 2 downto 0 do
+    strides.(i) <- strides.(i + 1) * dims.(i + 1)
+  done;
+  { dims; strides; numel = Array.fold_left ( * ) 1 dims }
+
+let dims t = Array.copy t.dims
+let rank t = Array.length t.dims
+
+let dim t i =
+  assert (i >= 0 && i < Array.length t.dims);
+  t.dims.(i)
+
+let numel t = t.numel
+let strides t = Array.copy t.strides
+
+let offset t idx =
+  assert (Array.length idx = Array.length t.dims);
+  let acc = ref 0 in
+  for i = 0 to Array.length idx - 1 do
+    assert (idx.(i) >= 0 && idx.(i) < t.dims.(i));
+    acc := !acc + (idx.(i) * t.strides.(i))
+  done;
+  !acc
+
+let equal a b = a.dims = b.dims
+
+let to_string t =
+  "[" ^ String.concat "x" (Array.to_list (Array.map string_of_int t.dims)) ^ "]"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

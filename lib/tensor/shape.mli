@@ -1,0 +1,29 @@
+(** Tensor shapes: immutable dimension vectors with row-major strides. *)
+
+type t
+(** A shape is a non-empty list of strictly positive dimensions. *)
+
+val of_list : int list -> t
+(** Raises [Invalid_argument] on an empty list or non-positive dimension. *)
+
+val dims : t -> int array
+(** The dimension vector (fresh copy). *)
+
+val rank : t -> int
+
+val dim : t -> int -> int
+(** [dim t i] is the size of axis [i]. *)
+
+val numel : t -> int
+(** Product of all dimensions. *)
+
+val strides : t -> int array
+(** Row-major strides: the last axis is contiguous. *)
+
+val offset : t -> int array -> int
+(** [offset t idx] is the linear index of multi-index [idx].  Bounds are
+    checked with assertions. *)
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

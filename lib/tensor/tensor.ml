@@ -1,0 +1,8 @@
+(** Library entry point: [Tensor] is the dense tensor type itself ([include
+    Dense]) plus the companion namespaces [Tensor.Shape], [Tensor.Layout] and
+    [Tensor.Ops]. *)
+
+module Shape = Shape
+module Layout = Layout
+module Ops = Tensor_ops
+include Dense

@@ -1,0 +1,63 @@
+let add = Dense.map2 ( +. )
+let sub = Dense.map2 ( -. )
+let mul = Dense.map2 ( *. )
+let scale s = Dense.map (fun x -> s *. x)
+
+let add_inplace ~dst src =
+  if not (Shape.equal (Dense.shape dst) (Dense.shape src)) then
+    invalid_arg "Tensor_ops.add_inplace: shape mismatch";
+  let d = Dense.data dst and s = Dense.data src in
+  for i = 0 to Array.length d - 1 do
+    d.(i) <- d.(i) +. s.(i)
+  done
+
+let dot xs ys =
+  assert (Array.length xs = Array.length ys);
+  let acc = ref 0.0 in
+  for i = 0 to Array.length xs - 1 do
+    acc := !acc +. (xs.(i) *. ys.(i))
+  done;
+  !acc
+
+let matmul ~a ~b ~m ~k ~n =
+  assert (Array.length a = m * k && Array.length b = k * n);
+  let c = Array.make (m * n) 0.0 in
+  for i = 0 to m - 1 do
+    for p = 0 to k - 1 do
+      let aip = a.((i * k) + p) in
+      if aip <> 0.0 then begin
+        let brow = p * n and crow = i * n in
+        for j = 0 to n - 1 do
+          c.(crow + j) <- c.(crow + j) +. (aip *. b.(brow + j))
+        done
+      end
+    done
+  done;
+  c
+
+let matmul_t ~a ~bt ~m ~k ~n =
+  assert (Array.length a = m * k && Array.length bt = n * k);
+  let c = Array.make (m * n) 0.0 in
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      let acc = ref 0.0 in
+      let arow = i * k and brow = j * k in
+      for p = 0 to k - 1 do
+        acc := !acc +. (a.(arow + p) *. bt.(brow + p))
+      done;
+      c.((i * n) + j) <- !acc
+    done
+  done;
+  c
+
+let transpose a ~rows ~cols =
+  assert (Array.length a = rows * cols);
+  let out = Array.make (rows * cols) 0.0 in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      out.((j * rows) + i) <- a.((i * cols) + j)
+    done
+  done;
+  out
+
+let frobenius t = sqrt (Dense.fold (fun acc x -> acc +. (x *. x)) 0.0 t)

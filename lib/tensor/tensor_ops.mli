@@ -1,0 +1,27 @@
+(** Arithmetic helpers shared by the convolution kernels. *)
+
+val add : Dense.t -> Dense.t -> Dense.t
+val sub : Dense.t -> Dense.t -> Dense.t
+val mul : Dense.t -> Dense.t -> Dense.t
+(** Elementwise; shapes must agree. *)
+
+val scale : float -> Dense.t -> Dense.t
+
+val add_inplace : dst:Dense.t -> Dense.t -> unit
+(** [add_inplace ~dst src] accumulates [src] into [dst]. *)
+
+val dot : float array -> float array -> float
+(** Inner product of two equal-length buffers. *)
+
+val matmul : a:float array -> b:float array -> m:int -> k:int -> n:int -> float array
+(** Row-major [m]x[k] times [k]x[n] product. *)
+
+val matmul_t : a:float array -> bt:float array -> m:int -> k:int -> n:int -> float array
+(** [matmul_t ~a ~bt ...] multiplies [a] ([m]x[k]) by the *transpose* of [bt]
+    ([n]x[k]), a cache-friendlier kernel used by the Winograd transforms. *)
+
+val transpose : float array -> rows:int -> cols:int -> float array
+(** Row-major transpose. *)
+
+val frobenius : Dense.t -> float
+(** Frobenius norm. *)

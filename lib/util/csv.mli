@@ -1,0 +1,13 @@
+(** Minimal CSV writing for experiment exports.
+
+    The bench harness can mirror every table it prints into CSV files (plot-
+    ready) when asked; this module owns quoting and layout. *)
+
+val escape : string -> string
+(** RFC-4180 quoting: fields containing commas, quotes or newlines are
+    wrapped in double quotes with inner quotes doubled. *)
+
+val row_to_string : string list -> string
+
+val write : string -> header:string list -> string list list -> unit
+(** [write path ~header rows] creates/truncates [path]. *)

@@ -1,0 +1,10 @@
+let round x = Int32.float_of_bits (Int32.bits_of_float x)
+
+let round_array a = Array.map round a
+
+let round_inplace a =
+  for i = 0 to Array.length a - 1 do
+    a.(i) <- round a.(i)
+  done
+
+let machine_epsilon = 1.1920928955078125e-07

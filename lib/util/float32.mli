@@ -1,0 +1,17 @@
+(** Single-precision rounding helpers.
+
+    OCaml floats are doubles; the GPUs the paper evaluates run fp32.  These
+    helpers round values (and whole buffers) through IEEE-754 binary32 so
+    numerical-stability experiments — notably the Winograd tile-size
+    ablation — report the error a real kernel would see. *)
+
+val round : float -> float
+(** Round to the nearest representable binary32 value. *)
+
+val round_array : float array -> float array
+(** Fresh array with every element rounded. *)
+
+val round_inplace : float array -> unit
+
+val machine_epsilon : float
+(** binary32 epsilon, [2^-23]. *)

@@ -1,0 +1,71 @@
+let recommended_domains () = min 8 (Domain.recommended_domain_count ())
+
+(* Split [lo, hi) into at most [n] contiguous chunks of near-equal size. *)
+let chunks ~n lo hi =
+  let total = hi - lo in
+  if total <= 0 then []
+  else
+    let n = max 1 (min n total) in
+    let base = total / n and extra = total mod n in
+    let rec build i start acc =
+      if i = n then List.rev acc
+      else
+        let len = base + if i < extra then 1 else 0 in
+        build (i + 1) (start + len) ((start, start + len) :: acc)
+    in
+    build 0 lo []
+
+let for_ ~domains lo hi f =
+  if domains <= 1 || hi - lo <= 1 then
+    for i = lo to hi - 1 do
+      f i
+    done
+  else begin
+    let run (a, b) =
+      for i = a to b - 1 do
+        f i
+      done
+    in
+    match chunks ~n:domains lo hi with
+    | [] -> ()
+    | first :: rest ->
+      let handles = List.map (fun range -> Domain.spawn (fun () -> run range)) rest in
+      run first;
+      List.iter Domain.join handles
+  end
+
+let mapi ~domains a f =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n (f 0 a.(0)) in
+    (* Index 0 is already computed by the initialiser above. *)
+    for_ ~domains 1 n (fun i -> out.(i) <- f i a.(i));
+    out
+  end
+
+let map ~domains a f = mapi ~domains a (fun _ x -> f x)
+
+let reduce ~domains lo hi ~init f combine =
+  if domains <= 1 || hi - lo <= 1 then begin
+    let acc = ref init in
+    for i = lo to hi - 1 do
+      acc := combine !acc (f i)
+    done;
+    !acc
+  end
+  else begin
+    let run (a, b) =
+      let acc = ref init in
+      for i = a to b - 1 do
+        acc := combine !acc (f i)
+      done;
+      !acc
+    in
+    match chunks ~n:domains lo hi with
+    | [] -> init
+    | first :: rest ->
+      let handles = List.map (fun range -> Domain.spawn (fun () -> run range)) rest in
+      let acc0 = run first in
+      List.fold_left (fun acc h -> combine acc (Domain.join h)) acc0 handles
+  end

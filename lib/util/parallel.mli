@@ -1,0 +1,26 @@
+(** Fork-join parallelism over OCaml 5 domains.
+
+    A thin, dependency-free replacement for domainslib: chunked parallel-for
+    and parallel-map with a bounded number of domains.  All entry points
+    degrade to sequential execution when [domains <= 1], which keeps unit
+    tests deterministic and cheap. *)
+
+val recommended_domains : unit -> int
+(** Number of domains to use by default: [Domain.recommended_domain_count],
+    capped at 8. *)
+
+val for_ : domains:int -> int -> int -> (int -> unit) -> unit
+(** [for_ ~domains lo hi f] runs [f i] for every [lo <= i < hi].  Iterations
+    are split into [domains] contiguous chunks; [f] must be safe to run
+    concurrently on disjoint indices. *)
+
+val map : domains:int -> 'a array -> ('a -> 'b) -> 'b array
+(** Parallel [Array.map]; preserves order. *)
+
+val mapi : domains:int -> 'a array -> (int -> 'a -> 'b) -> 'b array
+(** Parallel [Array.mapi]; preserves order. *)
+
+val reduce : domains:int -> int -> int -> init:'a -> (int -> 'a) -> ('a -> 'a -> 'a) -> 'a
+(** [reduce ~domains lo hi ~init f combine] folds [combine] over [f i] for all
+    [lo <= i < hi].  [combine] must be associative and [init] its identity;
+    the combination order across chunks is unspecified. *)

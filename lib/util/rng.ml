@@ -1,0 +1,50 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64 step: advance the counter and mix it. *)
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = { state = int64 t }
+
+let int t n =
+  assert (n > 0);
+  let mask = Int64.shift_right_logical (int64 t) 1 in
+  Int64.to_int (Int64.rem mask (Int64.of_int n))
+
+let float t x =
+  (* 53 random bits mapped to [0, 1). *)
+  let bits = Int64.shift_right_logical (int64 t) 11 in
+  let unit = Int64.to_float bits *. (1.0 /. 9007199254740992.0) in
+  unit *. x
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let gaussian t =
+  let rec nonzero () =
+    let u = float t 1.0 in
+    if u > 0.0 then u else nonzero ()
+  in
+  let u1 = nonzero () and u2 = float t 1.0 in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick t a =
+  assert (Array.length a > 0);
+  a.(int t (Array.length a))

@@ -1,0 +1,41 @@
+(** Deterministic pseudo-random number generation.
+
+    Every stochastic component of the library (tensor initialisation,
+    configuration exploration, simulated measurement noise) draws from an
+    explicit [Rng.t] so that whole experiments are reproducible from a single
+    seed.  The generator is splitmix64, which is small, fast and has
+    well-understood statistical quality for non-cryptographic use. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a generator from an integer seed.  Equal seeds yield
+    identical streams. *)
+
+val copy : t -> t
+(** Independent copy of the current state. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator seeded from it, suitable
+    for handing to a parallel worker without sharing state. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in \[0, n).  Requires [n > 0]. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in \[0, x). *)
+
+val bool : t -> bool
+
+val gaussian : t -> float
+(** Standard normal via Box-Muller. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)

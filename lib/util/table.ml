@@ -1,0 +1,33 @@
+type t = { headers : string list; mutable rows : string list list }
+
+let create headers = { headers; rows = [] }
+
+let add_row t row =
+  assert (List.length row = List.length t.headers);
+  t.rows <- row :: t.rows
+
+let print ?(out = stdout) t =
+  let rows = List.rev t.rows in
+  let all = t.headers :: rows in
+  let ncols = List.length t.headers in
+  let width col =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row col))) 0 all
+  in
+  let widths = List.init ncols width in
+  let render_row row =
+    let cells =
+      List.map2 (fun cell w -> cell ^ String.make (w - String.length cell) ' ') row widths
+    in
+    Printf.fprintf out "| %s |\n" (String.concat " | " cells)
+  in
+  render_row t.headers;
+  let rule = List.map (fun w -> String.make w '-') widths in
+  Printf.fprintf out "|-%s-|\n" (String.concat "-|-" rule);
+  List.iter render_row rows;
+  flush out
+
+let to_csv t path = Csv.write path ~header:t.headers (List.rev t.rows)
+
+let cell_f x = Printf.sprintf "%.2f" x
+
+let cell_sci x = Printf.sprintf "%.2e" x

@@ -1,0 +1,24 @@
+(** Aligned plain-text tables for experiment output.
+
+    The bench harness prints every paper table/figure as rows of a text table;
+    this module keeps the formatting in one place. *)
+
+type t
+
+val create : string list -> t
+(** [create headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Appends a row; must have the same arity as the headers. *)
+
+val print : ?out:out_channel -> t -> unit
+(** Renders the table with column-aligned padding and a separator rule. *)
+
+val to_csv : t -> string -> unit
+(** Mirrors the table into a CSV file (see [Csv]). *)
+
+val cell_f : float -> string
+(** Fixed two-decimal rendering for floats, the house style for speedups. *)
+
+val cell_sci : float -> string
+(** Scientific [%.2e] rendering, the house style for search-space sizes. *)

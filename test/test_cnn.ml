@@ -1,0 +1,222 @@
+(* Tests for the CNN model zoo and the end-to-end runner: layer shape
+   chaining, flop totals, winograd eligibility, tuning-cache behaviour and
+   the Figure 12 invariants (every model at least matches the library; the
+   1x1-heavy SqueezeNet gains the most). *)
+
+module Spec = Conv.Conv_spec
+
+let arch = Gpu_sim.Arch.v100
+
+let test_layer_basic () =
+  let spec = Spec.square ~c_in:3 ~size:8 ~c_out:4 ~k:3 () in
+  let layer = Cnn.Layer.make ~count:2 "l" spec in
+  Alcotest.(check (float 1e-6)) "flops" (2.0 *. Spec.flops spec) (Cnn.Layer.flops layer);
+  Alcotest.(check bool) "eligible" true (Cnn.Layer.winograd_eligible layer);
+  Alcotest.check_raises "count" (Invalid_argument "Layer.make: non-positive count") (fun () ->
+      ignore (Cnn.Layer.make ~count:0 "bad" spec))
+
+let test_layer_winograd_eligibility () =
+  let strided = Spec.square ~c_in:3 ~size:8 ~c_out:4 ~k:3 ~stride:2 () in
+  Alcotest.(check bool) "strided not eligible" false
+    (Cnn.Layer.winograd_eligible (Cnn.Layer.make "s" strided));
+  let one_by_one = Spec.square ~c_in:3 ~size:8 ~c_out:4 ~k:1 () in
+  Alcotest.(check bool) "1x1 not eligible" false
+    (Cnn.Layer.winograd_eligible (Cnn.Layer.make "p" one_by_one))
+
+(* Spatial sizes must chain: each layer's input extent is plausible given the
+   previous output (models list distinct shapes, so we just check every spec
+   is well-formed and output extents are positive). *)
+let test_models_well_formed () =
+  List.iter
+    (fun (m : Cnn.Models.t) ->
+      Alcotest.(check bool) (m.name ^ " has layers") true (Cnn.Models.num_layers m > 0);
+      List.iter
+        (fun (l : Cnn.Layer.t) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s output positive" m.name l.name)
+            true
+            (Spec.h_out l.spec >= 1 && Spec.w_out l.spec >= 1))
+        m.layers)
+    (Cnn.Models.alexnet :: Cnn.Models.mobilenet :: Cnn.Models.evaluation_models)
+
+let test_mobilenet_depthwise () =
+  let dw =
+    List.find (fun (l : Cnn.Layer.t) -> l.name = "dw8") Cnn.Models.mobilenet.layers
+  in
+  Alcotest.(check int) "depthwise groups" 512 dw.spec.groups;
+  Alcotest.(check bool) "not winograd eligible" false (Cnn.Layer.winograd_eligible dw);
+  (* A depthwise layer must be tunable end to end. *)
+  Cnn.Runner.clear_cache ();
+  let small =
+    Cnn.Layer.make "dw-small"
+      (Conv.Conv_spec.square ~groups:16 ~c_in:16 ~size:14 ~c_out:16 ~k:3 ~pad:1 ())
+  in
+  let t = Cnn.Runner.time_layer ~max_measurements:60 arch small in
+  Alcotest.(check bool) "tuned" true (t.ours_us > 0.0 && t.library_us > 0.0)
+
+let test_alexnet_shapes () =
+  (* The canonical AlexNet activations: 227 -> 55 -> (pool) 27 -> 27 -> 13. *)
+  match Cnn.Models.alexnet.layers with
+  | c1 :: c2 :: c3 :: _ ->
+    Alcotest.(check int) "conv1 out" 55 (Spec.h_out c1.spec);
+    Alcotest.(check int) "conv2 out" 27 (Spec.h_out c2.spec);
+    Alcotest.(check int) "conv3 out" 13 (Spec.h_out c3.spec)
+  | _ -> Alcotest.fail "alexnet missing layers"
+
+let test_alexnet_table2_rows () =
+  Alcotest.(check int) "four rows" 4 (List.length Cnn.Models.alexnet_table2);
+  let row n = List.nth Cnn.Models.alexnet_table2 n in
+  Alcotest.(check int) "conv1 cin" 3 (row 0).spec.c_in;
+  Alcotest.(check int) "conv1 k" 11 (row 0).spec.k_h;
+  Alcotest.(check int) "conv1 stride" 4 (row 0).spec.stride;
+  Alcotest.(check int) "conv3 cout" 384 (row 2).spec.c_out;
+  Alcotest.(check int) "conv4 cin" 384 (row 3).spec.c_in
+
+let test_vgg19_conv_count () =
+  (* VGG-19 has 16 convolution executions. *)
+  let executions =
+    List.fold_left (fun acc (l : Cnn.Layer.t) -> acc + l.count) 0 Cnn.Models.vgg19.layers
+  in
+  Alcotest.(check int) "16 convs" 16 executions
+
+let test_resnet_conv_counts () =
+  let executions (m : Cnn.Models.t) =
+    List.fold_left (fun acc (l : Cnn.Layer.t) -> acc + l.count) 0 m.layers
+  in
+  (* 1 stem + 16 block convs + 3 projections. *)
+  Alcotest.(check int) "resnet18" 20 (executions Cnn.Models.resnet18);
+  (* 1 stem + 32 block convs + 3 projections. *)
+  Alcotest.(check int) "resnet34" 36 (executions Cnn.Models.resnet34)
+
+let test_inception_rect_kernels () =
+  let has_rect =
+    List.exists
+      (fun (l : Cnn.Layer.t) -> l.spec.k_h <> l.spec.k_w)
+      Cnn.Models.inception_v3.layers
+  in
+  Alcotest.(check bool) "factorised kernels present" true has_rect;
+  (* 1x7 with pad_w 3 preserves the 17x17 grid. *)
+  let l =
+    List.find (fun (l : Cnn.Layer.t) -> l.name = "mixedB/1x7") Cnn.Models.inception_v3.layers
+  in
+  Alcotest.(check int) "h_out" 17 (Spec.h_out l.spec);
+  Alcotest.(check int) "w_out" 17 (Spec.w_out l.spec)
+
+let test_total_flops_positive_and_ordered () =
+  let f m = Cnn.Models.total_flops m in
+  Alcotest.(check bool) "vgg heaviest" true
+    (f Cnn.Models.vgg19 > f Cnn.Models.resnet34);
+  Alcotest.(check bool) "resnet34 > resnet18" true
+    (f Cnn.Models.resnet34 > f Cnn.Models.resnet18);
+  Alcotest.(check bool) "squeezenet lightest" true
+    (f Cnn.Models.squeezenet < f Cnn.Models.resnet18)
+
+let test_runner_layer_timing () =
+  Cnn.Runner.clear_cache ();
+  let layer = Cnn.Layer.make "t" (Spec.square ~c_in:16 ~size:14 ~c_out:16 ~k:3 ~pad:1 ()) in
+  let t = Cnn.Runner.time_layer ~max_measurements:60 arch layer in
+  Alcotest.(check bool) "ours positive" true (t.ours_us > 0.0);
+  Alcotest.(check bool) "library positive" true (t.library_us > 0.0);
+  Alcotest.(check bool) "algorithms named" true
+    (String.length t.ours_algorithm > 0 && String.length t.library_algorithm > 0)
+
+let test_runner_cache_hit () =
+  Cnn.Runner.clear_cache ();
+  let spec = Spec.square ~c_in:8 ~size:12 ~c_out:8 ~k:3 () in
+  let a = Cnn.Runner.tuned_runtime ~max_measurements:60 arch spec Core.Config.Direct_dataflow in
+  let b = Cnn.Runner.tuned_runtime ~max_measurements:60 arch spec Core.Config.Direct_dataflow in
+  Alcotest.(check (float 0.0)) "cache returns identical result" a.best_runtime_us
+    b.best_runtime_us
+
+let test_runner_model_aggregates () =
+  Cnn.Runner.clear_cache ();
+  let model =
+    {
+      Cnn.Models.name = "toy";
+      layers =
+        [
+          Cnn.Layer.make ~count:2 "a" (Spec.square ~c_in:8 ~size:12 ~c_out:8 ~k:3 ~pad:1 ());
+          Cnn.Layer.make "b" (Spec.square ~c_in:8 ~size:12 ~c_out:16 ~k:1 ());
+        ];
+    }
+  in
+  let t = Cnn.Runner.time_model ~max_measurements:60 arch model in
+  Alcotest.(check int) "layer timings" 2 (List.length t.layers);
+  let manual =
+    List.fold_left
+      (fun acc (lt : Cnn.Runner.layer_timing) ->
+        acc +. (float_of_int lt.layer.count *. lt.ours_us))
+      0.0 t.layers
+  in
+  Alcotest.(check (float 1e-9)) "weighted total" manual t.ours_total_us;
+  Alcotest.(check (float 1e-9)) "speedup consistent" (t.library_total_us /. t.ours_total_us)
+    t.speedup
+
+let test_runner_log_roundtrip () =
+  Cnn.Runner.clear_cache ();
+  let spec = Spec.square ~c_in:8 ~size:12 ~c_out:8 ~k:3 () in
+  let fresh = Cnn.Runner.tuned_runtime ~max_measurements:60 arch spec Core.Config.Direct_dataflow in
+  let path = Filename.temp_file "runner" ".log" in
+  let written = Cnn.Runner.save_log path in
+  Alcotest.(check int) "one entry written" 1 written;
+  Cnn.Runner.clear_cache ();
+  let primed = Cnn.Runner.prime_from_log path in
+  Alcotest.(check int) "one entry primed" 1 primed;
+  (* A primed cache answers without re-tuning and with the logged runtime. *)
+  let reused = Cnn.Runner.tuned_runtime ~max_measurements:60 arch spec Core.Config.Direct_dataflow in
+  Alcotest.(check int) "no measurements spent" 0 reused.measurements;
+  Alcotest.(check (float 1e-4)) "same runtime" fresh.best_runtime_us reused.best_runtime_us;
+  Alcotest.(check bool) "same config" true (reused.best_config = fresh.best_config);
+  Sys.remove path;
+  Cnn.Runner.clear_cache ()
+
+let test_figure12_shape () =
+  (* The headline invariants of Figure 12 on a reduced budget: every model is
+     at least par with the library, and SqueezeNet (1x1-heavy, tiny layers)
+     gains the most. *)
+  Cnn.Runner.clear_cache ();
+  let timings =
+    List.map
+      (fun m -> Cnn.Runner.time_model ~max_measurements:80 arch m)
+      [ Cnn.Models.squeezenet; Cnn.Models.resnet18 ]
+  in
+  List.iter
+    (fun (t : Cnn.Runner.model_timing) ->
+      Alcotest.(check bool) (t.model ^ " at least par") true (t.speedup > 0.95))
+    timings;
+  match timings with
+  | [ squeezenet; resnet ] ->
+    Alcotest.(check bool)
+      (Printf.sprintf "squeezenet %.2f > resnet %.2f" squeezenet.speedup resnet.speedup)
+      true
+      (squeezenet.speedup > resnet.speedup)
+  | _ -> Alcotest.fail "expected two timings"
+
+let () =
+  Alcotest.run "cnn"
+    [
+      ( "layer",
+        [
+          Alcotest.test_case "basic" `Quick test_layer_basic;
+          Alcotest.test_case "winograd eligibility" `Quick test_layer_winograd_eligibility;
+        ] );
+      ( "models",
+        [
+          Alcotest.test_case "well formed" `Quick test_models_well_formed;
+          Alcotest.test_case "alexnet shapes" `Quick test_alexnet_shapes;
+          Alcotest.test_case "table 2 rows" `Quick test_alexnet_table2_rows;
+          Alcotest.test_case "vgg19 conv count" `Quick test_vgg19_conv_count;
+          Alcotest.test_case "resnet conv counts" `Quick test_resnet_conv_counts;
+          Alcotest.test_case "inception rect kernels" `Quick test_inception_rect_kernels;
+          Alcotest.test_case "mobilenet depthwise" `Slow test_mobilenet_depthwise;
+          Alcotest.test_case "flop ordering" `Quick test_total_flops_positive_and_ordered;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "layer timing" `Slow test_runner_layer_timing;
+          Alcotest.test_case "cache hit" `Slow test_runner_cache_hit;
+          Alcotest.test_case "model aggregates" `Slow test_runner_model_aggregates;
+          Alcotest.test_case "log roundtrip" `Slow test_runner_log_roundtrip;
+          Alcotest.test_case "figure 12 shape" `Slow test_figure12_shape;
+        ] );
+    ]

@@ -1,0 +1,658 @@
+(* Tests for the convolution library.  The load-bearing checks:
+
+   - the generated Winograd transforms satisfy the 1D minimal-filtering
+     identity for every supported (e, r), cross-checked against the published
+     F(2,3) matrices;
+   - every convolution kernel (im2col, Winograd, both tiled dataflows) agrees
+     with the naive direct reference on random problems, including strides,
+     padding, batches and ragged tile edges;
+   - the tiled dataflows' I/O tallies equal their analytic per-block sums. *)
+
+module Conv_spec = Conv.Conv_spec
+module Q = Conv.Rational
+module WT = Conv.Winograd_transform
+
+let rng () = Util.Rng.create 20210217
+
+let spec_basic = Conv_spec.make ~c_in:3 ~h_in:8 ~w_in:8 ~c_out:4 ~k_h:3 ~k_w:3 ()
+
+(* --- Conv_spec --- *)
+
+let test_spec_out_size () =
+  let s = Conv_spec.make ~c_in:3 ~h_in:227 ~w_in:227 ~c_out:96 ~k_h:11 ~k_w:11 ~stride:4 () in
+  Alcotest.(check (pair int int)) "alexnet conv1" (55, 55) (Conv_spec.h_out s, Conv_spec.w_out s);
+  let p = Conv_spec.make ~c_in:1 ~h_in:13 ~w_in:13 ~c_out:1 ~k_h:3 ~k_w:3 ~pad:1 () in
+  Alcotest.(check int) "same padding" 13 (Conv_spec.h_out p)
+
+let test_spec_counts () =
+  let s = Conv_spec.make ~batch:2 ~c_in:3 ~h_in:6 ~w_in:6 ~c_out:4 ~k_h:3 ~k_w:3 () in
+  Alcotest.(check int) "inputs" (2 * 3 * 6 * 6) (Conv_spec.input_elems s);
+  Alcotest.(check int) "weights" (4 * 3 * 3 * 3) (Conv_spec.weight_elems s);
+  Alcotest.(check int) "outputs" (2 * 4 * 4 * 4) (Conv_spec.output_elems s);
+  Alcotest.(check (float 1e-9)) "flops" (2.0 *. 27.0 *. 128.0) (Conv_spec.flops s)
+
+let test_spec_reuse () =
+  let s = Conv_spec.make ~c_in:1 ~h_in:8 ~w_in:8 ~c_out:1 ~k_h:3 ~k_w:3 ~stride:2 () in
+  Alcotest.(check (float 1e-9)) "R = 9/4" 2.25 (Conv_spec.reuse s)
+
+let test_spec_invalid () =
+  Alcotest.check_raises "empty output" (Invalid_argument "Conv_spec.make: empty output")
+    (fun () -> ignore (Conv_spec.make ~c_in:1 ~h_in:2 ~w_in:2 ~c_out:1 ~k_h:3 ~k_w:3 ()))
+
+(* --- Rational --- *)
+
+let test_rational_normalisation () =
+  let q = Q.make 4 (-6) in
+  Alcotest.(check int) "num" (-2) (Q.num q);
+  Alcotest.(check int) "den" 3 (Q.den q)
+
+let test_rational_arith () =
+  let half = Q.make 1 2 and third = Q.make 1 3 in
+  Alcotest.(check bool) "1/2+1/3 = 5/6" true (Q.equal (Q.add half third) (Q.make 5 6));
+  Alcotest.(check bool) "1/2-1/3 = 1/6" true (Q.equal (Q.sub half third) (Q.make 1 6));
+  Alcotest.(check bool) "1/2*1/3 = 1/6" true (Q.equal (Q.mul half third) (Q.make 1 6));
+  Alcotest.(check bool) "1/2 / 1/3 = 3/2" true (Q.equal (Q.div half third) (Q.make 3 2));
+  Alcotest.(check (float 1e-12)) "to_float" 1.5 (Q.to_float (Q.make 3 2))
+
+let test_rational_div_by_zero () =
+  Alcotest.check_raises "zero denominator" Division_by_zero (fun () -> ignore (Q.make 1 0));
+  Alcotest.check_raises "zero divisor" Division_by_zero (fun () ->
+      ignore (Q.div Q.one Q.zero))
+
+let qcheck_rational_field =
+  QCheck.Test.make ~name:"rational add/mul commute and distribute" ~count:300
+    QCheck.(
+      triple (pair (int_range (-30) 30) (int_range 1 12))
+        (pair (int_range (-30) 30) (int_range 1 12))
+        (pair (int_range (-30) 30) (int_range 1 12)))
+    (fun ((a, b), (c, d), (e, f)) ->
+      let x = Q.make a b and y = Q.make c d and z = Q.make e f in
+      Q.equal (Q.add x y) (Q.add y x)
+      && Q.equal (Q.mul x y) (Q.mul y x)
+      && Q.equal (Q.mul x (Q.add y z)) (Q.add (Q.mul x y) (Q.mul x z)))
+
+(* --- Winograd transforms --- *)
+
+let naive_corr1d ~d ~g ~e =
+  Array.init e (fun i ->
+      let acc = ref 0.0 in
+      Array.iteri (fun k gk -> acc := !acc +. (d.(i + k) *. gk)) g;
+      !acc)
+
+let test_transform_identity_1d () =
+  let r = rng () in
+  List.iter
+    (fun (e, kr) ->
+      let tf = WT.make ~e ~r:kr in
+      for _ = 1 to 20 do
+        let d = Array.init tf.alpha (fun _ -> Util.Rng.float r 2.0 -. 1.0) in
+        let g = Array.init kr (fun _ -> Util.Rng.float r 2.0 -. 1.0) in
+        let fast = WT.corr1d tf ~d ~g in
+        let slow = naive_corr1d ~d ~g ~e in
+        Array.iteri
+          (fun i x ->
+            Alcotest.(check (float 1e-6)) (Printf.sprintf "F(%d,%d) y%d" e kr i) x fast.(i))
+          slow
+      done)
+    [ (1, 1); (2, 2); (2, 3); (3, 2); (4, 3); (3, 4); (6, 3); (4, 5) ]
+
+let test_transform_f23_spotcheck () =
+  (* The published F(2,3) algorithm uses points {0, 1, -1}; whatever the
+     scaling convention, the composite operator A^T diag(G g) B^T must equal
+     the correlation matrix [[g0 g1 g2 0];[0 g0 g1 g2]]. *)
+  let tf = WT.make ~e:2 ~r:3 in
+  let g = [| 0.3; -0.7; 1.1 |] in
+  List.iteri
+    (fun col expected ->
+      let d = Array.make 4 0.0 in
+      d.(col) <- 1.0;
+      let y = WT.corr1d tf ~d ~g in
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "col %d y0" col) (fst expected) y.(0);
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "col %d y1" col) (snd expected) y.(1))
+    [ (g.(0), 0.0); (g.(1), g.(0)); (g.(2), g.(1)); (0.0, g.(2)) ]
+
+let test_transform_sizes () =
+  let tf = WT.make ~e:4 ~r:3 in
+  Alcotest.(check int) "alpha" 6 tf.alpha;
+  Alcotest.(check int) "at" (4 * 6) (Array.length tf.at);
+  Alcotest.(check int) "g" (6 * 3) (Array.length tf.g);
+  Alcotest.(check int) "bt" (6 * 6) (Array.length tf.bt)
+
+let test_transform_too_large () =
+  Alcotest.check_raises "alpha > budget"
+    (Invalid_argument "Winograd_transform.make: tile too large") (fun () ->
+      ignore (WT.make ~e:9 ~r:3))
+
+let qcheck_transform_2d =
+  (* 2D identity: a random 3x3 kernel correlated over a random alpha x alpha
+     patch through the transforms equals naive 2D correlation. *)
+  QCheck.Test.make ~name:"2D Winograd tile equals naive correlation" ~count:50
+    QCheck.(pair (int_range 1 4) (int_range 0 1000))
+    (fun (e, seed) ->
+      let r = 3 in
+      let tf = WT.make ~e ~r in
+      let alpha = tf.alpha in
+      let rng = Util.Rng.create seed in
+      let d = Array.init (alpha * alpha) (fun _ -> Util.Rng.float rng 2.0 -. 1.0) in
+      let g = Array.init (r * r) (fun _ -> Util.Rng.float rng 2.0 -. 1.0) in
+      let u = WT.transform_kernel tf g in
+      let v = WT.transform_input tf d in
+      let m = Array.map2 ( *. ) u v in
+      let y = WT.transform_output tf m in
+      let ok = ref true in
+      for oy = 0 to e - 1 do
+        for ox = 0 to e - 1 do
+          let acc = ref 0.0 in
+          for kh = 0 to r - 1 do
+            for kw = 0 to r - 1 do
+              acc := !acc +. (d.(((oy + kh) * alpha) + ox + kw) *. g.((kh * r) + kw))
+            done
+          done;
+          if Float.abs (!acc -. y.((oy * e) + ox)) > 1e-5 then ok := false
+        done
+      done;
+      !ok)
+
+let test_transform_conditioning () =
+  (* The interpolation points grow with alpha and so does the transform's
+     magnitude — the mechanism behind the e-ablation's error growth.  Pin the
+     monotone trend so a silent point-ordering regression is caught. *)
+  let max_abs m = Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0.0 m in
+  let growth =
+    List.map (fun e -> max_abs (WT.make ~e ~r:3).bt) [ 2; 4; 6 ]
+  in
+  (match growth with
+  | [ g2; g4; g6 ] ->
+    Alcotest.(check bool)
+      (Printf.sprintf "|Bt| grows: %.1f < %.1f < %.1f" g2 g4 g6)
+      true
+      (g2 < g4 && g4 < g6)
+  | _ -> Alcotest.fail "unexpected");
+  ()
+
+(* --- kernel agreement --- *)
+
+let agree ?(rtol = 1e-4) ?(atol = 1e-5) name expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s (max diff %.3g)" name (Tensor.max_abs_diff expected actual))
+    true
+    (Tensor.allclose ~rtol ~atol expected actual)
+
+let specs_for_agreement =
+  [
+    ("basic 3x3", spec_basic);
+    ("stride 2", Conv_spec.make ~c_in:2 ~h_in:9 ~w_in:9 ~c_out:3 ~k_h:3 ~k_w:3 ~stride:2 ());
+    ("padded", Conv_spec.make ~c_in:2 ~h_in:7 ~w_in:7 ~c_out:3 ~k_h:3 ~k_w:3 ~pad:1 ());
+    ("batched", Conv_spec.make ~batch:3 ~c_in:2 ~h_in:6 ~w_in:6 ~c_out:2 ~k_h:3 ~k_w:3 ());
+    ("1x1 kernel", Conv_spec.make ~c_in:4 ~h_in:5 ~w_in:5 ~c_out:3 ~k_h:1 ~k_w:1 ());
+    ("rect kernel", Conv_spec.make ~c_in:2 ~h_in:8 ~w_in:9 ~c_out:2 ~k_h:2 ~k_w:3 ());
+    ("5x5 stride 2 pad 2",
+     Conv_spec.make ~c_in:2 ~h_in:11 ~w_in:11 ~c_out:2 ~k_h:5 ~k_w:5 ~stride:2 ~pad:2 ());
+  ]
+
+let test_im2col_agrees () =
+  List.iter
+    (fun (name, spec) ->
+      let input, weights = Conv.Direct.random_problem (rng ()) spec in
+      let expected = Conv.Direct.run spec ~input ~weights in
+      agree name expected (Conv.Im2col.run spec ~input ~weights))
+    specs_for_agreement
+
+let test_im2col_small_blocks () =
+  let input, weights = Conv.Direct.random_problem (rng ()) spec_basic in
+  let expected = Conv.Direct.run spec_basic ~input ~weights in
+  agree "tiny gemm blocks" expected (Conv.Im2col.run ~mb:2 ~nb:3 spec_basic ~input ~weights)
+
+let test_winograd_agrees () =
+  List.iter
+    (fun (name, spec, e) ->
+      let input, weights = Conv.Direct.random_problem (rng ()) spec in
+      let expected = Conv.Direct.run spec ~input ~weights in
+      agree name expected (Conv.Winograd.run ~e spec ~input ~weights))
+    [
+      ("F(2,3) exact tiles", spec_basic, 2);
+      ("F(2,3) ragged", Conv_spec.make ~c_in:2 ~h_in:9 ~w_in:9 ~c_out:2 ~k_h:3 ~k_w:3 (), 2);
+      ("F(4,3)", Conv_spec.make ~c_in:2 ~h_in:10 ~w_in:10 ~c_out:2 ~k_h:3 ~k_w:3 (), 4);
+      ("F(3,2)", Conv_spec.make ~c_in:2 ~h_in:8 ~w_in:8 ~c_out:2 ~k_h:2 ~k_w:2 (), 3);
+      ("padded", Conv_spec.make ~c_in:2 ~h_in:8 ~w_in:8 ~c_out:2 ~k_h:3 ~k_w:3 ~pad:1 (), 2);
+      ("batched", Conv_spec.make ~batch:2 ~c_in:2 ~h_in:6 ~w_in:6 ~c_out:2 ~k_h:3 ~k_w:3 (), 2);
+    ]
+
+let test_winograd_rejects_stride () =
+  let s = Conv_spec.make ~c_in:1 ~h_in:8 ~w_in:8 ~c_out:1 ~k_h:3 ~k_w:3 ~stride:2 () in
+  Alcotest.(check bool) "not supported" false (Conv.Winograd.supported s);
+  let input, weights = Conv.Direct.random_problem (rng ()) s in
+  Alcotest.check_raises "raises"
+    (Invalid_argument "Winograd.run: stride 1 and square kernel required") (fun () ->
+      ignore (Conv.Winograd.run ~e:2 s ~input ~weights))
+
+let test_winograd_fewer_multiplications () =
+  let s = Conv_spec.make ~c_in:64 ~h_in:56 ~w_in:56 ~c_out:64 ~k_h:3 ~k_w:3 ~pad:1 () in
+  let wino = Conv.Winograd.multiplications ~e:4 s in
+  let direct = Conv.Winograd.direct_multiplications s in
+  Alcotest.(check bool)
+    (Printf.sprintf "wino %.3g < direct %.3g" wino direct)
+    true (wino < direct)
+
+let tile x y z = { Conv.Tiled_direct.x; y; z }
+let wtile x y z = { Conv.Tiled_winograd.x; y; z }
+
+let test_tiled_direct_agrees () =
+  List.iter
+    (fun (name, spec) ->
+      let input, weights = Conv.Direct.random_problem (rng ()) spec in
+      let expected = Conv.Direct.run spec ~input ~weights in
+      List.iter
+        (fun t ->
+          let r = Conv.Tiled_direct.run spec ~tile:t ~input ~weights in
+          agree
+            (Printf.sprintf "%s tile %dx%dx%d" name t.Conv.Tiled_direct.x t.y t.z)
+            expected r.output)
+        [ tile 1 1 1; tile 2 2 2; tile 3 2 1; tile 100 100 100 ])
+    specs_for_agreement
+
+let test_tiled_direct_alpha_sweep () =
+  let input, weights = Conv.Direct.random_problem (rng ()) spec_basic in
+  let expected = Conv.Direct.run spec_basic ~input ~weights in
+  List.iter
+    (fun alpha ->
+      let r = Conv.Tiled_direct.run ~alpha spec_basic ~tile:(tile 2 2 2) ~input ~weights in
+      agree (Printf.sprintf "alpha=%d" alpha) expected r.output)
+    [ 1; 2; 3 ]
+
+let test_tiled_direct_io_matches_io_only () =
+  List.iter
+    (fun (name, spec) ->
+      let input, weights = Conv.Direct.random_problem (rng ()) spec in
+      List.iter
+        (fun t ->
+          let r = Conv.Tiled_direct.run spec ~tile:t ~input ~weights in
+          let analytic = Conv.Tiled_direct.io_only spec ~tile:t in
+          Alcotest.(check (float 1e-6)) (name ^ " loads") analytic.loads r.io.loads;
+          Alcotest.(check (float 1e-6)) (name ^ " stores") analytic.stores r.io.stores)
+        [ tile 2 2 2; tile 4 4 2 ])
+    specs_for_agreement
+
+let test_tiled_direct_io_decomposition () =
+  (* Without padding or clamping, per-block traffic follows the closed form
+     of Section 5.2: x'*y'*C_in + k^2*C_in*z loads and x*y*z stores. *)
+  let spec = Conv_spec.make ~c_in:5 ~h_in:10 ~w_in:10 ~c_out:6 ~k_h:3 ~k_w:3 () in
+  (* h_out = w_out = 8, divisible by tile 4; c_out divisible by 3. *)
+  let t = tile 4 4 3 in
+  let io = Conv.Tiled_direct.io_only spec ~tile:t in
+  let blocks = float_of_int ((8 / 4) * (8 / 4) * (6 / 3)) in
+  let x' = float_of_int (Conv.Tiled_direct.input_tile_w spec 4) in
+  let y' = float_of_int (Conv.Tiled_direct.input_tile_h spec 4) in
+  let expected_loads = blocks *. ((x' *. y' *. 5.0) +. (9.0 *. 5.0 *. 3.0)) in
+  let expected_stores = blocks *. (4.0 *. 4.0 *. 3.0) in
+  Alcotest.(check (float 1e-6)) "closed-form loads" expected_loads io.loads;
+  Alcotest.(check (float 1e-6)) "closed-form stores" expected_stores io.stores
+
+let test_tiled_direct_bigger_tiles_less_io () =
+  let spec = Conv_spec.make ~c_in:8 ~h_in:20 ~w_in:20 ~c_out:8 ~k_h:3 ~k_w:3 () in
+  let io_small = Conv.Io_count.total (Conv.Tiled_direct.io_only spec ~tile:(tile 1 1 1)) in
+  let io_big = Conv.Io_count.total (Conv.Tiled_direct.io_only spec ~tile:(tile 6 6 4)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "big tiles (%.0f) beat small (%.0f)" io_big io_small)
+    true (io_big < io_small)
+
+let test_tiled_direct_working_set () =
+  let spec = spec_basic in
+  let ws = Conv.Tiled_direct.working_set spec ~tile:(tile 2 3 4) ~alpha:1 in
+  let expected = (2 * 3 * 4) + (4 * 5 * 1) + (9 * 1 * 4) in
+  Alcotest.(check int) "working set" expected ws
+
+let test_tiled_winograd_agrees () =
+  List.iter
+    (fun (name, spec, e, t) ->
+      let input, weights = Conv.Direct.random_problem (rng ()) spec in
+      let expected = Conv.Direct.run spec ~input ~weights in
+      let r = Conv.Tiled_winograd.run ~e spec ~tile:t ~input ~weights in
+      agree name expected r.output)
+    [
+      ("F(2,3) even", spec_basic, 2, wtile 2 2 2);
+      ("F(2,3) block 4", spec_basic, 2, wtile 4 4 4);
+      ( "F(2,3) ragged edge",
+        Conv_spec.make ~c_in:2 ~h_in:9 ~w_in:9 ~c_out:3 ~k_h:3 ~k_w:3 (),
+        2,
+        wtile 4 4 2 );
+      ( "F(4,3) padded",
+        Conv_spec.make ~c_in:2 ~h_in:12 ~w_in:12 ~c_out:2 ~k_h:3 ~k_w:3 ~pad:1 (),
+        4,
+        wtile 4 4 2 );
+      ( "batched",
+        Conv_spec.make ~batch:2 ~c_in:2 ~h_in:8 ~w_in:8 ~c_out:2 ~k_h:3 ~k_w:3 (),
+        2,
+        wtile 2 2 1 );
+    ]
+
+let test_tiled_winograd_io_matches () =
+  let spec = Conv_spec.make ~c_in:3 ~h_in:10 ~w_in:10 ~c_out:4 ~k_h:3 ~k_w:3 () in
+  let input, weights = Conv.Direct.random_problem (rng ()) spec in
+  let t = wtile 4 4 2 in
+  let r = Conv.Tiled_winograd.run ~e:2 spec ~tile:t ~input ~weights in
+  let analytic = Conv.Tiled_winograd.io_only ~e:2 spec ~tile:t in
+  Alcotest.(check (float 1e-6)) "loads" analytic.loads r.io.loads;
+  Alcotest.(check (float 1e-6)) "stores" analytic.stores r.io.stores
+
+let test_tiled_winograd_rejects_bad_tile () =
+  Alcotest.check_raises "tile not multiple of e"
+    (Invalid_argument "Tiled_winograd: tile.x and tile.y must be multiples of e") (fun () ->
+      ignore (Conv.Tiled_winograd.io_only ~e:2 spec_basic ~tile:(wtile 3 2 1)))
+
+let test_parallel_exec_matches_sequential () =
+  List.iter
+    (fun (name, spec) ->
+      let input, weights = Conv.Direct.random_problem (rng ()) spec in
+      let expected = Conv.Direct.run spec ~input ~weights in
+      List.iter
+        (fun domains ->
+          let t = tile 3 2 2 in
+          let par = Conv.Parallel_exec.tiled_direct ~domains spec ~tile:t ~input ~weights in
+          agree (Printf.sprintf "%s domains=%d" name domains) expected par.output;
+          let seq = Conv.Tiled_direct.run spec ~tile:t ~input ~weights in
+          Alcotest.(check (float 1e-6)) "same io"
+            (Conv.Io_count.total seq.io) (Conv.Io_count.total par.io);
+          Alcotest.(check int) "same block count" seq.blocks par.blocks)
+        [ 1; 2; 4 ])
+    specs_for_agreement
+
+let test_parallel_winograd_matches () =
+  let spec = Conv_spec.make ~batch:2 ~c_in:3 ~h_in:10 ~w_in:10 ~c_out:4 ~k_h:3 ~k_w:3 ~pad:1 () in
+  let input, weights = Conv.Direct.random_problem (rng ()) spec in
+  let expected = Conv.Direct.run spec ~input ~weights in
+  List.iter
+    (fun domains ->
+      let par =
+        Conv.Parallel_exec.tiled_winograd ~domains ~e:2 spec ~tile:(wtile 4 4 2) ~input ~weights
+      in
+      agree (Printf.sprintf "winograd domains=%d" domains) expected par.output)
+    [ 1; 3 ]
+
+let test_parallel_direct_matches () =
+  let spec = Conv_spec.make ~c_in:3 ~h_in:9 ~w_in:9 ~c_out:5 ~k_h:3 ~k_w:3 ~stride:2 () in
+  let input, weights = Conv.Direct.random_problem (rng ()) spec in
+  let expected = Conv.Direct.run spec ~input ~weights in
+  agree "parallel direct" expected (Conv.Parallel_exec.direct ~domains:4 spec ~input ~weights)
+
+(* --- grouped convolution --- *)
+
+(* Oracle: a grouped convolution equals an ungrouped one whose weight tensor
+   is block-diagonal (zeros wherever a filter looks outside its group). *)
+let ungrouped_equivalent (spec : Conv_spec.t) grouped_weights =
+  let full = Conv_spec.make ~batch:spec.batch ~pad_h:spec.pad_h ~pad_w:spec.pad_w
+      ~stride:spec.stride ~c_in:spec.c_in ~h_in:spec.h_in ~w_in:spec.w_in
+      ~c_out:spec.c_out ~k_h:spec.k_h ~k_w:spec.k_w () in
+  let cpg = Conv_spec.channels_per_group spec and fpg = Conv_spec.filters_per_group spec in
+  let w = Tensor.create (Conv_spec.weight_shape full) in
+  let src = Tensor.data grouped_weights and dst = Tensor.data w in
+  let taps = spec.k_h * spec.k_w in
+  for co = 0 to spec.c_out - 1 do
+    let group = co / fpg in
+    for dc = 0 to cpg - 1 do
+      let ci = (group * cpg) + dc in
+      Array.blit src (((co * cpg) + dc) * taps) dst (((co * spec.c_in) + ci) * taps) taps
+    done
+  done;
+  (full, w)
+
+let grouped_specs =
+  [
+    ("groups=2", Conv_spec.make ~c_in:4 ~h_in:8 ~w_in:8 ~c_out:6 ~k_h:3 ~k_w:3 ~groups:2 ());
+    ("depthwise", Conv_spec.make ~c_in:8 ~h_in:7 ~w_in:7 ~c_out:8 ~k_h:3 ~k_w:3 ~pad:1 ~groups:8 ());
+    ("strided grouped",
+     Conv_spec.make ~c_in:6 ~h_in:9 ~w_in:9 ~c_out:6 ~k_h:3 ~k_w:3 ~stride:2 ~groups:3 ());
+  ]
+
+let test_grouped_direct_matches_block_diagonal () =
+  List.iter
+    (fun (name, spec) ->
+      let input, weights = Conv.Direct.random_problem (rng ()) spec in
+      let full_spec, full_weights = ungrouped_equivalent spec weights in
+      let expected = Conv.Direct.run full_spec ~input ~weights:full_weights in
+      agree name expected (Conv.Direct.run spec ~input ~weights))
+    grouped_specs
+
+let test_grouped_tiled_direct () =
+  List.iter
+    (fun (name, spec) ->
+      let input, weights = Conv.Direct.random_problem (rng ()) spec in
+      let expected = Conv.Direct.run spec ~input ~weights in
+      let r = Conv.Tiled_direct.run spec ~tile:(tile 2 2 2) ~input ~weights in
+      agree (name ^ " tiled") expected r.output;
+      let analytic = Conv.Tiled_direct.io_only spec ~tile:(tile 2 2 2) in
+      Alcotest.(check (float 1e-6)) (name ^ " io") (Conv.Io_count.total analytic)
+        (Conv.Io_count.total r.io))
+    grouped_specs
+
+let test_grouped_im2col () =
+  List.iter
+    (fun (name, spec) ->
+      let input, weights = Conv.Direct.random_problem (rng ()) spec in
+      let expected = Conv.Direct.run spec ~input ~weights in
+      agree (name ^ " im2col") expected (Conv.Im2col.run spec ~input ~weights))
+    grouped_specs
+
+let test_grouped_spec_properties () =
+  let spec = Conv_spec.make ~c_in:8 ~h_in:7 ~w_in:7 ~c_out:8 ~k_h:3 ~k_w:3 ~groups:8 () in
+  Alcotest.(check int) "weights shrink" (8 * 1 * 9) (Conv_spec.weight_elems spec);
+  Alcotest.(check (float 1e-6)) "flops shrink" (2.0 *. 9.0 *. float_of_int (8 * 5 * 5))
+    (Conv_spec.flops spec);
+  Alcotest.(check bool) "winograd unsupported" false (Conv.Winograd.supported spec);
+  Alcotest.check_raises "bad groups"
+    (Invalid_argument "Conv_spec.make: groups must divide both channel counts") (fun () ->
+      ignore (Conv_spec.make ~c_in:5 ~h_in:7 ~w_in:7 ~c_out:8 ~k_h:3 ~k_w:3 ~groups:2 ()))
+
+let test_grouped_parallel () =
+  let spec = List.assoc "depthwise" grouped_specs in
+  let input, weights = Conv.Direct.random_problem (rng ()) spec in
+  let expected = Conv.Direct.run spec ~input ~weights in
+  let r = Conv.Parallel_exec.tiled_direct ~domains:3 spec ~tile:(tile 3 3 4) ~input ~weights in
+  agree "parallel depthwise" expected r.output
+
+let test_weight_stationary_agrees () =
+  List.iter
+    (fun (name, spec) ->
+      let input, weights = Conv.Direct.random_problem (rng ()) spec in
+      let expected = Conv.Direct.run spec ~input ~weights in
+      let r = Conv.Dataflow_variants.weight_stationary spec ~z:2 ~channel_chunk:1 ~input ~weights in
+      agree name expected r.output;
+      Alcotest.(check bool) (name ^ " io positive") true (Conv.Io_count.total r.io > 0.0))
+    specs_for_agreement
+
+let test_input_stationary_agrees () =
+  List.iter
+    (fun (name, spec) ->
+      let input, weights = Conv.Direct.random_problem (rng ()) spec in
+      let expected = Conv.Direct.run spec ~input ~weights in
+      let r =
+        Conv.Dataflow_variants.input_stationary spec ~x:3 ~y:2 ~channel_chunk:1 ~input ~weights
+      in
+      agree name expected r.output)
+    specs_for_agreement
+
+let test_output_stationary_wins () =
+  (* The paper's claim made concrete: at R > 1 with comparable on-chip
+     budgets, the output-stationary dataflow moves less data than either
+     alternative discipline. *)
+  let spec = Conv_spec.make ~c_in:32 ~h_in:28 ~w_in:28 ~c_out:32 ~k_h:3 ~k_w:3 ~pad:1 () in
+  let os =
+    Conv.Io_count.total
+      (Conv.Tiled_direct.io_only spec ~tile:{ Conv.Tiled_direct.x = 7; y = 7; z = 8 })
+  in
+  let ws = Conv.Io_count.total (Conv.Dataflow_variants.io_weight_stationary spec ~z:8 ~channel_chunk:2) in
+  let is_ = Conv.Io_count.total (Conv.Dataflow_variants.io_input_stationary spec ~x:7 ~y:7 ~channel_chunk:2) in
+  Alcotest.(check bool) (Printf.sprintf "os %.3g < ws %.3g" os ws) true (os < ws);
+  Alcotest.(check bool) (Printf.sprintf "os %.3g < is %.3g" os is_) true (os < is_)
+
+let test_direct_layout_agrees () =
+  List.iter
+    (fun (name, spec) ->
+      let input, weights = Conv.Direct.random_problem (rng ()) spec in
+      let expected = Conv.Direct.run spec ~input ~weights in
+      List.iter
+        (fun layout ->
+          let packed = Conv.Direct_layout.pack_input layout spec input in
+          let actual = Conv.Direct_layout.run ~layout spec ~packed_input:packed ~weights in
+          agree (Printf.sprintf "%s %s" name (Tensor.Layout.to_string layout)) expected actual)
+        Tensor.Layout.all)
+    specs_for_agreement
+
+let test_direct_layout_pack_roundtrip () =
+  let spec = spec_basic in
+  let input, _ = Conv.Direct.random_problem (rng ()) spec in
+  List.iter
+    (fun layout ->
+      let packed = Conv.Direct_layout.pack_input layout spec input in
+      let back = Conv.Direct_layout.unpack_to_nchw layout spec packed in
+      Alcotest.(check bool)
+        (Tensor.Layout.to_string layout ^ " roundtrip")
+        true
+        (Tensor.max_abs_diff input back = 0.0))
+    Tensor.Layout.all
+
+let test_io_count_algebra () =
+  let a = Conv.Io_count.make ~loads:10.0 ~stores:4.0 in
+  let b = Conv.Io_count.make ~loads:1.0 ~stores:2.0 in
+  let c = Conv.Io_count.add a b in
+  Alcotest.(check (float 0.0)) "total" 17.0 (Conv.Io_count.total c);
+  Alcotest.(check (float 0.0)) "scale" 34.0 Conv.Io_count.(total (scale 2.0 c));
+  Alcotest.(check (float 0.0)) "bytes" 68.0 (Conv.Io_count.bytes c)
+
+let test_im2col_io_exceeds_tiled () =
+  (* The materialisation traffic should make im2col strictly worse than the
+     paper's dataflow with a sensible tile on a standard layer. *)
+  let spec = Conv_spec.make ~c_in:64 ~h_in:28 ~w_in:28 ~c_out:64 ~k_h:3 ~k_w:3 ~pad:1 () in
+  let im2col = Conv.Io_count.total (Conv.Im2col.io spec) in
+  let tiled = Conv.Io_count.total (Conv.Tiled_direct.io_only spec ~tile:(tile 7 7 8)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "im2col %.3g > tiled %.3g" im2col tiled)
+    true (im2col > tiled)
+
+let qcheck_grouped_agreement =
+  QCheck.Test.make ~name:"grouped tiled dataflow equals direct" ~count:20
+    QCheck.(quad (int_range 1 3) (int_range 1 3) (int_range 1 2) (int_range 0 5000))
+    (fun (gpow, cpg, fpg, seed) ->
+      let groups = 1 lsl gpow in
+      let c_in = groups * cpg and c_out = groups * fpg in
+      let spec = Conv_spec.make ~c_in ~h_in:7 ~w_in:7 ~c_out ~k_h:3 ~k_w:3 ~groups () in
+      let rng = Util.Rng.create seed in
+      let input, weights = Conv.Direct.random_problem rng spec in
+      let expected = Conv.Direct.run spec ~input ~weights in
+      let r = Conv.Tiled_direct.run spec ~tile:(tile 2 2 1) ~input ~weights in
+      Tensor.allclose ~rtol:1e-4 ~atol:1e-5 expected r.output)
+
+let qcheck_io_only_matches_run =
+  QCheck.Test.make ~name:"io_only always equals the executed tally" ~count:25
+    QCheck.(
+      quad (int_range 1 4) (int_range 1 4) (pair (int_range 1 4) (int_range 1 2))
+        (pair (int_range 0 2) (int_range 6 9)))
+    (fun (tx, ty, (tz, stride), (pad, size)) ->
+      let spec = Conv_spec.make ~c_in:2 ~h_in:size ~w_in:size ~c_out:3 ~k_h:3 ~k_w:3 ~stride ~pad () in
+      let rng = Util.Rng.create 7 in
+      let input, weights = Conv.Direct.random_problem rng spec in
+      let t = { Conv.Tiled_direct.x = tx; y = ty; z = tz } in
+      let r = Conv.Tiled_direct.run spec ~tile:t ~input ~weights in
+      let a = Conv.Tiled_direct.io_only spec ~tile:t in
+      Float.abs (Conv.Io_count.total r.io -. Conv.Io_count.total a) < 1e-6)
+
+let qcheck_tiled_direct_agreement =
+  QCheck.Test.make ~name:"tiled direct equals naive on random problems" ~count:25
+    QCheck.(
+      quad (int_range 1 3) (int_range 1 3) (pair (int_range 1 4) (int_range 1 4))
+        (int_range 0 10_000))
+    (fun (tx, ty, (tz, c_in), seed) ->
+      let spec = Conv_spec.make ~c_in ~h_in:7 ~w_in:7 ~c_out:3 ~k_h:3 ~k_w:3 () in
+      let rng = Util.Rng.create seed in
+      let input, weights = Conv.Direct.random_problem rng spec in
+      let expected = Conv.Direct.run spec ~input ~weights in
+      let r = Conv.Tiled_direct.run spec ~tile:{ x = tx; y = ty; z = tz } ~input ~weights in
+      Tensor.allclose ~rtol:1e-4 ~atol:1e-5 expected r.output)
+
+let () =
+  Alcotest.run "conv"
+    [
+      ( "spec",
+        [
+          Alcotest.test_case "out size" `Quick test_spec_out_size;
+          Alcotest.test_case "element counts" `Quick test_spec_counts;
+          Alcotest.test_case "reuse factor" `Quick test_spec_reuse;
+          Alcotest.test_case "invalid" `Quick test_spec_invalid;
+        ] );
+      ( "rational",
+        [
+          Alcotest.test_case "normalisation" `Quick test_rational_normalisation;
+          Alcotest.test_case "arithmetic" `Quick test_rational_arith;
+          Alcotest.test_case "division by zero" `Quick test_rational_div_by_zero;
+          QCheck_alcotest.to_alcotest qcheck_rational_field;
+        ] );
+      ( "winograd_transform",
+        [
+          Alcotest.test_case "1D identity across (e,r)" `Quick test_transform_identity_1d;
+          Alcotest.test_case "F(2,3) correlation matrix" `Quick test_transform_f23_spotcheck;
+          Alcotest.test_case "matrix sizes" `Quick test_transform_sizes;
+          Alcotest.test_case "rejects oversized tiles" `Quick test_transform_too_large;
+          Alcotest.test_case "conditioning grows with alpha" `Quick test_transform_conditioning;
+          QCheck_alcotest.to_alcotest qcheck_transform_2d;
+        ] );
+      ( "kernels",
+        [
+          Alcotest.test_case "im2col agrees with direct" `Quick test_im2col_agrees;
+          Alcotest.test_case "im2col with tiny blocks" `Quick test_im2col_small_blocks;
+          Alcotest.test_case "winograd agrees with direct" `Quick test_winograd_agrees;
+          Alcotest.test_case "winograd rejects stride" `Quick test_winograd_rejects_stride;
+          Alcotest.test_case "winograd saves multiplications" `Quick
+            test_winograd_fewer_multiplications;
+        ] );
+      ( "tiled_direct",
+        [
+          Alcotest.test_case "agrees with direct" `Quick test_tiled_direct_agrees;
+          Alcotest.test_case "alpha sweep" `Quick test_tiled_direct_alpha_sweep;
+          Alcotest.test_case "io matches io_only" `Quick test_tiled_direct_io_matches_io_only;
+          Alcotest.test_case "io closed form" `Quick test_tiled_direct_io_decomposition;
+          Alcotest.test_case "bigger tiles less io" `Quick test_tiled_direct_bigger_tiles_less_io;
+          Alcotest.test_case "working set" `Quick test_tiled_direct_working_set;
+          QCheck_alcotest.to_alcotest qcheck_tiled_direct_agreement;
+          QCheck_alcotest.to_alcotest qcheck_grouped_agreement;
+          QCheck_alcotest.to_alcotest qcheck_io_only_matches_run;
+        ] );
+      ( "tiled_winograd",
+        [
+          Alcotest.test_case "agrees with direct" `Quick test_tiled_winograd_agrees;
+          Alcotest.test_case "io matches io_only" `Quick test_tiled_winograd_io_matches;
+          Alcotest.test_case "rejects bad tile" `Quick test_tiled_winograd_rejects_bad_tile;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "tiled direct matches sequential" `Quick
+            test_parallel_exec_matches_sequential;
+          Alcotest.test_case "tiled winograd matches" `Quick test_parallel_winograd_matches;
+          Alcotest.test_case "direct matches" `Quick test_parallel_direct_matches;
+        ] );
+      ( "grouped",
+        [
+          Alcotest.test_case "direct matches block-diagonal oracle" `Quick
+            test_grouped_direct_matches_block_diagonal;
+          Alcotest.test_case "tiled dataflow" `Quick test_grouped_tiled_direct;
+          Alcotest.test_case "im2col" `Quick test_grouped_im2col;
+          Alcotest.test_case "spec properties" `Quick test_grouped_spec_properties;
+          Alcotest.test_case "parallel execution" `Quick test_grouped_parallel;
+        ] );
+      ( "dataflow-variants",
+        [
+          Alcotest.test_case "weight-stationary agrees" `Quick test_weight_stationary_agrees;
+          Alcotest.test_case "input-stationary agrees" `Quick test_input_stationary_agrees;
+          Alcotest.test_case "output-stationary wins traffic" `Quick
+            test_output_stationary_wins;
+        ] );
+      ( "layout",
+        [
+          Alcotest.test_case "layout kernels agree" `Quick test_direct_layout_agrees;
+          Alcotest.test_case "pack/unpack roundtrip" `Quick test_direct_layout_pack_roundtrip;
+        ] );
+      ( "io",
+        [
+          Alcotest.test_case "io_count algebra" `Quick test_io_count_algebra;
+          Alcotest.test_case "im2col io exceeds tiled" `Quick test_im2col_io_exceeds_tiled;
+        ] );
+    ]

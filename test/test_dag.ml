@@ -1,0 +1,227 @@
+(* Tests for the DAG substrate: graph primitives, tree gadgets and the two
+   convolution DAG builders, including the paper's exact vertex-count lemmas
+   (4.7, 4.8, 4.13) and the order-of-magnitude check for Lemma 4.14. *)
+
+module G = Dag.Graph
+
+let test_graph_basic () =
+  let g = G.create () in
+  let a = G.add_input g and b = G.add_input g in
+  let c = G.add_compute g ~step:1 ~preds:[ a; b ] in
+  Alcotest.(check int) "vertices" 3 (G.num_vertices g);
+  Alcotest.(check int) "inputs" 2 (G.num_inputs g);
+  Alcotest.(check bool) "a is input" true (G.is_input g a);
+  Alcotest.(check bool) "c is compute" false (G.is_input g c);
+  Alcotest.(check int) "step" 1 (G.step g c);
+  Alcotest.(check (list int)) "preds" [ a; b ] (G.preds g c);
+  Alcotest.(check (list int)) "succs of a" [ c ] (G.succs g a);
+  Alcotest.(check (list int)) "outputs" [ c ] (G.outputs g)
+
+let test_graph_growth () =
+  (* Force internal array growth past the initial capacity. *)
+  let g = G.create () in
+  let first = G.add_input g in
+  let prev = ref first in
+  for _ = 1 to 5000 do
+    prev := G.add_compute g ~step:1 ~preds:[ !prev ]
+  done;
+  Alcotest.(check int) "vertices" 5001 (G.num_vertices g);
+  Alcotest.(check (list int)) "single output" [ !prev ] (G.outputs g)
+
+let test_graph_rejects_forward_edge () =
+  let g = G.create () in
+  let _ = G.add_input g in
+  Alcotest.check_raises "forward edge"
+    (Invalid_argument "Graph.add_compute: predecessor not yet issued") (fun () ->
+      ignore (G.add_compute g ~step:1 ~preds:[ 99 ]))
+
+let test_graph_validate_topological () =
+  let g = G.create () in
+  let a = G.add_input g in
+  let b = G.add_compute g ~step:1 ~preds:[ a ] in
+  let c = G.add_compute g ~step:1 ~preds:[ b ] in
+  Alcotest.(check bool) "valid order" true (G.validate_topological g [| b; c |]);
+  Alcotest.(check bool) "reversed order invalid" false (G.validate_topological g [| c; b |]);
+  Alcotest.(check bool) "incomplete invalid" false (G.validate_topological g [| b |]);
+  Alcotest.(check bool) "duplicated invalid" false (G.validate_topological g [| b; b |])
+
+let test_summation_tree_counts () =
+  (* Lemma 4.7: k inputs -> k-2 internal vertices + 1 output. *)
+  List.iter
+    (fun k ->
+      let g = G.create () in
+      let inputs = List.init k (fun _ -> G.add_input g) in
+      let before = G.num_vertices g in
+      let root = Dag.Trees.summation g ~step:1 inputs in
+      let created = G.num_vertices g - before in
+      Alcotest.(check int) "created = k-1" (Dag.Trees.summation_vertex_count k) created;
+      Alcotest.(check (list int)) "root is sole output" [ root ] (G.outputs g);
+      Alcotest.(check int) "binary in-degree" 2 (G.max_in_degree g))
+    [ 2; 3; 7; 16 ]
+
+let test_linear_combination_tree_counts () =
+  (* Lemma 4.13: k inputs -> 2k-2 internal vertices + 1 output. *)
+  List.iter
+    (fun k ->
+      let g = G.create () in
+      let inputs = List.init k (fun _ -> G.add_input g) in
+      let before = G.num_vertices g in
+      let root = Dag.Trees.linear_combination g ~step:1 inputs in
+      let created = G.num_vertices g - before in
+      Alcotest.(check int) "created = 2k-1" (Dag.Trees.linear_combination_vertex_count k) created;
+      Alcotest.(check (list int)) "root is sole output" [ root ] (G.outputs g))
+    [ 2; 4; 9 ]
+
+let small_spec =
+  { Dag.Conv_dag.w_in = 6; h_in = 6; c_in = 2; c_out = 3; w_ker = 3; h_ker = 3; stride = 1 }
+
+let test_conv_dag_out_size () =
+  let w, h = Dag.Conv_dag.out_size small_spec in
+  Alcotest.(check (pair int int)) "out size" (4, 4) (w, h);
+  let strided = { small_spec with stride = 2 } in
+  Alcotest.(check (pair int int)) "strided out size" (2, 2) (Dag.Conv_dag.out_size strided)
+
+let test_conv_dag_vertex_count () =
+  (* Lemma 4.8: internal+output = (2*Wker*Hker*Cin - 1) * Wout*Hout*Cout. *)
+  List.iter
+    (fun spec ->
+      let dag = Dag.Conv_dag.build spec in
+      let computed = G.num_vertices dag.graph - G.num_inputs dag.graph in
+      Alcotest.(check int) "Lemma 4.8 count" (Dag.Conv_dag.expected_internal_and_output spec)
+        computed)
+    [
+      small_spec;
+      { small_spec with stride = 2 };
+      { small_spec with c_in = 1; c_out = 1 };
+      { Dag.Conv_dag.w_in = 5; h_in = 7; c_in = 3; c_out = 2; w_ker = 2; h_ker = 3; stride = 1 };
+    ]
+
+let test_conv_dag_output_count () =
+  let dag = Dag.Conv_dag.build small_spec in
+  let w_out, h_out = Dag.Conv_dag.out_size small_spec in
+  Alcotest.(check int) "output ids" (w_out * h_out * small_spec.c_out)
+    (Array.length dag.output_ids);
+  Alcotest.(check int) "graph outputs match"
+    (List.length (G.outputs dag.graph))
+    (Array.length dag.output_ids)
+
+let test_conv_dag_schedules_topological () =
+  let dag = Dag.Conv_dag.build small_spec in
+  let check name order =
+    Alcotest.(check bool) name true (G.validate_topological dag.graph order)
+  in
+  check "output stationary" (Dag.Conv_dag.schedule_output_stationary dag);
+  check "by step" (Dag.Conv_dag.schedule_by_step dag);
+  check "blocked 1x1x1" (Dag.Conv_dag.schedule_blocked dag ~bx:1 ~by:1 ~bz:1);
+  check "blocked 2x2x3" (Dag.Conv_dag.schedule_blocked dag ~bx:2 ~by:2 ~bz:3);
+  check "blocked oversized" (Dag.Conv_dag.schedule_blocked dag ~bx:10 ~by:10 ~bz:10)
+
+let wino_spec = { Dag.Winograd_dag.tiles_w = 2; tiles_h = 2; c_in = 2; c_out = 2; e = 2; r = 3 }
+
+let test_winograd_dag_sizes () =
+  let w_out, h_out = Dag.Winograd_dag.out_size wino_spec in
+  Alcotest.(check (pair int int)) "out" (4, 4) (w_out, h_out);
+  let w_in, h_in = Dag.Winograd_dag.in_size wino_spec in
+  Alcotest.(check (pair int int)) "in" (6, 6) (w_in, h_in);
+  Alcotest.(check int) "alpha" 4 (Dag.Winograd_dag.alpha wino_spec)
+
+let test_winograd_dag_counts () =
+  let dag = Dag.Winograd_dag.build wino_spec in
+  let g = dag.graph in
+  let s = wino_spec in
+  let a = Dag.Winograd_dag.alpha s in
+  let n_tiles = s.tiles_w * s.tiles_h in
+  (* Step 2 has exactly one multiplication per (tile, cout, cin, position). *)
+  Alcotest.(check int) "step-2 count" (n_tiles * s.c_out * s.c_in * a * a) (G.count_step g 2);
+  (* Step 3: per (tile, cout, position) a summation tree over cin values. *)
+  Alcotest.(check int) "step-3 count"
+    (n_tiles * s.c_out * a * a * (s.c_in - 1))
+    (G.count_step g 3);
+  (* Step 4: per output a linear-combination tree over alpha^2 values. *)
+  let w_out, h_out = Dag.Winograd_dag.out_size s in
+  Alcotest.(check int) "step-4 count"
+    (w_out * h_out * s.c_out * ((2 * a * a) - 1))
+    (G.count_step g 4);
+  Alcotest.(check int) "outputs" (w_out * h_out * s.c_out) (Array.length dag.output_ids);
+  (* Lemma 4.14 is an O() statement; the shared-transform DAG must sit below
+     the unshared count it bounds, but within a constant factor of it. *)
+  let bound = Dag.Winograd_dag.expected_internal_and_output_order s in
+  let actual = G.num_vertices g - G.num_inputs g in
+  Alcotest.(check bool) "within Lemma 4.14 order" true
+    (actual <= bound && actual * 8 >= bound)
+
+let test_winograd_schedules_topological () =
+  let dag = Dag.Winograd_dag.build wino_spec in
+  Alcotest.(check bool) "natural" true
+    (G.validate_topological dag.graph (Dag.Winograd_dag.schedule_natural dag));
+  Alcotest.(check bool) "by step" true
+    (G.validate_topological dag.graph (Dag.Winograd_dag.schedule_by_step dag))
+
+let mm_spec = { Dag.Matmul_dag.m = 4; k = 5; n = 3 }
+
+let test_matmul_dag_counts () =
+  let dag = Dag.Matmul_dag.build mm_spec in
+  let computed = G.num_vertices dag.graph - G.num_inputs dag.graph in
+  Alcotest.(check int) "vertex count" (Dag.Matmul_dag.expected_internal_and_output mm_spec)
+    computed;
+  Alcotest.(check int) "inputs" ((4 * 5) + (5 * 3)) (G.num_inputs dag.graph);
+  Alcotest.(check int) "outputs" (4 * 3) (List.length (G.outputs dag.graph))
+
+let test_matmul_dag_schedules () =
+  let dag = Dag.Matmul_dag.build mm_spec in
+  let check name order =
+    Alcotest.(check bool) name true (G.validate_topological dag.graph order)
+  in
+  check "output stationary" (Dag.Matmul_dag.schedule_output_stationary dag);
+  check "by step" (Dag.Matmul_dag.schedule_by_step dag);
+  check "blocked 2x2" (Dag.Matmul_dag.schedule_blocked dag ~bi:2 ~bj:2);
+  check "blocked oversized" (Dag.Matmul_dag.schedule_blocked dag ~bi:10 ~bj:10)
+
+let qcheck_conv_dag_count =
+  QCheck.Test.make ~name:"Lemma 4.8 holds for random specs" ~count:20
+    QCheck.(
+      quad (int_range 1 3) (int_range 1 3) (int_range 1 2) (int_range 3 6))
+    (fun (c_in, c_out, stride, size) ->
+      let spec =
+        { Dag.Conv_dag.w_in = size; h_in = size; c_in; c_out; w_ker = 2; h_ker = 2; stride }
+      in
+      let dag = Dag.Conv_dag.build spec in
+      G.num_vertices dag.graph - G.num_inputs dag.graph
+      = Dag.Conv_dag.expected_internal_and_output spec)
+
+let () =
+  Alcotest.run "dag"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "basic" `Quick test_graph_basic;
+          Alcotest.test_case "growth" `Quick test_graph_growth;
+          Alcotest.test_case "rejects forward edges" `Quick test_graph_rejects_forward_edge;
+          Alcotest.test_case "validate topological" `Quick test_graph_validate_topological;
+        ] );
+      ( "trees",
+        [
+          Alcotest.test_case "summation counts (Lemma 4.7)" `Quick test_summation_tree_counts;
+          Alcotest.test_case "linear combination counts (Lemma 4.13)" `Quick
+            test_linear_combination_tree_counts;
+        ] );
+      ( "conv_dag",
+        [
+          Alcotest.test_case "out size" `Quick test_conv_dag_out_size;
+          Alcotest.test_case "vertex count (Lemma 4.8)" `Quick test_conv_dag_vertex_count;
+          Alcotest.test_case "output count" `Quick test_conv_dag_output_count;
+          Alcotest.test_case "schedules topological" `Quick test_conv_dag_schedules_topological;
+          QCheck_alcotest.to_alcotest qcheck_conv_dag_count;
+        ] );
+      ( "matmul_dag",
+        [
+          Alcotest.test_case "vertex counts" `Quick test_matmul_dag_counts;
+          Alcotest.test_case "schedules topological" `Quick test_matmul_dag_schedules;
+        ] );
+      ( "winograd_dag",
+        [
+          Alcotest.test_case "sizes" `Quick test_winograd_dag_sizes;
+          Alcotest.test_case "step counts" `Quick test_winograd_dag_counts;
+          Alcotest.test_case "schedules topological" `Quick test_winograd_schedules_topological;
+        ] );
+    ]

@@ -1,0 +1,230 @@
+(* Tests for the FFT substrate: known transforms, agreement with the naive
+   DFT, roundtrips, Parseval's identity, 2D transforms, and the FFT-based
+   convolution against the direct reference. *)
+
+module T = Fft.Transform
+
+let complex re im = { Complex.re; im }
+
+let check_complex_array name expected actual =
+  Array.iteri
+    (fun i (e : Complex.t) ->
+      let a : Complex.t = actual.(i) in
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "%s[%d].re" name i) e.re a.re;
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "%s[%d].im" name i) e.im a.im)
+    expected
+
+let test_power_of_two () =
+  Alcotest.(check bool) "1" true (T.is_power_of_two 1);
+  Alcotest.(check bool) "64" true (T.is_power_of_two 64);
+  Alcotest.(check bool) "48" false (T.is_power_of_two 48);
+  Alcotest.(check bool) "0" false (T.is_power_of_two 0);
+  Alcotest.(check int) "next 1" 1 (T.next_power_of_two 1);
+  Alcotest.(check int) "next 5" 8 (T.next_power_of_two 5);
+  Alcotest.(check int) "next 16" 16 (T.next_power_of_two 16)
+
+let test_fft_impulse () =
+  (* FFT of a unit impulse is all ones. *)
+  let a = Array.make 8 Complex.zero in
+  a.(0) <- Complex.one;
+  T.fft a;
+  check_complex_array "impulse" (Array.make 8 Complex.one) a
+
+let test_fft_constant () =
+  (* FFT of a constant is an impulse of height n. *)
+  let a = Array.make 8 Complex.one in
+  T.fft a;
+  let expected = Array.make 8 Complex.zero in
+  expected.(0) <- complex 8.0 0.0;
+  check_complex_array "constant" expected a
+
+let test_fft_matches_naive_dft () =
+  let rng = Util.Rng.create 21 in
+  List.iter
+    (fun n ->
+      let a =
+        Array.init n (fun _ -> complex (Util.Rng.float rng 2.0 -. 1.0) (Util.Rng.float rng 2.0 -. 1.0))
+      in
+      let expected = T.dft_naive a in
+      let fast = Array.copy a in
+      T.fft fast;
+      Array.iteri
+        (fun i (e : Complex.t) ->
+          Alcotest.(check (float 1e-8)) (Printf.sprintf "n=%d re" n) e.re fast.(i).Complex.re;
+          Alcotest.(check (float 1e-8)) (Printf.sprintf "n=%d im" n) e.im fast.(i).Complex.im)
+        expected)
+    [ 1; 2; 4; 8; 32; 128 ]
+
+let test_fft_roundtrip () =
+  let rng = Util.Rng.create 22 in
+  let a = Array.init 64 (fun _ -> complex (Util.Rng.float rng 2.0 -. 1.0) 0.0) in
+  let b = Array.copy a in
+  T.fft b;
+  T.ifft b;
+  Array.iteri
+    (fun i (x : Complex.t) ->
+      Alcotest.(check (float 1e-9)) "roundtrip re" x.re b.(i).Complex.re;
+      Alcotest.(check (float 1e-9)) "roundtrip im" x.im b.(i).Complex.im)
+    a
+
+let test_fft_parseval () =
+  let rng = Util.Rng.create 23 in
+  let a = Array.init 128 (fun _ -> complex (Util.Rng.float rng 2.0 -. 1.0) 0.0) in
+  let energy = Array.fold_left (fun acc (x : Complex.t) -> acc +. (Complex.norm x ** 2.0)) 0.0 in
+  let time_energy = energy a in
+  T.fft a;
+  let freq_energy = energy a /. 128.0 in
+  Alcotest.(check (float 1e-7)) "Parseval" time_energy freq_energy
+
+let test_fft_rejects_bad_length () =
+  Alcotest.check_raises "length 6" (Invalid_argument "Transform.fft: length not a power of two")
+    (fun () -> T.fft (Array.make 6 Complex.zero))
+
+let test_fft_linearity () =
+  let rng = Util.Rng.create 24 in
+  let a = Array.init 32 (fun _ -> complex (Util.Rng.float rng 1.0) 0.0) in
+  let b = Array.init 32 (fun _ -> complex (Util.Rng.float rng 1.0) 0.0) in
+  let sum = Array.map2 Complex.add a b in
+  T.fft a;
+  T.fft b;
+  T.fft sum;
+  Array.iteri
+    (fun i (s : Complex.t) ->
+      let expected = Complex.add a.(i) b.(i) in
+      Alcotest.(check (float 1e-8)) "linear re" expected.re s.re;
+      Alcotest.(check (float 1e-8)) "linear im" expected.im s.im)
+    sum
+
+let test_fft2_roundtrip () =
+  let rng = Util.Rng.create 25 in
+  let rows = 8 and cols = 16 in
+  let a = Array.init (rows * cols) (fun _ -> complex (Util.Rng.float rng 2.0 -. 1.0) 0.0) in
+  let b = Array.copy a in
+  T.fft2 b ~rows ~cols;
+  T.ifft2 b ~rows ~cols;
+  Array.iteri
+    (fun i (x : Complex.t) ->
+      Alcotest.(check (float 1e-8)) "fft2 roundtrip" x.re b.(i).Complex.re)
+    a
+
+let test_fft2_separable_impulse () =
+  let rows = 4 and cols = 4 in
+  let a = Array.make (rows * cols) Complex.zero in
+  a.(0) <- Complex.one;
+  T.fft2 a ~rows ~cols;
+  Array.iter
+    (fun (x : Complex.t) ->
+      Alcotest.(check (float 1e-9)) "flat spectrum re" 1.0 x.re;
+      Alcotest.(check (float 1e-9)) "flat spectrum im" 0.0 x.im)
+    a
+
+let test_fft2_matches_naive () =
+  (* 2D DFT by two naive 1D passes must equal fft2. *)
+  let rows = 4 and cols = 8 in
+  let rng = Util.Rng.create 27 in
+  let a =
+    Array.init (rows * cols) (fun _ -> complex (Util.Rng.float rng 2.0 -. 1.0) (Util.Rng.float rng 2.0 -. 1.0))
+  in
+  let expected =
+    (* Naive row pass. *)
+    let after_rows = Array.copy a in
+    for r = 0 to rows - 1 do
+      let row = Array.sub after_rows (r * cols) cols in
+      Array.blit (T.dft_naive row) 0 after_rows (r * cols) cols
+    done;
+    (* Naive column pass. *)
+    let out = Array.copy after_rows in
+    for c = 0 to cols - 1 do
+      let column = Array.init rows (fun r -> after_rows.((r * cols) + c)) in
+      let t = T.dft_naive column in
+      for r = 0 to rows - 1 do
+        out.((r * cols) + c) <- t.(r)
+      done
+    done;
+    out
+  in
+  let fast = Array.copy a in
+  T.fft2 fast ~rows ~cols;
+  Array.iteri
+    (fun i (e : Complex.t) ->
+      Alcotest.(check (float 1e-7)) "fft2 re" e.re fast.(i).Complex.re;
+      Alcotest.(check (float 1e-7)) "fft2 im" e.im fast.(i).Complex.im)
+    expected
+
+(* --- FFT convolution --- *)
+
+let agree name expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s (max diff %.3g)" name (Tensor.max_abs_diff expected actual))
+    true
+    (Tensor.allclose ~rtol:1e-4 ~atol:1e-5 expected actual)
+
+let test_fft_conv_agrees () =
+  List.iter
+    (fun (name, spec) ->
+      let rng = Util.Rng.create 26 in
+      let input, weights = Conv.Direct.random_problem rng spec in
+      let expected = Conv.Direct.run spec ~input ~weights in
+      agree name expected (Conv.Fft_conv.run spec ~input ~weights))
+    [
+      ("basic 3x3", Conv.Conv_spec.make ~c_in:3 ~h_in:8 ~w_in:8 ~c_out:4 ~k_h:3 ~k_w:3 ());
+      ("padded", Conv.Conv_spec.make ~c_in:2 ~h_in:7 ~w_in:7 ~c_out:3 ~k_h:3 ~k_w:3 ~pad:1 ());
+      ("strided", Conv.Conv_spec.make ~c_in:2 ~h_in:9 ~w_in:9 ~c_out:2 ~k_h:3 ~k_w:3 ~stride:2 ());
+      ("large kernel", Conv.Conv_spec.make ~c_in:2 ~h_in:12 ~w_in:12 ~c_out:2 ~k_h:7 ~k_w:7 ~pad:3 ());
+      ("rect kernel", Conv.Conv_spec.make ~c_in:2 ~h_in:8 ~w_in:10 ~c_out:2 ~k_h:1 ~k_w:5 ~pad_w:2 ());
+      ("batched", Conv.Conv_spec.make ~batch:2 ~c_in:2 ~h_in:6 ~w_in:6 ~c_out:2 ~k_h:3 ~k_w:3 ());
+    ]
+
+let test_fft_conv_transform_size () =
+  let spec = Conv.Conv_spec.make ~c_in:1 ~h_in:13 ~w_in:13 ~c_out:1 ~k_h:3 ~k_w:3 ~pad:1 () in
+  Alcotest.(check (pair int int)) "next pow2 of 15" (16, 16) (Conv.Fft_conv.transform_size spec)
+
+let test_fft_conv_io_large_for_small_kernels () =
+  (* FFT convolution moves far more data than the tiled dataflow on 3x3
+     kernels — the reason libraries only pick it for large kernels. *)
+  let spec = Conv.Conv_spec.make ~c_in:32 ~h_in:28 ~w_in:28 ~c_out:32 ~k_h:3 ~k_w:3 ~pad:1 () in
+  let fft_io = Conv.Io_count.total (Conv.Fft_conv.io spec) in
+  let tiled_io =
+    Conv.Io_count.total
+      (Conv.Tiled_direct.io_only spec ~tile:{ Conv.Tiled_direct.x = 7; y = 7; z = 8 })
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "fft %.3g > tiled %.3g" fft_io tiled_io)
+    true (fft_io > tiled_io)
+
+let qcheck_fft_conv_random =
+  QCheck.Test.make ~name:"fft conv equals direct on random shapes" ~count:15
+    QCheck.(quad (int_range 1 3) (int_range 1 3) (int_range 5 10) (int_range 0 1000))
+    (fun (c_in, c_out, size, seed) ->
+      let spec = Conv.Conv_spec.make ~c_in ~h_in:size ~w_in:size ~c_out ~k_h:3 ~k_w:3 () in
+      let rng = Util.Rng.create seed in
+      let input, weights = Conv.Direct.random_problem rng spec in
+      let expected = Conv.Direct.run spec ~input ~weights in
+      Tensor.allclose ~rtol:1e-4 ~atol:1e-5 expected (Conv.Fft_conv.run spec ~input ~weights))
+
+let () =
+  Alcotest.run "fft"
+    [
+      ( "transform",
+        [
+          Alcotest.test_case "power of two" `Quick test_power_of_two;
+          Alcotest.test_case "impulse" `Quick test_fft_impulse;
+          Alcotest.test_case "constant" `Quick test_fft_constant;
+          Alcotest.test_case "matches naive DFT" `Quick test_fft_matches_naive_dft;
+          Alcotest.test_case "roundtrip" `Quick test_fft_roundtrip;
+          Alcotest.test_case "Parseval" `Quick test_fft_parseval;
+          Alcotest.test_case "rejects bad length" `Quick test_fft_rejects_bad_length;
+          Alcotest.test_case "linearity" `Quick test_fft_linearity;
+          Alcotest.test_case "fft2 roundtrip" `Quick test_fft2_roundtrip;
+          Alcotest.test_case "fft2 impulse" `Quick test_fft2_separable_impulse;
+          Alcotest.test_case "fft2 matches naive 2D DFT" `Quick test_fft2_matches_naive;
+        ] );
+      ( "fft_conv",
+        [
+          Alcotest.test_case "agrees with direct" `Quick test_fft_conv_agrees;
+          Alcotest.test_case "transform size" `Quick test_fft_conv_transform_size;
+          Alcotest.test_case "io large for small kernels" `Quick
+            test_fft_conv_io_large_for_small_kernels;
+          QCheck_alcotest.to_alcotest qcheck_fft_conv_random;
+        ] );
+    ]

@@ -1,0 +1,159 @@
+(* Tests for the gradient-boosted trees library: dataset bookkeeping, single
+   regression trees on separable data, and boosting's ability to drive
+   training error down on nonlinear targets. *)
+
+let make_dataset n f =
+  let rng = Util.Rng.create 99 in
+  let data = Gbt.Dataset.create ~n_features:2 in
+  for _ = 1 to n do
+    let x0 = Util.Rng.float rng 4.0 -. 2.0 and x1 = Util.Rng.float rng 4.0 -. 2.0 in
+    Gbt.Dataset.add data [| x0; x1 |] (f x0 x1)
+  done;
+  data
+
+let test_dataset_basic () =
+  let d = Gbt.Dataset.create ~n_features:3 in
+  Alcotest.(check int) "empty" 0 (Gbt.Dataset.length d);
+  Gbt.Dataset.add d [| 1.0; 2.0; 3.0 |] 7.0;
+  Alcotest.(check int) "one" 1 (Gbt.Dataset.length d);
+  Alcotest.(check int) "arity" 3 (Gbt.Dataset.n_features d);
+  Alcotest.(check (float 0.0)) "target" 7.0 (Gbt.Dataset.target d 0);
+  Alcotest.(check (array (float 0.0))) "features" [| 1.0; 2.0; 3.0 |] (Gbt.Dataset.features d 0)
+
+let test_dataset_growth () =
+  let d = Gbt.Dataset.create ~n_features:1 in
+  for i = 1 to 1000 do
+    Gbt.Dataset.add d [| float_of_int i |] (float_of_int i)
+  done;
+  Alcotest.(check int) "length" 1000 (Gbt.Dataset.length d);
+  Alcotest.(check (float 0.0)) "row 500" 501.0 (Gbt.Dataset.target d 500)
+
+let test_dataset_arity_mismatch () =
+  let d = Gbt.Dataset.create ~n_features:2 in
+  Alcotest.check_raises "arity" (Invalid_argument "Dataset.add: arity mismatch") (fun () ->
+      Gbt.Dataset.add d [| 1.0 |] 0.0)
+
+let test_dataset_fold () =
+  let d = make_dataset 10 (fun _ _ -> 1.0) in
+  let total = Gbt.Dataset.fold d ~init:0.0 (fun acc _ y -> acc +. y) in
+  Alcotest.(check (float 1e-9)) "fold targets" 10.0 total
+
+let test_tree_splits_step_function () =
+  (* A single tree must nail a 1D step function. *)
+  let data = make_dataset 200 (fun x0 _ -> if x0 > 0.0 then 10.0 else -10.0) in
+  let n = Gbt.Dataset.length data in
+  let grad = Array.init n (fun i -> -.Gbt.Dataset.target data i) in
+  let hess = Array.make n 1.0 in
+  (* With prediction 0, grad = pred - y = -y; leaf weights recover ~y for
+     small lambda. *)
+  let params = { Gbt.Tree.default_params with lambda = 1e-6; max_depth = 2 } in
+  let tree = Gbt.Tree.fit params data ~grad ~hess in
+  Alcotest.(check bool) "split found" true (Gbt.Tree.num_leaves tree >= 2);
+  Alcotest.(check bool) "positive side" true
+    (Float.abs (Gbt.Tree.predict tree [| 1.0; 0.0 |] -. 10.0) < 0.5);
+  Alcotest.(check bool) "negative side" true
+    (Float.abs (Gbt.Tree.predict tree [| -1.0; 0.0 |] +. 10.0) < 0.5)
+
+let test_tree_pure_leaf_no_split () =
+  let data = make_dataset 50 (fun _ _ -> 3.0) in
+  let n = Gbt.Dataset.length data in
+  let grad = Array.make n 0.0 and hess = Array.make n 1.0 in
+  let tree = Gbt.Tree.fit Gbt.Tree.default_params data ~grad ~hess in
+  Alcotest.(check int) "constant target: single leaf" 1 (Gbt.Tree.num_leaves tree)
+
+let test_tree_depth_limited () =
+  let data = make_dataset 300 (fun x0 x1 -> sin (3.0 *. x0) +. x1) in
+  let n = Gbt.Dataset.length data in
+  let grad = Array.init n (fun i -> -.Gbt.Dataset.target data i) in
+  let hess = Array.make n 1.0 in
+  let params = { Gbt.Tree.default_params with max_depth = 3 } in
+  let tree = Gbt.Tree.fit params data ~grad ~hess in
+  Alcotest.(check bool) "depth bounded" true (Gbt.Tree.depth tree <= 3)
+
+let test_booster_fits_linear () =
+  let data = make_dataset 300 (fun x0 x1 -> (2.0 *. x0) -. (3.0 *. x1) +. 1.0) in
+  let booster = Gbt.Booster.train Gbt.Booster.default_params data in
+  let rmse = Gbt.Booster.train_rmse booster data in
+  Alcotest.(check bool) (Printf.sprintf "rmse %.3f small" rmse) true (rmse < 0.5)
+
+let test_booster_fits_nonlinear () =
+  let data = make_dataset 400 (fun x0 x1 -> (x0 *. x1) +. Float.abs x0) in
+  let booster = Gbt.Booster.train Gbt.Booster.default_params data in
+  let rmse = Gbt.Booster.train_rmse booster data in
+  Alcotest.(check bool) (Printf.sprintf "rmse %.3f small" rmse) true (rmse < 0.4)
+
+let test_booster_improves_with_rounds () =
+  let data = make_dataset 300 (fun x0 x1 -> (x0 *. x1) +. sin x0) in
+  let rmse_at rounds =
+    let params = { Gbt.Booster.default_params with rounds } in
+    Gbt.Booster.train_rmse (Gbt.Booster.train params data) data
+  in
+  let short = rmse_at 5 and long = rmse_at 80 in
+  Alcotest.(check bool) (Printf.sprintf "5 rounds %.3f > 80 rounds %.3f" short long) true
+    (long < short)
+
+let test_booster_num_trees () =
+  let data = make_dataset 50 (fun x0 _ -> x0) in
+  let params = { Gbt.Booster.default_params with rounds = 7 } in
+  Alcotest.(check int) "rounds = trees" 7 (Gbt.Booster.num_trees (Gbt.Booster.train params data))
+
+let test_booster_empty_dataset () =
+  let d = Gbt.Dataset.create ~n_features:1 in
+  Alcotest.check_raises "empty" (Invalid_argument "Booster.train: empty dataset") (fun () ->
+      ignore (Gbt.Booster.train Gbt.Booster.default_params d))
+
+let test_booster_subsample () =
+  let data = make_dataset 300 (fun x0 x1 -> x0 +. x1) in
+  let rng = Util.Rng.create 4 in
+  let params = { Gbt.Booster.default_params with subsample = 0.7 } in
+  let booster = Gbt.Booster.train ~rng params data in
+  let rmse = Gbt.Booster.train_rmse booster data in
+  Alcotest.(check bool) (Printf.sprintf "subsampled rmse %.3f" rmse) true (rmse < 0.6)
+
+let test_booster_predict_many () =
+  let data = make_dataset 100 (fun x0 _ -> x0) in
+  let booster = Gbt.Booster.train Gbt.Booster.default_params data in
+  let rows = [| [| 0.5; 0.0 |]; [| -0.5; 0.0 |] |] in
+  let out = Gbt.Booster.predict_many booster rows in
+  Alcotest.(check int) "two predictions" 2 (Array.length out);
+  Alcotest.(check bool) "ordering" true (out.(0) > out.(1))
+
+let qcheck_booster_interpolates_mean =
+  QCheck.Test.make ~name:"constant datasets predict the constant" ~count:20
+    QCheck.(float_range (-100.) 100.)
+    (fun c ->
+      let data = Gbt.Dataset.create ~n_features:1 in
+      for i = 0 to 9 do
+        Gbt.Dataset.add data [| float_of_int i |] c
+      done;
+      let booster = Gbt.Booster.train { Gbt.Booster.default_params with rounds = 3 } data in
+      Float.abs (Gbt.Booster.predict booster [| 4.0 |] -. c) < 1e-6 +. (Float.abs c *. 1e-6))
+
+let () =
+  Alcotest.run "gbt"
+    [
+      ( "dataset",
+        [
+          Alcotest.test_case "basic" `Quick test_dataset_basic;
+          Alcotest.test_case "growth" `Quick test_dataset_growth;
+          Alcotest.test_case "arity mismatch" `Quick test_dataset_arity_mismatch;
+          Alcotest.test_case "fold" `Quick test_dataset_fold;
+        ] );
+      ( "tree",
+        [
+          Alcotest.test_case "splits step function" `Quick test_tree_splits_step_function;
+          Alcotest.test_case "pure leaf" `Quick test_tree_pure_leaf_no_split;
+          Alcotest.test_case "depth limited" `Quick test_tree_depth_limited;
+        ] );
+      ( "booster",
+        [
+          Alcotest.test_case "fits linear" `Quick test_booster_fits_linear;
+          Alcotest.test_case "fits nonlinear" `Quick test_booster_fits_nonlinear;
+          Alcotest.test_case "improves with rounds" `Quick test_booster_improves_with_rounds;
+          Alcotest.test_case "num trees" `Quick test_booster_num_trees;
+          Alcotest.test_case "empty dataset" `Quick test_booster_empty_dataset;
+          Alcotest.test_case "subsample" `Quick test_booster_subsample;
+          Alcotest.test_case "predict many" `Quick test_booster_predict_many;
+          QCheck_alcotest.to_alcotest qcheck_booster_interpolates_mean;
+        ] );
+    ]

@@ -1,0 +1,283 @@
+(* Tests for the GPU performance model: architecture presets, occupancy
+   arithmetic, roofline behaviour of the kernel cost model, measurement
+   determinism, and the simulated vendor-library baselines. *)
+
+module A = Gpu_sim.Arch
+module O = Gpu_sim.Occupancy
+module K = Gpu_sim.Kernel_cost
+module M = Gpu_sim.Measure
+module L = Gpu_sim.Library_sim
+module Spec = Conv.Conv_spec
+
+let arch = A.gtx_1080_ti
+
+let kernel ?(flops = 1.0e9) ?(io = 1.0e7) ?(threads = 256) ?(shmem = 16 * 1024)
+    ?(blocks = 1000) ?(coalescing = 0.9) ?(eff = 0.9) () =
+  K.make ~coalescing ~compute_efficiency:eff ~flops ~io_elems:io ~threads_per_block:threads
+    ~shmem_bytes_per_block:shmem ~blocks ()
+
+let test_arch_presets () =
+  Alcotest.(check int) "presets" 4 (List.length A.all);
+  List.iter
+    (fun (a : A.t) ->
+      Alcotest.(check bool) (a.name ^ " sane") true
+        (a.num_sms > 0 && a.peak_gflops > 0.0 && a.mem_bandwidth_gbs > 0.0
+        && a.shared_mem_per_sm > 0))
+    A.all;
+  (match A.by_name "V100" with
+  | Some a -> Alcotest.(check string) "lookup" "Volta" a.generation
+  | None -> Alcotest.fail "V100 missing");
+  Alcotest.(check bool) "unknown" true (A.by_name "TPU" = None)
+
+let test_shared_elems () =
+  Alcotest.(check int) "1080Ti S" (96 * 1024 / 4) (A.shared_elems_per_sm arch)
+
+let test_occupancy_thread_limited () =
+  let o = O.calculate arch ~threads_per_block:1024 ~shmem_bytes_per_block:0 in
+  Alcotest.(check int) "blocks" 2 o.blocks_per_sm;
+  Alcotest.(check (float 1e-9)) "occupancy" 1.0 o.occupancy;
+  Alcotest.(check string) "limiter" "threads" o.limiter
+
+let test_occupancy_shmem_limited () =
+  let o = O.calculate arch ~threads_per_block:64 ~shmem_bytes_per_block:(48 * 1024) in
+  Alcotest.(check int) "blocks" 2 o.blocks_per_sm;
+  Alcotest.(check string) "limiter" "shared-memory" o.limiter;
+  Alcotest.(check bool) "low occupancy" true (o.occupancy < 0.1)
+
+let test_occupancy_not_launchable () =
+  Alcotest.(check bool) "too many threads" false
+    (O.launchable arch ~threads_per_block:2048 ~shmem_bytes_per_block:0);
+  Alcotest.(check bool) "too much shmem" false
+    (O.launchable arch ~threads_per_block:32 ~shmem_bytes_per_block:(200 * 1024));
+  Alcotest.check_raises "raises" (Invalid_argument "Occupancy.calculate: block not launchable")
+    (fun () -> ignore (O.calculate arch ~threads_per_block:0 ~shmem_bytes_per_block:0))
+
+let test_kernel_memory_bound_scaling () =
+  (* Memory-bound kernel: halving I/O nearly halves runtime. *)
+  let heavy = kernel ~flops:1.0e6 ~io:4.0e8 () in
+  let light = kernel ~flops:1.0e6 ~io:2.0e8 () in
+  Alcotest.(check bool) "memory bound" true (K.memory_bound arch heavy);
+  let th = K.runtime_us arch heavy and tl = K.runtime_us arch light in
+  let ratio = (th -. arch.launch_overhead_us) /. (tl -. arch.launch_overhead_us) in
+  Alcotest.(check bool) (Printf.sprintf "ratio %.2f ~ 2" ratio) true
+    (ratio > 1.8 && ratio < 2.2)
+
+let test_kernel_compute_bound_scaling () =
+  let heavy = kernel ~flops:8.0e9 ~io:1.0e5 () in
+  let light = kernel ~flops:4.0e9 ~io:1.0e5 () in
+  Alcotest.(check bool) "compute bound" true (not (K.memory_bound arch heavy));
+  let th = K.runtime_us arch heavy and tl = K.runtime_us arch light in
+  let ratio = (th -. arch.launch_overhead_us) /. (tl -. arch.launch_overhead_us) in
+  Alcotest.(check bool) (Printf.sprintf "ratio %.2f ~ 2" ratio) true
+    (ratio > 1.8 && ratio < 2.2)
+
+let test_kernel_coalescing_matters () =
+  let good = kernel ~coalescing:0.9 () and bad = kernel ~coalescing:0.45 () in
+  Alcotest.(check bool) "worse coalescing slower" true
+    (K.runtime_us arch bad > K.runtime_us arch good)
+
+let test_kernel_occupancy_matters () =
+  (* A shared-memory hog that strands the SM at one resident block should be
+     slower on a compute-bound problem. *)
+  let fast = kernel ~flops:8.0e9 ~io:1.0e5 ~shmem:(8 * 1024) () in
+  let slow = kernel ~flops:8.0e9 ~io:1.0e5 ~shmem:(48 * 1024) ~threads:64 () in
+  Alcotest.(check bool) "low occupancy slower" true
+    (K.runtime_us arch slow > K.runtime_us arch fast)
+
+let test_kernel_utilisation () =
+  (* Same total work: a one-block grid drives 1/num_sms of the device and
+     must be much slower than a device-filling grid. *)
+  let one = kernel ~blocks:1 () in
+  let filled = kernel ~blocks:arch.num_sms () in
+  let t_one = K.runtime_us arch one and t_filled = K.runtime_us arch filled in
+  Alcotest.(check bool)
+    (Printf.sprintf "1 block %.0fus slower than %d blocks %.0fus" t_one arch.num_sms t_filled)
+    true
+    (t_one > 4.0 *. t_filled);
+  (* Beyond one block per SM the ramp saturates: doubling blocks at constant
+     total work costs at most one extra wave. *)
+  let double = kernel ~blocks:(2 * arch.num_sms) () in
+  Alcotest.(check bool) "saturated" true
+    (K.runtime_us arch double <= t_filled *. 2.0 +. arch.launch_overhead_us)
+
+let test_kernel_gflops () =
+  let k = kernel ~flops:1.0e9 () in
+  let t = K.runtime_us arch k in
+  Alcotest.(check (float 1e-6)) "gflops consistent" (1.0e9 /. t /. 1.0e3) (K.gflops arch k)
+
+let test_measure_deterministic () =
+  let k = kernel () in
+  let a = M.runtime_us ~seed:5 arch k and b = M.runtime_us ~seed:5 arch k in
+  Alcotest.(check (float 0.0)) "same seed same measurement" a b;
+  let c = M.runtime_us ~seed:6 arch k in
+  Alcotest.(check bool) "different seed may differ" true (Float.abs (a -. c) > 1e-12)
+
+let test_measure_noise_bounded () =
+  let k = kernel () in
+  let base = K.runtime_us arch k in
+  for seed = 0 to 50 do
+    let m = M.runtime_us ~noise_amplitude:0.03 ~seed arch k in
+    Alcotest.(check bool) "within 3%" true (Float.abs (m -. base) /. base <= 0.0301)
+  done
+
+let test_measure_average_tighter () =
+  let k = kernel () in
+  let base = K.runtime_us arch k in
+  let avg = M.runtime_avg_us ~seed:9 ~repeat:64 arch k in
+  Alcotest.(check bool) "average close to base" true (Float.abs (avg -. base) /. base < 0.01)
+
+let spec_std = Spec.make ~c_in:256 ~h_in:56 ~w_in:56 ~c_out:64 ~k_h:3 ~k_w:3 ~pad:1 ()
+
+let test_cudnn_direct_picks_an_algorithm () =
+  let v = L.cudnn_direct arch spec_std in
+  Alcotest.(check bool) "positive runtime" true (v.runtime_us > 0.0);
+  Alcotest.(check bool) "algorithm named" true
+    (List.mem v.algorithm
+       [ "image2col"; "direct"; "implicit-gemm"; "fft"; "direct-specialised" ])
+
+let test_cudnn_winograd_requires_support () =
+  let strided = Spec.make ~c_in:8 ~h_in:16 ~w_in:16 ~c_out:8 ~k_h:3 ~k_w:3 ~stride:2 () in
+  Alcotest.check_raises "stride"
+    (Invalid_argument "Library_sim: winograd needs stride 1 and a square kernel") (fun () ->
+      ignore (L.cudnn_winograd arch strided))
+
+let test_winograd_beats_direct_library () =
+  (* For a 3x3 stride-1 layer the library's Winograd should beat its own
+     direct family, as on real GPUs. *)
+  let d = L.cudnn_direct arch spec_std in
+  let w = L.cudnn_winograd arch spec_std in
+  Alcotest.(check bool)
+    (Printf.sprintf "winograd %.0fus < direct %.0fus" w.runtime_us d.runtime_us)
+    true (w.runtime_us < d.runtime_us)
+
+let test_miopen_slower_direct () =
+  let cudnn = L.cudnn_direct arch spec_std in
+  let miopen = L.miopen_direct arch spec_std in
+  Alcotest.(check bool) "miopen direct path weaker" true
+    (miopen.runtime_us > cudnn.runtime_us)
+
+let test_generic_tile_fits_budget () =
+  List.iter
+    (fun a ->
+      let x, y, z = L.generic_direct_tile a spec_std in
+      Alcotest.(check bool) "positive" true (x > 0 && y > 0 && z > 0);
+      let ws =
+        Conv.Tiled_direct.working_set spec_std ~tile:{ Conv.Tiled_direct.x; y; z } ~alpha:1
+      in
+      Alcotest.(check bool) "fits block shmem" true (ws * 4 <= a.A.max_shared_mem_per_block))
+    A.all
+
+let test_faster_arch_faster_library () =
+  (* A layer big enough to saturate every device — at smaller sizes the V100
+     legitimately loses to the 1080Ti because its 80 SMs sit idle. *)
+  let big = Spec.make ~batch:4 ~c_in:256 ~h_in:112 ~w_in:112 ~c_out:128 ~k_h:3 ~k_w:3 ~pad:1 () in
+  let t1080 = (L.cudnn_direct A.gtx_1080_ti big).runtime_us in
+  let tv100 = (L.cudnn_direct A.v100 big).runtime_us in
+  let tmaxwell = (L.cudnn_direct A.titan_x big).runtime_us in
+  Alcotest.(check bool) "V100 fastest" true (tv100 < t1080);
+  Alcotest.(check bool) "Maxwell slowest" true (tmaxwell > t1080)
+
+let test_kernel_rejects_bad_arguments () =
+  let make ?(coalescing = 0.9) ?(eff = 0.9) ?(blocks = 1) ?(threads = 32) () =
+    K.make ~coalescing ~compute_efficiency:eff ~flops:1.0 ~io_elems:1.0
+      ~threads_per_block:threads ~shmem_bytes_per_block:0 ~blocks ()
+  in
+  Alcotest.check_raises "zero coalescing" (Invalid_argument "Kernel_cost.make: coalescing")
+    (fun () -> ignore (make ~coalescing:0.0 ()));
+  Alcotest.check_raises "coalescing > 1" (Invalid_argument "Kernel_cost.make: coalescing")
+    (fun () -> ignore (make ~coalescing:1.5 ()));
+  Alcotest.check_raises "zero efficiency"
+    (Invalid_argument "Kernel_cost.make: compute_efficiency") (fun () ->
+      ignore (make ~eff:0.0 ()));
+  Alcotest.check_raises "zero blocks" (Invalid_argument "Kernel_cost.make: geometry")
+    (fun () -> ignore (make ~blocks:0 ()));
+  Alcotest.check_raises "zero threads" (Invalid_argument "Kernel_cost.make: geometry")
+    (fun () -> ignore (make ~threads:0 ()))
+
+let test_measure_rejects_bad_repeat () =
+  Alcotest.check_raises "repeat 0" (Invalid_argument "Measure.runtime_avg_us: repeat < 1")
+    (fun () -> ignore (M.runtime_avg_us ~repeat:0 arch (kernel ())))
+
+let test_roofline_consistent () =
+  let k = kernel ~flops:1.0e9 ~io:1.0e7 () in
+  let r = Gpu_sim.Roofline.analyze arch k in
+  Alcotest.(check (float 1e-6)) "runtime matches cost model" (K.runtime_us arch k) r.runtime_us;
+  Alcotest.(check bool) "components positive" true (r.compute_us > 0.0 && r.memory_us > 0.0);
+  Alcotest.(check (float 1e-9)) "intensity" (1.0e9 /. (4.0 *. 1.0e7)) r.arithmetic_intensity;
+  Alcotest.(check bool) "rendering has lines" true
+    (String.split_on_char '\n' (Gpu_sim.Roofline.to_string r) |> List.length >= 6)
+
+let test_roofline_bound_classification () =
+  let mem = Gpu_sim.Roofline.analyze arch (kernel ~flops:1.0e6 ~io:4.0e8 ()) in
+  Alcotest.(check bool) "memory bound" true (mem.bound = Gpu_sim.Roofline.Memory_bound);
+  let comp = Gpu_sim.Roofline.analyze arch (kernel ~flops:8.0e9 ~io:1.0e5 ()) in
+  Alcotest.(check bool) "compute bound" true (comp.bound = Gpu_sim.Roofline.Compute_bound);
+  let tiny = Gpu_sim.Roofline.analyze arch (kernel ~flops:1.0e3 ~io:1.0e3 ~blocks:28 ()) in
+  Alcotest.(check bool) "overhead bound" true (tiny.bound = Gpu_sim.Roofline.Overhead_bound)
+
+let test_algorithm_selection_shapes () =
+  (* The simulated library's choices should mirror real cuDNN heuristics on
+     recognisable shapes. *)
+  let resnet_body = Spec.make ~c_in:64 ~h_in:56 ~w_in:56 ~c_out:64 ~k_h:3 ~k_w:3 ~pad:1 () in
+  Alcotest.(check string) "resnet body is specialised" "direct-specialised"
+    (L.cudnn_direct A.v100 resnet_body).algorithm;
+  let batched = Spec.make ~batch:8 ~c_in:256 ~h_in:56 ~w_in:56 ~c_out:64 ~k_h:3 ~k_w:3 ~pad:1 () in
+  Alcotest.(check string) "big batch goes implicit-gemm" "implicit-gemm"
+    (L.cudnn_direct A.gtx_1080_ti batched).algorithm;
+  let wino = L.cudnn_winograd A.v100 resnet_body in
+  Alcotest.(check string) "resnet winograd is specialised" "winograd-specialised" wino.algorithm
+
+let () =
+  Alcotest.run "gpu_sim"
+    [
+      ( "arch",
+        [
+          Alcotest.test_case "presets" `Quick test_arch_presets;
+          Alcotest.test_case "shared elems" `Quick test_shared_elems;
+        ] );
+      ( "occupancy",
+        [
+          Alcotest.test_case "thread limited" `Quick test_occupancy_thread_limited;
+          Alcotest.test_case "shmem limited" `Quick test_occupancy_shmem_limited;
+          Alcotest.test_case "not launchable" `Quick test_occupancy_not_launchable;
+        ] );
+      ( "kernel_cost",
+        [
+          Alcotest.test_case "memory-bound scaling" `Quick test_kernel_memory_bound_scaling;
+          Alcotest.test_case "compute-bound scaling" `Quick test_kernel_compute_bound_scaling;
+          Alcotest.test_case "coalescing matters" `Quick test_kernel_coalescing_matters;
+          Alcotest.test_case "occupancy matters" `Quick test_kernel_occupancy_matters;
+          Alcotest.test_case "utilisation ramp" `Quick test_kernel_utilisation;
+          Alcotest.test_case "gflops" `Quick test_kernel_gflops;
+        ] );
+      ( "measure",
+        [
+          Alcotest.test_case "deterministic" `Quick test_measure_deterministic;
+          Alcotest.test_case "noise bounded" `Quick test_measure_noise_bounded;
+          Alcotest.test_case "average tighter" `Quick test_measure_average_tighter;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "kernel argument validation" `Quick
+            test_kernel_rejects_bad_arguments;
+          Alcotest.test_case "measure repeat validation" `Quick test_measure_rejects_bad_repeat;
+        ] );
+      ( "roofline",
+        [
+          Alcotest.test_case "consistent with cost model" `Quick test_roofline_consistent;
+          Alcotest.test_case "bound classification" `Quick test_roofline_bound_classification;
+        ] );
+      ( "library_sim",
+        [
+          Alcotest.test_case "cudnn direct picks algorithm" `Quick
+            test_cudnn_direct_picks_an_algorithm;
+          Alcotest.test_case "winograd requires support" `Quick
+            test_cudnn_winograd_requires_support;
+          Alcotest.test_case "winograd beats direct" `Quick test_winograd_beats_direct_library;
+          Alcotest.test_case "miopen direct weaker" `Quick test_miopen_slower_direct;
+          Alcotest.test_case "generic tile fits" `Quick test_generic_tile_fits_budget;
+          Alcotest.test_case "faster arch faster library" `Quick test_faster_arch_faster_library;
+          Alcotest.test_case "algorithm selection on known shapes" `Quick
+            test_algorithm_selection_shapes;
+        ] );
+    ]

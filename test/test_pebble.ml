@@ -1,0 +1,257 @@
+(* Tests for the red-blue pebble game simulator.  The key invariants:
+
+   - with unlimited fast memory, I/O degenerates to cold loads of every used
+     input plus one store per output (compulsory traffic);
+   - shrinking S never reduces I/O (inclusion-style monotonicity holds for
+     this simulator because smaller caches only force extra evictions);
+   - the blocked (paper-dataflow) schedule beats the by-step schedule;
+   - every run performs at least the compulsory traffic. *)
+
+module G = Dag.Graph
+module P = Pebble.Pebble_game
+
+let spec =
+  { Dag.Conv_dag.w_in = 6; h_in = 6; c_in = 2; c_out = 2; w_ker = 3; h_ker = 3; stride = 1 }
+
+let dag = Dag.Conv_dag.build spec
+
+let compulsory_loads =
+  (* Every image input feeds some window for this spec; every kernel weight is
+     used; both must be loaded at least once. *)
+  Array.length dag.input_ids + Array.length dag.kernel_ids
+
+let n_outputs = Array.length dag.output_ids
+
+let run ?(policy = P.Lru) ~s schedule = P.run dag.graph ~schedule ~s ~policy
+
+let test_unlimited_memory_is_compulsory () =
+  let big = G.num_vertices dag.graph + 1 in
+  let stats = run ~s:big (Dag.Conv_dag.schedule_output_stationary dag) in
+  Alcotest.(check int) "loads = cold misses" compulsory_loads stats.loads;
+  Alcotest.(check int) "stores = outputs" n_outputs stats.stores;
+  Alcotest.(check int) "computes = all vertices"
+    (G.num_vertices dag.graph - G.num_inputs dag.graph)
+    stats.computes
+
+let test_compulsory_lower_bound () =
+  List.iter
+    (fun s ->
+      let stats = run ~s (Dag.Conv_dag.schedule_blocked dag ~bx:2 ~by:2 ~bz:1) in
+      Alcotest.(check bool) "loads >= compulsory" true (stats.loads >= compulsory_loads);
+      Alcotest.(check bool) "stores >= outputs" true (stats.stores >= n_outputs))
+    [ P.min_red dag.graph; 8; 16; 64; 256 ]
+
+let test_monotone_in_s () =
+  let io_at s = P.total_io (run ~s (Dag.Conv_dag.schedule_output_stationary dag)) in
+  let prev = ref max_int in
+  List.iter
+    (fun s ->
+      let q = io_at s in
+      Alcotest.(check bool) (Printf.sprintf "S=%d does not increase I/O" s) true (q <= !prev);
+      prev := q)
+    [ 4; 8; 16; 32; 64; 128; 512 ]
+
+let test_blocked_beats_by_step () =
+  let s = 64 in
+  let blocked = P.total_io (run ~s (Dag.Conv_dag.schedule_blocked dag ~bx:2 ~by:2 ~bz:2)) in
+  let by_step = P.total_io (run ~s (Dag.Conv_dag.schedule_by_step dag)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "blocked (%d) < by-step (%d)" blocked by_step)
+    true (blocked < by_step)
+
+let test_belady_not_worse_on_loads () =
+  (* Belady is the offline-optimal eviction for loads; it should not lose to
+     LRU on any of these cache sizes for the same schedule. *)
+  List.iter
+    (fun s ->
+      let schedule = Dag.Conv_dag.schedule_output_stationary dag in
+      let lru = run ~policy:P.Lru ~s schedule in
+      let belady = run ~policy:P.Belady ~s schedule in
+      Alcotest.(check bool)
+        (Printf.sprintf "S=%d belady loads (%d) <= lru loads (%d)" s belady.loads lru.loads)
+        true
+        (belady.loads <= lru.loads))
+    [ 8; 16; 32; 64 ]
+
+let test_rejects_bad_schedule () =
+  let schedule = Dag.Conv_dag.schedule_output_stationary dag in
+  let reversed = Array.of_list (List.rev (Array.to_list schedule)) in
+  Alcotest.check_raises "non-topological schedule"
+    (Invalid_argument "Pebble_game.run: schedule is not a topological order") (fun () ->
+      ignore (run ~s:64 reversed))
+
+let test_rejects_tiny_memory () =
+  Alcotest.check_raises "S too small"
+    (Invalid_argument "Pebble_game.run: fast memory too small") (fun () ->
+      ignore (run ~s:2 (Dag.Conv_dag.schedule_output_stationary dag)))
+
+let test_peak_red_bounded () =
+  List.iter
+    (fun s ->
+      let stats = run ~s (Dag.Conv_dag.schedule_output_stationary dag) in
+      Alcotest.(check bool) "peak <= S" true (stats.peak_red <= s))
+    [ 4; 16; 64 ]
+
+let test_winograd_dag_game () =
+  let wspec = { Dag.Winograd_dag.tiles_w = 2; tiles_h = 2; c_in = 2; c_out = 2; e = 2; r = 3 } in
+  let wdag = Dag.Winograd_dag.build wspec in
+  let compulsory = Array.length wdag.input_ids + Array.length wdag.kernel_ids in
+  let outputs = Array.length wdag.output_ids in
+  let big = G.num_vertices wdag.graph + 1 in
+  let stats = P.run wdag.graph ~schedule:(Dag.Winograd_dag.schedule_natural wdag) ~s:big ~policy:P.Lru in
+  Alcotest.(check int) "winograd cold loads" compulsory stats.loads;
+  Alcotest.(check int) "winograd stores" outputs stats.stores;
+  (* Natural (tile-by-tile) schedule beats the by-step schedule at small S. *)
+  let s = 64 in
+  let natural =
+    P.total_io (P.run wdag.graph ~schedule:(Dag.Winograd_dag.schedule_natural wdag) ~s ~policy:P.Lru)
+  in
+  let by_step =
+    P.total_io (P.run wdag.graph ~schedule:(Dag.Winograd_dag.schedule_by_step wdag) ~s ~policy:P.Lru)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "natural (%d) < by-step (%d)" natural by_step)
+    true (natural < by_step)
+
+let test_fifo_policy () =
+  List.iter
+    (fun s ->
+      let schedule = Dag.Conv_dag.schedule_output_stationary dag in
+      let fifo = run ~policy:P.Fifo ~s schedule in
+      Alcotest.(check bool) "fifo >= compulsory" true
+        (fifo.loads >= compulsory_loads && fifo.stores >= n_outputs);
+      (* Belady is offline-optimal on loads, so FIFO can never beat it. *)
+      let belady = run ~policy:P.Belady ~s schedule in
+      Alcotest.(check bool)
+        (Printf.sprintf "S=%d fifo %d >= belady %d" s fifo.loads belady.loads)
+        true
+        (fifo.loads >= belady.loads))
+    [ 8; 32; 128 ]
+
+let test_detailed_consistent () =
+  List.iter
+    (fun s ->
+      let schedule = Dag.Conv_dag.schedule_by_step dag in
+      let d = P.run_detailed dag.graph ~schedule ~s ~policy:P.Lru in
+      let plain = P.run dag.graph ~schedule ~s ~policy:P.Lru in
+      Alcotest.(check int) "totals match run" (P.total_io plain) (P.total_io d.totals);
+      Alcotest.(check int) "loads partition"
+        d.totals.loads
+        (Array.fold_left ( + ) 0 d.loads_by_step);
+      Alcotest.(check int) "stores partition"
+        d.totals.stores
+        (Array.fold_left ( + ) 0 d.stores_by_step))
+    [ 8; 64; 256 ]
+
+let test_detailed_step2_traffic_killed_by_dataflow () =
+  (* The paper's Section 5.1 argument, executed: under the by-step schedule
+     the summation step reloads spilled products (phi_2's traffic); the
+     blocked dataflow keeps partials resident and erases it. *)
+  (* At tiny S even step 1 thrashes; from S ~ 2 summation-tree widths up, the
+     spilled-partials traffic is the dominant term, as the theory predicts. *)
+  let s = 128 in
+  let by_step =
+    P.run_detailed dag.graph ~schedule:(Dag.Conv_dag.schedule_by_step dag) ~s ~policy:P.Lru
+  in
+  let blocked =
+    P.run_detailed dag.graph
+      ~schedule:(Dag.Conv_dag.schedule_blocked dag ~bx:4 ~by:4 ~bz:1)
+      ~s ~policy:P.Lru
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "by-step step-2 loads %d dominate" by_step.loads_by_step.(2))
+    true
+    (by_step.loads_by_step.(2) > by_step.loads_by_step.(1));
+  Alcotest.(check bool)
+    (Printf.sprintf "blocked step-2 loads %d vanish" blocked.loads_by_step.(2))
+    true
+    (blocked.loads_by_step.(2) * 20 < by_step.loads_by_step.(2))
+
+let test_recompute_semantics () =
+  (* A duplicate-free schedule behaves identically under both entry points. *)
+  let schedule = Dag.Conv_dag.schedule_blocked dag ~bx:2 ~by:2 ~bz:1 in
+  let plain = P.run dag.graph ~schedule ~s:32 ~policy:P.Lru in
+  let rec_ = P.run_recompute dag.graph ~schedule ~s:32 ~policy:P.Lru in
+  Alcotest.(check int) "same loads" plain.loads rec_.loads;
+  Alcotest.(check int) "same stores" plain.stores rec_.stores;
+  Alcotest.(check int) "same computes" plain.computes rec_.computes;
+  (* Incomplete or premature schedules are rejected. *)
+  let missing = Array.sub schedule 0 (Array.length schedule - 1) in
+  Alcotest.check_raises "incomplete schedule"
+    (Invalid_argument "Pebble_game.run: invalid recomputing schedule") (fun () ->
+      ignore (P.run_recompute dag.graph ~schedule:missing ~s:32 ~policy:P.Lru))
+
+let test_recompute_cuts_winograd_io () =
+  (* The paper's Section 3.1/8 point, executed: re-deriving kernel transforms
+     per tile (instead of spilling them) cuts I/O — and Theorem 4.20 survives
+     recomputation.  Belady eviction is used because LRU drowns in the
+     transform trees' transient vertices (itself a finding worth keeping). *)
+  let wspec = { Dag.Winograd_dag.tiles_w = 2; tiles_h = 2; c_in = 2; c_out = 16; e = 2; r = 3 } in
+  let wdag = Dag.Winograd_dag.build wspec in
+  let w_in, h_in = Dag.Winograd_dag.in_size wspec in
+  let conv_spec =
+    Conv.Conv_spec.make ~c_in:2 ~h_in ~w_in ~c_out:16 ~k_h:3 ~k_w:3 ()
+  in
+  List.iter
+    (fun s ->
+      let natural =
+        P.run wdag.graph ~schedule:(Dag.Winograd_dag.schedule_natural wdag) ~s
+          ~policy:P.Belady
+      in
+      let rec_ =
+        P.run_recompute wdag.graph
+          ~schedule:(Dag.Winograd_dag.schedule_recompute_transforms wdag)
+          ~s ~policy:P.Belady
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "S=%d recompute %d < natural %d" s (P.total_io rec_)
+           (P.total_io natural))
+        true
+        (P.total_io rec_ < P.total_io natural);
+      Alcotest.(check bool) "arithmetic traded" true (rec_.computes > natural.computes);
+      let bound = Core.Winograd_bound.q_lower ~e:2 conv_spec ~s:(float_of_int s) in
+      Alcotest.(check bool)
+        (Printf.sprintf "S=%d bound %.0f holds under recomputation (%d)" s bound
+           (P.total_io rec_))
+        true
+        (float_of_int (P.total_io rec_) >= bound))
+    [ 96; 192 ]
+
+let qcheck_io_sane =
+  QCheck.Test.make ~name:"I/O bounded below by compulsory traffic" ~count:15
+    QCheck.(pair (int_range 6 128) bool)
+    (fun (s, use_belady) ->
+      let s = max s (P.min_red dag.graph) in
+      let policy = if use_belady then P.Belady else P.Lru in
+      let stats =
+        P.run dag.graph
+          ~schedule:(Dag.Conv_dag.schedule_blocked dag ~bx:2 ~by:2 ~bz:1)
+          ~s ~policy
+      in
+      stats.loads >= compulsory_loads && stats.stores >= n_outputs)
+
+let () =
+  Alcotest.run "pebble"
+    [
+      ( "game",
+        [
+          Alcotest.test_case "unlimited memory = compulsory traffic" `Quick
+            test_unlimited_memory_is_compulsory;
+          Alcotest.test_case "compulsory lower bound" `Quick test_compulsory_lower_bound;
+          Alcotest.test_case "monotone in S" `Quick test_monotone_in_s;
+          Alcotest.test_case "blocked beats by-step" `Quick test_blocked_beats_by_step;
+          Alcotest.test_case "belady loads <= lru loads" `Quick test_belady_not_worse_on_loads;
+          Alcotest.test_case "rejects bad schedule" `Quick test_rejects_bad_schedule;
+          Alcotest.test_case "rejects tiny memory" `Quick test_rejects_tiny_memory;
+          Alcotest.test_case "peak red bounded" `Quick test_peak_red_bounded;
+          Alcotest.test_case "winograd DAG game" `Quick test_winograd_dag_game;
+          Alcotest.test_case "fifo policy" `Quick test_fifo_policy;
+          Alcotest.test_case "detailed attribution consistent" `Quick test_detailed_consistent;
+          Alcotest.test_case "dataflow kills step-2 traffic" `Quick
+            test_detailed_step2_traffic_killed_by_dataflow;
+          Alcotest.test_case "recompute semantics" `Quick test_recompute_semantics;
+          Alcotest.test_case "recomputation cuts Winograd I/O (bound holds)" `Quick
+            test_recompute_cuts_winograd_io;
+          QCheck_alcotest.to_alcotest qcheck_io_sane;
+        ] );
+    ]

@@ -1,0 +1,192 @@
+(* Tests for the tensor library: shapes and strides, layouts, dense tensor
+   accessors, elementwise operations and the matmul kernels. *)
+
+let shape l = Tensor.Shape.of_list l
+
+let test_shape_numel () =
+  Alcotest.(check int) "numel" 24 (Tensor.Shape.numel (shape [ 2; 3; 4 ]))
+
+let test_shape_strides () =
+  Alcotest.(check (array int)) "strides" [| 12; 4; 1 |] (Tensor.Shape.strides (shape [ 2; 3; 4 ]))
+
+let test_shape_offset () =
+  let s = shape [ 2; 3; 4 ] in
+  Alcotest.(check int) "offset" ((1 * 12) + (2 * 4) + 3) (Tensor.Shape.offset s [| 1; 2; 3 |])
+
+let test_shape_invalid () =
+  Alcotest.check_raises "empty" (Invalid_argument "Shape.of_list: empty shape") (fun () ->
+      ignore (shape []));
+  Alcotest.check_raises "non-positive" (Invalid_argument "Shape.of_list: non-positive dim")
+    (fun () -> ignore (shape [ 2; 0 ]))
+
+let test_shape_equal () =
+  Alcotest.(check bool) "equal" true (Tensor.Shape.equal (shape [ 2; 3 ]) (shape [ 2; 3 ]));
+  Alcotest.(check bool) "not equal" false (Tensor.Shape.equal (shape [ 2; 3 ]) (shape [ 3; 2 ]))
+
+let test_layout_roundtrip () =
+  List.iter
+    (fun l ->
+      match Tensor.Layout.of_string (Tensor.Layout.to_string l) with
+      | Some l' -> Alcotest.(check bool) "roundtrip" true (l = l')
+      | None -> Alcotest.fail "roundtrip failed")
+    Tensor.Layout.all
+
+let test_layout_bijective () =
+  (* Every layout must index each element of a small tensor exactly once. *)
+  List.iter
+    (fun layout ->
+      let channels = 3 and height = 4 and width = 5 in
+      let seen = Array.make (channels * height * width) false in
+      for c = 0 to channels - 1 do
+        for h = 0 to height - 1 do
+          for w = 0 to width - 1 do
+            let i = Tensor.Layout.index layout ~c ~h ~w ~channels ~height ~width in
+            Alcotest.(check bool) "fresh offset" false seen.(i);
+            seen.(i) <- true
+          done
+        done
+      done;
+      Alcotest.(check bool) "all covered" true (Array.for_all Fun.id seen))
+    Tensor.Layout.all
+
+let test_layout_innermost () =
+  Alcotest.(check bool) "CHW w-contiguous" true Tensor.Layout.(innermost_is_width CHW);
+  Alcotest.(check bool) "HWC not w-contiguous" false Tensor.Layout.(innermost_is_width HWC)
+
+let test_tensor_get_set () =
+  let t = Tensor.create (shape [ 2; 3 ]) in
+  Tensor.set t [| 1; 2 |] 5.0;
+  Alcotest.(check (float 0.0)) "set/get" 5.0 (Tensor.get t [| 1; 2 |]);
+  Alcotest.(check (float 0.0)) "flat view" 5.0 (Tensor.get_flat t 5)
+
+let test_tensor_init () =
+  let t = Tensor.init (shape [ 2; 2 ]) (fun idx -> float_of_int ((10 * idx.(0)) + idx.(1))) in
+  Alcotest.(check (float 0.0)) "init 00" 0.0 (Tensor.get t [| 0; 0 |]);
+  Alcotest.(check (float 0.0)) "init 11" 11.0 (Tensor.get t [| 1; 1 |])
+
+let test_tensor_of_array_mismatch () =
+  Alcotest.check_raises "length mismatch" (Invalid_argument "Tensor.of_array: length mismatch")
+    (fun () -> ignore (Tensor.of_array (shape [ 2; 2 ]) [| 1.0 |]))
+
+let test_tensor_copy_independent () =
+  let t = Tensor.create (shape [ 2 ]) in
+  let u = Tensor.copy t in
+  Tensor.set_flat u 0 9.0;
+  Alcotest.(check (float 0.0)) "copy is independent" 0.0 (Tensor.get_flat t 0)
+
+let test_tensor_random_range () =
+  let rng = Util.Rng.create 1 in
+  let t = Tensor.random rng (shape [ 100 ]) in
+  Alcotest.(check bool) "in [-1,1)" true
+    (Tensor.fold (fun acc x -> acc && x >= -1.0 && x < 1.0) true t)
+
+let test_ops_elementwise () =
+  let a = Tensor.of_array (shape [ 3 ]) [| 1.0; 2.0; 3.0 |] in
+  let b = Tensor.of_array (shape [ 3 ]) [| 4.0; 5.0; 6.0 |] in
+  Alcotest.(check (float 0.0)) "add" 9.0 (Tensor.get_flat (Tensor.Ops.add a b) 2);
+  Alcotest.(check (float 0.0)) "sub" (-3.0) (Tensor.get_flat (Tensor.Ops.sub a b) 0);
+  Alcotest.(check (float 0.0)) "mul" 10.0 (Tensor.get_flat (Tensor.Ops.mul a b) 1);
+  Alcotest.(check (float 0.0)) "scale" 6.0 (Tensor.get_flat (Tensor.Ops.scale 2.0 a) 2)
+
+let test_ops_add_inplace () =
+  let a = Tensor.of_array (shape [ 2 ]) [| 1.0; 2.0 |] in
+  let b = Tensor.of_array (shape [ 2 ]) [| 10.0; 20.0 |] in
+  Tensor.Ops.add_inplace ~dst:a b;
+  Alcotest.(check (float 0.0)) "accumulated" 22.0 (Tensor.get_flat a 1)
+
+let test_ops_matmul_identity () =
+  let a = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let id = [| 1.0; 0.0; 0.0; 1.0 |] in
+  let c = Tensor.Ops.matmul ~a ~b:id ~m:2 ~k:2 ~n:2 in
+  Alcotest.(check (array (float 0.0))) "A*I = A" a c
+
+let test_ops_matmul_known () =
+  (* [[1 2];[3 4]] * [[5 6];[7 8]] = [[19 22];[43 50]] *)
+  let a = [| 1.0; 2.0; 3.0; 4.0 |] and b = [| 5.0; 6.0; 7.0; 8.0 |] in
+  let c = Tensor.Ops.matmul ~a ~b ~m:2 ~k:2 ~n:2 in
+  Alcotest.(check (array (float 0.0))) "known product" [| 19.0; 22.0; 43.0; 50.0 |] c
+
+let test_ops_matmul_t_agrees () =
+  let rng = Util.Rng.create 2 in
+  let m = 3 and k = 4 and n = 5 in
+  let a = Array.init (m * k) (fun _ -> Util.Rng.float rng 1.0) in
+  let b = Array.init (k * n) (fun _ -> Util.Rng.float rng 1.0) in
+  let bt = Tensor.Ops.transpose b ~rows:k ~cols:n in
+  let c1 = Tensor.Ops.matmul ~a ~b ~m ~k ~n in
+  let c2 = Tensor.Ops.matmul_t ~a ~bt ~m ~k ~n in
+  Array.iteri
+    (fun i x -> Alcotest.(check (float 1e-9)) "matmul_t agrees" x c2.(i))
+    c1
+
+let test_ops_transpose_involution () =
+  let a = Array.init 12 float_of_int in
+  let tt = Tensor.Ops.(transpose (transpose a ~rows:3 ~cols:4) ~rows:4 ~cols:3) in
+  Alcotest.(check (array (float 0.0))) "transpose^2 = id" a tt
+
+let test_allclose () =
+  let a = Tensor.of_array (shape [ 2 ]) [| 1.0; 2.0 |] in
+  let b = Tensor.of_array (shape [ 2 ]) [| 1.0 +. 1e-8; 2.0 |] in
+  Alcotest.(check bool) "close" true (Tensor.allclose a b);
+  let c = Tensor.of_array (shape [ 2 ]) [| 1.5; 2.0 |] in
+  Alcotest.(check bool) "far" false (Tensor.allclose a c)
+
+let test_max_abs_diff () =
+  let a = Tensor.of_array (shape [ 2 ]) [| 1.0; 5.0 |] in
+  let b = Tensor.of_array (shape [ 2 ]) [| 2.0; 3.0 |] in
+  Alcotest.(check (float 0.0)) "max abs diff" 2.0 (Tensor.max_abs_diff a b)
+
+let qcheck_matmul_assoc =
+  QCheck.Test.make ~name:"matmul is associative (2x2)" ~count:100
+    QCheck.(array_of_size (QCheck.Gen.return 12) (float_range (-4.) 4.))
+    (fun xs ->
+      let a = Array.sub xs 0 4 and b = Array.sub xs 4 4 and c = Array.sub xs 8 4 in
+      let mm x y = Tensor.Ops.matmul ~a:x ~b:y ~m:2 ~k:2 ~n:2 in
+      let left = mm (mm a b) c and right = mm a (mm b c) in
+      Array.for_all2 (fun x y -> Float.abs (x -. y) < 1e-6) left right)
+
+let qcheck_dot_symmetric =
+  QCheck.Test.make ~name:"dot is symmetric" ~count:100
+    QCheck.(array_of_size (QCheck.Gen.return 16) (float_range (-4.) 4.))
+    (fun xs ->
+      let a = Array.sub xs 0 8 and b = Array.sub xs 8 8 in
+      Float.abs (Tensor.Ops.dot a b -. Tensor.Ops.dot b a) < 1e-9)
+
+let () =
+  Alcotest.run "tensor"
+    [
+      ( "shape",
+        [
+          Alcotest.test_case "numel" `Quick test_shape_numel;
+          Alcotest.test_case "strides" `Quick test_shape_strides;
+          Alcotest.test_case "offset" `Quick test_shape_offset;
+          Alcotest.test_case "invalid" `Quick test_shape_invalid;
+          Alcotest.test_case "equal" `Quick test_shape_equal;
+        ] );
+      ( "layout",
+        [
+          Alcotest.test_case "string roundtrip" `Quick test_layout_roundtrip;
+          Alcotest.test_case "bijective indexing" `Quick test_layout_bijective;
+          Alcotest.test_case "innermost axis" `Quick test_layout_innermost;
+        ] );
+      ( "dense",
+        [
+          Alcotest.test_case "get/set" `Quick test_tensor_get_set;
+          Alcotest.test_case "init" `Quick test_tensor_init;
+          Alcotest.test_case "of_array mismatch" `Quick test_tensor_of_array_mismatch;
+          Alcotest.test_case "copy independence" `Quick test_tensor_copy_independent;
+          Alcotest.test_case "random range" `Quick test_tensor_random_range;
+          Alcotest.test_case "allclose" `Quick test_allclose;
+          Alcotest.test_case "max_abs_diff" `Quick test_max_abs_diff;
+        ] );
+      ( "ops",
+        [
+          Alcotest.test_case "elementwise" `Quick test_ops_elementwise;
+          Alcotest.test_case "add_inplace" `Quick test_ops_add_inplace;
+          Alcotest.test_case "matmul identity" `Quick test_ops_matmul_identity;
+          Alcotest.test_case "matmul known" `Quick test_ops_matmul_known;
+          Alcotest.test_case "matmul_t agrees" `Quick test_ops_matmul_t_agrees;
+          Alcotest.test_case "transpose involution" `Quick test_ops_transpose_involution;
+          QCheck_alcotest.to_alcotest qcheck_matmul_assoc;
+          QCheck_alcotest.to_alcotest qcheck_dot_symmetric;
+        ] );
+    ]

@@ -1,0 +1,242 @@
+(* Unit and property tests for the util library: Rng determinism and
+   distribution sanity, Stats numerics, Parallel equivalence with sequential
+   execution, Table rendering. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_rng_deterministic () =
+  let a = Util.Rng.create 42 and b = Util.Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Util.Rng.int64 a) (Util.Rng.int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Util.Rng.create 1 and b = Util.Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Util.Rng.int64 a <> Util.Rng.int64 b then differs := true
+  done;
+  Alcotest.(check bool) "streams differ" true !differs
+
+let test_rng_int_range () =
+  let rng = Util.Rng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Util.Rng.int rng 13 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 13)
+  done
+
+let test_rng_float_range () =
+  let rng = Util.Rng.create 8 in
+  for _ = 1 to 1000 do
+    let x = Util.Rng.float rng 3.5 in
+    Alcotest.(check bool) "in range" true (x >= 0.0 && x < 3.5)
+  done
+
+let test_rng_split_independent () =
+  let parent = Util.Rng.create 5 in
+  let child = Util.Rng.split parent in
+  let a = Util.Rng.int64 parent and b = Util.Rng.int64 child in
+  Alcotest.(check bool) "split streams differ" true (a <> b)
+
+let test_rng_mean () =
+  let rng = Util.Rng.create 11 in
+  let xs = Array.init 20_000 (fun _ -> Util.Rng.float rng 1.0) in
+  let m = Util.Stats.mean xs in
+  Alcotest.(check bool) "uniform mean near 0.5" true (Float.abs (m -. 0.5) < 0.02)
+
+let test_rng_gaussian_moments () =
+  let rng = Util.Rng.create 12 in
+  let xs = Array.init 20_000 (fun _ -> Util.Rng.gaussian rng) in
+  Alcotest.(check bool) "mean near 0" true (Float.abs (Util.Stats.mean xs) < 0.05);
+  Alcotest.(check bool) "stddev near 1" true (Float.abs (Util.Stats.stddev xs -. 1.0) < 0.05)
+
+let test_shuffle_permutation () =
+  let rng = Util.Rng.create 3 in
+  let a = Array.init 50 Fun.id in
+  Util.Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation" (Array.init 50 Fun.id) sorted
+
+let test_stats_mean () = check_float "mean" 2.5 (Util.Stats.mean [| 1.0; 2.0; 3.0; 4.0 |])
+
+let test_stats_geomean () =
+  check_float "geomean" 2.0 (Util.Stats.geomean [| 1.0; 2.0; 4.0 |])
+
+let test_stats_median_odd () =
+  check_float "median odd" 3.0 (Util.Stats.median [| 5.0; 1.0; 3.0 |])
+
+let test_stats_median_even () =
+  check_float "median even" 2.5 (Util.Stats.median [| 4.0; 1.0; 2.0; 3.0 |])
+
+let test_stats_percentile () =
+  let xs = [| 0.0; 10.0 |] in
+  check_float "p0" 0.0 (Util.Stats.percentile xs 0.0);
+  check_float "p100" 10.0 (Util.Stats.percentile xs 100.0);
+  check_float "p25" 2.5 (Util.Stats.percentile xs 25.0)
+
+let test_stats_stddev () =
+  check_float "stddev" 2.0 (Util.Stats.stddev [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |])
+
+let test_stats_minmax_argmin () =
+  let xs = [| 3.0; -1.0; 7.0 |] in
+  let lo, hi = Util.Stats.min_max xs in
+  check_float "min" (-1.0) lo;
+  check_float "max" 7.0 hi;
+  Alcotest.(check int) "argmin" 1 (Util.Stats.argmin xs)
+
+let test_stats_rmse () =
+  check_float "rmse" 1.0 (Util.Stats.rmse [| 1.0; 2.0 |] [| 2.0; 1.0 |])
+
+let test_parallel_recommended_domains () =
+  let d = Util.Parallel.recommended_domains () in
+  Alcotest.(check bool) "within [1, 8]" true (d >= 1 && d <= 8)
+
+let test_parallel_for_matches_sequential () =
+  let n = 1000 in
+  let seq = Array.make n 0 and par = Array.make n 0 in
+  for i = 0 to n - 1 do
+    seq.(i) <- i * i
+  done;
+  Util.Parallel.for_ ~domains:4 0 n (fun i -> par.(i) <- i * i);
+  Alcotest.(check (array int)) "same results" seq par
+
+let test_parallel_map () =
+  let a = Array.init 100 Fun.id in
+  let doubled = Util.Parallel.map ~domains:3 a (fun x -> 2 * x) in
+  Alcotest.(check (array int)) "map" (Array.map (fun x -> 2 * x) a) doubled
+
+let test_parallel_reduce () =
+  let total = Util.Parallel.reduce ~domains:4 0 101 ~init:0 Fun.id ( + ) in
+  Alcotest.(check int) "sum 0..100" 5050 total
+
+let test_parallel_empty_range () =
+  Util.Parallel.for_ ~domains:4 5 5 (fun _ -> Alcotest.fail "must not run");
+  let r = Util.Parallel.reduce ~domains:4 5 5 ~init:7 (fun _ -> 0) ( + ) in
+  Alcotest.(check int) "reduce empty" 7 r
+
+let test_table_render () =
+  let t = Util.Table.create [ "a"; "bee" ] in
+  Util.Table.add_row t [ "1"; "2" ];
+  Util.Table.add_row t [ "10"; "20" ];
+  let tmp = Filename.temp_file "table" ".txt" in
+  let oc = open_out tmp in
+  Util.Table.print ~out:oc t;
+  close_out oc;
+  let ic = open_in tmp in
+  let first = input_line ic in
+  close_in ic;
+  Sys.remove tmp;
+  Alcotest.(check string) "header row" "| a  | bee |" first
+
+let test_table_cells () =
+  Alcotest.(check string) "cell_f" "3.14" (Util.Table.cell_f 3.14159);
+  Alcotest.(check string) "cell_sci" "1.00e+06" (Util.Table.cell_sci 1_000_000.0)
+
+let test_float32_round () =
+  Alcotest.(check (float 0.0)) "exact values unchanged" 0.5 (Util.Float32.round 0.5);
+  Alcotest.(check (float 0.0)) "integers unchanged" 12345.0 (Util.Float32.round 12345.0);
+  let x = 0.1 in
+  let r = Util.Float32.round x in
+  Alcotest.(check bool) "0.1 is inexact in binary32" true (r <> x);
+  Alcotest.(check bool) "relative error within epsilon" true
+    (Float.abs (r -. x) /. x <= Util.Float32.machine_epsilon);
+  let a = [| 0.1; 0.25; 1.0 /. 3.0 |] in
+  let b = Util.Float32.round_array a in
+  Alcotest.(check (float 0.0)) "0.25 exact" 0.25 b.(1);
+  Util.Float32.round_inplace a;
+  Alcotest.(check (array (float 0.0))) "inplace = array" b a
+
+let test_csv_escape () =
+  Alcotest.(check string) "plain" "abc" (Util.Csv.escape "abc");
+  Alcotest.(check string) "comma" "\"a,b\"" (Util.Csv.escape "a,b");
+  Alcotest.(check string) "quote" "\"a\"\"b\"" (Util.Csv.escape "a\"b");
+  Alcotest.(check string) "row" "a,\"b,c\",d" (Util.Csv.row_to_string [ "a"; "b,c"; "d" ])
+
+let test_csv_write_and_table_export () =
+  let path = Filename.temp_file "table" ".csv" in
+  let t = Util.Table.create [ "name"; "value" ] in
+  Util.Table.add_row t [ "speed,up"; "1.5" ];
+  Util.Table.add_row t [ "plain"; "2" ];
+  Util.Table.to_csv t path;
+  let ic = open_in path in
+  let l1 = input_line ic and l2 = input_line ic and l3 = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "header" "name,value" l1;
+  Alcotest.(check string) "quoted row" "\"speed,up\",1.5" l2;
+  Alcotest.(check string) "plain row" "plain,2" l3
+
+let qcheck_float32_idempotent =
+  QCheck.Test.make ~name:"float32 rounding is idempotent" ~count:200
+    QCheck.(float_range (-1e6) 1e6)
+    (fun x ->
+      let r = Util.Float32.round x in
+      Util.Float32.round r = r)
+
+let qcheck_percentile_monotone =
+  QCheck.Test.make ~name:"percentile is monotone in p" ~count:200
+    QCheck.(pair (array_of_size Gen.(int_range 1 20) (float_range (-100.) 100.)) (pair (float_range 0. 100.) (float_range 0. 100.)))
+    (fun (xs, (p1, p2)) ->
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+      Util.Stats.percentile xs lo <= Util.Stats.percentile xs hi +. 1e-9)
+
+let qcheck_mean_bounds =
+  QCheck.Test.make ~name:"mean lies within min/max" ~count:200
+    QCheck.(array_of_size Gen.(int_range 1 30) (float_range (-50.) 50.))
+    (fun xs ->
+      let lo, hi = Util.Stats.min_max xs in
+      let m = Util.Stats.mean xs in
+      m >= lo -. 1e-9 && m <= hi +. 1e-9)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "int range" `Quick test_rng_int_range;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "uniform mean" `Quick test_rng_mean;
+          Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+          Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_stats_mean;
+          Alcotest.test_case "geomean" `Quick test_stats_geomean;
+          Alcotest.test_case "median odd" `Quick test_stats_median_odd;
+          Alcotest.test_case "median even" `Quick test_stats_median_even;
+          Alcotest.test_case "percentile endpoints" `Quick test_stats_percentile;
+          Alcotest.test_case "stddev" `Quick test_stats_stddev;
+          Alcotest.test_case "min/max/argmin" `Quick test_stats_minmax_argmin;
+          Alcotest.test_case "rmse" `Quick test_stats_rmse;
+          QCheck_alcotest.to_alcotest qcheck_percentile_monotone;
+          QCheck_alcotest.to_alcotest qcheck_mean_bounds;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "recommended domains" `Quick test_parallel_recommended_domains;
+          Alcotest.test_case "for_ matches sequential" `Quick test_parallel_for_matches_sequential;
+          Alcotest.test_case "map" `Quick test_parallel_map;
+          Alcotest.test_case "reduce" `Quick test_parallel_reduce;
+          Alcotest.test_case "empty range" `Quick test_parallel_empty_range;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "cells" `Quick test_table_cells;
+        ] );
+      ( "float32",
+        [
+          Alcotest.test_case "rounding" `Quick test_float32_round;
+          QCheck_alcotest.to_alcotest qcheck_float32_idempotent;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "escaping" `Quick test_csv_escape;
+          Alcotest.test_case "write + table export" `Quick test_csv_write_and_table_export;
+        ] );
+    ]
