@@ -1,0 +1,161 @@
+(* Multicore tuning-engine scaling benchmark.
+
+   Usage:
+     dune exec bench/scaling.exe            full sweep over 1/2/4/8 domains on a
+                                            ResNet-style layer set; verifies the
+                                            parallel results are bit-identical to
+                                            the sequential run and writes
+                                            BENCH_tuning_scaling.json to the cwd
+     dune exec bench/scaling.exe -- smoke   <10s sanity check (no file output):
+                                            asserts tune/explore at several
+                                            domain counts reproduce the
+                                            sequential result at a fixed seed
+
+   The smoke mode backs the [@bench-smoke] dune alias so CI can gate on
+   parallel == sequential cheaply. *)
+
+let arch = Gpu_sim.Arch.v100
+
+(* ResNet conv stages: channel/resolution pairs from the stage entry layers. *)
+let layers =
+  [
+    ("resnet-conv2", Conv.Conv_spec.make ~c_in:64 ~h_in:56 ~w_in:56 ~c_out:64 ~k_h:3 ~k_w:3 ~pad:1 ());
+    ("resnet-conv3", Conv.Conv_spec.make ~c_in:128 ~h_in:28 ~w_in:28 ~c_out:128 ~k_h:3 ~k_w:3 ~pad:1 ());
+    ("resnet-conv4", Conv.Conv_spec.make ~c_in:256 ~h_in:14 ~w_in:14 ~c_out:256 ~k_h:3 ~k_w:3 ~pad:1 ());
+  ]
+
+let domain_counts = [ 1; 2; 4; 8 ]
+
+let tune_layers ~domains ~max_measurements ~seed specs =
+  (* Workers idle on a condition variable when unused, so growing the shared
+     pool for the largest sweep point does not slow the smaller ones. *)
+  Util.Pool.ensure_workers (Util.Pool.default ()) (domains - 1);
+  List.map
+    (fun (name, spec) ->
+      let space = Core.Search_space.make arch spec Core.Config.Direct_dataflow in
+      let result = Core.Tuner.tune ~seed ~max_measurements ~domains ~space () in
+      (name, result))
+    specs
+
+let check_identical ~domains (baseline : (string * Core.Tuner.result) list)
+    (candidate : (string * Core.Tuner.result) list) =
+  List.iter2
+    (fun (name, (a : Core.Tuner.result)) (_, (b : Core.Tuner.result)) ->
+      if
+        a.best_config <> b.best_config
+        || a.best_runtime_us <> b.best_runtime_us
+        || a.measurements <> b.measurements
+        || a.history <> b.history
+      then begin
+        Printf.eprintf
+          "FAIL: %s at domains=%d diverged from the sequential run (best %.4f vs %.4f us)\n"
+          name domains b.best_runtime_us a.best_runtime_us;
+        exit 1
+      end)
+    baseline candidate
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)
+
+let json_escape = String.map (fun c -> if c = '"' || c = '\\' then '_' else c)
+
+let full () =
+  let seed = 0 and max_measurements = 400 in
+  let host_cores = Domain.recommended_domain_count () in
+  Printf.printf "Tuning scaling sweep: %d layers x %d measurements, host cores %d\n%!"
+    (List.length layers) max_measurements host_cores;
+  let runs =
+    List.map
+      (fun domains ->
+        let results, wall =
+          time (fun () -> tune_layers ~domains ~max_measurements ~seed layers)
+        in
+        Printf.printf "  domains=%d  wall %.2fs\n%!" domains wall;
+        (domains, wall, results))
+      domain_counts
+  in
+  let _, base_wall, baseline = List.hd runs in
+  List.iter (fun (domains, _, results) -> check_identical ~domains baseline results) runs;
+  print_endline "  all domain counts reproduce the sequential results bit-identically";
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"bench\": \"tuning_scaling\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"seed\": %d,\n" seed);
+  Buffer.add_string buf (Printf.sprintf "  \"max_measurements_per_layer\": %d,\n" max_measurements);
+  Buffer.add_string buf (Printf.sprintf "  \"host_recommended_domains\": %d,\n" host_cores);
+  Buffer.add_string buf "  \"layers\": [";
+  List.iteri
+    (fun i (name, spec) ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf
+        (Printf.sprintf "{\"name\": \"%s\", \"spec\": \"%s\"}" (json_escape name)
+           (json_escape (Conv.Conv_spec.to_string spec))))
+    layers;
+  Buffer.add_string buf "],\n  \"results\": [\n";
+  List.iteri
+    (fun i (domains, wall, results) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      let best =
+        List.map
+          (fun (name, (r : Core.Tuner.result)) ->
+            Printf.sprintf "{\"layer\": \"%s\", \"best_us\": %.4f, \"measurements\": %d}"
+              (json_escape name) r.best_runtime_us r.measurements)
+          results
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"domains\": %d, \"wall_s\": %.4f, \"speedup_vs_sequential\": %.3f,\n     \"layers\": [%s]}"
+           domains wall (base_wall /. wall) (String.concat ", " best)))
+    runs;
+  Buffer.add_string buf "\n  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"note\": \"identical best config/runtime/history at every domain count; \
+        wall-clock measured on a host whose recommended domain count is %d — \
+        speedup above 1 requires more physical cores, so on a 1-core host the \
+        sweep reports the coordination overhead instead\"\n}\n"
+       host_cores);
+  let oc = open_out "BENCH_tuning_scaling.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  print_endline "wrote BENCH_tuning_scaling.json"
+
+let smoke () =
+  let spec = Conv.Conv_spec.make ~c_in:16 ~h_in:14 ~w_in:14 ~c_out:16 ~k_h:3 ~k_w:3 ~pad:1 () in
+  let smoke_layers = [ ("smoke", spec) ] in
+  let baseline = tune_layers ~domains:1 ~max_measurements:60 ~seed:11 smoke_layers in
+  List.iter
+    (fun domains ->
+      check_identical ~domains baseline
+        (tune_layers ~domains ~max_measurements:60 ~seed:11 smoke_layers))
+    [ 2; 4 ];
+  (* The explorer alone, too: candidate rankings must be domain-invariant. *)
+  let space = Core.Search_space.make arch spec Core.Config.Direct_dataflow in
+  let model = Core.Cost_model.create spec in
+  let mrng = Util.Rng.create 3 in
+  for _ = 1 to 32 do
+    let cfg = Core.Search_space.sample space mrng in
+    Core.Cost_model.add_measurement model cfg (Core.Tuner.measure_config arch spec cfg)
+  done;
+  Core.Cost_model.retrain model;
+  let ranking domains =
+    Core.Explorer.explore ~domains ~space ~model ~rng:(Util.Rng.create 7) ~starts:[] ()
+  in
+  let sequential = ranking 1 in
+  List.iter
+    (fun domains ->
+      if ranking domains <> sequential then begin
+        Printf.eprintf "FAIL: explorer ranking diverged at domains=%d\n" domains;
+        exit 1
+      end)
+    [ 2; 4; 8 ];
+  print_endline "bench-smoke OK: parallel tuner and explorer reproduce sequential results"
+
+let () =
+  match Array.to_list Sys.argv |> List.tl with
+  | [] -> full ()
+  | [ "smoke" ] -> smoke ()
+  | _ ->
+    prerr_endline "usage: scaling.exe [smoke]";
+    exit 1

@@ -1,3 +1,7 @@
+(* All three executors chunk their flattened block ranges over
+   [Util.Parallel], which since the pool rewrite reuses the persistent
+   [Util.Pool.default] workers instead of spawning domains per call. *)
+
 let tiled_direct ?domains (spec : Conv_spec.t) ~tile ~input ~weights =
   let domains = Option.value domains ~default:(Util.Parallel.recommended_domains ()) in
   let output = Tensor.create (Conv_spec.output_shape spec) in

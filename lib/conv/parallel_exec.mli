@@ -4,8 +4,10 @@
     sub-blocks — the paper's [N_p] processors each own disjoint blocks and
     their partial sums never interact.  These entry points run the same
     block arithmetic as [Tiled_direct.run] / [Tiled_winograd.run] but fan the
-    blocks out over OCaml 5 domains; outputs land in disjoint regions of the
-    result tensor so no synchronisation beyond the final join is needed.
+    blocks out over the persistent worker pool ([Util.Pool.default], via
+    [Util.Parallel.for_]), so repeated kernel launches pay no per-call
+    [Domain.spawn]; outputs land in disjoint regions of the result tensor so
+    no synchronisation beyond the final completion latch is needed.
 
     The I/O tallies are identical to the sequential runs by construction
     ([io_only] is deterministic in the tile), which the tests check alongside

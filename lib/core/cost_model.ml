@@ -12,9 +12,9 @@ let add_measurement t cfg runtime_us =
 
 let n_samples t = Gbt.Dataset.length t.data
 
-let retrain ?rng t =
+let retrain ?rng ?domains t =
   if Gbt.Dataset.length t.data > 0 then
-    t.booster <- Some (Gbt.Booster.train ?rng Gbt.Booster.default_params t.data)
+    t.booster <- Some (Gbt.Booster.train ?rng ?domains Gbt.Booster.default_params t.data)
 
 let predict_runtime_us t cfg =
   match t.booster with

@@ -15,8 +15,10 @@ val add_measurement : t -> Config.t -> float -> unit
 
 val n_samples : t -> int
 
-val retrain : ?rng:Util.Rng.t -> t -> unit
-(** Refits the booster on everything measured so far; no-op when empty. *)
+val retrain : ?rng:Util.Rng.t -> ?domains:int -> t -> unit
+(** Refits the booster on everything measured so far; no-op when empty.
+    [domains] is forwarded to [Gbt.Booster.train]; the refit model is
+    bit-identical at every domain count. *)
 
 val predict_runtime_us : t -> Config.t -> float
 (** Predicted runtime; a large constant before any training. *)

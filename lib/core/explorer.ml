@@ -1,15 +1,21 @@
-let explore ?(n_walks = 12) ?(walk_len = 40) ?(escape_probability = 0.05) ~space ~model ~rng
-    ~starts () =
+let explore ?(n_walks = 12) ?(walk_len = 40) ?(escape_probability = 0.05) ?domains ~space
+    ~model ~rng ~starts () =
   if n_walks < 1 || walk_len < 0 then invalid_arg "Explorer.explore";
+  let domains = Option.value domains ~default:(Util.Parallel.recommended_domains ()) in
   let starts = Array.of_list starts in
-  let results = Hashtbl.create 64 in
-  let remember cfg cost =
-    let key = Config.to_string cfg in
-    match Hashtbl.find_opt results key with
-    | Some (_, best) when best <= cost -> ()
-    | _ -> Hashtbl.replace results key (cfg, cost)
-  in
-  for walk = 0 to n_walks - 1 do
+  (* One draw from the caller's stream seeds every walk: walk [w] owns the
+     independent stream [create (base + w)], so walks never share rng state
+     and the outcome cannot depend on how they are scheduled over domains. *)
+  let base_seed = Int64.to_int (Util.Rng.int64 rng) in
+  let run_walk walk =
+    let rng = Util.Rng.create (base_seed + walk) in
+    let visited = Hashtbl.create 32 in
+    let remember cfg cost =
+      let key = Config.to_string cfg in
+      match Hashtbl.find_opt visited key with
+      | Some (_, best) when best <= cost -> ()
+      | _ -> Hashtbl.replace visited key (cfg, cost)
+    in
     let start =
       if walk < Array.length starts then starts.(walk) else Search_space.sample space rng
     in
@@ -24,8 +30,23 @@ let explore ?(n_walks = 12) ?(walk_len = 40) ?(escape_probability = 0.05) ~space
         current_cost := cost
       end;
       remember candidate cost
-    done
-  done;
-  Hashtbl.fold (fun _ entry acc -> entry :: acc) results []
-  |> List.sort (fun (_, a) (_, b) -> compare a b)
-  |> List.map fst
+    done;
+    visited
+  in
+  let per_walk = Util.Parallel.mapi ~domains (Array.init n_walks Fun.id) (fun _ w -> run_walk w) in
+  (* Merge the per-walk tables in walk order, then break cost ties on the
+     config key: the ranking is identical for every domain count. *)
+  let results = Hashtbl.create 64 in
+  Array.iter
+    (fun visited ->
+      Hashtbl.iter
+        (fun key ((_, cost) as entry) ->
+          match Hashtbl.find_opt results key with
+          | Some (_, best) when best <= cost -> ()
+          | _ -> Hashtbl.replace results key entry)
+        visited)
+    per_walk;
+  Hashtbl.fold (fun key (cfg, cost) acc -> (key, cfg, cost) :: acc) results []
+  |> List.sort (fun (ka, _, a) (kb, _, b) ->
+         match compare a b with 0 -> compare ka kb | c -> c)
+  |> List.map (fun (_, cfg, _) -> cfg)

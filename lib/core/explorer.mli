@@ -6,17 +6,25 @@
     run out), proposes a random in-domain neighbour per step, moves greedily
     when the predicted cost improves, and with a small escape probability
     otherwise.  The distinct endpoints plus best-visited configurations are
-    returned as the next measurement batch, most promising first. *)
+    returned as the next measurement batch, most promising first.
+
+    The walks are independent and run in parallel over [Util.Pool.default]:
+    a single draw from [rng] seeds one private stream per walk, per-walk
+    results are merged in walk order, and cost ties are broken on the
+    config key — so for a fixed [rng] state the returned ranking is
+    bit-identical at every [domains] value (including 1). *)
 
 val explore :
   ?n_walks:int ->
   ?walk_len:int ->
   ?escape_probability:float ->
+  ?domains:int ->
   space:Search_space.t ->
   model:Cost_model.t ->
   rng:Util.Rng.t ->
   starts:Config.t list ->
   unit ->
   Config.t list
-(** Defaults: 12 walks of 40 steps, escape probability 0.05.  The result list
-    is deduplicated and sorted by predicted cost. *)
+(** Defaults: 12 walks of 40 steps, escape probability 0.05, [domains =
+    Util.Parallel.recommended_domains ()].  The result list is deduplicated
+    and sorted by predicted cost (ties on the configuration key). *)

@@ -31,7 +31,26 @@ let measure_config ?(seed = 0) arch spec cfg =
   let kernel = Config.to_kernel arch spec cfg in
   Gpu_sim.Measure.runtime_avg_us ~seed arch kernel
 
-let tune ?(seed = 0) ?(batch_size = 16) ?(patience = 8) ?(max_measurements = 600) ~space () =
+let max_leaders = 4
+
+(* Bounded insertion into the descending-quality leader list: O(max_leaders)
+   per measurement instead of a full sort.  A new entry goes before existing
+   entries of equal runtime, matching what a stable sort of (new :: old) did. *)
+let insert_leader cfg runtime leaders =
+  let rec insert room = function
+    | [] -> if room > 0 then [ (cfg, runtime) ] else []
+    | (_, r) :: _ as rest when runtime <= r ->
+      (cfg, runtime) :: keep (room - 1) rest
+    | entry :: rest -> entry :: insert (room - 1) rest
+  and keep room = function
+    | [] -> []
+    | entry :: rest -> if room > 0 then entry :: keep (room - 1) rest else []
+  in
+  insert max_leaders leaders
+
+let tune ?(seed = 0) ?(batch_size = 16) ?(patience = 8) ?(max_measurements = 600) ?domains
+    ~space () =
+  let domains = Option.value domains ~default:(Util.Parallel.recommended_domains ()) in
   let arch = Search_space.arch space and spec = Search_space.spec space in
   let rng = Util.Rng.create (seed + 17) in
   let model = Cost_model.create spec in
@@ -39,39 +58,52 @@ let tune ?(seed = 0) ?(batch_size = 16) ?(patience = 8) ?(max_measurements = 600
   let best = ref None in
   let history = ref [] in
   let count = ref 0 in
-  let converged_at = ref 0 in
   (* Top measured configurations, best first — the explorer's walk seeds. *)
   let leaders : (Config.t * float) list ref = ref [] in
-  let note_leader cfg runtime =
-    let merged = (cfg, runtime) :: !leaders in
-    let sorted = List.sort (fun (_, a) (_, b) -> compare a b) merged in
-    leaders := List.filteri (fun i _ -> i < 4) sorted
+  (* Sequential bookkeeping for one finished measurement: leader list, cost
+     model dataset, best-so-far and history all update in submission order,
+     which keeps the whole trace independent of the domain count. *)
+  let record cfg runtime =
+    leaders := insert_leader cfg runtime !leaders;
+    incr count;
+    Cost_model.add_measurement model cfg runtime;
+    (match !best with
+    | Some (_, best_runtime) when best_runtime <= runtime -> ()
+    | _ ->
+      Log.debug (fun m ->
+          m "measurement #%d improved best to %.2f us (%s)" !count runtime
+            (Config.to_string cfg));
+      best := Some (cfg, runtime));
+    let best_runtime = match !best with Some (_, r) -> r | None -> runtime in
+    history := { measurement = !count; best_runtime_us = best_runtime } :: !history
   in
-  let measure cfg =
-    let key = Config.to_string cfg in
-    if not (Hashtbl.mem measured key) then begin
-      Hashtbl.add measured key ();
-      let runtime = measure_config ~seed arch spec cfg in
-      note_leader cfg runtime;
-      incr count;
-      Cost_model.add_measurement model cfg runtime;
-      (match !best with
-      | Some (_, best_runtime) when best_runtime <= runtime -> ()
-      | _ ->
-        Log.debug (fun m ->
-            m "measurement #%d improved best to %.2f us (%s)" !count runtime
-              (Config.to_string cfg));
-        best := Some (cfg, runtime);
-        converged_at := !count);
-      let best_runtime = match !best with Some (_, r) -> r | None -> runtime in
-      history := { measurement = !count; best_runtime_us = best_runtime } :: !history
-    end
+  (* Measure a batch: dedup (against everything measured and within the
+     batch, keeping first occurrences), fan the pure simulated measurements
+     out over the domains, then fold the results back in batch order. *)
+  let measure_batch cfgs =
+    let fresh =
+      List.filter
+        (fun cfg ->
+          let key = Config.to_string cfg in
+          if Hashtbl.mem measured key then false
+          else begin
+            Hashtbl.add measured key ();
+            true
+          end)
+        cfgs
+    in
+    let batch = Array.of_list fresh in
+    let runtimes =
+      Util.Parallel.map ~domains batch (fun cfg -> measure_config ~seed arch spec cfg)
+    in
+    Array.iteri (fun i cfg -> record cfg runtimes.(i)) batch
   in
   (* Round 0: the optimality-guided default plus random exploration. *)
-  measure (Search_space.default_config space);
-  for _ = 2 to min batch_size max_measurements do
-    measure (Search_space.sample space rng)
-  done;
+  measure_batch
+    (Search_space.default_config space
+    :: List.init
+         (max 0 (min batch_size max_measurements - 1))
+         (fun _ -> Search_space.sample space rng));
   let stale = ref 0 in
   let round = ref 0 in
   while !stale < patience && !count < max_measurements do
@@ -82,24 +114,29 @@ let tune ?(seed = 0) ?(batch_size = 16) ?(patience = 8) ?(max_measurements = 600
              Printf.sprintf "rmse(log) %.3f" (Cost_model.rmse_log model)
            else "untrained"));
     let best_before = match !best with Some (_, r) -> r | None -> infinity in
-    Cost_model.retrain ~rng model;
+    Cost_model.retrain ~rng ~domains model;
     let starts =
       List.map fst !leaders @ List.init 2 (fun _ -> Search_space.sample space rng)
     in
-    let candidates = Explorer.explore ~space ~model ~rng ~starts () in
+    let candidates = Explorer.explore ~domains ~space ~model ~rng ~starts () in
     let fresh =
       List.filter (fun c -> not (Hashtbl.mem measured (Config.to_string c))) candidates
     in
     let room = min batch_size (max_measurements - !count) in
-    let batch = List.filteri (fun i _ -> i < room) fresh in
+    (* Epsilon-greedy batch make-up: a couple of slots per batch go to
+       uniform random samples so one misleading model fit cannot lock the
+       search into a basin for the rest of the budget. *)
+    let n_random = if room >= 4 then 2 else 0 in
+    let exploit = List.filteri (fun i _ -> i < room - n_random) fresh in
+    let explore_ = List.init n_random (fun _ -> Search_space.sample space rng) in
+    let batch = exploit @ explore_ in
     (if batch = [] then begin
-       if !count < max_measurements then measure (Search_space.sample space rng)
+       if !count < max_measurements then measure_batch [ Search_space.sample space rng ]
      end
-     else List.iter measure batch);
+     else measure_batch batch);
     let best_after = match !best with Some (_, r) -> r | None -> infinity in
     if best_after < best_before *. 0.999 then stale := 0 else incr stale
   done;
-  ignore !converged_at;
   match !best with
   | None -> failwith "Tuner.tune: nothing measured"
   | Some (cfg, runtime) ->

@@ -31,11 +31,18 @@ val tune :
   ?batch_size:int ->
   ?patience:int ->
   ?max_measurements:int ->
+  ?domains:int ->
   space:Search_space.t ->
   unit ->
   result
 (** Defaults: seed 0, batches of 16, patience 8 rounds, at most 600
-    measurements. *)
+    measurements, [domains = Util.Parallel.recommended_domains ()].
+
+    Multicore: each round's explorer walks, the cost-model refit and the
+    batch of simulated measurements fan out over [Util.Pool.default], while
+    all stochastic draws and result folding stay sequential — for a fixed
+    [seed] the result (best config, history, measurement count) is
+    bit-identical at every [domains] value. *)
 
 val convergence_point : final:float -> progress list -> int
 (** First measurement (oldest-first history) whose best-so-far runtime is

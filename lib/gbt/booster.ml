@@ -8,16 +8,27 @@ type params = {
 let default_params =
   { rounds = 60; learning_rate = 0.15; tree = Tree.default_params; subsample = 1.0 }
 
-type t = { base_score : float; learning_rate : float; trees : Tree.t list }
+(* Trees live in an array: [predict] runs once per explorer step, thousands
+   of times per tuning round, and must not chase list links. *)
+type t = { base_score : float; learning_rate : float; trees : Tree.t array }
 
 let predict t x =
-  List.fold_left
-    (fun acc tree -> acc +. (t.learning_rate *. Tree.predict tree x))
-    t.base_score t.trees
+  let acc = ref t.base_score in
+  for k = 0 to Array.length t.trees - 1 do
+    acc := !acc +. (t.learning_rate *. Tree.predict t.trees.(k) x)
+  done;
+  !acc
 
-let predict_many t rows = Array.map (predict t) rows
+let predict_many ?domains t rows =
+  let domains = Option.value domains ~default:(Util.Parallel.recommended_domains ()) in
+  Util.Parallel.map ~domains rows (predict t)
 
-let train ?rng params data =
+(* Rounds below this many samples update predictions inline: distributing a
+   few hundred tree walks costs more than running them. *)
+let update_grain = 512
+
+let train ?rng ?domains params data =
+  let domains = match domains with Some d -> max 1 d | None -> Util.Parallel.recommended_domains () in
   let n = Dataset.length data in
   if n = 0 then invalid_arg "Booster.train: empty dataset";
   if params.subsample <= 0.0 || params.subsample > 1.0 then
@@ -30,7 +41,8 @@ let train ?rng params data =
     let grad = Array.init n (fun i -> predictions.(i) -. targets.(i)) in
     let hess = Array.make n 1.0 in
     (* Row subsampling: zeroing a sample's hessian and gradient removes it
-       from every split statistic, which is equivalent to dropping the row. *)
+       from every split statistic, which is equivalent to dropping the row.
+       The rng draw stays sequential so training is domain-count invariant. *)
     (match rng with
     | Some rng when params.subsample < 1.0 ->
       for i = 0 to n - 1 do
@@ -40,14 +52,21 @@ let train ?rng params data =
         end
       done
     | _ -> ());
-    let tree = Tree.fit params.tree data ~grad ~hess in
+    let tree = Tree.fit ~domains params.tree data ~grad ~hess in
     trees := tree :: !trees;
-    for i = 0 to n - 1 do
+    (* Each slot is touched by exactly one iteration, so the update is a pure
+       disjoint-write loop and parallelises without changing any result. *)
+    let update i =
       predictions.(i) <-
         predictions.(i) +. (params.learning_rate *. Tree.predict tree (Dataset.features data i))
-    done
+    in
+    if n >= update_grain then Util.Parallel.for_ ~domains 0 n update
+    else
+      for i = 0 to n - 1 do
+        update i
+      done
   done;
-  { base_score; learning_rate = params.learning_rate; trees = List.rev !trees }
+  { base_score; learning_rate = params.learning_rate; trees = Array.of_list (List.rev !trees) }
 
 let train_rmse t data =
   let predicted =
@@ -55,4 +74,4 @@ let train_rmse t data =
   in
   Util.Stats.rmse predicted (Dataset.targets data)
 
-let num_trees t = List.length t.trees
+let num_trees t = Array.length t.trees

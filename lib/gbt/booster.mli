@@ -3,7 +3,15 @@
 
     Training minimises squared error by fitting [rounds] trees to the
     residual gradients ([grad = prediction - target], [hess = 1]) with
-    shrinkage [learning_rate], starting from the mean target. *)
+    shrinkage [learning_rate], starting from the mean target.
+
+    Multicore: [train] and [predict_many] fan work out over [Pool.default]
+    when [domains > 1] — per-feature split scans and subtree builds inside
+    [Tree.fit], the per-round prediction-update loop, and batch prediction.
+    Boosting itself stays sequential (round [k+1] needs round [k]'s
+    residuals), and every parallel stage writes disjoint slots and combines
+    in a fixed order, so the trained model and all predictions are
+    bit-identical for every domain count. *)
 
 type params = {
   rounds : int;
@@ -17,15 +25,17 @@ val default_params : params
 
 type t
 
-val train : ?rng:Util.Rng.t -> params -> Dataset.t -> t
+val train : ?rng:Util.Rng.t -> ?domains:int -> params -> Dataset.t -> t
 (** Raises [Invalid_argument] on an empty dataset.  [rng] is only consulted
-    when [subsample < 1]. *)
+    when [subsample < 1].  [domains] defaults to
+    [Parallel.recommended_domains ()]. *)
 
 val predict : t -> float array -> float
 
-val predict_many : t -> float array array -> float array
+val predict_many : ?domains:int -> t -> float array array -> float array
 
 val train_rmse : t -> Dataset.t -> float
 (** Root mean squared error on a dataset (typically the training set). *)
 
 val num_trees : t -> int
+(** O(1): the trees are stored in an array. *)

@@ -10,12 +10,16 @@ let leaf_weight params g h = -.g /. (h +. params.lambda)
 
 let score params g h = g *. g /. (h +. params.lambda)
 
-(* Best split of [indices] on one feature: sort by feature value, scan prefix
-   gradient sums, place thresholds between distinct consecutive values. *)
-let best_split_on_feature params data ~grad ~hess ~indices ~feature =
-  let key i = (Dataset.features data i).(feature) in
-  let sorted = Array.copy indices in
-  Array.sort (fun a b -> compare (key a) (key b)) sorted;
+(* Work thresholds below which fanning a stage out across domains costs more
+   than the stage itself; below them the code runs inline on the caller. *)
+let presort_grain = 4096
+let feature_scan_grain = 4096
+let subtree_grain = 128
+
+(* Best split of a node on one feature, given the node's indices already
+   sorted by that feature's value: scan prefix gradient sums and place
+   thresholds between distinct consecutive values. *)
+let best_split_on_sorted params ~value ~grad ~hess ~sorted =
   let n = Array.length sorted in
   let g_total = Array.fold_left (fun acc i -> acc +. grad.(i)) 0.0 sorted in
   let h_total = Array.fold_left (fun acc i -> acc +. hess.(i)) 0.0 sorted in
@@ -26,7 +30,7 @@ let best_split_on_feature params data ~grad ~hess ~indices ~feature =
     let i = sorted.(pos) in
     g_left := !g_left +. grad.(i);
     h_left := !h_left +. hess.(i);
-    let v = key i and v' = key sorted.(pos + 1) in
+    let v = value i and v' = value sorted.(pos + 1) in
     if v < v' then begin
       let gain =
         (0.5
@@ -41,45 +45,101 @@ let best_split_on_feature params data ~grad ~hess ~indices ~feature =
     end
   done;
   match !best with
-  | Some (gain, threshold, split_pos) when gain > 0.0 -> Some (gain, threshold, sorted, split_pos)
+  | Some (gain, threshold, split_pos) when gain > 0.0 -> Some (gain, threshold, split_pos)
   | _ -> None
 
-let fit params data ~grad ~hess =
+let fit ?(domains = 1) params data ~grad ~hess =
   let n = Dataset.length data in
   if Array.length grad <> n || Array.length hess <> n then
     invalid_arg "Tree.fit: gradient arity mismatch";
   let n_features = Dataset.n_features data in
-  let rec build indices depth =
-    let g = Array.fold_left (fun acc i -> acc +. grad.(i)) 0.0 indices in
-    let h = Array.fold_left (fun acc i -> acc +. hess.(i)) 0.0 indices in
+  let value f i = (Dataset.features data i).(f) in
+  (* Pre-sort every feature's index order once per tree (ties broken by index
+     so the order is unique); nodes below re-derive their orders by filtering,
+     never by sorting again. *)
+  let presort_domains = if n * n_features >= presort_grain then domains else 1 in
+  let root_sorted =
+    Util.Parallel.map ~domains:presort_domains (Array.init n_features Fun.id) (fun f ->
+        let order = Array.init n Fun.id in
+        Array.sort
+          (fun i j ->
+            let c = compare (value f i) (value f j) in
+            if c <> 0 then c else compare i j)
+          order;
+        order)
+  in
+  (* [node] is the node's index set in insertion order; [sorted] holds the
+     same set once per feature, each in that feature's value order. *)
+  let rec build node sorted depth =
+    let m = Array.length node in
+    let g = Array.fold_left (fun acc i -> acc +. grad.(i)) 0.0 node in
+    let h = Array.fold_left (fun acc i -> acc +. hess.(i)) 0.0 node in
     let as_leaf () = Leaf (leaf_weight params g h) in
-    if depth >= params.max_depth || Array.length indices < params.min_samples then as_leaf ()
+    if depth >= params.max_depth || m < params.min_samples then as_leaf ()
     else begin
+      let scan_domains = if m * n_features >= feature_scan_grain then domains else 1 in
+      let candidates =
+        Util.Parallel.mapi ~domains:scan_domains sorted (fun f sorted_f ->
+            best_split_on_sorted params ~value:(value f) ~grad ~hess ~sorted:sorted_f)
+      in
+      (* Fold candidates in feature order (strictly-greater gain wins) so the
+         chosen split never depends on the domain count. *)
       let best = ref None in
-      for feature = 0 to n_features - 1 do
-        match best_split_on_feature params data ~grad ~hess ~indices ~feature with
-        | None -> ()
-        | Some (gain, threshold, sorted, split_pos) -> begin
-          match !best with
-          | Some (best_gain, _, _, _, _) when best_gain >= gain -> ()
-          | _ -> best := Some (gain, feature, threshold, sorted, split_pos)
-        end
-      done;
+      Array.iteri
+        (fun f candidate ->
+          match candidate with
+          | None -> ()
+          | Some (gain, threshold, split_pos) -> begin
+            match !best with
+            | Some (best_gain, _, _, _) when best_gain >= gain -> ()
+            | _ -> best := Some (gain, f, threshold, split_pos)
+          end)
+        candidates;
       match !best with
       | None -> as_leaf ()
-      | Some (_, feature, threshold, sorted, split_pos) ->
-        let left = Array.sub sorted 0 split_pos in
-        let right = Array.sub sorted split_pos (Array.length sorted - split_pos) in
-        Split
-          {
-            feature;
-            threshold;
-            left = build left (depth + 1);
-            right = build right (depth + 1);
-          }
+      | Some (_, feature, threshold, split_pos) ->
+        let chosen = sorted.(feature) in
+        let left_mask = Array.make n false in
+        for pos = 0 to split_pos - 1 do
+          left_mask.(chosen.(pos)) <- true
+        done;
+        (* Filtering a sorted order preserves it, so children inherit their
+           per-feature orders in O(m) instead of re-sorting. *)
+        let filter keep arr =
+          let out = Array.make (if keep then split_pos else m - split_pos) 0 in
+          let j = ref 0 in
+          Array.iter
+            (fun i ->
+              if left_mask.(i) = keep then begin
+                out.(!j) <- i;
+                incr j
+              end)
+            arr;
+          out
+        in
+        let left_node = filter true node and right_node = filter false node in
+        let left_sorted = Array.map (filter true) sorted in
+        let right_sorted = Array.map (filter false) sorted in
+        if domains > 1 && m >= subtree_grain then begin
+          let left = ref (Leaf 0.0) and right = ref (Leaf 0.0) in
+          Util.Pool.run_all (Util.Pool.default ())
+            [
+              (fun () -> left := build left_node left_sorted (depth + 1));
+              (fun () -> right := build right_node right_sorted (depth + 1));
+            ];
+          Split { feature; threshold; left = !left; right = !right }
+        end
+        else
+          Split
+            {
+              feature;
+              threshold;
+              left = build left_node left_sorted (depth + 1);
+              right = build right_node right_sorted (depth + 1);
+            }
     end
   in
-  build (Array.init n Fun.id) 0
+  build (Array.init n Fun.id) root_sorted 0
 
 let rec predict t x =
   match t with

@@ -20,9 +20,16 @@ val default_params : params
 
 type t
 
-val fit : params -> Dataset.t -> grad:float array -> hess:float array -> t
+val fit : ?domains:int -> params -> Dataset.t -> grad:float array -> hess:float array -> t
 (** Fits one tree to the per-sample gradient statistics.  Arrays must have
-    the dataset's length. *)
+    the dataset's length.
+
+    Per-feature sorted index orders are computed once per tree and filtered
+    down the recursion (children never re-sort).  With [domains > 1]
+    (default 1) the per-feature split scans and the two subtree builds fan
+    out over [Pool.default]; the fitted tree is bit-identical for every
+    domain count: split candidates are folded in feature order and all
+    floating-point accumulations happen in a fixed sequential order. *)
 
 val predict : t -> float array -> float
 

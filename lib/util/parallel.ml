@@ -20,19 +20,21 @@ let for_ ~domains lo hi f =
     for i = lo to hi - 1 do
       f i
     done
-  else begin
-    let run (a, b) =
+  else
+    match chunks ~n:domains lo hi with
+    | [] -> ()
+    | [ (a, b) ] ->
       for i = a to b - 1 do
         f i
       done
-    in
-    match chunks ~n:domains lo hi with
-    | [] -> ()
-    | first :: rest ->
-      let handles = List.map (fun range -> Domain.spawn (fun () -> run range)) rest in
-      run first;
-      List.iter Domain.join handles
-  end
+    | ranges ->
+      Pool.run_all (Pool.default ())
+        (List.map
+           (fun (a, b) () ->
+             for i = a to b - 1 do
+               f i
+             done)
+           ranges)
 
 let mapi ~domains a f =
   let n = Array.length a in
@@ -47,7 +49,8 @@ let mapi ~domains a f =
 let map ~domains a f = mapi ~domains a (fun _ x -> f x)
 
 let reduce ~domains lo hi ~init f combine =
-  if domains <= 1 || hi - lo <= 1 then begin
+  if hi - lo <= 0 then init
+  else if domains <= 1 || hi - lo <= 1 then begin
     let acc = ref init in
     for i = lo to hi - 1 do
       acc := combine !acc (f i)
@@ -55,17 +58,19 @@ let reduce ~domains lo hi ~init f combine =
     !acc
   end
   else begin
-    let run (a, b) =
-      let acc = ref init in
-      for i = a to b - 1 do
+    (* Each chunk folds from its own first element so that [init] enters the
+       result exactly once, in the final left-to-right combination below. *)
+    let ranges = Array.of_list (chunks ~n:domains lo hi) in
+    let parts = Array.make (Array.length ranges) None in
+    let run k (a, b) () =
+      let acc = ref (f a) in
+      for i = a + 1 to b - 1 do
         acc := combine !acc (f i)
       done;
-      !acc
+      parts.(k) <- Some !acc
     in
-    match chunks ~n:domains lo hi with
-    | [] -> init
-    | first :: rest ->
-      let handles = List.map (fun range -> Domain.spawn (fun () -> run range)) rest in
-      let acc0 = run first in
-      List.fold_left (fun acc h -> combine acc (Domain.join h)) acc0 handles
+    Pool.run_all (Pool.default ()) (Array.to_list (Array.mapi run ranges));
+    Array.fold_left
+      (fun acc part -> match part with Some v -> combine acc v | None -> acc)
+      init parts
   end

@@ -375,6 +375,25 @@ let test_parallel_direct_matches () =
   let expected = Conv.Direct.run spec ~input ~weights in
   agree "parallel direct" expected (Conv.Parallel_exec.direct ~domains:4 spec ~input ~weights)
 
+let test_parallel_exec_bit_identical () =
+  (* Stronger than [agree]: blocks write disjoint output regions and each
+     block's arithmetic is the same code, so the pooled executor must match
+     the sequential one bit for bit — across real worker domains. *)
+  Util.Pool.ensure_workers (Util.Pool.default ()) 3;
+  List.iter
+    (fun (name, spec) ->
+      let input, weights = Conv.Direct.random_problem (rng ()) spec in
+      let t = tile 3 2 2 in
+      let seq = Conv.Tiled_direct.run spec ~tile:t ~input ~weights in
+      List.iter
+        (fun domains ->
+          let par = Conv.Parallel_exec.tiled_direct ~domains spec ~tile:t ~input ~weights in
+          Alcotest.(check (array (float 0.0)))
+            (Printf.sprintf "%s bit-identical at domains=%d" name domains)
+            (Tensor.data seq.output) (Tensor.data par.output))
+        [ 1; 2; 4; 8 ])
+    specs_for_agreement
+
 (* --- grouped convolution --- *)
 
 (* Oracle: a grouped convolution equals an ungrouped one whose weight tensor
@@ -628,6 +647,8 @@ let () =
             test_parallel_exec_matches_sequential;
           Alcotest.test_case "tiled winograd matches" `Quick test_parallel_winograd_matches;
           Alcotest.test_case "direct matches" `Quick test_parallel_direct_matches;
+          Alcotest.test_case "tiled direct bit-identical" `Quick
+            test_parallel_exec_bit_identical;
         ] );
       ( "grouped",
         [

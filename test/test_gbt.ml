@@ -118,6 +118,29 @@ let test_booster_predict_many () =
   Alcotest.(check int) "two predictions" 2 (Array.length out);
   Alcotest.(check bool) "ordering" true (out.(0) > out.(1))
 
+let test_training_parallel_equals_sequential () =
+  (* Bit-identical models at every domain count: split scans fold in feature
+     order and all float accumulation orders are fixed, so fanning tree
+     construction over real domains must not move a single ulp. *)
+  Util.Pool.ensure_workers (Util.Pool.default ()) 3;
+  let data = make_dataset 600 (fun x0 x1 -> (x0 *. x1) +. sin (3.0 *. x0) -. x1) in
+  let params = { Gbt.Booster.default_params with rounds = 12 } in
+  let seq = Gbt.Booster.train ~domains:1 params data in
+  let probes =
+    let rng = Util.Rng.create 5 in
+    Array.init 50 (fun _ ->
+        [| Util.Rng.float rng 4.0 -. 2.0; Util.Rng.float rng 4.0 -. 2.0 |])
+  in
+  let expected = Gbt.Booster.predict_many ~domains:1 seq probes in
+  List.iter
+    (fun domains ->
+      let par = Gbt.Booster.train ~domains params data in
+      let got = Gbt.Booster.predict_many ~domains par probes in
+      Alcotest.(check (array (float 0.0)))
+        (Printf.sprintf "bit-identical predictions at domains=%d" domains)
+        expected got)
+    [ 2; 4; 8 ]
+
 let qcheck_booster_interpolates_mean =
   QCheck.Test.make ~name:"constant datasets predict the constant" ~count:20
     QCheck.(float_range (-100.) 100.)
@@ -154,6 +177,8 @@ let () =
           Alcotest.test_case "empty dataset" `Quick test_booster_empty_dataset;
           Alcotest.test_case "subsample" `Quick test_booster_subsample;
           Alcotest.test_case "predict many" `Quick test_booster_predict_many;
+          Alcotest.test_case "parallel training = sequential" `Quick
+            test_training_parallel_equals_sequential;
           QCheck_alcotest.to_alcotest qcheck_booster_interpolates_mean;
         ] );
     ]

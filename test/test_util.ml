@@ -92,6 +92,10 @@ let test_parallel_recommended_domains () =
   let d = Util.Parallel.recommended_domains () in
   Alcotest.(check bool) "within [1, 8]" true (d >= 1 && d <= 8)
 
+(* Grow the shared pool so the parallel paths below cross real domains even
+   on single-core CI hosts (where the default pool starts with 0 workers). *)
+let () = Util.Pool.ensure_workers (Util.Pool.default ()) 3
+
 let test_parallel_for_matches_sequential () =
   let n = 1000 in
   let seq = Array.make n 0 and par = Array.make n 0 in
@@ -110,10 +114,114 @@ let test_parallel_reduce () =
   let total = Util.Parallel.reduce ~domains:4 0 101 ~init:0 Fun.id ( + ) in
   Alcotest.(check int) "sum 0..100" 5050 total
 
+let test_parallel_reduce_nonidentity_init () =
+  (* The seed implementation folded [init] into every chunk; it must enter
+     the result exactly once regardless of the domain count. *)
+  List.iter
+    (fun domains ->
+      let total = Util.Parallel.reduce ~domains 0 10 ~init:1000 Fun.id ( + ) in
+      Alcotest.(check int) (Printf.sprintf "init once at domains=%d" domains) 1045 total)
+    [ 1; 2; 4; 8 ];
+  let product = Util.Parallel.reduce ~domains:3 1 7 ~init:10 Fun.id ( * ) in
+  Alcotest.(check int) "product with non-identity init" 7200 product
+
+let test_parallel_reduce_domain_invariant () =
+  let at domains =
+    Util.Parallel.reduce ~domains 0 1000 ~init:0.5 (fun i -> float_of_int i *. 0.25) ( +. )
+  in
+  let expected = at 1 in
+  List.iter
+    (fun domains ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "domains=%d" domains)
+        expected (at domains))
+    [ 2; 3; 8 ]
+
 let test_parallel_empty_range () =
   Util.Parallel.for_ ~domains:4 5 5 (fun _ -> Alcotest.fail "must not run");
   let r = Util.Parallel.reduce ~domains:4 5 5 ~init:7 (fun _ -> 0) ( + ) in
   Alcotest.(check int) "reduce empty" 7 r
+
+(* --- the persistent domain pool --- *)
+
+exception Boom of int
+
+let test_pool_runs_everything () =
+  let pool = Util.Pool.create ~workers:3 () in
+  Alcotest.(check int) "workers" 3 (Util.Pool.workers pool);
+  let n = 64 in
+  let hits = Array.make n 0 in
+  Util.Pool.run_all pool (List.init n (fun i () -> hits.(i) <- hits.(i) + 1));
+  Alcotest.(check (array int)) "each task exactly once" (Array.make n 1) hits;
+  Util.Pool.shutdown pool
+
+let test_pool_repeated_submission () =
+  let pool = Util.Pool.create ~workers:2 () in
+  let total = Atomic.make 0 in
+  for _ = 1 to 200 do
+    Util.Pool.run_all pool
+      (List.init 5 (fun i () -> ignore (Atomic.fetch_and_add total (i + 1))))
+  done;
+  Alcotest.(check int) "200 rounds of 1+..+5" 3000 (Atomic.get total);
+  Util.Pool.shutdown pool
+
+let test_pool_nested_submission () =
+  (* A pooled task that itself submits must not deadlock: waiting threads
+     help drain the queue. *)
+  let pool = Util.Pool.create ~workers:2 () in
+  let cells = Array.make 16 0 in
+  Util.Pool.run_all pool
+    (List.init 4 (fun outer () ->
+         Util.Pool.run_all pool
+           (List.init 4 (fun inner () -> cells.((outer * 4) + inner) <- 1))));
+  Alcotest.(check (array int)) "all leaves ran" (Array.make 16 1) cells;
+  Util.Pool.shutdown pool
+
+let test_pool_exception_propagates () =
+  let pool = Util.Pool.create ~workers:2 () in
+  let survivors = Atomic.make 0 in
+  (try
+     Util.Pool.run_all pool
+       (List.init 8 (fun i () ->
+            if i = 3 then raise (Boom i) else ignore (Atomic.fetch_and_add survivors 1)));
+     Alcotest.fail "expected Boom"
+   with Boom 3 -> ());
+  Alcotest.(check int) "siblings still ran" 7 (Atomic.get survivors);
+  (* The pool must stay usable after a failed call. *)
+  let ok = ref false in
+  Util.Pool.run_all pool [ (fun () -> ok := true); (fun () -> ()) ];
+  Alcotest.(check bool) "usable after failure" true !ok;
+  Util.Pool.shutdown pool
+
+let test_pool_shutdown_and_inline () =
+  let pool = Util.Pool.create ~workers:2 () in
+  Util.Pool.shutdown pool;
+  Util.Pool.shutdown pool;
+  Alcotest.(check int) "no workers" 0 (Util.Pool.workers pool);
+  (* Submissions after shutdown run inline and still raise faithfully. *)
+  let ran = ref 0 in
+  Util.Pool.run_all pool [ (fun () -> incr ran); (fun () -> incr ran) ];
+  Alcotest.(check int) "inline after shutdown" 2 !ran;
+  (try
+     Util.Pool.run_all pool [ (fun () -> incr ran); (fun () -> raise (Boom 0)) ];
+     Alcotest.fail "expected Boom"
+   with Boom 0 -> ());
+  Alcotest.(check int) "inline tasks all ran" 3 !ran;
+  Util.Pool.ensure_workers pool 2;
+  Alcotest.(check int) "revived" 2 (Util.Pool.workers pool);
+  let hit = ref false in
+  Util.Pool.run_all pool [ (fun () -> hit := true); (fun () -> ()) ];
+  Alcotest.(check bool) "revived pool runs" true !hit;
+  Util.Pool.shutdown pool
+
+let test_pool_default_grows () =
+  let pool = Util.Pool.default () in
+  Util.Pool.ensure_workers pool 3;
+  Alcotest.(check bool) "at least 3 workers" true (Util.Pool.workers pool >= 3);
+  (* for_/map/reduce route through the default pool. *)
+  let a = Array.init 1000 Fun.id in
+  let doubled = Util.Parallel.map ~domains:4 a (fun x -> 2 * x) in
+  Alcotest.(check (array int)) "map over grown pool" (Array.map (fun x -> 2 * x) a) doubled
 
 let test_table_render () =
   let t = Util.Table.create [ "a"; "bee" ] in
@@ -222,7 +330,20 @@ let () =
           Alcotest.test_case "for_ matches sequential" `Quick test_parallel_for_matches_sequential;
           Alcotest.test_case "map" `Quick test_parallel_map;
           Alcotest.test_case "reduce" `Quick test_parallel_reduce;
+          Alcotest.test_case "reduce non-identity init" `Quick
+            test_parallel_reduce_nonidentity_init;
+          Alcotest.test_case "reduce domain invariant" `Quick
+            test_parallel_reduce_domain_invariant;
           Alcotest.test_case "empty range" `Quick test_parallel_empty_range;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "runs everything" `Quick test_pool_runs_everything;
+          Alcotest.test_case "repeated submission" `Quick test_pool_repeated_submission;
+          Alcotest.test_case "nested submission" `Quick test_pool_nested_submission;
+          Alcotest.test_case "exception propagates" `Quick test_pool_exception_propagates;
+          Alcotest.test_case "shutdown + inline + revive" `Quick test_pool_shutdown_and_inline;
+          Alcotest.test_case "default pool grows" `Quick test_pool_default_grows;
         ] );
       ( "table",
         [
