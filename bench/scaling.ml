@@ -10,6 +10,11 @@
                                             asserts tune/explore at several
                                             domain counts reproduce the
                                             sequential result at a fixed seed
+     dune exec bench/scaling.exe -- faults  tunes the layer set under the
+                                            default fault profile and prints
+                                            per-layer failure/retry statistics,
+                                            verifying parallel == sequential
+                                            holds under injected faults too
 
    The smoke mode backs the [@bench-smoke] dune alias so CI can gate on
    parallel == sequential cheaply. *)
@@ -26,14 +31,14 @@ let layers =
 
 let domain_counts = [ 1; 2; 4; 8 ]
 
-let tune_layers ~domains ~max_measurements ~seed specs =
+let tune_layers ?faults ~domains ~max_measurements ~seed specs =
   (* Workers idle on a condition variable when unused, so growing the shared
      pool for the largest sweep point does not slow the smaller ones. *)
   Util.Pool.ensure_workers (Util.Pool.default ()) (domains - 1);
   List.map
     (fun (name, spec) ->
       let space = Core.Search_space.make arch spec Core.Config.Direct_dataflow in
-      let result = Core.Tuner.tune ~seed ~max_measurements ~domains ~space () in
+      let result = Core.Tuner.tune ~seed ~max_measurements ~domains ?faults ~space () in
       (name, result))
     specs
 
@@ -152,10 +157,35 @@ let smoke () =
     [ 2; 4; 8 ];
   print_endline "bench-smoke OK: parallel tuner and explorer reproduce sequential results"
 
+let faults_demo () =
+  let profile = Gpu_sim.Faults.default in
+  let seed = 5 and max_measurements = 150 in
+  Printf.printf "Tuning under injected faults: %s\n%!" (Gpu_sim.Faults.to_string profile);
+  let baseline = tune_layers ~faults:profile ~domains:1 ~max_measurements ~seed layers in
+  List.iter
+    (fun (name, (r : Core.Tuner.result)) ->
+      let f = r.faults in
+      Printf.printf
+        "  %-14s best %8.1f us  measured %3d  failed %2d (launch %d, deadline %d)  \
+         attempts %4d  retries %3d (timeouts %d, nan %d)  outliers dropped %d\n%!"
+        name r.best_runtime_us r.measurements f.failed f.launch_failures
+        f.deadlines_exceeded f.attempts f.retries f.timeouts f.nan_readings
+        f.outliers_rejected)
+    baseline;
+  (* The PR 1 contract must survive the fault layer: injection is a pure
+     function of (config, seed, attempt), never of scheduling. *)
+  List.iter
+    (fun domains ->
+      check_identical ~domains baseline
+        (tune_layers ~faults:profile ~domains ~max_measurements ~seed layers))
+    [ 2; 4 ];
+  print_endline "  parallel runs reproduce the sequential results under faults"
+
 let () =
   match Array.to_list Sys.argv |> List.tl with
   | [] -> full ()
   | [ "smoke" ] -> smoke ()
+  | [ "faults" ] -> faults_demo ()
   | _ ->
-    prerr_endline "usage: scaling.exe [smoke]";
+    prerr_endline "usage: scaling.exe [smoke|faults]";
     exit 1

@@ -50,6 +50,7 @@ let prime_from_log ?(seed = 0) path =
             converged_at = 0;
             history = [];
             space_size = 0.0;
+            faults = Core.Tuner.no_faults;
           }
       end)
     best;
@@ -74,13 +75,23 @@ let save_log path =
   Core.Tuning_log.save path !entries;
   List.length !entries
 
-let tuned_runtime ?(seed = 0) ?(max_measurements = 200) arch spec algorithm =
+(* A filesystem-safe journal filename for one memo key: readable prefix plus
+   a hash suffix to keep distinct keys from colliding after sanitising. *)
+let journal_path dir key =
+  let safe =
+    String.map (fun c -> if c = '|' || c = ' ' || c = '/' then '_' else c) key
+  in
+  Filename.concat dir (Printf.sprintf "%s-%08x.journal" safe (Hashtbl.hash key))
+
+let tuned_runtime ?(seed = 0) ?(max_measurements = 200) ?faults ?journal_dir arch spec
+    algorithm =
   let key = cache_key arch spec algorithm seed in
   match Hashtbl.find_opt cache key with
   | Some result -> result
   | None ->
+    let journal = Option.map (fun dir -> journal_path dir key) journal_dir in
     let space = Core.Search_space.make arch spec algorithm in
-    let result = Core.Tuner.tune ~seed ~max_measurements ~space () in
+    let result = Core.Tuner.tune ~seed ~max_measurements ?faults ?journal ~space () in
     Hashtbl.add cache key result;
     result
 
@@ -90,16 +101,20 @@ let tuned_runtime ?(seed = 0) ?(max_measurements = 200) arch spec algorithm =
 let winograd_e (spec : Conv.Conv_spec.t) =
   if Conv.Conv_spec.h_out spec >= 16 && spec.k_h = 3 then 4 else 2
 
-let time_layer ?(seed = 0) ?(max_measurements = 200) ?(backend = Cudnn) arch
-    (layer : Layer.t) =
+let time_layer ?(seed = 0) ?(max_measurements = 200) ?(backend = Cudnn) ?faults
+    ?journal_dir arch (layer : Layer.t) =
   let spec = layer.spec in
-  let direct = tuned_runtime ~seed ~max_measurements arch spec Core.Config.Direct_dataflow in
+  let direct =
+    tuned_runtime ~seed ~max_measurements ?faults ?journal_dir arch spec
+      Core.Config.Direct_dataflow
+  in
   let ours_direct = (direct.best_runtime_us, "direct-dataflow") in
   let ours =
     if Layer.winograd_eligible layer then begin
       let e = winograd_e spec in
       let wino =
-        tuned_runtime ~seed ~max_measurements arch spec (Core.Config.Winograd_dataflow e)
+        tuned_runtime ~seed ~max_measurements ?faults ?journal_dir arch spec
+          (Core.Config.Winograd_dataflow e)
       in
       if wino.best_runtime_us < fst ours_direct then
         (wino.best_runtime_us, Printf.sprintf "winograd-dataflow-F(%d)" e)
@@ -131,8 +146,13 @@ let time_layer ?(seed = 0) ?(max_measurements = 200) ?(backend = Cudnn) arch
     library_algorithm = library.algorithm;
   }
 
-let time_model ?seed ?max_measurements ?backend arch (model : Models.t) =
-  let layers = List.map (time_layer ?seed ?max_measurements ?backend arch) model.layers in
+let time_model ?seed ?max_measurements ?backend ?faults ?journal_dir arch
+    (model : Models.t) =
+  let layers =
+    List.map
+      (time_layer ?seed ?max_measurements ?backend ?faults ?journal_dir arch)
+      model.layers
+  in
   let weighted f =
     List.fold_left (fun acc t -> acc +. (float_of_int t.layer.count *. f t)) 0.0 layers
   in

@@ -45,15 +45,22 @@ val save_log : string -> int
 
 val time_layer :
   ?seed:int -> ?max_measurements:int -> ?backend:backend ->
+  ?faults:Gpu_sim.Faults.profile -> ?journal_dir:string ->
   Gpu_sim.Arch.t -> Layer.t -> layer_timing
-(** Defaults: seed 0, 200 measurements per tuning run, cuDNN backend. *)
+(** Defaults: seed 0, 200 measurements per tuning run, cuDNN backend, no
+    injected faults, no journal. *)
 
 val time_model :
   ?seed:int -> ?max_measurements:int -> ?backend:backend ->
+  ?faults:Gpu_sim.Faults.profile -> ?journal_dir:string ->
   Gpu_sim.Arch.t -> Models.t -> model_timing
 
 val tuned_runtime :
   ?seed:int -> ?max_measurements:int ->
+  ?faults:Gpu_sim.Faults.profile -> ?journal_dir:string ->
   Gpu_sim.Arch.t -> Conv.Conv_spec.t -> Core.Config.algorithm -> Core.Tuner.result
 (** The memoised tuning entry point used by [time_layer]; exposed for the
-    benches so figures reuse the same cache. *)
+    benches so figures reuse the same cache.  [faults] injects measurement
+    faults; [journal_dir] makes each tuning run journal-backed (one file per
+    memo key under the directory), so a killed model-timing run resumes its
+    in-flight layer instead of re-measuring it from scratch. *)

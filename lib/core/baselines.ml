@@ -47,6 +47,7 @@ let finish rec_ =
       converged_at = Tuner.convergence_point ~final:runtime history;
       history;
       space_size = Search_space.size rec_.space;
+      faults = Tuner.no_faults;
     }
 
 let tvm ?seed ?batch_size ?patience ?max_measurements arch spec algorithm =

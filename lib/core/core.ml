@@ -19,4 +19,5 @@ module Explorer = Explorer
 module Tuner = Tuner
 module Baselines = Baselines
 module Tuning_log = Tuning_log
+module Tune_journal = Tune_journal
 module Template = Template

@@ -11,9 +11,23 @@ type t
 val create : Conv.Conv_spec.t -> t
 
 val add_measurement : t -> Config.t -> float -> unit
-(** [add_measurement m config runtime_us] appends a training sample. *)
+(** [add_measurement m config runtime_us] appends a training sample.  Raises
+    [Invalid_argument] on non-finite or non-positive runtimes. *)
+
+val add_failure : t -> Config.t -> unit
+(** Appends the configuration as a penalized "invalid" sample at
+    {!failure_penalty_us}: failed measurements steer the model away from
+    their region instead of aborting the tuning round. *)
+
+val failure_penalty_us : float
+(** The penalty runtime (1e7 us) recorded for failed configurations — far
+    above any measurable kernel so the model ranks them last. *)
+
+val n_failures : t -> int
+(** Number of penalized entries added via [add_failure]. *)
 
 val n_samples : t -> int
+(** Total training samples, including penalized failures. *)
 
 val retrain : ?rng:Util.Rng.t -> ?domains:int -> t -> unit
 (** Refits the booster on everything measured so far; no-op when empty.

@@ -1,5 +1,5 @@
-let explore ?(n_walks = 12) ?(walk_len = 40) ?(escape_probability = 0.05) ?domains ~space
-    ~model ~rng ~starts () =
+let explore ?(n_walks = 12) ?(walk_len = 40) ?(escape_probability = 0.05) ?domains
+    ?(avoid = fun _ -> false) ~space ~model ~rng ~starts () =
   if n_walks < 1 || walk_len < 0 then invalid_arg "Explorer.explore";
   let domains = Option.value domains ~default:(Util.Parallel.recommended_domains ()) in
   let starts = Array.of_list starts in
@@ -49,4 +49,4 @@ let explore ?(n_walks = 12) ?(walk_len = 40) ?(escape_probability = 0.05) ?domai
   Hashtbl.fold (fun key (cfg, cost) acc -> (key, cfg, cost) :: acc) results []
   |> List.sort (fun (ka, _, a) (kb, _, b) ->
          match compare a b with 0 -> compare ka kb | c -> c)
-  |> List.map (fun (_, cfg, _) -> cfg)
+  |> List.filter_map (fun (_, cfg, _) -> if avoid cfg then None else Some cfg)

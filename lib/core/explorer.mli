@@ -19,6 +19,7 @@ val explore :
   ?walk_len:int ->
   ?escape_probability:float ->
   ?domains:int ->
+  ?avoid:(Config.t -> bool) ->
   space:Search_space.t ->
   model:Cost_model.t ->
   rng:Util.Rng.t ->
@@ -27,4 +28,8 @@ val explore :
   Config.t list
 (** Defaults: 12 walks of 40 steps, escape probability 0.05, [domains =
     Util.Parallel.recommended_domains ()].  The result list is deduplicated
-    and sorted by predicted cost (ties on the configuration key). *)
+    and sorted by predicted cost (ties on the configuration key).
+    [avoid] filters configurations out of the returned ranking — the tuner
+    passes its known-failed set so a config that cannot launch is never
+    proposed again.  The filter applies after the walks, so the walk
+    trajectories (and hence determinism) are unaffected by it. *)

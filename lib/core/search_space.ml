@@ -146,17 +146,71 @@ let size space =
       acc +. (threads *. knob_count *. db_variants))
     0.0 space.tiles
 
-let mem space (cfg : Config.t) =
-  cfg.algorithm = space.algorithm
-  && Array.exists (fun t -> t = (cfg.tile_x, cfg.tile_y, cfg.tile_z)) space.tiles
-  && cfg.tile_x mod cfg.threads_x = 0
-  && cfg.tile_y mod cfg.threads_y = 0
-  && cfg.tile_z mod cfg.threads_z = 0
-  && Config.threads cfg <= space.arch.max_threads_per_block
-  && Array.exists (( = ) cfg.unroll) space.unrolls
-  && Array.exists (( = ) cfg.vector_width) space.vectors
-  && Array.exists (( = ) cfg.layout) space.layouts
-  && shmem_fits space cfg
+type invalid =
+  | Wrong_algorithm of { expected : Config.algorithm; got : Config.algorithm }
+  | Tile_not_in_domain of { tile : int * int * int }
+  | Threads_not_dividing of { tile : int * int * int; threads : int * int * int }
+  | Threads_exceeded of { threads : int; max_threads_per_block : int }
+  | Knob_out_of_domain of { knob : string; value : string }
+  | Shmem_exceeded of { shmem_bytes : int; budget_bytes : int }
+
+let invalid_to_string = function
+  | Wrong_algorithm { expected; got } ->
+    Printf.sprintf "algorithm %s does not match the space's %s"
+      (Config.algorithm_to_string got)
+      (Config.algorithm_to_string expected)
+  | Tile_not_in_domain { tile = x, y, z } ->
+    Printf.sprintf "tile %dx%dx%d is not in the domain" x y z
+  | Threads_not_dividing { tile = x, y, z; threads = tx, ty, tz } ->
+    Printf.sprintf "thread block %dx%dx%d does not divide tile %dx%dx%d" tx ty tz x y z
+  | Threads_exceeded { threads; max_threads_per_block } ->
+    Printf.sprintf "%d threads per block exceeds the device limit of %d" threads
+      max_threads_per_block
+  | Knob_out_of_domain { knob; value } ->
+    Printf.sprintf "%s = %s is outside the domain" knob value
+  | Shmem_exceeded { shmem_bytes; budget_bytes } ->
+    Printf.sprintf
+      "working set of %d B exceeds the %d B shared-memory budget (half an SM, \
+       capped at the per-block limit)"
+      shmem_bytes budget_bytes
+
+let validate space (cfg : Config.t) =
+  let tile = (cfg.tile_x, cfg.tile_y, cfg.tile_z) in
+  let threads = (cfg.threads_x, cfg.threads_y, cfg.threads_z) in
+  if cfg.algorithm <> space.algorithm then
+    Error (Wrong_algorithm { expected = space.algorithm; got = cfg.algorithm })
+  else if not (Array.exists (fun t -> t = tile) space.tiles) then
+    Error (Tile_not_in_domain { tile })
+  else if
+    cfg.threads_x < 1 || cfg.threads_y < 1 || cfg.threads_z < 1
+    || cfg.tile_x mod cfg.threads_x <> 0
+    || cfg.tile_y mod cfg.threads_y <> 0
+    || cfg.tile_z mod cfg.threads_z <> 0
+  then Error (Threads_not_dividing { tile; threads })
+  else if Config.threads cfg > space.arch.max_threads_per_block then
+    Error
+      (Threads_exceeded
+         {
+           threads = Config.threads cfg;
+           max_threads_per_block = space.arch.max_threads_per_block;
+         })
+  else if not (Array.exists (( = ) cfg.unroll) space.unrolls) then
+    Error (Knob_out_of_domain { knob = "unroll"; value = string_of_int cfg.unroll })
+  else if not (Array.exists (( = ) cfg.vector_width) space.vectors) then
+    Error
+      (Knob_out_of_domain { knob = "vector_width"; value = string_of_int cfg.vector_width })
+  else if not (Array.exists (( = ) cfg.layout) space.layouts) then
+    Error (Knob_out_of_domain { knob = "layout"; value = Tensor.Layout.to_string cfg.layout })
+  else if not (shmem_fits space cfg) then
+    Error
+      (Shmem_exceeded
+         {
+           shmem_bytes = Config.shmem_bytes space.spec cfg;
+           budget_bytes = space.shmem_budget_bytes;
+         })
+  else Ok ()
+
+let mem space cfg = validate space cfg = Ok ()
 
 let pick_array rng a = a.(Util.Rng.int rng (Array.length a))
 

@@ -35,8 +35,27 @@ val size : t -> float
 val tile_candidates : t -> (int * int * int) array
 (** The valid (x, y, z) tile triples. *)
 
+type invalid =
+  | Wrong_algorithm of { expected : Config.algorithm; got : Config.algorithm }
+  | Tile_not_in_domain of { tile : int * int * int }
+  | Threads_not_dividing of { tile : int * int * int; threads : int * int * int }
+  | Threads_exceeded of { threads : int; max_threads_per_block : int }
+  | Knob_out_of_domain of { knob : string; value : string }
+  | Shmem_exceeded of { shmem_bytes : int; budget_bytes : int }
+      (** Why a configuration is outside the domain, carrying the offending
+          sizes (e.g. the working-set bytes versus the shared-memory budget)
+          so callers can report them. *)
+
+val validate : t -> Config.t -> (unit, invalid) result
+(** Typed membership test: [Ok ()] iff the configuration is in the domain,
+    otherwise the first violated constraint in checking order (algorithm,
+    tile, thread divisibility, thread limit, knobs, shared memory). *)
+
+val invalid_to_string : invalid -> string
+(** Human-readable rendering including the offending sizes. *)
+
 val mem : t -> Config.t -> bool
-(** Membership test (used to validate neighbours). *)
+(** [mem s c = (validate s c = Ok ())] (used to validate neighbours). *)
 
 val sample : t -> Util.Rng.t -> Config.t
 (** Uniform over tile triples, then uniform over the remaining axes

@@ -1,0 +1,67 @@
+type outcome =
+  | Measured of float
+  | Failed of string
+
+type entry = {
+  key : string;
+  outcome : outcome;
+}
+
+let valid_key s =
+  s <> "" && String.for_all (fun c -> c <> '\t' && c <> '\n' && c <> '\r') s
+
+(* Runtimes are written as hex floats ("%h"): exact round-trip, so a resumed
+   tune replays bit-identical values and stays on the uninterrupted run's
+   trajectory.  Failure reasons have tabs/newlines squashed to spaces. *)
+let to_line e =
+  if not (valid_key e.key) then
+    invalid_arg "Tune_journal.to_line: empty key or tab/newline in key";
+  match e.outcome with
+  | Measured runtime_us ->
+    if (not (Float.is_finite runtime_us)) || runtime_us <= 0.0 then
+      invalid_arg
+        (Printf.sprintf "Tune_journal.to_line: non-finite or non-positive runtime %h"
+           runtime_us);
+    Printf.sprintf "j1\t%s\tok\t%h" e.key runtime_us
+  | Failed reason ->
+    let reason =
+      String.map (fun c -> if c = '\t' || c = '\n' || c = '\r' then ' ' else c) reason
+    in
+    Printf.sprintf "j1\t%s\tfail\t%s" e.key reason
+
+let of_line line =
+  match String.split_on_char '\t' line with
+  | [ "j1"; key; "ok"; runtime ] when valid_key key -> begin
+    match float_of_string_opt runtime with
+    | Some runtime_us when Float.is_finite runtime_us && runtime_us > 0.0 ->
+      Some { key; outcome = Measured runtime_us }
+    | _ -> None
+  end
+  | [ "j1"; key; "fail"; reason ] when valid_key key -> Some { key; outcome = Failed reason }
+  | _ -> None
+
+let append path e =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_line e ^ "\n"))
+
+let load path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec go acc =
+          match input_line ic with
+          | line -> go (match of_line line with Some e -> e :: acc | None -> acc)
+          | exception End_of_file -> List.rev acc
+        in
+        go [])
+  end
+
+let to_table entries =
+  let table = Hashtbl.create (List.length entries * 2) in
+  List.iter (fun e -> Hashtbl.replace table e.key e.outcome) entries;
+  table

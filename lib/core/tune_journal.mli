@@ -1,0 +1,43 @@
+(** Measurement journal — crash recovery for [Tuner.tune].
+
+    One line per finished measurement, appended as soon as its result folds
+    into the tuner state, following the [Tuning_log] format discipline
+    (versioned, tab-separated, malformed lines dropped on load):
+
+    {v j1 <TAB> compact-config <TAB> ok   <TAB> runtime-hex-float
+       j1 <TAB> compact-config <TAB> fail <TAB> reason v}
+
+    Runtimes use OCaml's ["%h"] hex-float notation for an *exact* round-trip
+    — a resumed run must replay precisely the values the killed run
+    recorded, or it would leave the uninterrupted run's trajectory and break
+    the bit-identical-resume guarantee.  Keys are [Config.to_compact]
+    encodings; since the tuner never measures a configuration twice, replay
+    is a plain key lookup. *)
+
+type outcome =
+  | Measured of float  (** successful robust measurement, microseconds *)
+  | Failed of string  (** measurement failed; the reason string *)
+
+type entry = {
+  key : string;  (** [Config.to_compact] of the measured configuration *)
+  outcome : outcome;
+}
+
+val to_line : entry -> string
+(** Raises [Invalid_argument] on empty keys, keys containing tabs or
+    newlines, and non-finite or non-positive runtimes (reject on write). *)
+
+val of_line : string -> entry option
+(** [None] on malformed lines, bad keys and non-finite/non-positive
+    runtimes (drop on read). *)
+
+val append : string -> entry -> unit
+(** Appends one entry, creating the file if needed. *)
+
+val load : string -> entry list
+(** Empty list when the file does not exist; malformed lines are dropped,
+    so a journal truncated mid-line by a crash still loads. *)
+
+val to_table : entry list -> (string, outcome) Hashtbl.t
+(** Key-indexed view, later entries winning (there are no duplicate keys in
+    a journal written by one tune run). *)

@@ -4,6 +4,33 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 
 type progress = { measurement : int; best_runtime_us : float }
 
+type fault_stats = {
+  failed : int;
+  launch_failures : int;
+  deadlines_exceeded : int;
+  attempts : int;
+  retries : int;
+  timeouts : int;
+  nan_readings : int;
+  outliers_rejected : int;
+  backoff_us : float;
+  replayed : int;
+}
+
+let no_faults =
+  {
+    failed = 0;
+    launch_failures = 0;
+    deadlines_exceeded = 0;
+    attempts = 0;
+    retries = 0;
+    timeouts = 0;
+    nan_readings = 0;
+    outliers_rejected = 0;
+    backoff_us = 0.0;
+    replayed = 0;
+  }
+
 type result = {
   best_config : Config.t;
   best_runtime_us : float;
@@ -12,6 +39,7 @@ type result = {
   converged_at : int;
   history : progress list;
   space_size : float;
+  faults : fault_stats;
 }
 
 let nominal_gflops spec ~runtime_us = Conv.Conv_spec.flops spec /. runtime_us /. 1.0e3
@@ -31,6 +59,15 @@ let measure_config ?(seed = 0) arch spec cfg =
   let kernel = Config.to_kernel arch spec cfg in
   Gpu_sim.Measure.runtime_avg_us ~seed arch kernel
 
+let measure_config_robust ?(seed = 0) ?policy ?(faults = Gpu_sim.Faults.none) arch spec
+    cfg =
+  match Config.to_kernel arch spec cfg with
+  | kernel -> Gpu_sim.Faults.measure ?policy faults ~seed arch kernel
+  | exception Invalid_argument msg ->
+    (* Configs that cannot even lower to a launchable kernel degrade into a
+       typed failure instead of escaping as an exception. *)
+    (Error (Gpu_sim.Measure.Launch_failure msg), Gpu_sim.Measure.no_attempts)
+
 let max_leaders = 4
 
 (* Bounded insertion into the descending-quality leader list: O(max_leaders)
@@ -49,15 +86,34 @@ let insert_leader cfg runtime leaders =
   insert max_leaders leaders
 
 let tune ?(seed = 0) ?(batch_size = 16) ?(patience = 8) ?(max_measurements = 600) ?domains
-    ~space () =
+    ?(faults = Gpu_sim.Faults.none) ?measure_policy ?journal ~space () =
   let domains = Option.value domains ~default:(Util.Parallel.recommended_domains ()) in
   let arch = Search_space.arch space and spec = Search_space.spec space in
   let rng = Util.Rng.create (seed + 17) in
   let model = Cost_model.create spec in
   let measured = Hashtbl.create 128 in
+  let failed_keys = Hashtbl.create 16 in
   let best = ref None in
   let history = ref [] in
   let count = ref 0 in
+  (* Budget accounting: failures consume budget too, or a hostile fault
+     profile could spin the loop forever. *)
+  let trials = ref 0 in
+  let stats = ref no_faults in
+  (* Replay table from a previous (killed) run of the same tune.  Because
+     every stochastic draw is independent of measurement *values*, replaying
+     the journaled outcomes reproduces the killed run's trajectory exactly;
+     the oracle is only consulted for configs past the kill point. *)
+  let journal_tbl =
+    match journal with
+    | None -> Hashtbl.create 0
+    | Some path -> Tune_journal.to_table (Tune_journal.load path)
+  in
+  let journal_append key outcome =
+    match journal with
+    | None -> ()
+    | Some path -> Tune_journal.append path { Tune_journal.key; outcome }
+  in
   (* Top measured configurations, best first — the explorer's walk seeds. *)
   let leaders : (Config.t * float) list ref = ref [] in
   (* Sequential bookkeeping for one finished measurement: leader list, cost
@@ -77,9 +133,44 @@ let tune ?(seed = 0) ?(batch_size = 16) ?(patience = 8) ?(max_measurements = 600
     let best_runtime = match !best with Some (_, r) -> r | None -> runtime in
     history := { measurement = !count; best_runtime_us = best_runtime } :: !history
   in
-  (* Measure a batch: dedup (against everything measured and within the
-     batch, keeping first occurrences), fan the pure simulated measurements
-     out over the domains, then fold the results back in batch order. *)
+  let record_failure cfg (failure : Gpu_sim.Measure.failure) =
+    Hashtbl.replace failed_keys (Config.to_string cfg) ();
+    Cost_model.add_failure model cfg;
+    let s = !stats in
+    stats :=
+      {
+        s with
+        failed = s.failed + 1;
+        launch_failures =
+          (s.launch_failures
+          + match failure with Gpu_sim.Measure.Launch_failure _ -> 1 | _ -> 0);
+        deadlines_exceeded =
+          (s.deadlines_exceeded
+          + match failure with Gpu_sim.Measure.Deadline_exceeded _ -> 1 | _ -> 0);
+      };
+    Log.debug (fun m ->
+        m "measurement failed (%s): %s"
+          (Gpu_sim.Measure.failure_to_string failure)
+          (Config.to_string cfg))
+  in
+  let absorb (l : Gpu_sim.Measure.attempt_log) =
+    let s = !stats in
+    stats :=
+      {
+        s with
+        attempts = s.attempts + l.attempts;
+        retries = s.retries + l.retries;
+        timeouts = s.timeouts + l.timeouts;
+        nan_readings = s.nan_readings + l.nan_readings;
+        outliers_rejected = s.outliers_rejected + l.outliers_rejected;
+        backoff_us = s.backoff_us +. l.backoff_us;
+      }
+  in
+  (* Measure a batch: dedup (against everything attempted and within the
+     batch, keeping first occurrences), split journal hits from configs that
+     need live measurement, fan the pure simulated measurements out over the
+     domains, then fold every outcome back in batch order.  A failed config
+     does not abort the batch: its siblings' results still fold in. *)
   let measure_batch cfgs =
     let fresh =
       List.filter
@@ -93,10 +184,50 @@ let tune ?(seed = 0) ?(batch_size = 16) ?(patience = 8) ?(max_measurements = 600
         cfgs
     in
     let batch = Array.of_list fresh in
-    let runtimes =
-      Util.Parallel.map ~domains batch (fun cfg -> measure_config ~seed arch spec cfg)
+    let planned =
+      Array.map
+        (fun cfg ->
+          let key = Config.to_compact cfg in
+          match Hashtbl.find_opt journal_tbl key with
+          | Some outcome -> `Replayed (key, outcome)
+          | None -> `Live key)
+        batch
     in
-    Array.iteri (fun i cfg -> record cfg runtimes.(i)) batch
+    let live =
+      Array.of_list
+        (List.filteri
+           (fun i _ -> match planned.(i) with `Live _ -> true | `Replayed _ -> false)
+           (Array.to_list batch))
+    in
+    let outcomes =
+      Util.Parallel.map ~domains live (fun cfg ->
+          measure_config_robust ~seed ?policy:measure_policy ~faults arch spec cfg)
+    in
+    let next_live = ref 0 in
+    Array.iteri
+      (fun i cfg ->
+        incr trials;
+        match planned.(i) with
+        | `Replayed (_, Tune_journal.Measured runtime) ->
+          stats := { !stats with replayed = !stats.replayed + 1 };
+          record cfg runtime
+        | `Replayed (_, Tune_journal.Failed reason) ->
+          stats := { !stats with replayed = !stats.replayed + 1 };
+          record_failure cfg (Gpu_sim.Measure.Launch_failure reason)
+        | `Live key -> begin
+          let res, attempt_log = outcomes.(!next_live) in
+          incr next_live;
+          absorb attempt_log;
+          match res with
+          | Ok runtime ->
+            journal_append key (Tune_journal.Measured runtime);
+            record cfg runtime
+          | Error failure ->
+            journal_append key
+              (Tune_journal.Failed (Gpu_sim.Measure.failure_to_string failure));
+            record_failure cfg failure
+        end)
+      batch
   in
   (* Round 0: the optimality-guided default plus random exploration. *)
   measure_batch
@@ -106,10 +237,10 @@ let tune ?(seed = 0) ?(batch_size = 16) ?(patience = 8) ?(max_measurements = 600
          (fun _ -> Search_space.sample space rng));
   let stale = ref 0 in
   let round = ref 0 in
-  while !stale < patience && !count < max_measurements do
+  while !stale < patience && !trials < max_measurements do
     incr round;
     Log.debug (fun m ->
-        m "round %d: %d measurements, model %s" !round !count
+        m "round %d: %d measurements (%d failed), model %s" !round !count !stats.failed
           (if Cost_model.trained model then
              Printf.sprintf "rmse(log) %.3f" (Cost_model.rmse_log model)
            else "untrained"));
@@ -118,11 +249,15 @@ let tune ?(seed = 0) ?(batch_size = 16) ?(patience = 8) ?(max_measurements = 600
     let starts =
       List.map fst !leaders @ List.init 2 (fun _ -> Search_space.sample space rng)
     in
-    let candidates = Explorer.explore ~domains ~space ~model ~rng ~starts () in
+    let candidates =
+      Explorer.explore ~domains
+        ~avoid:(fun c -> Hashtbl.mem failed_keys (Config.to_string c))
+        ~space ~model ~rng ~starts ()
+    in
     let fresh =
       List.filter (fun c -> not (Hashtbl.mem measured (Config.to_string c))) candidates
     in
-    let room = min batch_size (max_measurements - !count) in
+    let room = min batch_size (max_measurements - !trials) in
     (* Epsilon-greedy batch make-up: a couple of slots per batch go to
        uniform random samples so one misleading model fit cannot lock the
        search into a basin for the rest of the budget. *)
@@ -131,7 +266,7 @@ let tune ?(seed = 0) ?(batch_size = 16) ?(patience = 8) ?(max_measurements = 600
     let explore_ = List.init n_random (fun _ -> Search_space.sample space rng) in
     let batch = exploit @ explore_ in
     (if batch = [] then begin
-       if !count < max_measurements then measure_batch [ Search_space.sample space rng ]
+       if !trials < max_measurements then measure_batch [ Search_space.sample space rng ]
      end
      else measure_batch batch);
     let best_after = match !best with Some (_, r) -> r | None -> infinity in
@@ -149,4 +284,5 @@ let tune ?(seed = 0) ?(batch_size = 16) ?(patience = 8) ?(max_measurements = 600
       converged_at = convergence_point ~final:runtime history;
       history;
       space_size = Search_space.size space;
+      faults = !stats;
     }

@@ -8,23 +8,70 @@
 
     With [pruned = true] the search runs over the optimality-condition domain
     (the paper's ATE); with [pruned = false] over the full space, which is
-    the TVM-style comparator used in Table 2 and Figure 11. *)
+    the TVM-style comparator used in Table 2 and Figure 11.
+
+    Fault tolerance: measurements go through the robust harness
+    ([Gpu_sim.Measure.robust]) under an optional fault profile
+    ([Gpu_sim.Faults]).  Configurations whose measurement fails enter the
+    cost model as penalized entries ([Cost_model.add_failure]), are excluded
+    from future explorer proposals, and count against the measurement
+    budget; the batch they belonged to proceeds with its surviving members.
+    With [journal] set, every finished measurement is appended to an
+    on-disk [Tune_journal] and replayed on restart, so an interrupted tune
+    resumed with identical parameters reproduces the uninterrupted run's
+    result exactly. *)
 
 type progress = { measurement : int; best_runtime_us : float }
+
+type fault_stats = {
+  failed : int;  (** configurations whose measurement failed *)
+  launch_failures : int;  (** failed with [Launch_failure] *)
+  deadlines_exceeded : int;  (** failed with [Deadline_exceeded] *)
+  attempts : int;  (** total sampler invocations across all measurements *)
+  retries : int;  (** backoff retries taken (= timeouts + nan_readings) *)
+  timeouts : int;
+  nan_readings : int;
+  outliers_rejected : int;
+  backoff_us : float;  (** total virtual backoff time charged *)
+  replayed : int;  (** measurements satisfied from the journal, not the oracle *)
+}
+(** Counters are live-run accurate; replayed failures are folded in as
+    launch failures (the journal stores only the reason string). *)
+
+val no_faults : fault_stats
+(** The all-zero statistics — what a fault-free, journal-free run reports
+    (modulo [attempts], which counts successful samples too). *)
 
 type result = {
   best_config : Config.t;
   best_runtime_us : float;
   best_gflops : float;  (** nominal convolution flops over best runtime *)
-  measurements : int;  (** total configurations measured *)
+  measurements : int;  (** configurations measured successfully *)
   converged_at : int;
-      (** first measurement whose best-so-far is within 1% of the final best *)
+      (** derived from the history via {!convergence_point}: the first
+          measurement whose best-so-far is within 1% of the final best *)
   history : progress list;  (** best-so-far curve, oldest first *)
   space_size : float;
+  faults : fault_stats;  (** failure/retry statistics for the whole run *)
 }
 
 val measure_config : ?seed:int -> Gpu_sim.Arch.t -> Conv.Conv_spec.t -> Config.t -> float
-(** One simulated measurement of a configuration (averaged oracle). *)
+(** One simulated measurement of a configuration (plain averaged oracle, no
+    faults, no retries) — the legacy path used by library baselines. *)
+
+val measure_config_robust :
+  ?seed:int ->
+  ?policy:Gpu_sim.Measure.policy ->
+  ?faults:Gpu_sim.Faults.profile ->
+  Gpu_sim.Arch.t ->
+  Conv.Conv_spec.t ->
+  Config.t ->
+  (float, Gpu_sim.Measure.failure) Stdlib.result * Gpu_sim.Measure.attempt_log
+(** One robust measurement: retry/backoff/deadline and outlier-rejecting
+    aggregation per [policy] (default [Measure.default_policy]), faults
+    injected per [faults] (default none).  A configuration that cannot
+    lower to a launchable kernel returns [Launch_failure] instead of
+    raising.  This is the path [tune] uses for every measurement. *)
 
 val tune :
   ?seed:int ->
@@ -32,21 +79,38 @@ val tune :
   ?patience:int ->
   ?max_measurements:int ->
   ?domains:int ->
+  ?faults:Gpu_sim.Faults.profile ->
+  ?measure_policy:Gpu_sim.Measure.policy ->
+  ?journal:string ->
   space:Search_space.t ->
   unit ->
   result
 (** Defaults: seed 0, batches of 16, patience 8 rounds, at most 600
-    measurements, [domains = Util.Parallel.recommended_domains ()].
+    trials, [domains = Util.Parallel.recommended_domains ()], no injected
+    faults, [Measure.default_policy], no journal.
+
+    [max_measurements] bounds *trials* (successes plus failures), so a
+    hostile fault profile cannot spin the loop beyond the budget.
+
+    [journal] names an append-only [Tune_journal] file.  Outcomes found
+    there are replayed instead of re-measured; every live measurement is
+    appended as soon as it folds in.  Re-running an interrupted tune with
+    the same parameters and journal path resumes it and returns a result
+    identical to the uninterrupted run (fault counters differ only in
+    [replayed] and live-attempt statistics).
 
     Multicore: each round's explorer walks, the cost-model refit and the
     batch of simulated measurements fan out over [Util.Pool.default], while
     all stochastic draws and result folding stay sequential — for a fixed
     [seed] the result (best config, history, measurement count) is
-    bit-identical at every [domains] value. *)
+    bit-identical at every [domains] value, under any fault profile
+    (injection is a pure function of config, seed and attempt, never of
+    scheduling). *)
 
 val convergence_point : final:float -> progress list -> int
 (** First measurement (oldest-first history) whose best-so-far runtime is
-    within 1% of [final]; 1 when the history is empty. *)
+    within 1% of [final]; 1 when the history is empty.  [result.converged_at]
+    is defined as [convergence_point ~final:best_runtime_us history]. *)
 
 val nominal_gflops : Conv.Conv_spec.t -> runtime_us:float -> float
 (** The GFlops metric of Table 2/Figure 11: the layer's direct-convolution

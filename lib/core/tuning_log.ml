@@ -22,7 +22,18 @@ let entry_key e =
   Printf.sprintf "%s\t%s\t%s" e.arch_name e.spec_key
     (Config.algorithm_to_string e.config.algorithm)
 
+let valid_key s = String.for_all (fun c -> c <> '\t' && c <> '\n' && c <> '\r') s
+
+(* Reject on write, drop on read: a log can only ever contain finite,
+   positive runtimes and tab-free keys, and a file damaged by hand-editing
+   or a crash mid-write cannot poison a later load. *)
 let to_line e =
+  if not (Float.is_finite e.runtime_us) || e.runtime_us <= 0.0 then
+    invalid_arg
+      (Printf.sprintf "Tuning_log.to_line: non-finite or non-positive runtime %h"
+         e.runtime_us);
+  if not (valid_key e.arch_name && valid_key e.spec_key) then
+    invalid_arg "Tuning_log.to_line: tab or newline embedded in key";
   Printf.sprintf "v1\t%s\t%s\t%.6f\t%s" e.arch_name e.spec_key e.runtime_us
     (Config.to_compact e.config)
 
@@ -30,7 +41,7 @@ let of_line line =
   match String.split_on_char '\t' line with
   | [ "v1"; arch_name; spec_key; runtime; compact ] -> begin
     match (float_of_string_opt runtime, Config.of_compact compact) with
-    | Some runtime_us, Some config when runtime_us > 0.0 ->
+    | Some runtime_us, Some config when Float.is_finite runtime_us && runtime_us > 0.0 ->
       Some { arch_name; spec_key; runtime_us; config }
     | _ -> None
   end

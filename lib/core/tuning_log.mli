@@ -27,7 +27,13 @@ val key : Gpu_sim.Arch.t -> Conv.Conv_spec.t -> Config.algorithm -> string
 val entry_key : entry -> string
 
 val to_line : entry -> string
+(** Raises [Invalid_argument] on non-finite or non-positive runtimes and on
+    keys with embedded tabs or newlines — bad records are rejected at write
+    time rather than silently corrupting the log. *)
+
 val of_line : string -> entry option
+(** [None] on malformed lines, including NaN/infinite runtimes that an
+    external writer might have produced (drop on read). *)
 
 val save : string -> entry list -> unit
 (** Writes (truncates) the log file. *)

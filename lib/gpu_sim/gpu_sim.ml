@@ -5,5 +5,6 @@ module Arch = Arch
 module Occupancy = Occupancy
 module Kernel_cost = Kernel_cost
 module Measure = Measure
+module Faults = Faults
 module Library_sim = Library_sim
 module Roofline = Roofline

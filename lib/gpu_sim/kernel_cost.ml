@@ -18,6 +18,49 @@ let make ?(coalescing = 1.0) ?(compute_efficiency = 1.0) ~flops ~io_elems ~threa
   { flops; io_elems; threads_per_block; shmem_bytes_per_block; blocks; coalescing;
     compute_efficiency }
 
+type launch_error =
+  | Bad_geometry of { threads_per_block : int; blocks : int; shmem_bytes_per_block : int }
+  | Threads_exceeded of { threads_per_block : int; max_threads_per_block : int }
+  | Shmem_exceeded of { shmem_bytes_per_block : int; max_shared_mem_per_block : int }
+
+let launch_error_to_string = function
+  | Bad_geometry { threads_per_block; blocks; shmem_bytes_per_block } ->
+    Printf.sprintf
+      "degenerate launch geometry (threads_per_block=%d, blocks=%d, shmem=%d B)"
+      threads_per_block blocks shmem_bytes_per_block
+  | Threads_exceeded { threads_per_block; max_threads_per_block } ->
+    Printf.sprintf "%d threads per block exceeds the device limit of %d"
+      threads_per_block max_threads_per_block
+  | Shmem_exceeded { shmem_bytes_per_block; max_shared_mem_per_block } ->
+    Printf.sprintf
+      "%d B of shared memory per block exceeds the device limit of %d B"
+      shmem_bytes_per_block max_shared_mem_per_block
+
+let check (arch : Arch.t) k =
+  if k.threads_per_block < 1 || k.blocks < 1 || k.shmem_bytes_per_block < 0 then
+    Error
+      (Bad_geometry
+         {
+           threads_per_block = k.threads_per_block;
+           blocks = k.blocks;
+           shmem_bytes_per_block = k.shmem_bytes_per_block;
+         })
+  else if k.threads_per_block > arch.max_threads_per_block then
+    Error
+      (Threads_exceeded
+         {
+           threads_per_block = k.threads_per_block;
+           max_threads_per_block = arch.max_threads_per_block;
+         })
+  else if k.shmem_bytes_per_block > arch.max_shared_mem_per_block then
+    Error
+      (Shmem_exceeded
+         {
+           shmem_bytes_per_block = k.shmem_bytes_per_block;
+           max_shared_mem_per_block = arch.max_shared_mem_per_block;
+         })
+  else Ok ()
+
 let runtime_us (arch : Arch.t) k =
   let occ =
     Occupancy.calculate arch ~threads_per_block:k.threads_per_block

@@ -30,6 +30,20 @@ val make :
 (** Defaults: full coalescing and efficiency.  Raises [Invalid_argument] on
     out-of-range derates or non-positive geometry. *)
 
+type launch_error =
+  | Bad_geometry of { threads_per_block : int; blocks : int; shmem_bytes_per_block : int }
+  | Threads_exceeded of { threads_per_block : int; max_threads_per_block : int }
+  | Shmem_exceeded of { shmem_bytes_per_block : int; max_shared_mem_per_block : int }
+      (** Why a kernel cannot launch, carrying the offending and limiting
+          sizes so error messages can name them. *)
+
+val launch_error_to_string : launch_error -> string
+(** Human-readable rendering including the offending sizes. *)
+
+val check : Arch.t -> kernel -> (unit, launch_error) result
+(** Typed launchability check: [Ok ()] exactly when [Occupancy.launchable]
+    holds, a [launch_error] naming the violated limit otherwise. *)
+
 val runtime_us : Arch.t -> kernel -> float
 (** Modelled runtime in microseconds.  Raises when the block shape is not
     launchable on the architecture. *)

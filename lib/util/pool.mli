@@ -42,6 +42,18 @@ val run_all : t -> (unit -> unit) list -> unit
     caller, in order.  Safe to call concurrently from several threads and
     from inside a pooled task. *)
 
+val run_all_deadline :
+  t -> now:(unit -> float) -> deadline:float -> (unit -> unit) list -> int
+(** [run_all_deadline t ~now ~deadline fns] is [run_all] with a task-start
+    gate: each thunk runs only if [now () < deadline] at the moment a thread
+    picks it up.  Thunks already running when the deadline passes are never
+    interrupted — the bound is cooperative, suited to measurement batches
+    whose individual tasks are short.  Returns the number of thunks that ran
+    to completion (skipped and faulting thunks are not counted).  The clock
+    is injected so callers choose the time base — wall clock for real
+    deadlines, a fake counter in tests — and [util] stays free of a [unix]
+    dependency.  Exceptions propagate exactly as in [run_all]. *)
+
 val shutdown : t -> unit
 (** Signals workers to exit and joins them.  Idempotent.  Subsequent
     [run_all] calls execute inline; [ensure_workers] can revive the pool. *)

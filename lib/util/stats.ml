@@ -41,6 +41,21 @@ let percentile xs p =
 
 let median xs = percentile xs 50.0
 
+let trimmed_mean xs frac =
+  let n = Array.length xs in
+  assert (n > 0 && frac >= 0.0 && frac < 0.5);
+  let s = sorted xs in
+  let drop = int_of_float (frac *. float_of_int n) in
+  let lo = drop and hi = n - 1 - drop in
+  if lo > hi then median xs
+  else begin
+    let acc = ref 0.0 in
+    for i = lo to hi do
+      acc := !acc +. s.(i)
+    done;
+    !acc /. float_of_int (hi - lo + 1)
+  end
+
 let min_max xs =
   assert (Array.length xs > 0);
   Array.fold_left

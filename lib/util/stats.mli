@@ -12,6 +12,12 @@ val stddev : float array -> float
 val median : float array -> float
 (** Median (does not mutate the input). *)
 
+val trimmed_mean : float array -> float -> float
+(** [trimmed_mean xs frac] drops [floor (frac * n)] samples from each end of
+    the sorted array and averages the rest.  [frac] in \[0, 0.5); requires a
+    non-empty array.  Falls back to the median when trimming would drop
+    everything. *)
+
 val percentile : float array -> float -> float
 (** [percentile xs p] with [p] in \[0, 100\], linear interpolation. *)
 

@@ -692,6 +692,131 @@ let test_tuning_log_skips_garbage () =
   Alcotest.(check int) "garbage skipped" 0 (List.length (Core.Tuning_log.load path));
   Sys.remove path
 
+let test_tuning_log_rejects_bad_values () =
+  let space = direct_space () in
+  let entry =
+    {
+      Core.Tuning_log.arch_name = "v100";
+      spec_key = "spec";
+      runtime_us = 100.0;
+      config = Core.Search_space.default_config space;
+    }
+  in
+  let raises name e =
+    match Core.Tuning_log.to_line e with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail (name ^ ": expected Invalid_argument")
+  in
+  raises "nan runtime" { entry with runtime_us = Float.nan };
+  raises "inf runtime" { entry with runtime_us = Float.infinity };
+  raises "negative inf" { entry with runtime_us = Float.neg_infinity };
+  raises "zero runtime" { entry with runtime_us = 0.0 };
+  raises "negative runtime" { entry with runtime_us = -3.0 };
+  raises "tab in arch" { entry with arch_name = "a\tb" };
+  raises "newline in spec" { entry with spec_key = "a\nb" };
+  (* Damage an external writer could produce is dropped on read. *)
+  let compact = Core.Config.to_compact entry.config in
+  Alcotest.(check bool) "inf line dropped" true
+    (Core.Tuning_log.of_line (Printf.sprintf "v1\tv100\tspec\tinf\t%s" compact) = None);
+  Alcotest.(check bool) "nan line dropped" true
+    (Core.Tuning_log.of_line (Printf.sprintf "v1\tv100\tspec\tnan\t%s" compact) = None);
+  Alcotest.(check bool) "good line still parses" true
+    (Core.Tuning_log.of_line (Core.Tuning_log.to_line entry) <> None)
+
+let qcheck_tuning_log_roundtrip =
+  let config = Core.Search_space.default_config (direct_space ()) in
+  let sanitize s =
+    "k" ^ String.map (fun c -> if c = '\t' || c = '\n' || c = '\r' then '_' else c) s
+  in
+  QCheck.Test.make ~name:"tuning log line roundtrip" ~count:100
+    QCheck.(triple small_printable_string small_printable_string (float_range 1e-3 1e9))
+    (fun (a, s, runtime_us) ->
+      let entry =
+        { Core.Tuning_log.arch_name = sanitize a; spec_key = sanitize s; runtime_us; config }
+      in
+      match Core.Tuning_log.of_line (Core.Tuning_log.to_line entry) with
+      | Some back ->
+        back.arch_name = entry.arch_name
+        && back.spec_key = entry.spec_key
+        && back.config = entry.config
+        (* %.6f truncates to microsecond-millionths: absolute error < 1e-6 *)
+        && Float.abs (back.runtime_us -. entry.runtime_us) < 1e-6
+      | None -> false)
+
+let test_search_space_validate_typed () =
+  let space = direct_space () in
+  let cfg = Core.Search_space.default_config space in
+  Alcotest.(check bool) "default validates" true
+    (Core.Search_space.validate space cfg = Ok ());
+  (match Core.Search_space.validate space { cfg with algorithm = Core.Config.Winograd_dataflow 2 } with
+  | Error (Core.Search_space.Wrong_algorithm _) -> ()
+  | _ -> Alcotest.fail "expected Wrong_algorithm");
+  (match Core.Search_space.validate space { cfg with tile_x = 9973 } with
+  | Error (Core.Search_space.Tile_not_in_domain { tile = 9973, _, _ } as e) ->
+    let msg = Core.Search_space.invalid_to_string e in
+    let contains s sub =
+      let n = String.length s and m = String.length sub in
+      let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "message names the offending tile" true (contains msg "9973")
+  | _ -> Alcotest.fail "expected Tile_not_in_domain with the bad extent");
+  (match Core.Search_space.validate space { cfg with threads_x = cfg.tile_x * 2 } with
+  | Error (Core.Search_space.Threads_not_dividing _) -> ()
+  | _ -> Alcotest.fail "expected Threads_not_dividing");
+  (match Core.Search_space.validate space { cfg with unroll = 3 } with
+  | Error (Core.Search_space.Knob_out_of_domain { knob = "unroll"; value = "3" }) -> ()
+  | _ -> Alcotest.fail "expected Knob_out_of_domain for unroll=3");
+  Alcotest.(check bool) "mem agrees with validate" false
+    (Core.Search_space.mem space { cfg with unroll = 3 })
+
+let test_tune_journal_roundtrip () =
+  let exact = 100.0 /. 3.0 in
+  let e1 = { Core.Tune_journal.key = "d|CHW|4,4,8"; outcome = Measured exact } in
+  (match Core.Tune_journal.of_line (Core.Tune_journal.to_line e1) with
+  | Some { key; outcome = Measured v } ->
+    Alcotest.(check string) "key" e1.key key;
+    (* hex-float notation: the round-trip is exact, not approximate *)
+    Alcotest.(check (float 0.0)) "bit-exact runtime" exact v
+  | _ -> Alcotest.fail "ok line did not parse");
+  let e2 = { Core.Tune_journal.key = "k"; outcome = Failed "deadline exceeded (3 attempts)" } in
+  (match Core.Tune_journal.of_line (Core.Tune_journal.to_line e2) with
+  | Some { outcome = Failed r; _ } ->
+    Alcotest.(check string) "reason" "deadline exceeded (3 attempts)" r
+  | _ -> Alcotest.fail "fail line did not parse");
+  (match Core.Tune_journal.of_line
+           (Core.Tune_journal.to_line { e2 with outcome = Failed "tab\there" }) with
+  | Some { outcome = Failed r; _ } -> Alcotest.(check string) "tab squashed" "tab here" r
+  | _ -> Alcotest.fail "squashed fail line did not parse");
+  let raises name e =
+    match Core.Tune_journal.to_line e with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail (name ^ ": expected Invalid_argument")
+  in
+  raises "empty key" { e1 with key = "" };
+  raises "tab in key" { e1 with key = "a\tb" };
+  raises "nan runtime" { e1 with outcome = Measured Float.nan };
+  raises "inf runtime" { e1 with outcome = Measured Float.infinity };
+  raises "zero runtime" { e1 with outcome = Measured 0.0 };
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) ("dropped: " ^ String.escaped line) true
+        (Core.Tune_journal.of_line line = None))
+    [ ""; "garbage"; "j1\tk"; "j1\tk\tok\tnan"; "j1\tk\tok\tnotafloat";
+      "j0\tk\tok\t0x1p1"; "j1\t\tok\t0x1p1" ];
+  (* A crash mid-write leaves a truncated last line; whole lines still load. *)
+  let path = Filename.temp_file "journal" ".j" in
+  Core.Tune_journal.append path e1;
+  Core.Tune_journal.append path e2;
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "j1\ttrunc";
+  close_out oc;
+  let entries = Core.Tune_journal.load path in
+  Alcotest.(check int) "whole lines load" 2 (List.length entries);
+  let tbl = Core.Tune_journal.to_table entries in
+  Alcotest.(check bool) "table keyed by compact config" true (Hashtbl.mem tbl e1.key);
+  Sys.remove path
+
 let test_tuner_deterministic () =
   (* Reproducibility is a headline property: identical seeds must yield
      identical searches end to end. *)
@@ -808,7 +933,10 @@ let () =
           Alcotest.test_case "baselines run" `Slow test_baselines_run;
         ] );
       ( "errors",
-        [ Alcotest.test_case "argument validation" `Quick test_error_paths ] );
+        [
+          Alcotest.test_case "argument validation" `Quick test_error_paths;
+          Alcotest.test_case "typed space validation" `Quick test_search_space_validate_typed;
+        ] );
       ( "template",
         [
           Alcotest.test_case "direct render" `Quick test_template_direct;
@@ -821,5 +949,9 @@ let () =
           Alcotest.test_case "config compact roundtrip" `Quick test_config_compact_roundtrip;
           Alcotest.test_case "tuning log roundtrip" `Quick test_tuning_log_roundtrip;
           Alcotest.test_case "tuning log skips garbage" `Quick test_tuning_log_skips_garbage;
+          Alcotest.test_case "tuning log rejects bad values" `Quick
+            test_tuning_log_rejects_bad_values;
+          QCheck_alcotest.to_alcotest qcheck_tuning_log_roundtrip;
+          Alcotest.test_case "tune journal roundtrip" `Quick test_tune_journal_roundtrip;
         ] );
     ]

@@ -126,6 +126,156 @@ let test_measure_average_tighter () =
   let avg = M.runtime_avg_us ~seed:9 ~repeat:64 arch k in
   Alcotest.(check bool) "average close to base" true (Float.abs (avg -. base) /. base < 0.01)
 
+(* --- the robust measurement harness --- *)
+
+(* A sampler scripted per attempt index; falls through to [last] beyond the
+   script's end. *)
+let scripted script ~last ~attempt =
+  if attempt < Array.length script then script.(attempt) else last
+
+let policy = M.default_policy
+
+let test_robust_exact_counts () =
+  (* timeout, nan, then three valid samples of which one is a 4x-median
+     outlier: every counter in the attempt log is predictable. *)
+  let script =
+    [| Error (M.Timeout 500.0); Ok Float.nan; Ok 100.0; Ok 104.0; Ok 1000.0 |]
+  in
+  let res, log = M.robust ~sample:(scripted script ~last:(Ok 100.0)) () in
+  (match res with
+  | Ok v ->
+    (* median [100;104;1000] = 104; 1000 > 4*104 is rejected; median of the
+       two survivors = 102. *)
+    Alcotest.(check (float 1e-9)) "outlier-rejected median" 102.0 v
+  | Error f -> Alcotest.fail (M.failure_to_string f));
+  Alcotest.(check int) "attempts" 5 log.attempts;
+  Alcotest.(check int) "retries" 2 log.retries;
+  Alcotest.(check int) "timeouts" 1 log.timeouts;
+  Alcotest.(check int) "nan readings" 1 log.nan_readings;
+  Alcotest.(check int) "outliers rejected" 1 log.outliers_rejected;
+  (* backoff 50 then 100 (doubling), charged alongside the timeout cost and
+     the valid samples' runtimes. *)
+  Alcotest.(check (float 1e-9)) "backoff" 150.0 log.backoff_us;
+  Alcotest.(check (float 1e-9)) "elapsed" (500. +. 150. +. 100. +. 104. +. 1000.) log.elapsed_us;
+  Alcotest.(check bool) "retries = timeouts + nans" true
+    (log.retries = log.timeouts + log.nan_readings)
+
+let test_robust_deadline () =
+  let policy = { policy with deadline_us = 3000.0 } in
+  let sample ~attempt:_ = Error (M.Timeout 1000.0) in
+  let res, log = M.robust ~policy ~sample () in
+  (match res with
+  | Error (M.Deadline_exceeded { attempts }) -> Alcotest.(check int) "attempts" 3 attempts
+  | Ok _ | Error _ -> Alcotest.fail "expected Deadline_exceeded");
+  Alcotest.(check bool) "elapsed past deadline" true (log.elapsed_us >= 3000.0)
+
+let test_robust_deadline_partial_samples () =
+  (* Two valid samples land before the deadline cuts the third off: the
+     harness aggregates what it has instead of failing. *)
+  let policy = { policy with deadline_us = 1000.0 } in
+  let res, log = M.robust ~policy ~sample:(fun ~attempt:_ -> Ok 600.0) () in
+  (match res with
+  | Ok v -> Alcotest.(check (float 1e-9)) "partial median" 600.0 v
+  | Error f -> Alcotest.fail (M.failure_to_string f));
+  Alcotest.(check int) "only two attempts fit" 2 log.attempts
+
+let test_robust_no_valid_sample () =
+  let res, log = M.robust ~sample:(fun ~attempt:_ -> Ok Float.nan) () in
+  (match res with
+  | Error (M.No_valid_sample { attempts }) ->
+    (* repeat + max_retries with the default policy *)
+    Alcotest.(check int) "attempt budget exhausted" 7 attempts
+  | Ok _ | Error _ -> Alcotest.fail "expected No_valid_sample");
+  Alcotest.(check int) "all counted as nan readings" 7 log.nan_readings;
+  (* 50,100,200,400 then capped at 800. *)
+  Alcotest.(check (float 1e-9)) "backoff capped" (50. +. 100. +. 200. +. 400. +. (3. *. 800.))
+    log.backoff_us
+
+let test_robust_launch_failure_immediate () =
+  let res, log = M.robust ~sample:(fun ~attempt:_ -> Error (M.Launch_failed "nope")) () in
+  (match res with
+  | Error (M.Launch_failure msg) -> Alcotest.(check string) "message" "nope" msg
+  | Ok _ | Error _ -> Alcotest.fail "expected Launch_failure");
+  Alcotest.(check int) "no retry of a persistent fault" 1 log.attempts;
+  Alcotest.(check int) "no backoff" 0 log.retries
+
+(* --- typed launch errors --- *)
+
+let test_kernel_check_typed_errors () =
+  Alcotest.(check bool) "valid kernel passes" true (K.check arch (kernel ()) = Ok ());
+  (match K.check arch (kernel ~threads:2048 ()) with
+  | Error (K.Threads_exceeded { threads_per_block = 2048; max_threads_per_block = 1024 }) ->
+    ()
+  | _ -> Alcotest.fail "expected Threads_exceeded with sizes");
+  (match K.check arch (kernel ~shmem:(200 * 1024) ()) with
+  | Error (K.Shmem_exceeded { shmem_bytes_per_block; max_shared_mem_per_block } as e) ->
+    Alcotest.(check int) "offender" (200 * 1024) shmem_bytes_per_block;
+    Alcotest.(check int) "limit" (48 * 1024) max_shared_mem_per_block;
+    let msg = K.launch_error_to_string e in
+    let contains s sub =
+      let n = String.length s and m = String.length sub in
+      let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "message names the offending size" true
+      (contains msg (string_of_int (200 * 1024)))
+  | _ -> Alcotest.fail "expected Shmem_exceeded with sizes");
+  Alcotest.(check bool) "check agrees with launchable" true
+    (K.check arch (kernel ~threads:1024 ()) = Ok ())
+
+(* --- fault injection --- *)
+
+module F = Gpu_sim.Faults
+
+let test_faults_none_is_oracle () =
+  let k = kernel () in
+  for attempt = 0 to 4 do
+    match F.sample F.none ~seed:3 ~attempt arch k with
+    | Ok v ->
+      Alcotest.(check (float 0.0))
+        "zero profile = plain oracle sample"
+        (M.sample_us ~seed:3 ~stream:attempt arch k)
+        v
+    | Error _ -> Alcotest.fail "zero profile must not fault"
+  done
+
+let test_faults_deterministic () =
+  let k = kernel () in
+  for attempt = 0 to 20 do
+    let a = F.sample F.default ~seed:7 ~attempt arch k in
+    let b = F.sample F.default ~seed:7 ~attempt arch k in
+    (* [compare], not [=]: a drawn NaN must still count as the same reading. *)
+    Alcotest.(check bool)
+      (Printf.sprintf "attempt %d stable" attempt)
+      true (compare a b = 0)
+  done
+
+let test_faults_rates_move () =
+  (* With the timeout rate forced to 1 every attempt times out; with all
+     rates 0 but a finite launch fraction, only over-budget kernels fail. *)
+  let all_timeout = { F.default with timeout_rate = 1.0 } in
+  (match F.sample all_timeout ~seed:1 ~attempt:0 arch (kernel ()) with
+  | Error (M.Timeout cost) ->
+    Alcotest.(check (float 1e-9)) "timeout cost" all_timeout.timeout_cost_us cost
+  | _ -> Alcotest.fail "expected Timeout");
+  let hog = kernel ~shmem:(46 * 1024) ~threads:64 () in
+  (match F.sample F.default ~seed:1 ~attempt:0 arch hog with
+  | Error (M.Launch_failed msg) ->
+    Alcotest.(check bool) "persistent across attempts" true
+      (F.sample F.default ~seed:1 ~attempt:5 arch hog = Error (M.Launch_failed msg))
+  | _ -> Alcotest.fail "expected Launch_failed on a 96% shmem hog")
+
+let test_faults_measure_robust_end_to_end () =
+  let k = kernel () in
+  let res, log = F.measure F.default ~seed:11 arch k in
+  (match res with
+  | Ok v ->
+    let base = K.runtime_us arch k in
+    Alcotest.(check bool) "aggregated value near the model" true
+      (Float.abs (v -. base) /. base < 0.04)
+  | Error f -> Alcotest.fail (M.failure_to_string f));
+  Alcotest.(check bool) "attempt accounting" true (log.attempts >= 3)
+
 let spec_std = Spec.make ~c_in:256 ~h_in:56 ~w_in:56 ~c_out:64 ~k_h:3 ~k_w:3 ~pad:1 ()
 
 let test_cudnn_direct_picks_an_algorithm () =
@@ -261,6 +411,24 @@ let () =
           Alcotest.test_case "kernel argument validation" `Quick
             test_kernel_rejects_bad_arguments;
           Alcotest.test_case "measure repeat validation" `Quick test_measure_rejects_bad_repeat;
+          Alcotest.test_case "typed launch errors" `Quick test_kernel_check_typed_errors;
+        ] );
+      ( "robust",
+        [
+          Alcotest.test_case "exact counters" `Quick test_robust_exact_counts;
+          Alcotest.test_case "deadline" `Quick test_robust_deadline;
+          Alcotest.test_case "partial samples at deadline" `Quick
+            test_robust_deadline_partial_samples;
+          Alcotest.test_case "no valid sample" `Quick test_robust_no_valid_sample;
+          Alcotest.test_case "launch failure immediate" `Quick
+            test_robust_launch_failure_immediate;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "zero profile is the oracle" `Quick test_faults_none_is_oracle;
+          Alcotest.test_case "deterministic" `Quick test_faults_deterministic;
+          Alcotest.test_case "rates drive fault kinds" `Quick test_faults_rates_move;
+          Alcotest.test_case "measure end to end" `Quick test_faults_measure_robust_end_to_end;
         ] );
       ( "roofline",
         [

@@ -88,6 +88,13 @@ let test_stats_minmax_argmin () =
 let test_stats_rmse () =
   check_float "rmse" 1.0 (Util.Stats.rmse [| 1.0; 2.0 |] [| 2.0; 1.0 |])
 
+let test_stats_trimmed_mean () =
+  (* 10% of 10 samples trims one from each end: the outliers vanish. *)
+  let xs = [| 1000.0; 5.0; 5.0; 5.0; 5.0; 5.0; 5.0; 5.0; 5.0; 0.001 |] in
+  check_float "outliers trimmed" 5.0 (Util.Stats.trimmed_mean xs 0.1);
+  check_float "frac 0 is the mean" (Util.Stats.mean xs) (Util.Stats.trimmed_mean xs 0.0);
+  check_float "single sample" 3.0 (Util.Stats.trimmed_mean [| 3.0 |] 0.4)
+
 let test_parallel_recommended_domains () =
   let d = Util.Parallel.recommended_domains () in
   Alcotest.(check bool) "within [1, 8]" true (d >= 1 && d <= 8)
@@ -191,6 +198,89 @@ let test_pool_exception_propagates () =
   let ok = ref false in
   Util.Pool.run_all pool [ (fun () -> ok := true); (fun () -> ()) ];
   Alcotest.(check bool) "usable after failure" true !ok;
+  Util.Pool.shutdown pool
+
+let test_pool_faults_at_random_indices () =
+  (* The satellite contract under arbitrary fault placement: for any subset
+     of faulting tasks, run_all still runs every non-faulting task exactly
+     once, re-raises one of the injected exceptions, and leaves the pool
+     usable for the next batch.  Fault positions come from a seeded Rng so
+     the test is reproducible yet covers many placements. *)
+  let pool = Util.Pool.create ~workers:3 () in
+  let rng = Util.Rng.create 2024 in
+  for round = 1 to 25 do
+    let n = 1 + Util.Rng.int rng 32 in
+    let faulty = Array.init n (fun _ -> Util.Rng.float rng 1.0 < 0.3) in
+    let hits = Array.make n 0 in
+    let expect_fault = Array.exists Fun.id faulty in
+    (match
+       Util.Pool.run_all pool
+         (List.init n (fun i () ->
+              if faulty.(i) then raise (Boom i) else hits.(i) <- hits.(i) + 1))
+     with
+    | () -> if expect_fault then Alcotest.fail "expected a Boom to propagate"
+    | exception Boom i ->
+      if not faulty.(i) then Alcotest.fail "raised exception from a non-faulty index");
+    Array.iteri
+      (fun i h ->
+        Alcotest.(check int)
+          (Printf.sprintf "round %d task %d" round i)
+          (if faulty.(i) then 0 else 1)
+          h)
+      hits
+  done;
+  (* After 25 faulting fan-outs the pool still works. *)
+  let total = Atomic.make 0 in
+  Util.Pool.run_all pool (List.init 16 (fun _ () -> ignore (Atomic.fetch_and_add total 1)));
+  Alcotest.(check int) "pool usable after faulting rounds" 16 (Atomic.get total);
+  Util.Pool.shutdown pool
+
+let test_pool_deadline () =
+  let pool = Util.Pool.create ~workers:0 () in
+  (* Zero workers forces inline execution, making the fake clock's ticking
+     order deterministic: tasks start strictly one after another. *)
+  let clock = ref 0.0 in
+  let now () = !clock in
+  let ran = Array.make 10 false in
+  let task i () =
+    ran.(i) <- true;
+    clock := !clock +. 1.0
+  in
+  let n = Util.Pool.run_all_deadline pool ~now ~deadline:4.5 (List.init 10 task) in
+  Alcotest.(check int) "five tasks started before the deadline" 5 n;
+  Alcotest.(check (array bool))
+    "exactly the first five ran"
+    (Array.init 10 (fun i -> i < 5))
+    ran;
+  (* A deadline in the past runs nothing. *)
+  clock := 0.0;
+  let m = Util.Pool.run_all_deadline pool ~now ~deadline:0.0 [ (fun () -> Alcotest.fail "must not run") ] in
+  Alcotest.(check int) "expired deadline skips all" 0 m;
+  (* Exceptions propagate and faulting tasks are not counted. *)
+  clock := 0.0;
+  (match
+     Util.Pool.run_all_deadline pool ~now ~deadline:100.0
+       [ (fun () -> clock := !clock +. 1.0); (fun () -> raise (Boom 1)) ]
+   with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom 1 -> ());
+  Util.Pool.shutdown pool
+
+let test_pool_deadline_parallel () =
+  (* Over real workers the start-order is nondeterministic, so assert the
+     weaker (scheduling-independent) contract: the count matches the tasks
+     that actually ran, and a generous deadline runs everything. *)
+  let pool = Util.Pool.create ~workers:3 () in
+  let clock = Atomic.make 0 in
+  let now () = float_of_int (Atomic.get clock) in
+  let ran = Atomic.make 0 in
+  let task () =
+    ignore (Atomic.fetch_and_add clock 1);
+    ignore (Atomic.fetch_and_add ran 1)
+  in
+  let n = Util.Pool.run_all_deadline pool ~now ~deadline:1e9 (List.init 40 (fun _ -> task)) in
+  Alcotest.(check int) "all tasks ran" 40 n;
+  Alcotest.(check int) "count matches executions" 40 (Atomic.get ran);
   Util.Pool.shutdown pool
 
 let test_pool_shutdown_and_inline () =
@@ -321,6 +411,7 @@ let () =
           Alcotest.test_case "stddev" `Quick test_stats_stddev;
           Alcotest.test_case "min/max/argmin" `Quick test_stats_minmax_argmin;
           Alcotest.test_case "rmse" `Quick test_stats_rmse;
+          Alcotest.test_case "trimmed mean" `Quick test_stats_trimmed_mean;
           QCheck_alcotest.to_alcotest qcheck_percentile_monotone;
           QCheck_alcotest.to_alcotest qcheck_mean_bounds;
         ] );
@@ -342,6 +433,10 @@ let () =
           Alcotest.test_case "repeated submission" `Quick test_pool_repeated_submission;
           Alcotest.test_case "nested submission" `Quick test_pool_nested_submission;
           Alcotest.test_case "exception propagates" `Quick test_pool_exception_propagates;
+          Alcotest.test_case "faults at random indices" `Quick
+            test_pool_faults_at_random_indices;
+          Alcotest.test_case "deadline gating" `Quick test_pool_deadline;
+          Alcotest.test_case "deadline over workers" `Quick test_pool_deadline_parallel;
           Alcotest.test_case "shutdown + inline + revive" `Quick test_pool_shutdown_and_inline;
           Alcotest.test_case "default pool grows" `Quick test_pool_default_grows;
         ] );
