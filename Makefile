@@ -1,0 +1,27 @@
+# Convenience entry points; everything is plain dune underneath.
+
+.PHONY: all build test verify-smoke verify-deep fault-smoke clean
+
+all: build
+
+build:
+	dune build
+
+# Full tier-1 suite (includes @verify-smoke via the tests stanza).
+test:
+	dune runtest
+
+# Ground-truth verification: exact pebble-game oracle sandwich grid +
+# differential conformance harness.  Smoke is the fast (<15s) configuration;
+# deep enlarges DAG grid, oracle budgets and qcheck case counts (minutes).
+verify-smoke:
+	dune build @verify-smoke
+
+verify-deep:
+	dune build @verify-deep
+
+fault-smoke:
+	dune build @fault-smoke
+
+clean:
+	dune clean

@@ -1,0 +1,45 @@
+(* Per-instance cost report for the ground-truth sandwich grid.
+
+   Prints, for every (instance, S) pair in [Verify.Sandwich.grid], the
+   analytic lower bound, the exact oracle Q_opt, the best schedule cost, the
+   number of positions the oracle expanded and the wall time — handy when
+   sizing the smoke grid against the runtest budget.
+
+     dune exec examples/verify_grid.exe            # smoke grid
+     VERIFY_DEEP=1 dune exec examples/verify_grid.exe   # deep grid *)
+
+let () =
+  let deep = Sys.getenv_opt "VERIFY_DEEP" <> None in
+  let budget =
+    match Sys.getenv_opt "VERIFY_BUDGET" with
+    | Some b -> int_of_string b
+    | None -> if deep then 8_000_000 else Verify.Oracle.default_budget
+  in
+  Printf.printf "%-34s %3s %4s %6s %6s %6s %6s %10s %8s\n" "instance" "n" "S"
+    "lower" "comp" "Q_opt" "sched" "expanded" "secs";
+  let total = ref 0.0 in
+  List.iter
+    (fun (inst, ss) ->
+      List.iter
+        (fun s ->
+          let n = Dag.Graph.num_vertices inst.Verify.Sandwich.graph in
+          let t0 = Sys.time () in
+          (match Verify.Sandwich.check ~budget inst ~s with
+          | exception Invalid_argument msg ->
+            Printf.printf "%-34s %3d %4d  REJECTED: %s\n"
+              inst.Verify.Sandwich.name n s msg
+          | Error expanded ->
+            Printf.printf "%-34s %3d %4d  EXHAUSTED after %d states\n"
+              inst.Verify.Sandwich.name n s expanded
+          | Ok c ->
+            let dt = Sys.time () -. t0 in
+            total := !total +. dt;
+            Printf.printf "%-34s %3d %4d %6.1f %6d %6d %6d %10d %8.3f%s\n"
+              inst.Verify.Sandwich.name n s c.Verify.Sandwich.analytic_lower
+              c.Verify.Sandwich.compulsory_lower c.Verify.Sandwich.q_opt
+              c.Verify.Sandwich.schedule_upper c.Verify.Sandwich.expanded dt
+              (if c.Verify.Sandwich.holds then "" else "  *** VIOLATED ***"));
+          flush stdout)
+        ss)
+    (Verify.Sandwich.grid ~deep);
+  Printf.printf "total oracle time: %.3fs\n" !total

@@ -1,5 +1,135 @@
 type policy = Lru | Fifo | Belady
 
+(* --- Pure transition API (single source of truth for the game rules) ---
+
+   The replay simulator below interprets whole schedules; the pure API plays
+   one move at a time over an immutable state, so an exact solver or a test
+   can drive the rules without re-implementing them.  Pebble sets are bit
+   masks, which caps playable graphs at [max_game_vertices] vertices — the
+   regime where exhaustive search is feasible anyway. *)
+
+type move =
+  | Load of Dag.Graph.vertex
+  | Store of Dag.Graph.vertex
+  | Compute of Dag.Graph.vertex
+  | Free of Dag.Graph.vertex
+
+type state = {
+  red : int;  (* bit mask of red-pebbled vertices *)
+  blue : int;  (* bit mask of blue-pebbled vertices *)
+  red_count : int;
+  loads : int;
+  stores : int;
+  computes : int;
+}
+
+let max_game_vertices = Sys.int_size - 1
+
+let bit v = 1 lsl v
+let mem mask v = mask land bit v <> 0
+
+let start g =
+  let n = Dag.Graph.num_vertices g in
+  if n > max_game_vertices then
+    invalid_arg
+      (Printf.sprintf "Pebble_game.start: %d vertices exceed the %d-vertex mask limit" n
+         max_game_vertices);
+  let blue = ref 0 in
+  for v = 0 to n - 1 do
+    if Dag.Graph.is_input g v then blue := !blue lor bit v
+  done;
+  { red = 0; blue = !blue; red_count = 0; loads = 0; stores = 0; computes = 0 }
+
+let state_io st = st.loads + st.stores
+let in_red st v = mem st.red v
+let in_blue st v = mem st.blue v
+
+let vertices_of_mask g mask =
+  let acc = ref [] in
+  for v = Dag.Graph.num_vertices g - 1 downto 0 do
+    if mem mask v then acc := v :: !acc
+  done;
+  !acc
+
+let red_vertices g st = vertices_of_mask g st.red
+let blue_vertices g st = vertices_of_mask g st.blue
+
+let complete g st =
+  List.for_all (fun v -> mem st.blue v) (Dag.Graph.outputs g)
+
+let move_to_string = function
+  | Load v -> Printf.sprintf "load %d" v
+  | Store v -> Printf.sprintf "store %d" v
+  | Compute v -> Printf.sprintf "compute %d" v
+  | Free v -> Printf.sprintf "free %d" v
+
+let check_move g ~s st mv =
+  let n = Dag.Graph.num_vertices g in
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let in_range v = v >= 0 && v < n in
+  if s < 1 then err "s = %d: need at least one red pebble" s
+  else
+    match mv with
+    | (Load v | Store v | Compute v | Free v) when not (in_range v) ->
+      err "%s: vertex out of range [0, %d)" (move_to_string mv) n
+    | Load v ->
+      if not (mem st.blue v) then err "load %d: no blue pebble to load from" v
+      else if mem st.red v then err "load %d: already red" v
+      else if st.red_count >= s then err "load %d: all %d red pebbles in use" v s
+      else Ok ()
+    | Store v ->
+      if not (mem st.red v) then err "store %d: no red pebble to store from" v
+      else if mem st.blue v then err "store %d: already blue (wasted I/O)" v
+      else Ok ()
+    | Compute v ->
+      if Dag.Graph.is_input g v then err "compute %d: inputs are loaded, not computed" v
+      else if mem st.red v then err "compute %d: already red" v
+      else if st.red_count >= s then err "compute %d: all %d red pebbles in use" v s
+      else begin
+        match List.find_opt (fun p -> not (mem st.red p)) (Dag.Graph.preds g v) with
+        | Some p -> err "compute %d: predecessor %d not red" v p
+        | None -> Ok ()
+      end
+    | Free v -> if mem st.red v then Ok () else err "free %d: no red pebble" v
+
+let apply g ~s st mv =
+  match check_move g ~s st mv with
+  | Error _ as e -> e
+  | Ok () ->
+    Ok
+      (match mv with
+      | Load v ->
+        { st with red = st.red lor bit v; red_count = st.red_count + 1;
+          loads = st.loads + 1 }
+      | Store v -> { st with blue = st.blue lor bit v; stores = st.stores + 1 }
+      | Compute v ->
+        { st with red = st.red lor bit v; red_count = st.red_count + 1;
+          computes = st.computes + 1 }
+      | Free v -> { st with red = st.red land lnot (bit v); red_count = st.red_count - 1 })
+
+let apply_exn g ~s st mv =
+  match apply g ~s st mv with
+  | Ok st' -> st'
+  | Error msg -> invalid_arg ("Pebble_game.apply: " ^ msg)
+
+let legal_moves g ~s st =
+  let n = Dag.Graph.num_vertices g in
+  let acc = ref [] in
+  for v = n - 1 downto 0 do
+    let consider mv = if check_move g ~s st mv = Ok () then acc := mv :: !acc in
+    consider (Load v);
+    consider (Store v);
+    consider (Compute v);
+    consider (Free v)
+  done;
+  !acc
+
+let trace g ~s ?init moves =
+  let init = match init with Some st -> st | None -> start g in
+  List.fold_left
+    (fun acc mv -> match acc with Error _ as e -> e | Ok st -> apply g ~s st mv)
+    (Ok init) moves
+
 type stats = { loads : int; stores : int; computes : int; peak_red : int }
 
 type detailed = {

@@ -21,6 +21,83 @@ type policy =
   | Fifo  (** evict the red pebble placed earliest *)
   | Belady  (** evict the red pebble whose next use is farthest away *)
 
+(** {2 Pure transition API}
+
+    The game rules themselves, one move at a time, over an immutable state —
+    so the exact oracle ([Verify.Oracle]) and the rule-level unit tests can
+    drive the game without re-implementing (and silently diverging from) its
+    legality conditions.  Pebble sets are bit masks, so this API is limited
+    to graphs of at most [max_game_vertices] vertices; the schedule-replay
+    simulator below has no such limit. *)
+
+type move =
+  | Load of Dag.Graph.vertex
+      (** place a red pebble on a blue-pebbled vertex (one I/O) *)
+  | Store of Dag.Graph.vertex
+      (** place a blue pebble on a red-pebbled vertex (one I/O) *)
+  | Compute of Dag.Graph.vertex
+      (** place a red pebble on a non-input vertex whose predecessors are all
+          red (free); recomputation of a previously computed-and-evicted
+          vertex is the same move again *)
+  | Free of Dag.Graph.vertex  (** remove a red pebble (free) *)
+
+type state = {
+  red : int;  (** bit mask of red-pebbled (fast-memory) vertices *)
+  blue : int;  (** bit mask of blue-pebbled (slow-memory) vertices *)
+  red_count : int;  (** number of set bits in [red] *)
+  loads : int;
+  stores : int;
+  computes : int;
+}
+
+val max_game_vertices : int
+(** Largest playable graph for the pure API: [Sys.int_size - 1]. *)
+
+val start : Dag.Graph.t -> state
+(** Initial position: every DAG input blue, no red pebbles.  Raises
+    [Invalid_argument] past [max_game_vertices] vertices. *)
+
+val state_io : state -> int
+(** [loads + stores]. *)
+
+val in_red : state -> Dag.Graph.vertex -> bool
+val in_blue : state -> Dag.Graph.vertex -> bool
+
+val red_vertices : Dag.Graph.t -> state -> Dag.Graph.vertex list
+(** Ascending. *)
+
+val blue_vertices : Dag.Graph.t -> state -> Dag.Graph.vertex list
+
+val complete : Dag.Graph.t -> state -> bool
+(** Every DAG output carries a blue pebble — the game's winning condition. *)
+
+val check_move : Dag.Graph.t -> s:int -> state -> move -> (unit, string) result
+(** Move validity under [s] red pebbles.  [Load] needs a blue pebble, a free
+    red slot and no red pebble already present; [Store] needs a red pebble
+    and no blue one (re-storing an already-stored value is rejected as
+    wasted I/O rather than silently counted); [Compute] needs a non-input
+    vertex, all predecessors red, a free slot and no red pebble already
+    present (no sliding — matching the replay simulator, which evicts before
+    placing); [Free] needs a red pebble.  The error string names the
+    violated condition. *)
+
+val apply : Dag.Graph.t -> s:int -> state -> move -> (state, string) result
+(** Pure transition: [check_move] then the updated state with its I/O and
+    compute counters advanced. *)
+
+val apply_exn : Dag.Graph.t -> s:int -> state -> move -> state
+(** [apply] raising [Invalid_argument] on illegal moves. *)
+
+val legal_moves : Dag.Graph.t -> s:int -> state -> move list
+(** Every legal move from this state, ordered by vertex then
+    load/store/compute/free. *)
+
+val trace : Dag.Graph.t -> s:int -> ?init:state -> move list -> (state, string) result
+(** Replay a move sequence from [init] (default [start]); the first illegal
+    move aborts with its [check_move] error. *)
+
+val move_to_string : move -> string
+
 type stats = {
   loads : int;  (** blue -> red transfers *)
   stores : int;  (** red -> blue transfers *)

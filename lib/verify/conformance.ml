@@ -1,0 +1,284 @@
+module Spec = Conv.Conv_spec
+
+type impl = {
+  name : string;
+  supported : Spec.t -> bool;
+  run : Spec.t -> input:Tensor.t -> weights:Tensor.t -> Tensor.t;
+}
+
+let winograd_e = 2
+
+let implementations () =
+  [
+    { name = "direct"; supported = (fun _ -> true); run = Conv.Direct.run };
+    {
+      name = "im2col+gemm";
+      supported = (fun _ -> true);
+      run = (fun spec ~input ~weights -> Conv.Im2col.run spec ~input ~weights);
+    };
+    {
+      name = "fft";
+      supported = (fun (spec : Spec.t) -> spec.groups = 1);
+      run = Conv.Fft_conv.run;
+    };
+    {
+      name = "tiled_direct";
+      supported = (fun _ -> true);
+      run =
+        (fun spec ~input ~weights ->
+          let tile =
+            { Conv.Tiled_direct.x = min 2 (Spec.w_out spec);
+              y = min 2 (Spec.h_out spec); z = 1 }
+          in
+          (Conv.Tiled_direct.run spec ~tile ~input ~weights).output);
+    };
+    {
+      name = "winograd";
+      supported = Conv.Winograd.supported;
+      run = Conv.Winograd.run ~e:winograd_e;
+    };
+    {
+      name = "tiled_winograd";
+      supported = Conv.Winograd.supported;
+      run =
+        (fun spec ~input ~weights ->
+          let tile = { Conv.Tiled_winograd.x = winograd_e; y = winograd_e; z = 1 } in
+          (Conv.Tiled_winograd.run ~e:winograd_e spec ~tile ~input ~weights).output);
+    };
+  ]
+
+(* Float32 agreement bound, asserted by [differential_test].
+
+   Every implementation here accumulates in double precision, so observed
+   disagreement is ~1e3 double ulps at worst; the *contract* we assert is the
+   float32 level a real GPU kernel would deliver.  The bound is 64 binary32
+   ulps at the scale of the largest reference output:
+
+     tol = 64 * 2^-23 * max(1, ||reference||_inf)
+
+   64 ulps (rather than the ~k/2 a pure dot-product bound would give) covers
+   the FFT path, whose rounding error scales with the magnitude of the whole
+   padded frame's spectrum — sums over the 2^ceil(log2(H+k-1)) x ... frame,
+   i.e. up to ~256 terms for the specs generated here — not with the
+   reduction length k = c_in*k_h*k_w.  Anything past this bound is a logic
+   bug, not rounding. *)
+let tolerance reference =
+  let max_abs = Tensor.fold (fun acc x -> Float.max acc (Float.abs x)) 0.0 reference in
+  64.0 *. Util.Float32.machine_epsilon *. Float.max 1.0 max_abs
+
+(* --- qcheck generators (tuples of small ints, so shrinking is free) --- *)
+
+type params = (int * int * int * int) * (int * int * int * int) * int
+(* (c_in, c_out, k_h, k_w), (extra_h, extra_w, stride, pad), batch *)
+
+let spec_of_params (((c_in, c_out, k_h, k_w), (eh, ew, stride, pad), batch) : params) =
+  Spec.make ~batch ~c_in ~c_out ~k_h ~k_w ~h_in:(k_h + eh) ~w_in:(k_w + ew) ~stride ~pad
+    ()
+
+let arb_params =
+  QCheck.(
+    triple
+      (quad (int_range 1 3) (int_range 1 3) (int_range 1 3) (int_range 1 3))
+      (quad (int_range 0 4) (int_range 0 4) (int_range 1 2) (int_range 0 1))
+      (int_range 1 2))
+
+let print_params p = Spec.to_string (spec_of_params p)
+let arb_spec = QCheck.set_print print_params arb_params
+
+(* Stride-1 square-kernel specs: the Winograd-supported corner, generated
+   directly so the transform paths get coverage on every run instead of only
+   when the unconstrained generator happens to land there. *)
+type wparams = (int * int * int) * (int * int * int)
+(* (c_in, c_out, k), (extra_h, extra_w, pad) *)
+
+let spec_of_wparams (((c_in, c_out, k), (eh, ew, pad)) : wparams) =
+  Spec.make ~c_in ~c_out ~k_h:k ~k_w:k ~h_in:(k + eh) ~w_in:(k + ew) ~stride:1 ~pad ()
+
+let arb_wparams =
+  QCheck.(
+    pair
+      (triple (int_range 1 3) (int_range 1 3) (int_range 1 3))
+      (triple (int_range 0 4) (int_range 0 4) (int_range 0 1)))
+
+let arb_wspec = QCheck.set_print (fun p -> Spec.to_string (spec_of_wparams p)) arb_wparams
+
+(* Deterministic problem data per spec: the rng seed is derived from the
+   parameters, so a shrunk counterexample reproduces exactly. *)
+let problem_for spec seed_hint =
+  let rng = Util.Rng.create (20260806 + seed_hint) in
+  Conv.Direct.random_problem rng spec
+
+let check_impls spec =
+  let input, weights = problem_for spec (Hashtbl.hash (Spec.to_string spec)) in
+  let reference = Conv.Direct.run spec ~input ~weights in
+  let tol = tolerance reference in
+  List.iter
+    (fun impl ->
+      if impl.supported spec then begin
+        let out = impl.run spec ~input ~weights in
+        let diff = Tensor.max_abs_diff reference out in
+        if not (diff <= tol) then
+          QCheck.Test.fail_reportf "%s deviates from direct by %g (tol %g) on %s"
+            impl.name diff tol (Spec.to_string spec)
+      end)
+    (implementations ());
+  true
+
+let differential_test ?(count = 40) () =
+  QCheck.Test.make ~name:"conv implementations agree within float32 tolerance" ~count
+    arb_spec
+    (fun p -> check_impls (spec_of_params p))
+
+let differential_winograd_test ?(count = 40) () =
+  QCheck.Test.make ~name:"conv implementations agree (winograd-supported specs)" ~count
+    arb_wspec
+    (fun p -> check_impls (spec_of_wparams p))
+
+(* --- analytic Io_count formulas vs instrumented traffic counters --- *)
+
+let close a b = Float.abs (a -. b) < 0.5 (* both sides are integer-valued tallies *)
+
+let io_direct_test ?(count = 60) () =
+  QCheck.Test.make
+    ~name:"Tiled_direct: analytic io_only = instrumented per-block tally" ~count
+    QCheck.(pair arb_spec (triple (int_range 1 5) (int_range 1 5) (int_range 1 4)))
+    (fun (p, (x, y, z)) ->
+      let spec = spec_of_params p in
+      let tile = { Conv.Tiled_direct.x; y; z } in
+      let input, weights = problem_for spec (x + (7 * y) + (49 * z)) in
+      let measured = (Conv.Tiled_direct.run spec ~tile ~input ~weights).io in
+      let analytic = Conv.Tiled_direct.io_only spec ~tile in
+      if not (close measured.loads analytic.loads && close measured.stores analytic.stores)
+      then
+        QCheck.Test.fail_reportf
+          "tile %dx%dx%d on %s: instrumented %a <> analytic %a" x y z
+          (Spec.to_string spec) Conv.Io_count.pp measured Conv.Io_count.pp analytic;
+      true)
+
+let io_winograd_test ?(count = 40) () =
+  QCheck.Test.make
+    ~name:"Tiled_winograd: analytic io_only = instrumented per-block tally" ~count
+    QCheck.(pair arb_wspec (triple (int_range 1 2) (int_range 1 2) (int_range 1 4)))
+    (fun (p, (mx, my, z)) ->
+      let spec = spec_of_wparams p in
+      let e = winograd_e in
+      let tile = { Conv.Tiled_winograd.x = mx * e; y = my * e; z } in
+      let input, weights = problem_for spec (mx + (7 * my) + (49 * z)) in
+      let measured = (Conv.Tiled_winograd.run ~e spec ~tile ~input ~weights).io in
+      let analytic = Conv.Tiled_winograd.io_only ~e spec ~tile in
+      if not (close measured.loads analytic.loads && close measured.stores analytic.stores)
+      then
+        QCheck.Test.fail_reportf
+          "winograd tile %dx%dx%d on %s: instrumented %a <> analytic %a" (mx * e)
+          (my * e) z (Spec.to_string spec) Conv.Io_count.pp measured Conv.Io_count.pp
+          analytic;
+      true)
+
+(* --- GPU cost model invariants --- *)
+
+let arch = Gpu_sim.Arch.gtx_1080_ti
+
+let kernel_cost_monotone_test ?(count = 100) () =
+  QCheck.Test.make
+    ~name:"Kernel_cost: more off-chip traffic never runs faster" ~count
+    QCheck.(
+      quad (int_range 1_000 10_000_000) (int_range 1_000 10_000_000)
+        (pair (int_range 1 8) (int_range 1 512))
+        (int_range 1 1_000_000))
+    (fun (flops, io_elems, (warps, blocks), delta) ->
+      let mk io =
+        Gpu_sim.Kernel_cost.make ~flops:(float_of_int flops) ~io_elems:io
+          ~threads_per_block:(32 * warps) ~shmem_bytes_per_block:8192 ~blocks ()
+      in
+      let t1 = Gpu_sim.Kernel_cost.runtime_us arch (mk (float_of_int io_elems)) in
+      let t2 =
+        Gpu_sim.Kernel_cost.runtime_us arch (mk (float_of_int (io_elems + delta)))
+      in
+      t2 >= t1 -. 1e-9)
+
+let shmem_monotone_test ?(count = 80) () =
+  QCheck.Test.make
+    ~name:"more shared memory never increases modeled optimal I/O" ~count
+    QCheck.(triple arb_spec (int_range 32 4096) (int_range 1 4096))
+    (fun (p, s_small, extra) ->
+      let spec = spec_of_params p in
+      let s1 = float_of_int s_small and s2 = float_of_int (s_small + extra) in
+      let dc_ok =
+        Core.Dataflow_cost.q_dc_optimal spec ~s:s2 ~np:1
+        <= Core.Dataflow_cost.q_dc_optimal spec ~s:s1 ~np:1 +. 1e-9
+      in
+      let wa_ok =
+        if Conv.Winograd.supported spec then
+          Core.Dataflow_cost.q_wa_optimal ~e:winograd_e spec ~s:s2 ~np:1
+          <= Core.Dataflow_cost.q_wa_optimal ~e:winograd_e spec ~s:s1 ~np:1 +. 1e-9
+        else true
+      in
+      (* Discrete counterpart over the actual dataflow: the cheapest divisor
+         tile that fits S cannot get worse when S grows (feasible sets nest). *)
+      let best_fitting s =
+        let w_out = Spec.w_out spec and h_out = Spec.h_out spec in
+        let best = ref infinity in
+        List.iter
+          (fun x ->
+            List.iter
+              (fun y ->
+                List.iter
+                  (fun z ->
+                    let tile = { Conv.Tiled_direct.x; y; z } in
+                    if Conv.Tiled_direct.working_set spec ~tile ~alpha:1 <= s then
+                      best :=
+                        Float.min !best
+                          (Conv.Io_count.total (Conv.Tiled_direct.io_only spec ~tile)))
+                  (Core.Optimality.divisors spec.c_out))
+              (Core.Optimality.divisors h_out))
+          (Core.Optimality.divisors w_out);
+        !best
+      in
+      let tiled_ok = best_fitting (s_small + extra) <= best_fitting s_small +. 1e-9 in
+      dc_ok && wa_ok && tiled_ok)
+
+(* Same-volume perturbations of the [x y = R z] stationary point: Equation 20
+   (resp. 22) is minimised on the optimality manifold, so every neighbour with
+   the same on-chip volume must cost at least as much. *)
+let optimality_dominates_test ?(count = 100) () =
+  QCheck.Test.make
+    ~name:"Optimality: x*y = R*z dominates its equal-volume neighbourhood" ~count
+    QCheck.(triple arb_spec (int_range 64 16384) (int_range 1 40))
+    (fun (p, s, fi) ->
+      let spec = spec_of_params p in
+      let f = 0.4 +. (float_of_int fi /. 20.0) in
+      let s = float_of_int s in
+      let q_at (xy, z) =
+        let side = sqrt xy in
+        Core.Dataflow_cost.q_dc_tile spec ~x:side ~y:side ~z
+      in
+      let xy, z = Core.Optimality.real_tile_direct spec ~s ~np:1 in
+      let base = q_at (xy, z) in
+      let perturbed = q_at (xy *. f, z /. f) in
+      let dc_ok = base <= perturbed +. (1e-9 *. base) in
+      let wa_ok =
+        if Conv.Winograd.supported spec then begin
+          let e = winograd_e in
+          let q_at (xy, z) =
+            let side = sqrt xy in
+            Core.Dataflow_cost.q_wa_tile ~e spec ~x:side ~y:side ~z
+          in
+          let xy, z = Core.Optimality.real_tile_winograd ~e spec ~s ~np:1 in
+          let base = q_at (xy, z) in
+          base <= q_at (xy *. f, z /. f) +. (1e-9 *. base)
+        end
+        else true
+      in
+      dc_ok && wa_ok)
+
+let all_tests ~deep =
+  let scale n = if deep then 5 * n else n in
+  [
+    differential_test ~count:(scale 40) ();
+    differential_winograd_test ~count:(scale 30) ();
+    io_direct_test ~count:(scale 60) ();
+    io_winograd_test ~count:(scale 30) ();
+    kernel_cost_monotone_test ~count:(scale 100) ();
+    shmem_monotone_test ~count:(scale 60) ();
+    optimality_dominates_test ~count:(scale 100) ();
+  ]

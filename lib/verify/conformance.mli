@@ -1,0 +1,60 @@
+(** Property-based differential conformance harness.
+
+    Cross-checks, under qcheck-generated convolution specs (tuples of small
+    ints, so qcheck's built-in shrinking produces minimal counterexamples):
+
+    - every convolution implementation (direct, im2col+GEMM, FFT, tiled
+      direct dataflow, Winograd, tiled Winograd dataflow) against the direct
+      reference, within a documented float32 ulp bound;
+    - the analytic [io_only] traffic formulas against the instrumented
+      per-block counters the executing dataflows accumulate;
+    - GPU cost-model invariants: more off-chip traffic never runs faster,
+      more shared memory never increases modeled optimal I/O, and
+      [x y = R z] configurations dominate their equal-volume neighbourhood
+      (Equations 20/22 are minimised on the optimality manifold). *)
+
+type impl = {
+  name : string;
+  supported : Conv.Conv_spec.t -> bool;
+  run : Conv.Conv_spec.t -> input:Tensor.t -> weights:Tensor.t -> Tensor.t;
+}
+
+val winograd_e : int
+(** Output-tile size used for the Winograd implementations under test. *)
+
+val implementations : unit -> impl list
+(** The six implementations the harness cross-checks. *)
+
+val tolerance : Tensor.t -> float
+(** The asserted agreement bound for a given reference output:
+    [64 * eps32 * max(1, ||reference||_inf)].  See the comment in the
+    implementation for the ulp budget's derivation. *)
+
+type params = (int * int * int * int) * (int * int * int * int) * int
+(** [(c_in, c_out, k_h, k_w), (extra_h, extra_w, stride, pad), batch]. *)
+
+val spec_of_params : params -> Conv.Conv_spec.t
+val arb_spec : params QCheck.arbitrary
+
+type wparams = (int * int * int) * (int * int * int)
+(** [(c_in, c_out, k), (extra_h, extra_w, pad)] — stride-1 square-kernel
+    (Winograd-supported) specs. *)
+
+val spec_of_wparams : wparams -> Conv.Conv_spec.t
+val arb_wspec : wparams QCheck.arbitrary
+
+val check_impls : Conv.Conv_spec.t -> bool
+(** Run every supported implementation on deterministic random data for this
+    spec and compare against direct; fails the enclosing qcheck test with
+    implementation name and deviation on disagreement. *)
+
+val differential_test : ?count:int -> unit -> QCheck.Test.t
+val differential_winograd_test : ?count:int -> unit -> QCheck.Test.t
+val io_direct_test : ?count:int -> unit -> QCheck.Test.t
+val io_winograd_test : ?count:int -> unit -> QCheck.Test.t
+val kernel_cost_monotone_test : ?count:int -> unit -> QCheck.Test.t
+val shmem_monotone_test : ?count:int -> unit -> QCheck.Test.t
+val optimality_dominates_test : ?count:int -> unit -> QCheck.Test.t
+
+val all_tests : deep:bool -> QCheck.Test.t list
+(** The full harness; [deep] multiplies every test's case count by 5. *)

@@ -1,0 +1,214 @@
+module PG = Pebble.Pebble_game
+module G = Dag.Graph
+
+type outcome = {
+  q_opt : int;
+  moves : PG.move list;
+  expanded : int;
+}
+
+type verdict =
+  | Optimal of outcome
+  | Budget_exhausted of { expanded : int }
+
+type mode = Normalized | Reference
+
+let default_budget = 400_000
+
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
+  go x 0
+
+(* A* over game positions (red mask, blue mask).  Cost is the I/O performed so
+   far; Compute and Free are free moves.  Every transition is produced by
+   [Pebble_game.apply] (via [trace]), so the search never re-implements the
+   legality rules; the returned witness replays through the same checker.
+
+   The heuristic — one store per output still lacking a blue pebble — is
+   admissible (each such output needs its own red->blue transfer) and
+   consistent (no edge lowers it by more than its cost), so the first goal
+   expansion is optimal.
+
+   [Reference] mode explores raw single moves, restricted only by the
+   trivially sound "delete only when full" rule.  [Normalized] mode (the
+   default) additionally applies three classic WLOG normalisations of optimal
+   play, each an exchange argument on move order:
+
+   - a Store of a non-output is delayed until the moment its red pebble is
+     evicted (between the two, the value is red, so nothing can consume the
+     blue copy) — so spills appear only as Store;Free eviction compounds;
+   - an output is stored the moment it is computed and its red pebble freed
+     immediately (outputs have no successors, so the pebble has no further
+     use, and an earlier blue pebble is never worse);
+   - outputs are never Loaded and never recomputed once blue (nothing reads
+     them back).
+
+   Both modes agree exactly — a test checks them against each other on small
+   random DAGs — but Normalized expands orders of magnitude fewer positions.
+
+   Dominance pruning: expanding a position is pointless when an already
+   expanded position with the same red set, a superset of blue pebbles and no
+   more accumulated I/O exists — the dominator reproduces any continuation
+   move-for-move at no extra cost (extra blue pebbles only widen the legal
+   loads; a Store the follower performs is either legal for the dominator or
+   already done).  The per-red-mask Pareto front of (blue mask, cost) pairs
+   stays tiny and removes "spill something irrelevant first" orderings. *)
+let solve ?(budget = default_budget) ?(mode = Normalized) g ~s =
+  let n = G.num_vertices g in
+  if n > PG.max_game_vertices then
+    invalid_arg
+      (Printf.sprintf "Oracle.solve: %d vertices exceed the %d-vertex limit" n
+         PG.max_game_vertices);
+  if s < G.max_in_degree g + 1 then
+    invalid_arg "Oracle.solve: fast memory too small to compute every vertex";
+  let outputs = G.outputs g in
+  let outputs_mask = List.fold_left (fun m v -> m lor (1 lsl v)) 0 outputs in
+  let is_output = Array.make n false in
+  List.iter (fun v -> is_output.(v) <- true) outputs;
+  let compute_vs = G.compute_vertices g in
+  let h (st : PG.state) = popcount (outputs_mask land lnot st.blue) in
+  let key (st : PG.state) = (st.red, st.blue) in
+  let best_g : (int * int, int) Hashtbl.t = Hashtbl.create 4096 in
+  let closed : (int * int, unit) Hashtbl.t = Hashtbl.create 4096 in
+  let parent : (int * int, PG.move list * (int * int)) Hashtbl.t = Hashtbl.create 4096 in
+  (* Pareto fronts of expanded positions, keyed by red mask. *)
+  let fronts : (int, (int * int) list) Hashtbl.t = Hashtbl.create 1024 in
+  let dominated (st : PG.state) cost =
+    match Hashtbl.find_opt fronts st.red with
+    | None -> false
+    | Some front ->
+      List.exists (fun (blue, c) -> c <= cost && st.blue land blue = st.blue) front
+  in
+  let add_front (st : PG.state) cost =
+    let front = Option.value (Hashtbl.find_opt fronts st.red) ~default:[] in
+    let survivors =
+      List.filter (fun (blue, c) -> not (cost <= c && blue land st.blue = blue)) front
+    in
+    Hashtbl.replace fronts st.red ((st.blue, cost) :: survivors)
+  in
+  (* Bucket queue on f = g + h; f never decreases along the expansion order. *)
+  let buckets = ref (Array.make 64 []) in
+  let push f st =
+    if f >= Array.length !buckets then begin
+      let bigger = Array.make (2 * max (Array.length !buckets) (f + 1)) [] in
+      Array.blit !buckets 0 bigger 0 (Array.length !buckets);
+      buckets := bigger
+    end;
+    !buckets.(f) <- st :: !buckets.(f)
+  in
+  let init = PG.start g in
+  Hashtbl.replace best_g (key init) 0;
+  push (h init) init;
+  let expanded = ref 0 in
+  let cur_f = ref 0 in
+  let relax (prev_key : int * int) (st : PG.state) moves =
+    match PG.trace g ~s ~init:st moves with
+    | Error _ -> ()
+    | Ok st' ->
+      let g' = PG.state_io st' in
+      let k' = key st' in
+      let known = Hashtbl.find_opt best_g k' in
+      if (match known with None -> true | Some old -> g' < old) then begin
+        Hashtbl.replace best_g k' g';
+        Hashtbl.replace parent k' (moves, prev_key);
+        push (g' + h st') st'
+      end
+  in
+  let expand_reference (st : PG.state) =
+    let k = key st in
+    if st.red_count < s then begin
+      let blue_only = st.blue land lnot st.red in
+      for v = 0 to n - 1 do
+        if blue_only land (1 lsl v) <> 0 then relax k st [ PG.Load v ]
+      done;
+      Array.iter
+        (fun v ->
+          if (not (PG.in_red st v)) && List.for_all (PG.in_red st) (G.preds g v) then
+            relax k st [ PG.Compute v ])
+        compute_vs
+    end
+    else
+      for v = 0 to n - 1 do
+        if PG.in_red st v then relax k st [ PG.Free v ]
+      done;
+    let red_only = st.red land lnot st.blue in
+    for v = 0 to n - 1 do
+      if red_only land (1 lsl v) <> 0 then relax k st [ PG.Store v ]
+    done
+  in
+  let expand_normalized (st : PG.state) =
+    let k = key st in
+    if st.red_count < s then begin
+      let blue_only = st.blue land lnot st.red in
+      for v = 0 to n - 1 do
+        if blue_only land (1 lsl v) <> 0 && not is_output.(v) then
+          relax k st [ PG.Load v ]
+      done;
+      Array.iter
+        (fun v ->
+          if (not (PG.in_red st v)) && List.for_all (PG.in_red st) (G.preds g v) then
+            if is_output.(v) then begin
+              if not (PG.in_blue st v) then
+                relax k st [ PG.Compute v; PG.Store v; PG.Free v ]
+            end
+            else relax k st [ PG.Compute v ])
+        compute_vs
+    end
+    else
+      for v = 0 to n - 1 do
+        if PG.in_red st v then begin
+          relax k st [ PG.Free v ];
+          if not (PG.in_blue st v) then relax k st [ PG.Store v; PG.Free v ]
+        end
+      done
+  in
+  let expand = match mode with Normalized -> expand_normalized | Reference -> expand_reference in
+  let reconstruct goal_key =
+    let rec back k acc =
+      match Hashtbl.find_opt parent k with
+      | None -> acc
+      | Some (moves, prev) -> back prev (moves @ acc)
+    in
+    back goal_key []
+  in
+  let rec search () =
+    while !cur_f < Array.length !buckets && !buckets.(!cur_f) = [] do
+      incr cur_f
+    done;
+    if !cur_f >= Array.length !buckets then
+      (* With s >= max in-degree + 1 a store-everything topological play always
+         completes the game, so the queue cannot drain before a goal. *)
+      assert false
+    else begin
+      match !buckets.(!cur_f) with
+      | [] -> assert false
+      | st :: rest ->
+        !buckets.(!cur_f) <- rest;
+        let k = key st in
+        let cost = PG.state_io st in
+        if Hashtbl.mem closed k || Hashtbl.find best_g k <> cost then search ()
+        else if PG.complete g st then
+          Optimal { q_opt = cost; moves = reconstruct k; expanded = !expanded }
+        else if dominated st cost then begin
+          Hashtbl.replace closed k ();
+          search ()
+        end
+        else begin
+          Hashtbl.replace closed k ();
+          add_front st cost;
+          incr expanded;
+          if !expanded > budget then Budget_exhausted { expanded = !expanded }
+          else begin
+            expand st;
+            search ()
+          end
+        end
+    end
+  in
+  search ()
+
+let q_opt_exn ?budget ?mode g ~s =
+  match solve ?budget ?mode g ~s with
+  | Optimal { q_opt; _ } -> q_opt
+  | Budget_exhausted { expanded } ->
+    failwith (Printf.sprintf "Oracle.q_opt_exn: budget exhausted after %d states" expanded)

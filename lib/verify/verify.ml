@@ -1,0 +1,12 @@
+(** Library entry point: ground-truth verification subsystem.
+
+    [Oracle] computes the exact pebble-game optimum [Q_opt(S)] for small
+    DAGs; [Sandwich] pins the paper's analytic lower bounds and the repo's
+    schedules on either side of it; [Conformance] is the property-based
+    differential harness cross-checking every convolution implementation,
+    the analytic I/O formulas against instrumented traffic counters, and the
+    GPU cost model's monotonicity invariants. *)
+
+module Oracle = Oracle
+module Sandwich = Sandwich
+module Conformance = Conformance

@@ -743,6 +743,44 @@ let qcheck_tuning_log_roundtrip =
         && Float.abs (back.runtime_us -. entry.runtime_us) < 1e-6
       | None -> false)
 
+(* Satellite of the verification subsystem: the pruned tile set is exactly
+   the brute-force filter of the unpruned one under the documented predicate
+   (Optimality.satisfied with slack 2 plus the sqrt(S/R) / sqrt(SR) caps of
+   Corollary 4.14) — pruning never invents tiles and never drops a tile the
+   predicate admits. *)
+let test_tile_pruning_equals_brute_force () =
+  List.iter
+    (fun spec ->
+      let pruned = Core.Search_space.make ~pruned:true arch spec Core.Config.Direct_dataflow in
+      let unpruned =
+        Core.Search_space.make ~pruned:false arch spec Core.Config.Direct_dataflow
+      in
+      let r = Spec.reuse spec in
+      let sb =
+        float_of_int
+          (min (arch.Gpu_sim.Arch.shared_mem_per_sm / 2)
+             arch.Gpu_sim.Arch.max_shared_mem_per_block
+          / 4)
+      in
+      let admitted (x, y, z) =
+        Core.Optimality.satisfied ~slack:2.0 ~r (x, y, z)
+        && float_of_int z <= sqrt (sb /. r) +. 1e-9
+        && float_of_int (x * y) <= sqrt (sb *. r) +. 1e-9
+      in
+      let sorted a = List.sort compare (Array.to_list a) in
+      let brute =
+        List.sort compare
+          (List.filter admitted (Array.to_list (Core.Search_space.tile_candidates unpruned)))
+      in
+      Alcotest.(check (list (triple int int int)))
+        (Printf.sprintf "pruned = filtered unpruned (%s)" (Spec.to_string spec))
+        brute
+        (sorted (Core.Search_space.tile_candidates pruned));
+      Alcotest.(check bool) "pruning is a strict subset here" true
+        (Array.length (Core.Search_space.tile_candidates pruned)
+        < Array.length (Core.Search_space.tile_candidates unpruned)))
+    [ spec_layer; spec_mid ]
+
 let test_search_space_validate_typed () =
   let space = direct_space () in
   let cfg = Core.Search_space.default_config space in
@@ -816,6 +854,82 @@ let test_tune_journal_roundtrip () =
   let tbl = Core.Tune_journal.to_table entries in
   Alcotest.(check bool) "table keyed by compact config" true (Hashtbl.mem tbl e1.key);
   Sys.remove path
+
+(* Negative zero passes a naive [> 0.0] mental model but is not a runtime a
+   measurement can produce; the journal rejects it on write and drops it on
+   read, like the other non-positive values. *)
+let test_tune_journal_negative_zero_and_subnormals () =
+  (match Core.Tune_journal.to_line { key = "k"; outcome = Measured (-0.0) } with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative zero accepted on write");
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) ("dropped: " ^ String.escaped line) true
+        (Core.Tune_journal.of_line line = None))
+    [ "j1\tk\tok\t-0x0p+0"; "j1\tk\tok\t-0.0"; "j1\tk\tok\t0x0p+0"; "j1\tk\tok\t-0x1.8p-4" ];
+  (* Positive subnormals are legal measurements as far as the format cares;
+     they must survive the hex-float round-trip bit-for-bit. *)
+  List.iter
+    (fun v ->
+      match Core.Tune_journal.of_line
+              (Core.Tune_journal.to_line { key = "k"; outcome = Measured v })
+      with
+      | Some { outcome = Measured back; _ } ->
+        Alcotest.(check int64) (Printf.sprintf "%h bit-identical" v)
+          (Int64.bits_of_float v) (Int64.bits_of_float back)
+      | _ -> Alcotest.failf "%h did not round-trip" v)
+    [ Float.min_float; Float.ldexp 1.0 (-1074); Float.ldexp 3.0 (-1070);
+      Float.max_float; Float.succ 0.0 ]
+
+(* The bit-identical-resume guarantee, as a property: an arbitrary journal —
+   keys of printable junk, runtimes spanning subnormal to huge magnitudes,
+   failure reasons with whitespace — written entry by entry and loaded back
+   is the same sequence, with [Measured] values equal as bit patterns (not
+   merely within epsilon). *)
+let qcheck_tune_journal_replay_bit_identical =
+  let sanitize_key s =
+    "k" ^ String.map (fun c -> if c = '\t' || c = '\n' || c = '\r' then '_' else c) s
+  in
+  let runtime_of (mant, ex) =
+    (* ldexp over a wide exponent range reaches subnormals; complete
+       underflow to 0.0 is nudged to the smallest subnormal. *)
+    let v = Float.ldexp (float_of_int ((mant land 0xfffff) lor 1)) ex in
+    if v = 0.0 then Float.ldexp 1.0 (-1074) else v
+  in
+  let entry_of (key, choice, (mant, ex), reason) =
+    let outcome =
+      if choice then Core.Tune_journal.Measured (runtime_of (mant, ex))
+      else
+        Core.Tune_journal.Failed
+          (String.map (fun c -> if c = '\t' || c = '\n' || c = '\r' then ' ' else c) reason)
+    in
+    { Core.Tune_journal.key = sanitize_key key; outcome }
+  in
+  QCheck.Test.make ~name:"tune journal replay is bit-identical" ~count:30
+    QCheck.(
+      small_list
+        (quad small_printable_string bool
+           (pair small_int (int_range (-1090) 60))
+           small_printable_string))
+    (fun raw ->
+      let entries = List.map entry_of raw in
+      let path = Filename.temp_file "journal_prop" ".j" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          List.iter (Core.Tune_journal.append path) entries;
+          let back = Core.Tune_journal.load path in
+          List.length back = List.length entries
+          && List.for_all2
+               (fun a b ->
+                 a.Core.Tune_journal.key = b.Core.Tune_journal.key
+                 &&
+                 match (a.Core.Tune_journal.outcome, b.Core.Tune_journal.outcome) with
+                 | Measured x, Measured y ->
+                   Int64.bits_of_float x = Int64.bits_of_float y
+                 | Failed x, Failed y -> x = y
+                 | _ -> false)
+               entries back))
 
 let test_tuner_deterministic () =
   (* Reproducibility is a headline property: identical seeds must yield
@@ -935,6 +1049,8 @@ let () =
       ( "errors",
         [
           Alcotest.test_case "argument validation" `Quick test_error_paths;
+          Alcotest.test_case "tile pruning = brute-force filter" `Quick
+            test_tile_pruning_equals_brute_force;
           Alcotest.test_case "typed space validation" `Quick test_search_space_validate_typed;
         ] );
       ( "template",
@@ -953,5 +1069,8 @@ let () =
             test_tuning_log_rejects_bad_values;
           QCheck_alcotest.to_alcotest qcheck_tuning_log_roundtrip;
           Alcotest.test_case "tune journal roundtrip" `Quick test_tune_journal_roundtrip;
+          Alcotest.test_case "tune journal -0.0 and subnormals" `Quick
+            test_tune_journal_negative_zero_and_subnormals;
+          QCheck_alcotest.to_alcotest qcheck_tune_journal_replay_bit_identical;
         ] );
     ]

@@ -230,9 +230,163 @@ let qcheck_io_sane =
       in
       stats.loads >= compulsory_loads && stats.stores >= n_outputs)
 
+(* --- pure step/trace API: one test per legality condition --- *)
+
+(* c = a + b, then d = c (copy step): exercises input, interior and output
+   vertices with 1- and 2-ary predecessors. *)
+let tiny () =
+  let g = G.create () in
+  let a = G.add_input g in
+  let b = G.add_input g in
+  let c = G.add_compute g ~step:1 ~preds:[ a; b ] in
+  let d = G.add_compute g ~step:2 ~preds:[ c ] in
+  (g, a, b, c, d)
+
+let expect_err name res =
+  match res with
+  | Ok () -> Alcotest.failf "%s: expected rejection, move was accepted" name
+  | Error msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: error names the vertex (%s)" name msg)
+      true
+      (String.length msg > 0)
+
+let test_step_start () =
+  let g, a, b, c, d = tiny () in
+  let st = P.start g in
+  Alcotest.(check bool) "inputs blue" true (P.in_blue st a && P.in_blue st b);
+  Alcotest.(check bool) "interior not blue" false (P.in_blue st c || P.in_blue st d);
+  Alcotest.(check int) "nothing red" 0 st.P.red_count;
+  Alcotest.(check int) "no I/O yet" 0 (P.state_io st);
+  Alcotest.(check bool) "not complete" false (P.complete g st);
+  Alcotest.(check (list int)) "blue vertices" [ a; b ] (P.blue_vertices g st);
+  Alcotest.(check (list int)) "red vertices" [] (P.red_vertices g st)
+
+let test_step_load_rules () =
+  let g, a, _b, c, _d = tiny () in
+  let st = P.start g in
+  expect_err "load without blue" (P.check_move g ~s:3 st (P.Load c));
+  let st = P.apply_exn g ~s:3 st (P.Load a) in
+  Alcotest.(check int) "load counted" 1 st.P.loads;
+  expect_err "double load" (P.check_move g ~s:3 st (P.Load a));
+  (* Fill memory (s = 2): the second input takes the last slot, then any
+     further placement must be rejected. *)
+  let g2, a2, b2, _, _ = (fun (g, a, b, c, d) -> (g, a, b, c, d)) (tiny ()) in
+  let st2 = P.apply_exn g2 ~s:2 (P.start g2) (P.Load a2) in
+  let st2 = P.apply_exn g2 ~s:2 st2 (P.Load b2) in
+  expect_err "load into full memory" (P.check_move g2 ~s:2 st2 (P.Load a2));
+  expect_err "out-of-range vertex" (P.check_move g2 ~s:2 st2 (P.Load 99));
+  expect_err "s < 1" (P.check_move g2 ~s:0 (P.start g2) (P.Load a2))
+
+let test_step_compute_rules () =
+  let g, a, b, c, d = tiny () in
+  let st = P.start g in
+  expect_err "compute an input" (P.check_move g ~s:4 st (P.Compute a));
+  expect_err "compute without preds" (P.check_move g ~s:4 st (P.Compute c));
+  let st = P.apply_exn g ~s:4 st (P.Load a) in
+  expect_err "compute with one pred missing" (P.check_move g ~s:4 st (P.Compute c));
+  let st = P.apply_exn g ~s:4 st (P.Load b) in
+  let st = P.apply_exn g ~s:4 st (P.Compute c) in
+  Alcotest.(check int) "compute counted, not I/O" 2 (P.state_io st);
+  Alcotest.(check int) "computes" 1 st.P.computes;
+  expect_err "recompute while red" (P.check_move g ~s:4 st (P.Compute c));
+  (* No sliding: with memory full, computing d needs a slot even though its
+     only predecessor c is red. *)
+  expect_err "compute into full memory" (P.check_move g ~s:3 st (P.Compute d));
+  let st = P.apply_exn g ~s:4 st (P.Compute d) in
+  Alcotest.(check bool) "not complete until stored" false (P.complete g st);
+  let st = P.apply_exn g ~s:4 st (P.Store d) in
+  Alcotest.(check bool) "complete once output blue" true (P.complete g st)
+
+let test_step_store_free_rules () =
+  let g, a, b, c, _d = tiny () in
+  let st = P.start g in
+  expect_err "store without red" (P.check_move g ~s:3 st (P.Store c));
+  expect_err "free without red" (P.check_move g ~s:3 st (P.Free c));
+  let st = P.apply_exn g ~s:3 st (P.Load a) in
+  expect_err "re-store an input (already blue)" (P.check_move g ~s:3 st (P.Store a));
+  let st = P.apply_exn g ~s:3 st (P.Load b) in
+  let st = P.apply_exn g ~s:3 st (P.Compute c) in
+  let st = P.apply_exn g ~s:3 st (P.Store c) in
+  Alcotest.(check int) "store counted" 1 st.P.stores;
+  expect_err "double store" (P.check_move g ~s:3 st (P.Store c));
+  let st = P.apply_exn g ~s:3 st (P.Free c) in
+  Alcotest.(check bool) "freed vertex not red" false (P.in_red st c);
+  Alcotest.(check bool) "blue copy survives the free" true (P.in_blue st c);
+  (* Recomputation after an evict-without-store round trip is legal. *)
+  let st = P.apply_exn g ~s:3 st (P.Compute c) in
+  Alcotest.(check int) "recompute counted" 2 st.P.computes
+
+let test_step_legal_moves_consistent () =
+  (* legal_moves must be exactly the moves check_move accepts, in every state
+     along a full play. *)
+  let g, a, b, c, d = tiny () in
+  let play = [ P.Load a; P.Load b; P.Compute c; P.Free a; P.Compute d; P.Store d ] in
+  let all_moves =
+    List.concat_map
+      (fun v -> [ P.Load v; P.Store v; P.Compute v; P.Free v ])
+      [ a; b; c; d ]
+  in
+  let st = ref (P.start g) in
+  List.iter
+    (fun mv ->
+      let legal = P.legal_moves g ~s:3 !st in
+      List.iter
+        (fun m ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s in legal_moves iff check_move accepts" (P.move_to_string m))
+            (P.check_move g ~s:3 !st m = Ok ())
+            (List.mem m legal))
+        all_moves;
+      st := P.apply_exn g ~s:3 !st mv)
+    play
+
+let test_step_trace () =
+  let g, a, b, c, d = tiny () in
+  (match P.trace g ~s:3 [ P.Load a; P.Load b; P.Compute c; P.Free a; P.Compute d; P.Store d ] with
+  | Error msg -> Alcotest.fail ("legal trace rejected: " ^ msg)
+  | Ok st ->
+    Alcotest.(check int) "loads" 2 st.P.loads;
+    Alcotest.(check int) "stores" 1 st.P.stores;
+    Alcotest.(check bool) "complete" true (P.complete g st));
+  (* The first illegal move aborts with its own error; later moves are never
+     evaluated (the trailing out-of-range Free would raise a different one). *)
+  match P.trace g ~s:3 [ P.Load a; P.Compute c; P.Free 99 ] with
+  | Ok _ -> Alcotest.fail "illegal trace accepted"
+  | Error msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "aborts at the compute (%s)" msg)
+      true
+      (String.length msg > 0 && String.sub msg 0 7 = "compute")
+
+let test_step_agrees_with_replay () =
+  (* Playing the replay simulator's "unlimited memory" strategy through the
+     step API reproduces its exact counters: compulsory loads and stores. *)
+  let g, a, b, c, d = tiny () in
+  let play = [ P.Load a; P.Load b; P.Compute c; P.Compute d; P.Store d ] in
+  let st =
+    match P.trace g ~s:10 play with Ok st -> st | Error m -> Alcotest.fail m
+  in
+  let stats = P.run g ~schedule:[| c; d |] ~s:10 ~policy:P.Lru in
+  Alcotest.(check int) "loads agree" stats.P.loads st.P.loads;
+  Alcotest.(check int) "stores agree" stats.P.stores st.P.stores;
+  Alcotest.(check int) "computes agree" stats.P.computes st.P.computes
+
 let () =
   Alcotest.run "pebble"
     [
+      ( "steps",
+        [
+          Alcotest.test_case "start position" `Quick test_step_start;
+          Alcotest.test_case "load legality" `Quick test_step_load_rules;
+          Alcotest.test_case "compute legality" `Quick test_step_compute_rules;
+          Alcotest.test_case "store/free legality" `Quick test_step_store_free_rules;
+          Alcotest.test_case "legal_moves = check_move" `Quick
+            test_step_legal_moves_consistent;
+          Alcotest.test_case "trace replay and abort" `Quick test_step_trace;
+          Alcotest.test_case "step API agrees with replay simulator" `Quick
+            test_step_agrees_with_replay;
+        ] );
       ( "game",
         [
           Alcotest.test_case "unlimited memory = compulsory traffic" `Quick
