@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test verify-smoke verify-deep fault-smoke clean
+.PHONY: all build test verify-smoke verify-deep fault-smoke torture-smoke torture-deep clean
 
 all: build
 
@@ -22,6 +22,16 @@ verify-deep:
 
 fault-smoke:
 	dune build @fault-smoke
+
+# Durability: checksummed-journal salvage properties + crash-torture rounds
+# that corrupt journal/checkpoint files between kill and resume.  Smoke is
+# the fast (<10s) configuration; deep multiplies qcheck case counts by 10
+# and runs more corruption rounds.
+torture-smoke:
+	dune build @torture-smoke
+
+torture-deep:
+	dune build @torture-deep
 
 clean:
 	dune clean

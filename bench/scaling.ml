@@ -121,9 +121,9 @@ let full () =
         speedup above 1 requires more physical cores, so on a 1-core host the \
         sweep reports the coordination overhead instead\"\n}\n"
        host_cores);
-  let oc = open_out "BENCH_tuning_scaling.json" in
-  output_string oc (Buffer.contents buf);
-  close_out oc;
+  (* Atomic: a crash mid-write must not leave a torn JSON where a previous
+     sweep's complete results used to be. *)
+  Util.Durable.write_atomic "BENCH_tuning_scaling.json" (Buffer.contents buf);
   print_endline "wrote BENCH_tuning_scaling.json"
 
 let smoke () =

@@ -121,7 +121,18 @@ let tune_cmd =
   let wino =
     Arg.(value & opt (some int) None & info [ "winograd" ] ~doc:"Tune the Winograd dataflow with tile e.")
   in
-  let run spec arch seed budget tvm wino =
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ]
+          ~doc:
+            "Durable measurement journal. A killed run resumes from it \
+             bit-identically (corrupt records are detected by checksum, \
+             salvaged and re-measured); the GBT cost model is checkpointed \
+             alongside in FILE.ckpt.")
+  in
+  let run spec arch seed budget tvm wino journal =
     let algorithm =
       match wino with None -> Core.Config.Direct_dataflow | Some e -> Core.Config.Winograd_dataflow e
     in
@@ -130,16 +141,21 @@ let tune_cmd =
       (Conv.Conv_spec.to_string spec)
       (if tvm then "TVM-style full" else "optimality-pruned")
       (Core.Search_space.size space);
-    let result = Core.Tuner.tune ~seed ~max_measurements:budget ~space () in
+    let result = Core.Tuner.tune ~seed ~max_measurements:budget ?journal ~space () in
     Printf.printf "best: %.2f us (%.0f GFlops) after %d measurements (converged at #%d)\n"
       result.best_runtime_us result.best_gflops result.measurements result.converged_at;
     Printf.printf "config: %s\n" (Core.Config.to_string result.best_config);
+    if journal <> None then
+      Printf.printf
+        "journal: %d trial(s) replayed, %d corrupt record(s) dropped, %d model \
+         checkpoint restore(s)\n"
+        result.faults.replayed result.faults.journal_dropped result.faults.model_restores;
     let lib = Gpu_sim.Library_sim.cudnn_direct arch spec in
     Printf.printf "cuDNN-style baseline: %.2f us (%s) -> speedup %.2fx\n" lib.runtime_us
       lib.algorithm (lib.runtime_us /. result.best_runtime_us)
   in
   let info = Cmd.info "tune" ~doc:"Auto-tune a convolution layer on a simulated GPU." in
-  Cmd.v info Term.(const run $ spec_term $ arch_arg $ seed_arg $ budget $ tvm $ wino)
+  Cmd.v info Term.(const run $ spec_term $ arch_arg $ seed_arg $ budget $ tvm $ wino $ journal)
 
 (* --- models --- *)
 

@@ -29,7 +29,9 @@ let cache_key (arch : Gpu_sim.Arch.t) spec algorithm seed =
 (* --- persistence: prime/flush the memo table through Core.Tuning_log --- *)
 
 let prime_from_log ?(seed = 0) path =
-  let entries = Core.Tuning_log.load path in
+  (* [load] salvages what a torn write or bit flip left and warns about the
+     loss on stderr; priming proceeds with every record that validated. *)
+  let { Core.Tuning_log.entries; _ } = Core.Tuning_log.load path in
   let best = Core.Tuning_log.best_per_key entries in
   let primed = ref 0 in
   Hashtbl.iter

@@ -20,4 +20,5 @@ module Tuner = Tuner
 module Baselines = Baselines
 module Tuning_log = Tuning_log
 module Tune_journal = Tune_journal
+module Model_checkpoint = Model_checkpoint
 module Template = Template

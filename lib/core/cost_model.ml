@@ -37,5 +37,14 @@ let predict_runtime_us t cfg =
 
 let trained t = t.booster <> None
 
+let snapshot t = Option.map Gbt.Booster.to_compact t.booster
+
+let restore t s =
+  match Gbt.Booster.of_compact s with
+  | Some booster ->
+    t.booster <- Some booster;
+    true
+  | None -> false
+
 let rmse_log t =
   match t.booster with None -> 0.0 | Some b -> Gbt.Booster.train_rmse b t.data

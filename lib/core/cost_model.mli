@@ -39,5 +39,16 @@ val predict_runtime_us : t -> Config.t -> float
 
 val trained : t -> bool
 
+val snapshot : t -> string option
+(** [Gbt.Booster.to_compact] of the current booster; [None] before the
+    first {!retrain}.  Because training is deterministic and the encoding
+    round-trips every float bit-for-bit, a snapshot taken after fitting on
+    [n] samples stands in exactly for "retrain on those [n] samples". *)
+
+val restore : t -> string -> bool
+(** Installs a {!snapshot} as the current booster; [false] (and no change)
+    when the snapshot does not parse.  Predictions after a successful
+    restore are bit-identical to the model the snapshot was taken from. *)
+
 val rmse_log : t -> float
 (** Training RMSE in log-space, for diagnostics; 0 before training. *)

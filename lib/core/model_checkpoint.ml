@@ -1,0 +1,62 @@
+type entry = {
+  n_samples : int;
+  snapshot : string;
+}
+
+let kind = "gbt-checkpoint"
+
+let path_for journal = journal ^ ".ckpt"
+
+let to_line e =
+  if e.n_samples <= 0 then invalid_arg "Model_checkpoint.to_line: non-positive n_samples";
+  if String.exists (fun c -> c = '\n' || c = '\r') e.snapshot then
+    invalid_arg "Model_checkpoint.to_line: newline in snapshot";
+  Printf.sprintf "c1\t%d\t%s" e.n_samples e.snapshot
+
+(* The snapshot itself contains tabs, so split only the two leading fields. *)
+let of_line line =
+  if String.length line > 3 && String.sub line 0 3 = "c1\t" then begin
+    match String.index_from_opt line 3 '\t' with
+    | None -> None
+    | Some second_tab -> begin
+      match int_of_string_opt (String.sub line 3 (second_tab - 3)) with
+      | Some n when n > 0 ->
+        Some
+          {
+            n_samples = n;
+            snapshot =
+              String.sub line (second_tab + 1) (String.length line - second_tab - 1);
+          }
+      | _ -> None
+    end
+  end
+  else None
+
+let append path e = Util.Durable.append ~kind path (to_line e)
+
+type load_result = {
+  entries : entry list;
+  dropped : int;
+  reason : string option;
+}
+
+let recover path =
+  let outcome = Util.Durable.repair ~kind path in
+  Util.Durable.warn_dropped ~path outcome;
+  let payloads = Util.Durable.records outcome in
+  let entries = List.filter_map of_line payloads in
+  let undecodable = List.length payloads - List.length entries in
+  {
+    entries;
+    dropped = Util.Durable.dropped outcome + undecodable;
+    reason =
+      (match outcome with
+      | Util.Durable.Salvaged { reason; _ } -> Some reason
+      | _ when undecodable > 0 -> Some "checksummed record failed to decode"
+      | _ -> None);
+  }
+
+let to_table entries =
+  let table = Hashtbl.create (List.length entries * 2) in
+  List.iter (fun e -> Hashtbl.replace table e.n_samples e.snapshot) entries;
+  table

@@ -7,6 +7,8 @@ type entry = {
   outcome : outcome;
 }
 
+let kind = "tune-journal"
+
 let valid_key s =
   s <> "" && String.for_all (fun c -> c <> '\t' && c <> '\n' && c <> '\r') s
 
@@ -40,26 +42,40 @@ let of_line line =
   | [ "j1"; key; "fail"; reason ] when valid_key key -> Some { key; outcome = Failed reason }
   | _ -> None
 
-let append path e =
-  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_line e ^ "\n"))
+let append path e = Util.Durable.append ~kind path (to_line e)
+
+type load_result = {
+  entries : entry list;
+  dropped : int;
+  reason : string option;
+}
+
+(* Framing-level damage (bad checksum, torn line, garbled header) salvages a
+   prefix; a checksummed record whose payload still fails [of_line] can only
+   come from version drift, and is dropped and counted like corruption —
+   either way the caller sees the loss instead of a silent shrug. *)
+let decode outcome =
+  let payloads = Util.Durable.records outcome in
+  let entries = List.filter_map of_line payloads in
+  let undecodable = List.length payloads - List.length entries in
+  let dropped = Util.Durable.dropped outcome + undecodable in
+  let reason =
+    match outcome with
+    | Util.Durable.Salvaged { reason; _ } -> Some reason
+    | _ when undecodable > 0 -> Some "checksummed record failed to decode"
+    | _ -> None
+  in
+  { entries; dropped; reason }
 
 let load path =
-  if not (Sys.file_exists path) then []
-  else begin
-    let ic = open_in path in
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () ->
-        let rec go acc =
-          match input_line ic with
-          | line -> go (match of_line line with Some e -> e :: acc | None -> acc)
-          | exception End_of_file -> List.rev acc
-        in
-        go [])
-  end
+  let outcome = Util.Durable.read ~kind path in
+  Util.Durable.warn_dropped ~path outcome;
+  decode outcome
+
+let recover path =
+  let outcome = Util.Durable.repair ~kind path in
+  Util.Durable.warn_dropped ~path outcome;
+  decode outcome
 
 let to_table entries =
   let table = Hashtbl.create (List.length entries * 2) in

@@ -1,8 +1,11 @@
 (** Measurement journal — crash recovery for [Tuner.tune].
 
-    One line per finished measurement, appended as soon as its result folds
-    into the tuner state, following the [Tuning_log] format discipline
-    (versioned, tab-separated, malformed lines dropped on load):
+    One record per finished measurement, appended as soon as its result
+    folds into the tuner state.  Since PR 4 the journal sits on
+    [Util.Durable]: a versioned header line plus one CRC-32-framed record
+    per measurement, so torn writes, truncations and bit flips are detected
+    and salvaged instead of silently dropped.  Record payloads keep the PR 2
+    format:
 
     {v j1 <TAB> compact-config <TAB> ok   <TAB> runtime-hex-float
        j1 <TAB> compact-config <TAB> fail <TAB> reason v}
@@ -23,20 +26,39 @@ type entry = {
   outcome : outcome;
 }
 
+val kind : string
+(** The [Util.Durable] kind tag ("tune-journal"). *)
+
 val to_line : entry -> string
-(** Raises [Invalid_argument] on empty keys, keys containing tabs or
-    newlines, and non-finite or non-positive runtimes (reject on write). *)
+(** The record *payload* (framing is added by [Util.Durable]).  Raises
+    [Invalid_argument] on empty keys, keys containing tabs or newlines, and
+    non-finite or non-positive runtimes (reject on write). *)
 
 val of_line : string -> entry option
-(** [None] on malformed lines, bad keys and non-finite/non-positive
+(** [None] on malformed payloads, bad keys and non-finite/non-positive
     runtimes (drop on read). *)
 
 val append : string -> entry -> unit
-(** Appends one entry, creating the file if needed. *)
+(** Appends one framed record, creating the file (with header) if needed. *)
 
-val load : string -> entry list
-(** Empty list when the file does not exist; malformed lines are dropped,
-    so a journal truncated mid-line by a crash still loads. *)
+type load_result = {
+  entries : entry list;  (** every salvaged, decodable record, in order *)
+  dropped : int;
+      (** records lost to corruption (framing level) or version drift
+          (checksummed but undecodable payloads) *)
+  reason : string option;  (** first corruption encountered, when any *)
+}
+
+val load : string -> load_result
+(** Read-only salvage: zero entries when the file does not exist, the
+    longest valid prefix otherwise.  Never raises on corrupt content.
+    Prints one [warning:] line to stderr when [dropped > 0]. *)
+
+val recover : string -> load_result
+(** {!load}, plus an atomic rewrite of the file to the salvaged prefix when
+    anything was dropped — so a resumed tuner appends to a clean journal
+    instead of concatenating onto torn garbage.  This is what
+    [Tuner.tune ~journal] uses. *)
 
 val to_table : entry list -> (string, outcome) Hashtbl.t
 (** Key-indexed view, later entries winning (there are no duplicate keys in

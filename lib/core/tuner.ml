@@ -15,6 +15,8 @@ type fault_stats = {
   outliers_rejected : int;
   backoff_us : float;
   replayed : int;
+  journal_dropped : int;
+  model_restores : int;
 }
 
 let no_faults =
@@ -29,6 +31,8 @@ let no_faults =
     outliers_rejected = 0;
     backoff_us = 0.0;
     replayed = 0;
+    journal_dropped = 0;
+    model_restores = 0;
   }
 
 type result = {
@@ -86,7 +90,8 @@ let insert_leader cfg runtime leaders =
   insert max_leaders leaders
 
 let tune ?(seed = 0) ?(batch_size = 16) ?(patience = 8) ?(max_measurements = 600) ?domains
-    ?(faults = Gpu_sim.Faults.none) ?measure_policy ?journal ~space () =
+    ?(faults = Gpu_sim.Faults.none) ?measure_policy ?journal ?(checkpoint_every = 16)
+    ~space () =
   let domains = Option.value domains ~default:(Util.Parallel.recommended_domains ()) in
   let arch = Search_space.arch space and spec = Search_space.spec space in
   let rng = Util.Rng.create (seed + 17) in
@@ -103,16 +108,51 @@ let tune ?(seed = 0) ?(batch_size = 16) ?(patience = 8) ?(max_measurements = 600
   (* Replay table from a previous (killed) run of the same tune.  Because
      every stochastic draw is independent of measurement *values*, replaying
      the journaled outcomes reproduces the killed run's trajectory exactly;
-     the oracle is only consulted for configs past the kill point. *)
-  let journal_tbl =
+     the oracle is only consulted for configs past the kill point.
+     [recover] salvages the longest valid prefix of a torn or corrupted
+     journal and repairs the file so our appends extend clean state; the
+     loss is surfaced in [journal_dropped], never silently discarded.  The
+     sibling checkpoint file supplies booster snapshots so replayed rounds
+     restore the cost model instead of retraining it. *)
+  let journal_tbl, ckpt_tbl =
     match journal with
-    | None -> Hashtbl.create 0
-    | Some path -> Tune_journal.to_table (Tune_journal.load path)
+    | None -> (Hashtbl.create 0, Hashtbl.create 0)
+    | Some path ->
+      let jr = Tune_journal.recover path in
+      let ck = Model_checkpoint.recover (Model_checkpoint.path_for path) in
+      stats := { !stats with journal_dropped = jr.dropped + ck.dropped };
+      (Tune_journal.to_table jr.entries, Model_checkpoint.to_table ck.entries)
   in
   let journal_append key outcome =
     match journal with
     | None -> ()
     | Some path -> Tune_journal.append path { Tune_journal.key; outcome }
+  in
+  (* Model checkpointing: after a live retrain, snapshot the booster every
+     [checkpoint_every] trials; on replay, a surviving snapshot keyed by the
+     dataset size substitutes for the retrain.  Both paths yield the same
+     bits (training is deterministic, the snapshot round-trips exactly, and
+     with the default no-subsample parameters the retrain consumes no rng
+     draws), so restoring never perturbs the trajectory. *)
+  let last_checkpoint = ref 0 in
+  let retrain_or_restore () =
+    let n = Cost_model.n_samples model in
+    match Hashtbl.find_opt ckpt_tbl n with
+    | Some snap when Cost_model.restore model snap ->
+      stats := { !stats with model_restores = !stats.model_restores + 1 }
+    | _ -> begin
+      Cost_model.retrain ~rng ~domains model;
+      match journal with
+      | Some path when !trials - !last_checkpoint >= checkpoint_every -> begin
+        match Cost_model.snapshot model with
+        | Some snapshot ->
+          Model_checkpoint.append (Model_checkpoint.path_for path)
+            { Model_checkpoint.n_samples = n; snapshot };
+          last_checkpoint := !trials
+        | None -> ()
+      end
+      | _ -> ()
+    end
   in
   (* Top measured configurations, best first — the explorer's walk seeds. *)
   let leaders : (Config.t * float) list ref = ref [] in
@@ -245,7 +285,7 @@ let tune ?(seed = 0) ?(batch_size = 16) ?(patience = 8) ?(max_measurements = 600
              Printf.sprintf "rmse(log) %.3f" (Cost_model.rmse_log model)
            else "untrained"));
     let best_before = match !best with Some (_, r) -> r | None -> infinity in
-    Cost_model.retrain ~rng ~domains model;
+    retrain_or_restore ();
     let starts =
       List.map fst !leaders @ List.init 2 (fun _ -> Search_space.sample space rng)
     in

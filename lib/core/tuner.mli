@@ -34,6 +34,12 @@ type fault_stats = {
   outliers_rejected : int;
   backoff_us : float;  (** total virtual backoff time charged *)
   replayed : int;  (** measurements satisfied from the journal, not the oracle *)
+  journal_dropped : int;
+      (** records lost to corruption when recovering the journal and its
+          checkpoint file (0 without a journal, or when both were clean) *)
+  model_restores : int;
+      (** rounds whose cost model was restored from a checkpoint snapshot
+          instead of retrained *)
 }
 (** Counters are live-run accurate; replayed failures are folded in as
     launch failures (the journal stores only the reason string). *)
@@ -82,12 +88,14 @@ val tune :
   ?faults:Gpu_sim.Faults.profile ->
   ?measure_policy:Gpu_sim.Measure.policy ->
   ?journal:string ->
+  ?checkpoint_every:int ->
   space:Search_space.t ->
   unit ->
   result
 (** Defaults: seed 0, batches of 16, patience 8 rounds, at most 600
     trials, [domains = Util.Parallel.recommended_domains ()], no injected
-    faults, [Measure.default_policy], no journal.
+    faults, [Measure.default_policy], no journal, checkpoints every 16
+    trials.
 
     [max_measurements] bounds *trials* (successes plus failures), so a
     hostile fault profile cannot spin the loop beyond the budget.
@@ -97,7 +105,21 @@ val tune :
     appended as soon as it folds in.  Re-running an interrupted tune with
     the same parameters and journal path resumes it and returns a result
     identical to the uninterrupted run (fault counters differ only in
-    [replayed] and live-attempt statistics).
+    [replayed], [model_restores] and live-attempt statistics).  The journal
+    and its checkpoint sibling are durable files ([Util.Durable]): on
+    resume they are salvaged to their longest valid prefix and repaired in
+    place, so a kill *during* a write — a torn line, a truncation, even a
+    flipped bit — costs at most the damaged suffix (re-measured live,
+    reproducing the same values) and is reported in
+    [result.faults.journal_dropped], never silently dropped.
+
+    [checkpoint_every] throttles cost-model checkpoints: after a live
+    retrain, the fitted booster is snapshotted to [journal ^ ".ckpt"]
+    ([Model_checkpoint]) once at least that many trials have passed since
+    the last snapshot.  On resume, a replayed round whose dataset size
+    matches a surviving snapshot restores the model instead of retraining —
+    bit-identical either way, because training is deterministic and
+    snapshots round-trip exactly.  Ignored without [journal].
 
     Multicore: each round's explorer walks, the cost-model refit and the
     batch of simulated measurements fan out over [Util.Pool.default], while

@@ -47,32 +47,36 @@ let of_line line =
   end
   | _ -> None
 
-let save path entries =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> List.iter (fun e -> output_string oc (to_line e ^ "\n")) entries)
+let kind = "tuning-log"
 
-let append path entry =
-  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_line entry ^ "\n"))
+(* Snapshots go through write-temp-then-rename: a crash mid-[save] leaves
+   the previous log intact instead of a half-written one. *)
+let save path entries =
+  Util.Durable.write_snapshot ~kind path (List.map to_line entries)
+
+let append path entry = Util.Durable.append ~kind path (to_line entry)
+
+type load_result = {
+  entries : entry list;
+  dropped : int;
+  reason : string option;
+}
 
 let load path =
-  if not (Sys.file_exists path) then []
-  else begin
-    let ic = open_in path in
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () ->
-        let rec go acc =
-          match input_line ic with
-          | line -> go (match of_line line with Some e -> e :: acc | None -> acc)
-          | exception End_of_file -> List.rev acc
-        in
-        go [])
-  end
+  let outcome = Util.Durable.read ~kind path in
+  Util.Durable.warn_dropped ~path outcome;
+  let payloads = Util.Durable.records outcome in
+  let entries = List.filter_map of_line payloads in
+  let undecodable = List.length payloads - List.length entries in
+  {
+    entries;
+    dropped = Util.Durable.dropped outcome + undecodable;
+    reason =
+      (match outcome with
+      | Util.Durable.Salvaged { reason; _ } -> Some reason
+      | _ when undecodable > 0 -> Some "checksummed record failed to decode"
+      | _ -> None);
+  }
 
 let best_per_key entries =
   let table = Hashtbl.create 64 in

@@ -8,8 +8,11 @@
     {v v1 <TAB> arch <TAB> spec <TAB> runtime_us <TAB> compact-config v}
 
     where [spec] is [Conv_spec.to_string] (canonical per shape, used as an
-    opaque key) and the config uses [Config.to_compact].  Unknown or
-    malformed lines are skipped on load, so logs survive version drift. *)
+    opaque key) and the config uses [Config.to_compact].  Since PR 4 the
+    lines above are record *payloads* inside a [Util.Durable] file
+    (versioned header, per-record CRC-32, atomic snapshot writes), so torn
+    writes and bit flips are detected and counted instead of silently
+    skipped. *)
 
 type entry = {
   arch_name : string;
@@ -35,13 +38,26 @@ val of_line : string -> entry option
 (** [None] on malformed lines, including NaN/infinite runtimes that an
     external writer might have produced (drop on read). *)
 
+val kind : string
+(** The [Util.Durable] kind tag ("tuning-log"). *)
+
 val save : string -> entry list -> unit
-(** Writes (truncates) the log file. *)
+(** Atomically replaces the log file (write-temp-then-rename): a crash
+    mid-save leaves the previous log intact. *)
 
 val append : string -> entry -> unit
 
-val load : string -> entry list
-(** Empty list when the file does not exist; malformed lines are dropped. *)
+type load_result = {
+  entries : entry list;  (** every salvaged, decodable record, in order *)
+  dropped : int;  (** records lost to corruption or version drift *)
+  reason : string option;  (** first corruption encountered, when any *)
+}
+
+val load : string -> load_result
+(** Zero entries when the file does not exist; otherwise the longest valid
+    record prefix, with the loss surfaced in [dropped]/[reason] and one
+    [warning:] line on stderr when nonzero.  Never raises on corrupt
+    content. *)
 
 val best_per_key : entry list -> (string, entry) Hashtbl.t
 (** Deduplicates, keeping the fastest entry per key. *)

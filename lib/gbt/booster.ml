@@ -68,6 +68,37 @@ let train ?rng ?domains params data =
   done;
   { base_score; learning_rate = params.learning_rate; trees = Array.of_list (List.rev !trees) }
 
+(* Tab-separated fields (trees contain spaces but never tabs); hex floats
+   for the exact round-trip that keeps restored models bit-identical. *)
+let to_compact t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "gbt1\t%h\t%h\t%d" t.base_score t.learning_rate
+       (Array.length t.trees));
+  Array.iter
+    (fun tree ->
+      Buffer.add_char buf '\t';
+      Buffer.add_string buf (Tree.to_compact tree))
+    t.trees;
+  Buffer.contents buf
+
+let of_compact s =
+  match String.split_on_char '\t' s with
+  | "gbt1" :: base :: lr :: n :: tree_fields -> begin
+    match (float_of_string_opt base, float_of_string_opt lr, int_of_string_opt n) with
+    | Some base_score, Some learning_rate, Some n
+      when Float.is_finite base_score
+           && Float.is_finite learning_rate
+           && n = List.length tree_fields -> begin
+      let trees = List.filter_map Tree.of_compact tree_fields in
+      if List.length trees = n then
+        Some { base_score; learning_rate; trees = Array.of_list trees }
+      else None
+    end
+    | _ -> None
+  end
+  | _ -> None
+
 let train_rmse t data =
   let predicted =
     Array.init (Dataset.length data) (fun i -> predict t (Dataset.features data i))

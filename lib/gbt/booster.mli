@@ -34,6 +34,19 @@ val predict : t -> float array -> float
 
 val predict_many : ?domains:int -> t -> float array array -> float array
 
+val to_compact : t -> string
+(** Single-line (tab-separated) snapshot of a trained booster, with every
+    float in hex ("%h") notation.  {!of_compact} restores a model whose
+    [predict] is bit-identical to the original's on every input — the
+    contract that lets a resumed tuning run load a checkpointed cost model
+    instead of retraining, without leaving the uninterrupted run's
+    trajectory.  Contains no newlines. *)
+
+val of_compact : string -> t option
+(** [None] on malformed input, a tree-count mismatch, or any tree that
+    fails [Tree.of_compact] — a damaged snapshot is rejected whole, never
+    half-restored. *)
+
 val train_rmse : t -> Dataset.t -> float
 (** Root mean squared error on a dataset (typically the training set). *)
 

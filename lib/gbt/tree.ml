@@ -147,6 +147,51 @@ let rec predict t x =
   | Split { feature; threshold; left; right } ->
     if x.(feature) <= threshold then predict left x else predict right x
 
+(* Preorder, space-separated tokens with hex-float values: "%h" round-trips
+   every finite double bit-for-bit, so a deserialized tree predicts exactly
+   what the fitted one did — the property model checkpoints rest on. *)
+let to_compact t =
+  let buf = Buffer.create 256 in
+  let rec emit = function
+    | Leaf w ->
+      if Buffer.length buf > 0 then Buffer.add_char buf ' ';
+      Buffer.add_string buf (Printf.sprintf "L:%h" w)
+    | Split { feature; threshold; left; right } ->
+      if Buffer.length buf > 0 then Buffer.add_char buf ' ';
+      Buffer.add_string buf (Printf.sprintf "S:%d:%h" feature threshold);
+      emit left;
+      emit right
+  in
+  emit t;
+  Buffer.contents buf
+
+let of_compact s =
+  let toks = Array.of_list (String.split_on_char ' ' s) in
+  let pos = ref 0 in
+  let rec parse () =
+    if !pos >= Array.length toks then raise Exit;
+    let tok = toks.(!pos) in
+    incr pos;
+    match String.split_on_char ':' tok with
+    | [ "L"; w ] -> begin
+      match float_of_string_opt w with
+      | Some w when Float.is_finite w -> Leaf w
+      | _ -> raise Exit
+    end
+    | [ "S"; f; th ] -> begin
+      match (int_of_string_opt f, float_of_string_opt th) with
+      | Some f, Some th when f >= 0 && Float.is_finite th ->
+        let left = parse () in
+        let right = parse () in
+        Split { feature = f; threshold = th; left; right }
+      | _ -> raise Exit
+    end
+    | _ -> raise Exit
+  in
+  match parse () with
+  | t -> if !pos = Array.length toks then Some t else None
+  | exception Exit -> None
+
 let rec num_leaves = function
   | Leaf _ -> 1
   | Split { left; right; _ } -> num_leaves left + num_leaves right

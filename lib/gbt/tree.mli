@@ -33,5 +33,16 @@ val fit : ?domains:int -> params -> Dataset.t -> grad:float array -> hess:float 
 
 val predict : t -> float array -> float
 
+val to_compact : t -> string
+(** Single-line preorder serialization with hex-float ("%h") values: the
+    round-trip through {!of_compact} reproduces the tree exactly, so a
+    restored tree's predictions are bit-identical to the fitted one's.  The
+    encoding contains no spaces beyond token separators and no tabs or
+    newlines. *)
+
+val of_compact : string -> t option
+(** [None] on malformed input, non-finite values, negative feature indices,
+    or trailing tokens (reject whole trees, never half-parse). *)
+
 val num_leaves : t -> int
 val depth : t -> int

@@ -1,0 +1,224 @@
+(* Checksummed, versioned, truncation-tolerant record files.
+
+   Corruption is *detected*, never guessed around: a record is trusted only
+   when its CRC-32 validates, and everything from the first untrusted line
+   onward is reported dropped.  CRC-32 catches all single-bit flips and all
+   burst errors up to 32 bits, which covers the realistic failure modes of
+   an append-only text file (torn final write, truncation, media bit rot). *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let idx =
+        Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl)
+      in
+      c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl
+
+let crc_hex s = Printf.sprintf "%08lx" (crc32 s)
+
+let magic = "dur1"
+
+let header ~kind =
+  if kind = "" || String.exists (fun c -> c = '\t' || c = '\n' || c = '\r') kind then
+    invalid_arg "Durable.header: empty kind or tab/newline in kind";
+  let prefix = magic ^ "\t" ^ kind in
+  Printf.sprintf "%s\t%s" prefix (crc_hex prefix)
+
+let frame payload =
+  if String.exists (fun c -> c = '\n' || c = '\r') payload then
+    invalid_arg "Durable.frame: newline in payload";
+  Printf.sprintf "r\t%s\t%s" (crc_hex payload) payload
+
+type read_outcome =
+  | Missing
+  | Intact of string list
+  | Salvaged of { records : string list; dropped : int; reason : string }
+
+let records = function
+  | Missing -> []
+  | Intact rs -> rs
+  | Salvaged { records; _ } -> records
+
+let dropped = function Missing | Intact _ -> 0 | Salvaged { dropped; _ } -> dropped
+
+let is_hex8 s =
+  String.length s = 8
+  && String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) s
+
+(* A record line is [r TAB crc8 TAB payload]; the checksum sits at a fixed
+   offset so payloads may contain tabs. *)
+let parse_record line =
+  let n = String.length line in
+  if n >= 11 && line.[0] = 'r' && line.[1] = '\t' && line.[10] = '\t' then begin
+    let crc_field = String.sub line 2 8 in
+    let payload = String.sub line 11 (n - 11) in
+    if is_hex8 crc_field then
+      if crc_hex payload = crc_field then Ok payload else Error `Checksum
+    else Error `Malformed
+  end
+  else Error `Malformed
+
+(* [Error kind'] when the line is a valid header of a *different* kind —
+   foreign data, which [repair] must not destroy. *)
+let parse_header ~kind line =
+  match String.split_on_char '\t' line with
+  | [ m; k; crc ] when m = magic && is_hex8 crc && crc_hex (magic ^ "\t" ^ k) = crc ->
+    if k = kind then Ok () else Error (`Foreign k)
+  | _ -> Error `Garbled
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Also classifies whether the file is a valid durable file of another kind
+   (for [repair]'s do-not-touch rule). *)
+let read_ext ~kind path =
+  if not (Sys.file_exists path) then (Missing, false)
+  else begin
+    let content = read_file path in
+    if content = "" then (Intact [], false)
+    else begin
+      let terminated = content.[String.length content - 1] = '\n' in
+      let lines =
+        match List.rev (String.split_on_char '\n' content) with
+        | "" :: rest when terminated -> List.rev rest
+        | rest -> List.rev rest
+      in
+      let n_lines = List.length lines in
+      match lines with
+      | [] -> (Intact [], false)
+      | header_line :: record_lines -> begin
+        match parse_header ~kind header_line with
+        | Error (`Foreign k) ->
+          ( Salvaged
+              {
+                records = [];
+                dropped = n_lines;
+                reason = Printf.sprintf "header kind %S, expected %S" k kind;
+              },
+            true )
+        | Error `Garbled ->
+          ( Salvaged
+              { records = []; dropped = n_lines; reason = "missing or garbled header" },
+            false )
+        | Ok () ->
+          let n_records = List.length record_lines in
+          let rec scan i acc = function
+            | [] -> (Intact (List.rev acc), false)
+            | line :: rest ->
+              let last = rest = [] in
+              (* An unterminated final line whose checksum still validates is
+                 a complete record that merely lost its newline; accept it.
+                 Anything else from here on is dropped. *)
+              let salvage reason =
+                ( Salvaged
+                    { records = List.rev acc; dropped = n_records - i; reason },
+                  false )
+              in
+              begin
+                match parse_record line with
+                | Ok payload -> scan (i + 1) (payload :: acc) rest
+                | Error `Checksum when last && not terminated ->
+                  salvage (Printf.sprintf "torn final record (record %d)" (i + 1))
+                | Error `Checksum ->
+                  salvage (Printf.sprintf "checksum mismatch at record %d" (i + 1))
+                | Error `Malformed when last && not terminated ->
+                  salvage (Printf.sprintf "torn final record (record %d)" (i + 1))
+                | Error `Malformed ->
+                  salvage (Printf.sprintf "malformed line at record %d" (i + 1))
+              end
+          in
+          scan 0 [] record_lines
+      end
+    end
+  end
+
+let read ~kind path = fst (read_ext ~kind path)
+
+let temp_path path = path ^ ".durable-tmp"
+
+let write_raw_atomic path content =
+  let tmp = temp_path path in
+  let oc = open_out_bin tmp in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc content);
+  Sys.rename tmp path
+
+let write_atomic path content = write_raw_atomic path content
+
+let snapshot_content ~kind payloads =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (header ~kind);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun p ->
+      Buffer.add_string buf (frame p);
+      Buffer.add_char buf '\n')
+    payloads;
+  Buffer.contents buf
+
+let write_snapshot ~kind path payloads =
+  write_raw_atomic path (snapshot_content ~kind payloads)
+
+let repair ~kind path =
+  match read_ext ~kind path with
+  | (Missing | Intact _) as outcome, _ -> outcome
+  | (Salvaged _ as outcome), true -> outcome (* foreign file: hands off *)
+  | (Salvaged { records; _ } as outcome), false ->
+    write_snapshot ~kind path records;
+    outcome
+
+(* A crash can lose just the final newline while leaving the record's
+   checksum valid; [read] accepts such a record, so [append] must restore
+   the missing terminator or the next record would merge onto that line. *)
+let ends_in_newline path =
+  (not (Sys.file_exists path))
+  ||
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      n = 0
+      ||
+      (seek_in ic (n - 1);
+       input_char ic = '\n'))
+
+let append ~kind path payload =
+  let line = frame payload in
+  let terminated = ends_in_newline path in
+  let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let prefix =
+        if out_channel_length oc = 0 then header ~kind ^ "\n"
+        else if not terminated then "\n"
+        else ""
+      in
+      output_string oc (prefix ^ line ^ "\n"))
+
+let warn_dropped ~path outcome =
+  match outcome with
+  | Missing | Intact _ -> ()
+  | Salvaged { records; dropped; reason } ->
+    if dropped > 0 then
+      Printf.eprintf "warning: %s: salvaged %d record(s), dropped %d (%s)\n%!" path
+        (List.length records) dropped reason

@@ -1,0 +1,64 @@
+(* File corruption with a steady hand: read the whole file, apply the
+   damage in memory, rewrite atomically.  The injector's own writes must be
+   well-defined or a torture test could not tell injected corruption from
+   injector sloppiness. *)
+
+type op =
+  | Truncate_to of int
+  | Bit_flip of { offset : int; bit : int }
+  | Garbage_append of string
+
+let describe = function
+  | Truncate_to n -> Printf.sprintf "truncate to %d bytes" n
+  | Bit_flip { offset; bit } -> Printf.sprintf "flip bit %d of byte %d" bit offset
+  | Garbage_append s -> Printf.sprintf "append %d garbage bytes (%S)" (String.length s) s
+
+let file_size path =
+  if not (Sys.file_exists path) then 0
+  else begin
+    let ic = open_in_bin path in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () -> in_channel_length ic)
+  end
+
+let draw rng ~size =
+  match Rng.int rng 3 with
+  | 0 -> Truncate_to (Rng.int rng (size + 1))
+  | 1 when size > 0 ->
+    Bit_flip { offset = Rng.int rng size; bit = Rng.int rng 8 }
+  | 1 -> Truncate_to 0
+  | _ ->
+    let len = 1 + Rng.int rng 16 in
+    Garbage_append (String.init len (fun _ -> Char.chr (Rng.int rng 256)))
+
+(* A missing file reads as empty: a crash may strike before the artifact's
+   first write, and the harness still needs to corrupt "what is there". *)
+let read_file path =
+  if not (Sys.file_exists path) then ""
+  else begin
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  end
+
+let apply path op =
+  let content = read_file path in
+  let corrupted =
+    match op with
+    | Truncate_to n -> String.sub content 0 (min n (String.length content))
+    | Bit_flip { offset; bit } ->
+      if offset >= String.length content then content
+      else begin
+        let bytes = Bytes.of_string content in
+        let b = Char.code (Bytes.get bytes offset) in
+        Bytes.set bytes offset (Char.chr (b lxor (1 lsl (bit land 7))));
+        Bytes.to_string bytes
+      end
+    | Garbage_append s -> content ^ s
+  in
+  Durable.write_atomic path corrupted
+
+let inject rng path =
+  let op = draw rng ~size:(file_size path) in
+  apply path op;
+  op

@@ -1,0 +1,40 @@
+(** Deterministic, seed-driven filesystem fault injection — the disk-side
+    sibling of [Gpu_sim.Faults].
+
+    The crash-torture harness uses these operations to simulate what a
+    power cut, an out-of-space append or silent media rot does to an
+    on-disk artifact: torn writes (truncation to an arbitrary *byte*, not
+    line, boundary), single-bit flips, and stray garbage appended by a
+    half-finished writer.  Every draw comes from an explicit [Rng.t], so a
+    torture run is reproducible from its seed and two runs with the same
+    seed corrupt identically. *)
+
+type op =
+  | Truncate_to of int
+      (** keep only the first [n] bytes — a torn or partial write *)
+  | Bit_flip of { offset : int; bit : int }
+      (** flip bit [bit] (0-7) of the byte at [offset] — media rot *)
+  | Garbage_append of string
+      (** append raw bytes — a foreign or half-initialised writer *)
+
+val describe : op -> string
+(** One-line human description, for test failure messages. *)
+
+val file_size : string -> int
+(** Size of a file in bytes (0 when missing). *)
+
+val draw : Rng.t -> size:int -> op
+(** One random operation sensible for a file of [size] bytes: truncation
+    points are uniform over [0, size], bit flips uniform over every bit of
+    the file (degrading to truncation when the file is empty), garbage is
+    1-16 random bytes.  Deterministic in the rng state. *)
+
+val apply : string -> op -> unit
+(** Applies the operation to the file.  The rewrite itself is atomic
+    (temp-then-rename), so the injected state is exactly the described
+    corruption — the injector never *accidentally* tears its own write.
+    A missing file is treated as empty (and comes into existence). *)
+
+val inject : Rng.t -> string -> op
+(** [inject rng path] draws an operation for the file's current size,
+    applies it, and returns what it did. *)

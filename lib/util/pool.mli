@@ -14,14 +14,32 @@
 
 type t
 
-val create : ?workers:int -> unit -> t
+val create : ?workers:int -> ?max_restarts:int -> unit -> t
 (** [create ~workers ()] spawns [workers] worker domains (clamped below at
     0).  Default: [Parallel.recommended_domains () - 1], i.e. one worker per
     recommended domain beyond the submitting thread — 0 on a single-core
-    host, where every submission degrades to inline execution. *)
+    host, where every submission degrades to inline execution.
+
+    [max_restarts] (default 32) bounds the crash watchdog: a task that
+    raises out of a worker (possible only for {!submit} tasks; [run_all]
+    tasks are wrapped) kills that worker, and the watchdog spawns a
+    replacement domain up to [max_restarts] times over the pool's lifetime.
+    Past the budget, crashed workers die unreplaced and the pool degrades
+    gracefully toward inline execution instead of crash-looping. *)
 
 val workers : t -> int
 (** Number of live worker domains (0 after [shutdown]). *)
+
+val restarts : t -> int
+(** Total uncaught task exceptions recovered by the watchdog so far —
+    worker restarts plus crashes absorbed on helping or inline threads. *)
+
+val submit : t -> (unit -> unit) -> unit
+(** Fire-and-forget: enqueues one task and returns immediately.  With zero
+    workers (or after [shutdown]) the task runs inline before returning.
+    Exceptions never reach the caller; they are counted by the restart
+    watchdog (see {!create}).  Tasks still queued at [shutdown] are
+    abandoned, like [run_all]'s. *)
 
 val default : unit -> t
 (** The process-wide shared pool, created on first use.  [Parallel] routes

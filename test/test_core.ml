@@ -675,8 +675,9 @@ let test_tuning_log_roundtrip () =
   Core.Tuning_log.save path [ entry; { entry with runtime_us = entry.runtime_us *. 2.0 } ];
   Core.Tuning_log.append path { entry with runtime_us = entry.runtime_us /. 2.0 };
   let loaded = Core.Tuning_log.load path in
-  Alcotest.(check int) "all entries" 3 (List.length loaded);
-  let best = Core.Tuning_log.best_per_key loaded in
+  Alcotest.(check int) "all entries" 3 (List.length loaded.entries);
+  Alcotest.(check int) "nothing dropped" 0 loaded.dropped;
+  let best = Core.Tuning_log.best_per_key loaded.entries in
   Alcotest.(check int) "one key" 1 (Hashtbl.length best);
   Hashtbl.iter
     (fun _ (e : Core.Tuning_log.entry) ->
@@ -685,11 +686,16 @@ let test_tuning_log_roundtrip () =
   Sys.remove path
 
 let test_tuning_log_skips_garbage () =
+  (* A file that was never a durable log (no header, no checksums) salvages
+     to zero entries — and the loss is *counted*, not silently skipped. *)
   let path = Filename.temp_file "tuning" ".log" in
   let oc = open_out path in
   output_string oc "not a record\nv1\tbroken\n";
   close_out oc;
-  Alcotest.(check int) "garbage skipped" 0 (List.length (Core.Tuning_log.load path));
+  let r = Core.Tuning_log.load path in
+  Alcotest.(check int) "garbage yields no entries" 0 (List.length r.entries);
+  Alcotest.(check int) "both lines counted dropped" 2 r.dropped;
+  Alcotest.(check bool) "reason reported" true (r.reason <> None);
   Sys.remove path
 
 let test_tuning_log_rejects_bad_values () =
@@ -842,16 +848,18 @@ let test_tune_journal_roundtrip () =
         (Core.Tune_journal.of_line line = None))
     [ ""; "garbage"; "j1\tk"; "j1\tk\tok\tnan"; "j1\tk\tok\tnotafloat";
       "j0\tk\tok\t0x1p1"; "j1\t\tok\t0x1p1" ];
-  (* A crash mid-write leaves a truncated last line; whole lines still load. *)
+  (* A crash mid-write leaves a torn last line; whole records still load and
+     the torn fragment is counted dropped rather than silently vanishing. *)
   let path = Filename.temp_file "journal" ".j" in
   Core.Tune_journal.append path e1;
   Core.Tune_journal.append path e2;
   let oc = open_out_gen [ Open_append ] 0o644 path in
-  output_string oc "j1\ttrunc";
+  output_string oc "r\t01234567\tj1\ttrunc";
   close_out oc;
-  let entries = Core.Tune_journal.load path in
-  Alcotest.(check int) "whole lines load" 2 (List.length entries);
-  let tbl = Core.Tune_journal.to_table entries in
+  let r = Core.Tune_journal.load path in
+  Alcotest.(check int) "whole records load" 2 (List.length r.entries);
+  Alcotest.(check int) "torn fragment counted" 1 r.dropped;
+  let tbl = Core.Tune_journal.to_table r.entries in
   Alcotest.(check bool) "table keyed by compact config" true (Hashtbl.mem tbl e1.key);
   Sys.remove path
 
@@ -918,7 +926,7 @@ let qcheck_tune_journal_replay_bit_identical =
         ~finally:(fun () -> Sys.remove path)
         (fun () ->
           List.iter (Core.Tune_journal.append path) entries;
-          let back = Core.Tune_journal.load path in
+          let back = (Core.Tune_journal.load path).entries in
           List.length back = List.length entries
           && List.for_all2
                (fun a b ->

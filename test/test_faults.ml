@@ -88,22 +88,27 @@ let kill_and_resume ~domains () =
   (* Journalling itself must not perturb the search. *)
   let journalled = tune ~faults:harsh ~journal ~domains () in
   same_result "journal-backed run" uninterrupted journalled;
-  (* Simulate a kill one third of the way in: truncate the journal and rerun
-     with identical parameters. *)
+  (* Simulate a kill one third of the way in: truncate the journal to a
+     record prefix and rerun with identical parameters.  Line 0 is the
+     durable header; records follow, one per trial. *)
   let lines = read_lines journal in
-  let total = List.length lines in
+  let total = List.length lines - 1 in
   Alcotest.(check bool) "journal recorded every trial" true
     (total = journalled.measurements + journalled.faults.failed);
   let keep = max 1 (total / 3) in
-  write_lines journal (List.filteri (fun i _ -> i < keep) lines);
+  write_lines journal (List.filteri (fun i _ -> i <= keep) lines);
   let resumed = tune ~faults:harsh ~journal ~domains () in
   same_result "resumed run" uninterrupted resumed;
   Alcotest.(check int) "replayed exactly the surviving journal" keep resumed.faults.replayed;
+  Alcotest.(check bool) "replayed rounds restored the checkpointed model" true
+    (resumed.faults.model_restores > 0);
+  Alcotest.(check int) "clean journal: nothing dropped" 0 resumed.faults.journal_dropped;
   (* A complete journal replays everything and measures nothing live. *)
   let replay_all = tune ~faults:harsh ~journal ~domains () in
   same_result "full replay" uninterrupted replay_all;
   Alcotest.(check int) "full replay count" total replay_all.faults.replayed;
-  Sys.remove journal
+  Sys.remove journal;
+  Sys.remove (Core.Model_checkpoint.path_for journal)
 
 let test_kill_and_resume_sequential () = kill_and_resume ~domains:1 ()
 let test_kill_and_resume_parallel () = kill_and_resume ~domains:4 ()

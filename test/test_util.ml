@@ -283,6 +283,64 @@ let test_pool_deadline_parallel () =
   Alcotest.(check int) "count matches executions" 40 (Atomic.get ran);
   Util.Pool.shutdown pool
 
+(* Spin until [cond] holds; the watchdog's respawn happens on a worker
+   domain, so the test thread has to wait for it to be observable. *)
+let await_or_fail name cond =
+  let rec go n =
+    if cond () then ()
+    else if n = 0 then Alcotest.fail (name ^ ": timed out waiting")
+    else begin
+      Domain.cpu_relax ();
+      go (n - 1)
+    end
+  in
+  go 500_000_000
+
+let test_pool_worker_restart () =
+  (* An uncaught exception from a fire-and-forget task kills its worker; the
+     watchdog replaces the domain, so later tasks still run off-thread. *)
+  let pool = Util.Pool.create ~workers:1 () in
+  Util.Pool.submit pool (fun () -> raise (Boom 0));
+  let hit = Atomic.make false in
+  Util.Pool.submit pool (fun () -> Atomic.set hit true);
+  await_or_fail "task after crash" (fun () -> Atomic.get hit);
+  Alcotest.(check int) "one restart recorded" 1 (Util.Pool.restarts pool);
+  Alcotest.(check int) "capacity preserved" 1 (Util.Pool.workers pool);
+  (* run_all still works over the replacement worker. *)
+  let total = Atomic.make 0 in
+  Util.Pool.run_all pool (List.init 8 (fun _ () -> ignore (Atomic.fetch_and_add total 1)));
+  Alcotest.(check int) "run_all after restart" 8 (Atomic.get total);
+  Util.Pool.shutdown pool
+
+let test_pool_bounded_restart_watchdog () =
+  (* The restart budget is finite: past [max_restarts] a crashing worker
+     dies unreplaced, so a crash-looping task cannot spawn domains forever.
+     The pool then degrades to inline execution instead of failing. *)
+  let pool = Util.Pool.create ~workers:1 ~max_restarts:2 () in
+  for i = 0 to 2 do
+    Util.Pool.submit pool (fun () -> raise (Boom i));
+    (* Wait out each crash so exactly this worker (not a helper) takes it. *)
+    await_or_fail "crash recorded" (fun () -> Util.Pool.restarts pool = i + 1)
+  done;
+  await_or_fail "worker retired past the budget" (fun () -> Util.Pool.workers pool = 0);
+  Alcotest.(check int) "budget + final crash recorded" 3 (Util.Pool.restarts pool);
+  (* Zero workers: run_all degrades to inline, submit runs inline too. *)
+  let ran = ref 0 in
+  Util.Pool.run_all pool [ (fun () -> incr ran); (fun () -> incr ran) ];
+  Alcotest.(check int) "inline run_all" 2 !ran;
+  Util.Pool.submit pool (fun () -> incr ran);
+  Alcotest.(check int) "inline submit" 3 !ran;
+  (* An inline submit that crashes is absorbed and counted, never raised. *)
+  Util.Pool.submit pool (fun () -> raise (Boom 9));
+  Alcotest.(check int) "inline crash absorbed" 4 (Util.Pool.restarts pool);
+  (* ensure_workers revives the pool after the watchdog gave up. *)
+  Util.Pool.ensure_workers pool 1;
+  Alcotest.(check int) "revived" 1 (Util.Pool.workers pool);
+  let hit = Atomic.make false in
+  Util.Pool.submit pool (fun () -> Atomic.set hit true);
+  await_or_fail "revived worker runs" (fun () -> Atomic.get hit);
+  Util.Pool.shutdown pool
+
 let test_pool_shutdown_and_inline () =
   let pool = Util.Pool.create ~workers:2 () in
   Util.Pool.shutdown pool;
@@ -437,6 +495,9 @@ let () =
             test_pool_faults_at_random_indices;
           Alcotest.test_case "deadline gating" `Quick test_pool_deadline;
           Alcotest.test_case "deadline over workers" `Quick test_pool_deadline_parallel;
+          Alcotest.test_case "worker restart after crash" `Quick test_pool_worker_restart;
+          Alcotest.test_case "bounded restart watchdog" `Quick
+            test_pool_bounded_restart_watchdog;
           Alcotest.test_case "shutdown + inline + revive" `Quick test_pool_shutdown_and_inline;
           Alcotest.test_case "default pool grows" `Quick test_pool_default_grows;
         ] );
