@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test verify-smoke verify-deep fault-smoke torture-smoke torture-deep clean
+.PHONY: all build test verify-smoke verify-deep fault-smoke torture-smoke torture-deep chaos-smoke chaos-deep clean
 
 all: build
 
@@ -32,6 +32,15 @@ torture-smoke:
 
 torture-deep:
 	dune build @torture-deep
+
+# Run-level supervision chaos campaigns: GPU faults + journal corruption +
+# pool crashes + finite budgets against whole-model tuning.  Smoke sweeps 4
+# campaign seeds (<10s); deep sweeps 32 and raises qcheck case counts.
+chaos-smoke:
+	dune build @chaos-smoke
+
+chaos-deep:
+	dune build @chaos-deep
 
 clean:
 	dune clean

@@ -15,6 +15,11 @@
                                             per-layer failure/retry statistics,
                                             verifying parallel == sequential
                                             holds under injected faults too
+     dune exec bench/scaling.exe -- chaos   supervised whole-model campaign:
+                                            faults plus a finite global budget,
+                                            printing the run health report and
+                                            checking fault-free supervision is
+                                            bit-identical to the plain engine
 
    The smoke mode backs the [@bench-smoke] dune alias so CI can gate on
    parallel == sequential cheaply. *)
@@ -181,11 +186,60 @@ let faults_demo () =
     [ 2; 4 ];
   print_endline "  parallel runs reproduce the sequential results under faults"
 
+(* Whole-model tuning under supervision with everything going wrong at once:
+   injected measurement faults plus a finite global budget.  Reports the
+   health summary and the wall time of the supervised campaign, and checks
+   the supervision layer is pay-for-what-you-use — absent faults and budget
+   it reproduces the unsupervised timings exactly. *)
+let chaos_demo () =
+  let model =
+    {
+      Cnn.Models.name = "squeezenet-head";
+      layers =
+        (match Cnn.Models.squeezenet.layers with
+        | a :: b :: c :: d :: _ -> [ a; b; c; d ]
+        | l -> l);
+    }
+  in
+  let seed = 9 and max_measurements = 80 in
+  Printf.printf "Supervised chaos campaign on %s (%d layer shapes)\n%!" model.name
+    (List.length model.layers);
+  let clean, clean_wall =
+    time (fun () -> Cnn.Runner.time_model ~seed ~max_measurements arch model)
+  in
+  Cnn.Runner.clear_cache ();
+  let supervised, sup_wall =
+    time (fun () ->
+        Cnn.Runner.time_model ~seed ~max_measurements
+          ~supervise:Core.Supervisor.default_policy arch model)
+  in
+  if supervised.ours_total_us <> clean.ours_total_us then begin
+    Printf.eprintf "FAIL: fault-free supervised run diverged (%.4f vs %.4f us)\n"
+      supervised.ours_total_us clean.ours_total_us;
+    exit 1
+  end;
+  Printf.printf
+    "  fault-free: unsupervised %.2fs, supervised %.2fs — timings bit-identical\n%!"
+    clean_wall sup_wall;
+  Cnn.Runner.clear_cache ();
+  let policy = { Core.Supervisor.default_policy with budget_us = 2.0e6 } in
+  let chaotic, chaos_wall =
+    time (fun () ->
+        Cnn.Runner.time_model ~seed ~max_measurements ~faults:Gpu_sim.Faults.default
+          ~supervise:policy arch model)
+  in
+  Printf.printf "  chaos (faults + 2ms virtual budget): wall %.2fs, speedup %.2fx\n%!"
+    chaos_wall chaotic.speedup;
+  match chaotic.health with
+  | None -> prerr_endline "FAIL: supervised run produced no health report"; exit 1
+  | Some h -> print_string (Core.Supervisor.report_to_string h)
+
 let () =
   match Array.to_list Sys.argv |> List.tl with
   | [] -> full ()
   | [ "smoke" ] -> smoke ()
   | [ "faults" ] -> faults_demo ()
+  | [ "chaos" ] -> chaos_demo ()
   | _ ->
-    prerr_endline "usage: scaling.exe [smoke|faults]";
+    prerr_endline "usage: scaling.exe [smoke|faults|chaos]";
     exit 1

@@ -163,11 +163,40 @@ let models_cmd =
   let budget =
     Arg.(value & opt int 150 & info [ "budget" ] ~doc:"Measurement budget per layer.")
   in
-  let run arch seed budget =
+  let chaos =
+    Arg.(
+      value & flag
+      & info [ "chaos" ]
+          ~doc:
+            "Time each model under run-level supervision with the default fault \
+             profile injected: flaky measurements, circuit breakers, a global \
+             virtual-time budget, analytic degradation.  Prints each run's \
+             health report after the table.")
+  in
+  let budget_us =
+    Arg.(
+      value
+      & opt float infinity
+      & info [ "budget-us" ]
+          ~doc:
+            "Global virtual-time budget (microseconds) shared by a supervised \
+             model's tuning tasks (with $(b,--chaos); default unbounded).")
+  in
+  let run arch seed budget chaos budget_us =
     let table = Util.Table.create [ "model"; "ours (us)"; "library (us)"; "speedup" ] in
+    let reports = ref [] in
     List.iter
       (fun m ->
-        let t = Cnn.Runner.time_model ~seed ~max_measurements:budget arch m in
+        let supervise, faults =
+          if chaos then
+            ( Some { Core.Supervisor.default_policy with budget_us },
+              Some Gpu_sim.Faults.default )
+          else (None, None)
+        in
+        let t =
+          Cnn.Runner.time_model ~seed ~max_measurements:budget ?faults ?supervise arch m
+        in
+        Option.iter (fun h -> reports := (t.Cnn.Runner.model, h) :: !reports) t.health;
         Util.Table.add_row table
           [
             t.model;
@@ -176,10 +205,14 @@ let models_cmd =
             Printf.sprintf "%.2fx" t.speedup;
           ])
       Cnn.Models.evaluation_models;
-    Util.Table.print table
+    Util.Table.print table;
+    List.iter
+      (fun (model, h) ->
+        Printf.printf "\n[%s]\n%s" model (Core.Supervisor.report_to_string h))
+      (List.rev !reports)
   in
   let info = Cmd.info "models" ~doc:"End-to-end CNN comparison on a simulated GPU." in
-  Cmd.v info Term.(const run $ arch_arg $ seed_arg $ budget)
+  Cmd.v info Term.(const run $ arch_arg $ seed_arg $ budget $ chaos $ budget_us)
 
 (* --- verify --- *)
 

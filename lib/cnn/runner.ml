@@ -14,6 +14,7 @@ type model_timing = {
   ours_total_us : float;
   library_total_us : float;
   speedup : float;
+  health : Core.Supervisor.report option;
 }
 
 let cache : (string, Core.Tuner.result) Hashtbl.t = Hashtbl.create 64
@@ -53,6 +54,7 @@ let prime_from_log ?(seed = 0) path =
             history = [];
             space_size = 0.0;
             faults = Core.Tuner.no_faults;
+            stop = Core.Tuner.Converged;
           }
       end)
     best;
@@ -97,62 +99,159 @@ let tuned_runtime ?(seed = 0) ?(max_measurements = 200) ?faults ?journal_dir arc
     Hashtbl.add cache key result;
     result
 
+(* --- supervised tuning: route one memo key through a Supervisor session --- *)
+
+(* The memoised runtime becomes whatever the outcome carries, so repeated
+   shapes cost the session nothing; a degraded task caches a synthesised
+   result (the analytic or breaker-salvaged best) whose [stop] records why
+   the search was cut short.  The truthful outcome lives in the session's
+   report either way. *)
+let result_of_degraded spec reason config runtime_us faults =
+  let stop =
+    match (reason : Core.Supervisor.degrade_reason) with
+    | Core.Supervisor.Breaker_open { consecutive; _ } ->
+      Core.Tuner.Breaker_tripped consecutive
+    | Core.Supervisor.Budget_exhausted _ -> Core.Tuner.Deadline_reached
+  in
+  {
+    Core.Tuner.best_config = config;
+    best_runtime_us = runtime_us;
+    best_gflops = Core.Tuner.nominal_gflops spec ~runtime_us;
+    measurements = 0;
+    converged_at = 0;
+    history = [];
+    space_size = 0.0;
+    faults;
+    stop;
+  }
+
+let supervised_outcome session ~seed ~max_measurements ?faults ?journal_dir arch spec
+    algorithm =
+  let key = cache_key arch spec algorithm seed in
+  match Hashtbl.find_opt cache key with
+  | Some result -> Core.Supervisor.record_cached session ~key result
+  | None -> (
+    match Core.Search_space.make arch spec algorithm with
+    | exception Invalid_argument msg ->
+      Core.Supervisor.record_failed session ~key (Core.Supervisor.Empty_domain msg)
+    | space ->
+      let journal = Option.map (fun dir -> journal_path dir key) journal_dir in
+      let outcome =
+        Core.Supervisor.tune_task session ~key ~seed ~max_measurements ?faults ?journal
+          ~space ()
+      in
+      (match outcome with
+      | Core.Supervisor.Tuned r | Core.Supervisor.Replayed r -> Hashtbl.add cache key r
+      | Core.Supervisor.Degraded { reason; config; runtime_us; faults } ->
+        Hashtbl.add cache key (result_of_degraded spec reason config runtime_us faults)
+      | Core.Supervisor.Failed _ -> ());
+      outcome)
+
 (* Winograd on large-e tiles makes no sense for tiny images; use F(2x2) as
    the paper does in its kernels, falling back to F(4x4) only when the output
    is large enough to amortise the bigger transform. *)
 let winograd_e (spec : Conv.Conv_spec.t) =
   if Conv.Conv_spec.h_out spec >= 16 && spec.k_h = 3 then 4 else 2
 
-let time_layer ?(seed = 0) ?(max_measurements = 200) ?(backend = Cudnn) ?faults
-    ?journal_dir arch (layer : Layer.t) =
+let library_timing ~backend arch (layer : Layer.t) =
   let spec = layer.spec in
-  let direct =
-    tuned_runtime ~seed ~max_measurements ?faults ?journal_dir arch spec
-      Core.Config.Direct_dataflow
-  in
-  let ours_direct = (direct.best_runtime_us, "direct-dataflow") in
-  let ours =
-    if Layer.winograd_eligible layer then begin
-      let e = winograd_e spec in
-      let wino =
-        tuned_runtime ~seed ~max_measurements ?faults ?journal_dir arch spec
-          (Core.Config.Winograd_dataflow e)
-      in
-      if wino.best_runtime_us < fst ours_direct then
-        (wino.best_runtime_us, Printf.sprintf "winograd-dataflow-F(%d)" e)
-      else ours_direct
-    end
-    else ours_direct
-  in
   let lib_direct =
     match backend with
     | Cudnn -> Gpu_sim.Library_sim.cudnn_direct arch spec
     | Miopen -> Gpu_sim.Library_sim.miopen_direct arch spec
   in
-  let library =
-    if Layer.winograd_eligible layer then begin
-      let w =
-        match backend with
-        | Cudnn -> Gpu_sim.Library_sim.cudnn_winograd arch spec
-        | Miopen -> Gpu_sim.Library_sim.miopen_winograd arch spec
+  if Layer.winograd_eligible layer then begin
+    let w =
+      match backend with
+      | Cudnn -> Gpu_sim.Library_sim.cudnn_winograd arch spec
+      | Miopen -> Gpu_sim.Library_sim.miopen_winograd arch spec
+    in
+    if w.runtime_us < lib_direct.runtime_us then w else lib_direct
+  end
+  else lib_direct
+
+let time_layer ?(seed = 0) ?(max_measurements = 200) ?(backend = Cudnn) ?faults
+    ?journal_dir ?session arch (layer : Layer.t) =
+  let spec = layer.spec in
+  let library = library_timing ~backend arch layer in
+  let ours_us, ours_algorithm =
+    match session with
+    | None ->
+      let direct =
+        tuned_runtime ~seed ~max_measurements ?faults ?journal_dir arch spec
+          Core.Config.Direct_dataflow
       in
-      if w.runtime_us < lib_direct.runtime_us then w else lib_direct
-    end
-    else lib_direct
+      let ours_direct = (direct.best_runtime_us, "direct-dataflow") in
+      if Layer.winograd_eligible layer then begin
+        let e = winograd_e spec in
+        let wino =
+          tuned_runtime ~seed ~max_measurements ?faults ?journal_dir arch spec
+            (Core.Config.Winograd_dataflow e)
+        in
+        if wino.best_runtime_us < fst ours_direct then
+          (wino.best_runtime_us, Printf.sprintf "winograd-dataflow-F(%d)" e)
+        else ours_direct
+      end
+      else ours_direct
+    | Some session -> (
+      (* Same candidate policy as the unsupervised path, but every tuning
+         run goes through the supervisor: breaker trips and exhausted
+         budget shares degrade to an analytic configuration instead of
+         raising, and only a layer with no usable outcome at all falls all
+         the way back to the library kernel. *)
+      let direct =
+        supervised_outcome session ~seed ~max_measurements ?faults ?journal_dir arch
+          spec Core.Config.Direct_dataflow
+      in
+      let best =
+        Option.map
+          (fun us -> (us, "direct-dataflow"))
+          (Core.Supervisor.outcome_runtime_us direct)
+      in
+      let best =
+        if Layer.winograd_eligible layer then begin
+          let e = winograd_e spec in
+          let wino =
+            supervised_outcome session ~seed ~max_measurements ?faults ?journal_dir
+              arch spec (Core.Config.Winograd_dataflow e)
+          in
+          match Core.Supervisor.outcome_runtime_us wino with
+          | Some us -> (
+            match best with
+            | Some (b, _) when b <= us -> best
+            | _ -> Some (us, Printf.sprintf "winograd-dataflow-F(%d)" e))
+          | None -> best
+        end
+        else best
+      in
+      match best with
+      | Some (us, name) -> (us, name)
+      | None -> (library.runtime_us, "library-fallback:" ^ library.algorithm))
   in
   {
     layer;
-    ours_us = fst ours;
-    ours_algorithm = snd ours;
+    ours_us;
+    ours_algorithm;
     library_us = library.runtime_us;
     library_algorithm = library.algorithm;
   }
 
-let time_model ?seed ?max_measurements ?backend ?faults ?journal_dir arch
+let time_model ?seed ?max_measurements ?backend ?faults ?journal_dir ?supervise arch
     (model : Models.t) =
+  let session =
+    Option.map
+      (fun policy ->
+        let tasks =
+          List.fold_left
+            (fun acc (l : Layer.t) -> acc + if Layer.winograd_eligible l then 2 else 1)
+            0 model.layers
+        in
+        Core.Supervisor.create ~policy ~tasks ())
+      supervise
+  in
   let layers =
     List.map
-      (time_layer ?seed ?max_measurements ?backend ?faults ?journal_dir arch)
+      (time_layer ?seed ?max_measurements ?backend ?faults ?journal_dir ?session arch)
       model.layers
   in
   let weighted f =
@@ -166,4 +265,5 @@ let time_model ?seed ?max_measurements ?backend ?faults ?journal_dir arch
     ours_total_us;
     library_total_us;
     speedup = library_total_us /. ours_total_us;
+    health = Option.map Core.Supervisor.report session;
   }

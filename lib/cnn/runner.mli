@@ -29,6 +29,10 @@ type model_timing = {
   ours_total_us : float;  (** count-weighted *)
   library_total_us : float;
   speedup : float;  (** library / ours *)
+  health : Core.Supervisor.report option;
+      (** run health when timed under supervision ([supervise] passed to
+          {!time_model}): per-task outcomes, fault statistics, budget
+          accounting.  [None] for unsupervised runs. *)
 }
 
 val clear_cache : unit -> unit
@@ -46,14 +50,29 @@ val save_log : string -> int
 val time_layer :
   ?seed:int -> ?max_measurements:int -> ?backend:backend ->
   ?faults:Gpu_sim.Faults.profile -> ?journal_dir:string ->
+  ?session:Core.Supervisor.session ->
   Gpu_sim.Arch.t -> Layer.t -> layer_timing
 (** Defaults: seed 0, 200 measurements per tuning run, cuDNN backend, no
-    injected faults, no journal. *)
+    injected faults, no journal, no supervision.
+
+    With [session], every tuning run goes through
+    [Core.Supervisor.tune_task]: a run whose circuit breaker trips or whose
+    budget share expires degrades to an analytic configuration (recorded in
+    the session, runtime still usable), and a layer with no usable tuning
+    outcome at all reports the library kernel as its own
+    ([ours_algorithm = "library-fallback:..."]) instead of raising.  Memo
+    cache hits are recorded as replayed tasks that cost the budget
+    nothing. *)
 
 val time_model :
   ?seed:int -> ?max_measurements:int -> ?backend:backend ->
   ?faults:Gpu_sim.Faults.profile -> ?journal_dir:string ->
+  ?supervise:Core.Supervisor.policy ->
   Gpu_sim.Arch.t -> Models.t -> model_timing
+(** [supervise] times the model under a fresh supervision session — one
+    budgeted task per (layer shape, algorithm) candidate — and fills
+    [health].  Absent faults and with an unbounded budget the layer
+    timings are identical to the unsupervised run's. *)
 
 val tuned_runtime :
   ?seed:int -> ?max_measurements:int ->

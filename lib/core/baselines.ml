@@ -48,6 +48,7 @@ let finish rec_ =
       history;
       space_size = Search_space.size rec_.space;
       faults = Tuner.no_faults;
+      stop = Tuner.Converged;
     }
 
 let tvm ?seed ?batch_size ?patience ?max_measurements arch spec algorithm =

@@ -17,6 +17,7 @@ module Search_space = Search_space
 module Cost_model = Cost_model
 module Explorer = Explorer
 module Tuner = Tuner
+module Supervisor = Supervisor
 module Baselines = Baselines
 module Tuning_log = Tuning_log
 module Tune_journal = Tune_journal

@@ -286,6 +286,17 @@ let iter_configs space f =
         (thread_triples space triple))
     space.tiles
 
+let config_for_tile space (x, y, z) =
+  let cap extent want = Optimality.nearest_divisor extent (float_of_int want) in
+  let tx = cap x 16 and ty = cap y 16 in
+  let tz = cap z (max 1 (256 / (cap x 16 * cap y 16))) in
+  let cfg =
+    config ~space ~tile:(x, y, z) ~threads:(tx, ty, tz) ~unroll:4 ~vector_width:2
+      ~layout:Tensor.Layout.CHW ~double_buffer:false
+  in
+  if Config.threads cfg <= space.arch.max_threads_per_block then cfg
+  else { cfg with threads_x = 1; threads_y = 1; threads_z = 1 }
+
 let default_config space =
   let sb_elems = space.shmem_budget_bytes / 4 in
   let target =
@@ -309,13 +320,4 @@ let default_config space =
         | _ -> Some triple)
       None space.tiles
   in
-  let x, y, z = Option.get best in
-  let cap extent want = Optimality.nearest_divisor extent (float_of_int want) in
-  let tx = cap x 16 and ty = cap y 16 in
-  let tz = cap z (max 1 (256 / (cap x 16 * cap y 16))) in
-  let cfg =
-    config ~space ~tile:(x, y, z) ~threads:(tx, ty, tz) ~unroll:4 ~vector_width:2
-      ~layout:Tensor.Layout.CHW ~double_buffer:false
-  in
-  if Config.threads cfg <= space.arch.max_threads_per_block then cfg
-  else { cfg with threads_x = 1; threads_y = 1; threads_z = 1 }
+  config_for_tile space (Option.get best)

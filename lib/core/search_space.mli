@@ -71,6 +71,14 @@ val iter_configs : t -> (Config.t -> unit) -> unit
     are skipped).  Only tractable for small layers; used by tests to compare
     the tuner against the true optimum and by [size] sanity checks. *)
 
+val config_for_tile : t -> int * int * int -> Config.t
+(** The deterministic representative configuration for one tile triple of
+    the domain: 256-ish threads capped at 16 per axis (falling back to a
+    single thread when the product exceeds the block limit), unroll 4,
+    vector width 2, CHW layout, no double buffering.  Valid whenever the
+    triple comes from {!tile_candidates}.  This is what [Supervisor] ranks
+    when degrading to an analytic configuration without measurements. *)
+
 val default_config : t -> Config.t
 (** A reasonable deterministic member: the optimality-guided tile of
     [Optimality.optimal_tile_*] (or the nearest valid triple), CHW layout,

@@ -17,6 +17,9 @@ type fault_stats = {
   replayed : int;
   journal_dropped : int;
   model_restores : int;
+  elapsed_us : float;
+  pool_restarts : int;
+  last_failure : Gpu_sim.Measure.failure option;
 }
 
 let no_faults =
@@ -33,7 +36,22 @@ let no_faults =
     replayed = 0;
     journal_dropped = 0;
     model_restores = 0;
+    elapsed_us = 0.0;
+    pool_restarts = 0;
+    last_failure = None;
   }
+
+type stop_reason =
+  | Converged
+  | Trial_budget
+  | Deadline_reached
+  | Breaker_tripped of int
+
+let stop_reason_to_string = function
+  | Converged -> "converged"
+  | Trial_budget -> "trial budget exhausted"
+  | Deadline_reached -> "virtual deadline reached"
+  | Breaker_tripped k -> Printf.sprintf "circuit breaker tripped after %d consecutive failures" k
 
 type result = {
   best_config : Config.t;
@@ -44,7 +62,10 @@ type result = {
   history : progress list;
   space_size : float;
   faults : fault_stats;
+  stop : stop_reason;
 }
+
+type tune_error = { stop : stop_reason; faults : fault_stats }
 
 let nominal_gflops spec ~runtime_us = Conv.Conv_spec.flops spec /. runtime_us /. 1.0e3
 
@@ -89,9 +110,10 @@ let insert_leader cfg runtime leaders =
   in
   insert max_leaders leaders
 
-let tune ?(seed = 0) ?(batch_size = 16) ?(patience = 8) ?(max_measurements = 600) ?domains
-    ?(faults = Gpu_sim.Faults.none) ?measure_policy ?journal ?(checkpoint_every = 16)
-    ~space () =
+let tune_outcome ?(seed = 0) ?(batch_size = 16) ?(patience = 8) ?(max_measurements = 600)
+    ?domains ?(faults = Gpu_sim.Faults.none) ?measure_policy ?journal
+    ?(checkpoint_every = 16) ?(deadline_us = infinity) ?max_consecutive_failures ~space ()
+    =
   let domains = Option.value domains ~default:(Util.Parallel.recommended_domains ()) in
   let arch = Search_space.arch space and spec = Search_space.spec space in
   let rng = Util.Rng.create (seed + 17) in
@@ -105,6 +127,15 @@ let tune ?(seed = 0) ?(batch_size = 16) ?(patience = 8) ?(max_measurements = 600
      profile could spin the loop forever. *)
   let trials = ref 0 in
   let stats = ref no_faults in
+  let pool_restarts0 = Util.Pool.restarts (Util.Pool.default ()) in
+  (* Circuit-breaker state: consecutive failed measurements, in fold order
+     (which is submission order, so the count is domain-invariant).  Replayed
+     failures count too — a resumed run must trip at the same trial. *)
+  let consec_failures = ref 0 in
+  let tripped () =
+    match max_consecutive_failures with Some k -> !consec_failures >= k | None -> false
+  in
+  let deadline_hit () = !stats.elapsed_us >= deadline_us in
   (* Replay table from a previous (killed) run of the same tune.  Because
      every stochastic draw is independent of measurement *values*, replaying
      the journaled outcomes reproduces the killed run's trajectory exactly;
@@ -160,6 +191,7 @@ let tune ?(seed = 0) ?(batch_size = 16) ?(patience = 8) ?(max_measurements = 600
      model dataset, best-so-far and history all update in submission order,
      which keeps the whole trace independent of the domain count. *)
   let record cfg runtime =
+    consec_failures := 0;
     leaders := insert_leader cfg runtime !leaders;
     incr count;
     Cost_model.add_measurement model cfg runtime;
@@ -174,6 +206,7 @@ let tune ?(seed = 0) ?(batch_size = 16) ?(patience = 8) ?(max_measurements = 600
     history := { measurement = !count; best_runtime_us = best_runtime } :: !history
   in
   let record_failure cfg (failure : Gpu_sim.Measure.failure) =
+    incr consec_failures;
     Hashtbl.replace failed_keys (Config.to_string cfg) ();
     Cost_model.add_failure model cfg;
     let s = !stats in
@@ -187,6 +220,7 @@ let tune ?(seed = 0) ?(batch_size = 16) ?(patience = 8) ?(max_measurements = 600
         deadlines_exceeded =
           (s.deadlines_exceeded
           + match failure with Gpu_sim.Measure.Deadline_exceeded _ -> 1 | _ -> 0);
+        last_failure = Some failure;
       };
     Log.debug (fun m ->
         m "measurement failed (%s): %s"
@@ -204,6 +238,7 @@ let tune ?(seed = 0) ?(batch_size = 16) ?(patience = 8) ?(max_measurements = 600
         nan_readings = s.nan_readings + l.nan_readings;
         outliers_rejected = s.outliers_rejected + l.outliers_rejected;
         backoff_us = s.backoff_us +. l.backoff_us;
+        elapsed_us = s.elapsed_us +. l.elapsed_us;
       }
   in
   (* Measure a batch: dedup (against everything attempted and within the
@@ -239,33 +274,61 @@ let tune ?(seed = 0) ?(batch_size = 16) ?(patience = 8) ?(max_measurements = 600
            (fun i _ -> match planned.(i) with `Live _ -> true | `Replayed _ -> false)
            (Array.to_list batch))
     in
+    let measure cfg = measure_config_robust ~seed ?policy:measure_policy ~faults arch spec cfg in
     let outcomes =
-      Util.Parallel.map ~domains live (fun cfg ->
-          measure_config_robust ~seed ?policy:measure_policy ~faults arch spec cfg)
+      if deadline_us = infinity then Array.map Option.some (Util.Parallel.map ~domains live measure)
+      else begin
+        (* Global-deadline cancellation propagates into the pool: each live
+           measurement is gated on the virtual clock at task start
+           ([Pool.run_all_deadline]).  The clock ([stats.elapsed_us]) only
+           advances in the sequential fold below, so its value is constant
+           for the whole batch and the gate decision is domain-invariant:
+           either every task of the batch runs or every task is skipped. *)
+        let slots = Array.make (Array.length live) None in
+        let tasks =
+          Array.to_list
+            (Array.mapi (fun i cfg () -> slots.(i) <- Some (measure cfg)) live)
+        in
+        ignore
+          (Util.Pool.run_all_deadline (Util.Pool.default ())
+             ~now:(fun () -> !stats.elapsed_us)
+             ~deadline:deadline_us tasks);
+        slots
+      end
     in
     let next_live = ref 0 in
     Array.iteri
       (fun i cfg ->
-        incr trials;
         match planned.(i) with
         | `Replayed (_, Tune_journal.Measured runtime) ->
+          incr trials;
           stats := { !stats with replayed = !stats.replayed + 1 };
           record cfg runtime
         | `Replayed (_, Tune_journal.Failed reason) ->
+          incr trials;
           stats := { !stats with replayed = !stats.replayed + 1 };
           record_failure cfg (Gpu_sim.Measure.Launch_failure reason)
         | `Live key -> begin
-          let res, attempt_log = outcomes.(!next_live) in
+          let slot = outcomes.(!next_live) in
           incr next_live;
-          absorb attempt_log;
-          match res with
-          | Ok runtime ->
-            journal_append key (Tune_journal.Measured runtime);
-            record cfg runtime
-          | Error failure ->
-            journal_append key
-              (Tune_journal.Failed (Gpu_sim.Measure.failure_to_string failure));
-            record_failure cfg failure
+          match slot with
+          | None ->
+            (* Skipped by the deadline gate before it started: never sampled,
+               never journalled, no trial consumed.  Un-mark it so a resumed
+               run with a larger budget can still measure it. *)
+            Hashtbl.remove measured (Config.to_string cfg)
+          | Some (res, attempt_log) -> begin
+            incr trials;
+            absorb attempt_log;
+            match res with
+            | Ok runtime ->
+              journal_append key (Tune_journal.Measured runtime);
+              record cfg runtime
+            | Error failure ->
+              journal_append key
+                (Tune_journal.Failed (Gpu_sim.Measure.failure_to_string failure));
+              record_failure cfg failure
+          end
         end)
       batch
   in
@@ -277,7 +340,11 @@ let tune ?(seed = 0) ?(batch_size = 16) ?(patience = 8) ?(max_measurements = 600
          (fun _ -> Search_space.sample space rng));
   let stale = ref 0 in
   let round = ref 0 in
-  while !stale < patience && !trials < max_measurements do
+  while
+    !stale < patience && !trials < max_measurements
+    && (not (tripped ()))
+    && not (deadline_hit ())
+  do
     incr round;
     Log.debug (fun m ->
         m "round %d: %d measurements (%d failed), model %s" !round !count !stats.failed
@@ -312,17 +379,41 @@ let tune ?(seed = 0) ?(batch_size = 16) ?(patience = 8) ?(max_measurements = 600
     let best_after = match !best with Some (_, r) -> r | None -> infinity in
     if best_after < best_before *. 0.999 then stale := 0 else incr stale
   done;
+  (* Stop classification, most specific first: a tripped breaker or an
+     expired deadline explains the exit even when the trial budget also ran
+     out on the same round. *)
+  let stop =
+    if tripped () then Breaker_tripped !consec_failures
+    else if deadline_hit () then Deadline_reached
+    else if !trials >= max_measurements then Trial_budget
+    else Converged
+  in
+  let final_stats =
+    { !stats with pool_restarts = Util.Pool.restarts (Util.Pool.default ()) - pool_restarts0 }
+  in
   match !best with
-  | None -> failwith "Tuner.tune: nothing measured"
+  | None -> Error { stop; faults = final_stats }
   | Some (cfg, runtime) ->
     let history = List.rev !history in
-    {
-      best_config = cfg;
-      best_runtime_us = runtime;
-      best_gflops = nominal_gflops spec ~runtime_us:runtime;
-      measurements = !count;
-      converged_at = convergence_point ~final:runtime history;
-      history;
-      space_size = Search_space.size space;
-      faults = !stats;
-    }
+    Ok
+      {
+        best_config = cfg;
+        best_runtime_us = runtime;
+        best_gflops = nominal_gflops spec ~runtime_us:runtime;
+        measurements = !count;
+        converged_at = convergence_point ~final:runtime history;
+        history;
+        space_size = Search_space.size space;
+        faults = final_stats;
+        stop;
+      }
+
+let tune ?seed ?batch_size ?patience ?max_measurements ?domains ?faults ?measure_policy
+    ?journal ?checkpoint_every ?deadline_us ?max_consecutive_failures ~space () =
+  match
+    tune_outcome ?seed ?batch_size ?patience ?max_measurements ?domains ?faults
+      ?measure_policy ?journal ?checkpoint_every ?deadline_us ?max_consecutive_failures
+      ~space ()
+  with
+  | Ok result -> result
+  | Error _ -> failwith "Tuner.tune: nothing measured"

@@ -40,6 +40,16 @@ type fault_stats = {
   model_restores : int;
       (** rounds whose cost model was restored from a checkpoint snapshot
           instead of retrained *)
+  elapsed_us : float;
+      (** total virtual time consumed by live measurements (sample runtimes,
+          timeout costs and backoff delays) — what [deadline_us] budgets
+          against; replayed trials are free *)
+  pool_restarts : int;
+      (** worker crashes recovered by the shared pool's watchdog during this
+          run (0 unless hostile tasks crashed workers concurrently) *)
+  last_failure : Gpu_sim.Measure.failure option;
+      (** the most recent measurement failure, for supervisors classifying
+          why a circuit breaker tripped *)
 }
 (** Counters are live-run accurate; replayed failures are folded in as
     launch failures (the journal stores only the reason string). *)
@@ -47,6 +57,17 @@ type fault_stats = {
 val no_faults : fault_stats
 (** The all-zero statistics — what a fault-free, journal-free run reports
     (modulo [attempts], which counts successful samples too). *)
+
+type stop_reason =
+  | Converged  (** [patience] rounds without improvement *)
+  | Trial_budget  (** [max_measurements] trials spent *)
+  | Deadline_reached  (** virtual [deadline_us] budget exhausted *)
+  | Breaker_tripped of int
+      (** [max_consecutive_failures] hit; the payload is the consecutive
+          failure count when the run stopped (checked at batch boundaries,
+          so it can exceed the threshold by at most one batch) *)
+
+val stop_reason_to_string : stop_reason -> string
 
 type result = {
   best_config : Config.t;
@@ -59,7 +80,14 @@ type result = {
   history : progress list;  (** best-so-far curve, oldest first *)
   space_size : float;
   faults : fault_stats;  (** failure/retry statistics for the whole run *)
+  stop : stop_reason;  (** why the search loop exited *)
 }
+
+type tune_error = { stop : stop_reason; faults : fault_stats }
+(** A tune that ended with no successful measurement at all: the deadline
+    expired (or the breaker tripped, or the trial budget ran out) before
+    any configuration measured successfully.  Carries the statistics so a
+    supervisor can account for the spent budget and classify the cause. *)
 
 val measure_config : ?seed:int -> Gpu_sim.Arch.t -> Conv.Conv_spec.t -> Config.t -> float
 (** One simulated measurement of a configuration (plain averaged oracle, no
@@ -79,7 +107,7 @@ val measure_config_robust :
     lower to a launchable kernel returns [Launch_failure] instead of
     raising.  This is the path [tune] uses for every measurement. *)
 
-val tune :
+val tune_outcome :
   ?seed:int ->
   ?batch_size:int ->
   ?patience:int ->
@@ -89,16 +117,41 @@ val tune :
   ?measure_policy:Gpu_sim.Measure.policy ->
   ?journal:string ->
   ?checkpoint_every:int ->
+  ?deadline_us:float ->
+  ?max_consecutive_failures:int ->
   space:Search_space.t ->
   unit ->
-  result
+  (result, tune_error) Stdlib.result
 (** Defaults: seed 0, batches of 16, patience 8 rounds, at most 600
     trials, [domains = Util.Parallel.recommended_domains ()], no injected
     faults, [Measure.default_policy], no journal, checkpoints every 16
-    trials.
+    trials, no deadline ([infinity]), no circuit breaker.
 
     [max_measurements] bounds *trials* (successes plus failures), so a
     hostile fault profile cannot spin the loop beyond the budget.
+
+    [deadline_us] bounds the *virtual time* spent on live measurements
+    (the sum of sample runtimes, timeout costs and backoff delays — see
+    [faults.elapsed_us]).  The budget is enforced cooperatively at batch
+    and task boundaries: once spent, remaining tasks in the in-flight
+    batch are skipped ([Util.Pool.run_all_deadline]) and the loop stops,
+    so a run can overshoot by at most the cost of already-started tasks.
+    Skipped configurations consume no trials and are not journalled.
+    Journal replays charge no virtual time, so a resumed run never
+    re-pays for work already banked on disk.  The gate clock only
+    advances in the sequential fold between batches, so skipping is
+    all-or-nothing per batch and the result stays bit-identical at any
+    [domains] value.
+
+    [max_consecutive_failures] is a circuit breaker: after that many
+    measurement failures in a row (successes reset the count; checked at
+    batch boundaries) the loop stops with [Breaker_tripped] instead of
+    burning the rest of its budget on a backend that has stopped
+    answering.
+
+    Returns [Error] only when the run stopped with no successful
+    measurement at all; otherwise [Ok result] with [result.stop] saying
+    why the loop exited.
 
     [journal] names an append-only [Tune_journal] file.  Outcomes found
     there are replayed instead of re-measured; every live measurement is
@@ -128,6 +181,25 @@ val tune :
     bit-identical at every [domains] value, under any fault profile
     (injection is a pure function of config, seed and attempt, never of
     scheduling). *)
+
+val tune :
+  ?seed:int ->
+  ?batch_size:int ->
+  ?patience:int ->
+  ?max_measurements:int ->
+  ?domains:int ->
+  ?faults:Gpu_sim.Faults.profile ->
+  ?measure_policy:Gpu_sim.Measure.policy ->
+  ?journal:string ->
+  ?checkpoint_every:int ->
+  ?deadline_us:float ->
+  ?max_consecutive_failures:int ->
+  space:Search_space.t ->
+  unit ->
+  result
+(** [tune_outcome] for callers that expect at least one measurement to
+    succeed: unwraps [Ok] and raises [Failure] on [Error].  The historical
+    entry point — supervised runs should prefer [tune_outcome]. *)
 
 val convergence_point : final:float -> progress list -> int
 (** First measurement (oldest-first history) whose best-so-far runtime is

@@ -108,6 +108,11 @@ let no_attempts =
 let robust ?(policy = default_policy) ~sample () =
   if policy.repeat < 1 then invalid_arg "Measure.robust: repeat < 1";
   if policy.max_retries < 0 then invalid_arg "Measure.robust: max_retries < 0";
+  if policy.deadline_us <= 0.0 then
+    (* A zero or negative budget is already expired: deterministically refuse
+       before consulting the sampler, rather than admitting a free attempt. *)
+    (Error (Deadline_exceeded { attempts = 0 }), no_attempts)
+  else begin
   let samples = ref [] in
   let n_valid = ref 0 in
   let attempts = ref 0 in
@@ -169,8 +174,13 @@ let robust ?(policy = default_policy) ~sample () =
   | Some f -> (Error f, log)
   | None ->
     if !n_valid = 0 then
+      (* The deadline may land exactly on the last attempt boundary, in which
+         case the loop exits through the attempt budget before the body gets
+         to flag it; classify by the clock, not by which guard fired, so the
+         boundary case is a deterministic [Deadline_exceeded]. *)
       let f =
-        if !deadline_hit then Deadline_exceeded { attempts = !attempts }
+        if !deadline_hit || !elapsed >= policy.deadline_us then
+          Deadline_exceeded { attempts = !attempts }
         else No_valid_sample { attempts = !attempts }
       in
       (Error f, log)
@@ -191,3 +201,4 @@ let robust ?(policy = default_policy) ~sample () =
       in
       (Ok value, { log with outliers_rejected = rejected })
     end
+  end

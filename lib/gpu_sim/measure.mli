@@ -99,4 +99,11 @@ val robust :
     some valid samples in hand, they are aggregated anyway (graceful
     degradation).  Valid samples above [outlier_k * median] are rejected
     before the final median / trimmed-mean.  Deterministic: no wall clock,
-    no hidden randomness — everything derives from the sampler. *)
+    no hidden randomness — everything derives from the sampler.
+
+    Deadline edge cases are pinned down: [deadline_us <= 0] returns
+    [Deadline_exceeded {attempts = 0}] without ever invoking the sampler
+    (an expired budget admits no free attempt), and a deadline landing
+    exactly on an attempt boundary — including the boundary where the
+    attempt budget runs out at the same moment — classifies by the clock
+    as [Deadline_exceeded], never as [No_valid_sample]. *)

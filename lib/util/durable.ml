@@ -220,5 +220,5 @@ let warn_dropped ~path outcome =
   | Missing | Intact _ -> ()
   | Salvaged { records; dropped; reason } ->
     if dropped > 0 then
-      Printf.eprintf "warning: %s: salvaged %d record(s), dropped %d (%s)\n%!" path
+      Log.warnf "warning: %s: salvaged %d record(s), dropped %d (%s)\n%!" path
         (List.length records) dropped reason

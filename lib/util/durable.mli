@@ -81,6 +81,7 @@ val write_atomic : string -> string -> unit
     artifacts with their own format, like benchmark JSON. *)
 
 val warn_dropped : path:string -> read_outcome -> unit
-(** Prints one [warning:] line to stderr when the outcome dropped records;
-    silent otherwise.  Callers use it to honour the "never silently
-    discard" contract without each inventing a message format. *)
+(** Prints one [warning:] line to stderr (through [Log.warnf], so test
+    suites can silence it with [Log.set_quiet]) when the outcome dropped
+    records; silent otherwise.  Callers use it to honour the "never
+    silently discard" contract without each inventing a message format. *)

@@ -1,0 +1,14 @@
+type level =
+  | Quiet
+  | Warn
+
+let current = Atomic.make Warn
+
+let set_level l = Atomic.set current l
+let level () = Atomic.get current
+let set_quiet q = set_level (if q then Quiet else Warn)
+
+let warnf fmt =
+  match Atomic.get current with
+  | Warn -> Printf.eprintf fmt
+  | Quiet -> Printf.ifprintf stderr fmt

@@ -1,0 +1,24 @@
+(** Library-wide warning verbosity hook.
+
+    The durability layer warns on stderr when it salvages a corrupted file —
+    exactly once per damaged artifact, which is right for production but
+    noise under test suites that corrupt files *on purpose*.  This module is
+    the single switch: library code routes its warnings through {!warnf},
+    and tests call [set_quiet true] to silence them without changing any
+    behaviour.  The default level is [Warn], so operators see every salvage
+    unless they opt out. *)
+
+type level =
+  | Quiet  (** drop warnings *)
+  | Warn  (** print warnings to stderr (default) *)
+
+val set_level : level -> unit
+val level : unit -> level
+
+val set_quiet : bool -> unit
+(** [set_quiet true] is [set_level Quiet]; [set_quiet false] restores
+    [Warn].  Test suites flip this in their entry point. *)
+
+val warnf : ('a, out_channel, unit) format -> 'a
+(** [warnf fmt ...] prints to stderr at level [Warn] and swallows the
+    message (still evaluating its arguments) at [Quiet]. *)

@@ -89,6 +89,11 @@ let create ?workers ?(max_restarts = 32) () =
 let workers t = t.n_workers
 let restarts t = t.restarts
 
+(* Past the restart budget a crashed worker dies unreplaced, so capacity is
+   permanently reduced: the pool is running degraded.  (A pool created with
+   zero workers was never parallel, so it does not count as degraded.) *)
+let is_degraded t = t.restarts > t.max_restarts
+
 let submit t f =
   Mutex.lock t.lock;
   if t.stopped || t.n_workers = 0 then begin

@@ -34,6 +34,12 @@ val restarts : t -> int
 (** Total uncaught task exceptions recovered by the watchdog so far —
     worker restarts plus crashes absorbed on helping or inline threads. *)
 
+val is_degraded : t -> bool
+(** True once the crash watchdog has exceeded its [max_restarts] budget:
+    at least one crashed worker died unreplaced and the pool is running at
+    permanently reduced (possibly inline-only) capacity.  Run supervisors
+    surface this in health reports so a silently shrunken pool is visible. *)
+
 val submit : t -> (unit -> unit) -> unit
 (** Fire-and-forget: enqueues one task and returns immediately.  With zero
     workers (or after [shutdown]) the task runs inline before returning.

@@ -16,6 +16,10 @@ let deep = Sys.getenv_opt "TORTURE_DEEP" <> None
 let qcount n = if deep then n * 10 else n
 let kind = "torture-test"
 
+(* Salvage warnings from the thousands of deliberately corrupted files are
+   expected noise here; the verbosity hook keeps the output readable. *)
+let () = Util.Log.set_quiet true
+
 let read_file path =
   let ic = open_in_bin path in
   Fun.protect

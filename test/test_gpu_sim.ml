@@ -191,6 +191,42 @@ let test_robust_no_valid_sample () =
   Alcotest.(check (float 1e-9)) "backoff capped" (50. +. 100. +. 200. +. 400. +. (3. *. 800.))
     log.backoff_us
 
+let test_robust_zero_deadline () =
+  (* An already-expired budget admits no free attempt: the sampler must
+     never be consulted, and the refusal is a deterministic
+     [Deadline_exceeded], not an exception or a zero-attempt
+     [No_valid_sample]. *)
+  List.iter
+    (fun deadline_us ->
+      let invoked = ref false in
+      let sample ~attempt:_ = invoked := true; Ok 100.0 in
+      let policy = { policy with deadline_us } in
+      let res, log = M.robust ~policy ~sample () in
+      (match res with
+      | Error (M.Deadline_exceeded { attempts }) ->
+        Alcotest.(check int) "zero attempts" 0 attempts
+      | Ok _ | Error _ -> Alcotest.fail "expected Deadline_exceeded");
+      Alcotest.(check bool) "sampler never invoked" false !invoked;
+      Alcotest.(check int) "empty log" 0 log.attempts)
+    [ 0.0; -1.0; neg_infinity ]
+
+let test_robust_deadline_on_attempt_boundary () =
+  (* The clock lands exactly on the deadline at the same moment the attempt
+     budget runs out: 2 NaN attempts cost backoffs 50 + 100 = 150, and the
+     deadline is exactly 150.  The loop exits through the attempt guard, so
+     classification must go by the clock — this is a [Deadline_exceeded],
+     not a [No_valid_sample]. *)
+  let policy =
+    { policy with repeat = 1; max_retries = 1; deadline_us = 150.0 }
+  in
+  let res, log = M.robust ~policy ~sample:(fun ~attempt:_ -> Ok Float.nan) () in
+  (match res with
+  | Error (M.Deadline_exceeded { attempts }) ->
+    Alcotest.(check int) "both attempts spent" 2 attempts
+  | Ok _ -> Alcotest.fail "expected Deadline_exceeded, got Ok"
+  | Error f -> Alcotest.fail ("expected Deadline_exceeded, got " ^ M.failure_to_string f));
+  Alcotest.(check (float 1e-9)) "elapsed exactly at the deadline" 150.0 log.elapsed_us
+
 let test_robust_launch_failure_immediate () =
   let res, log = M.robust ~sample:(fun ~attempt:_ -> Error (M.Launch_failed "nope")) () in
   (match res with
@@ -420,6 +456,9 @@ let () =
           Alcotest.test_case "partial samples at deadline" `Quick
             test_robust_deadline_partial_samples;
           Alcotest.test_case "no valid sample" `Quick test_robust_no_valid_sample;
+          Alcotest.test_case "zero/negative deadline" `Quick test_robust_zero_deadline;
+          Alcotest.test_case "deadline on attempt boundary" `Quick
+            test_robust_deadline_on_attempt_boundary;
           Alcotest.test_case "launch failure immediate" `Quick
             test_robust_launch_failure_immediate;
         ] );

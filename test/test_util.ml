@@ -306,6 +306,7 @@ let test_pool_worker_restart () =
   await_or_fail "task after crash" (fun () -> Atomic.get hit);
   Alcotest.(check int) "one restart recorded" 1 (Util.Pool.restarts pool);
   Alcotest.(check int) "capacity preserved" 1 (Util.Pool.workers pool);
+  Alcotest.(check bool) "within budget: not degraded" false (Util.Pool.is_degraded pool);
   (* run_all still works over the replacement worker. *)
   let total = Atomic.make 0 in
   Util.Pool.run_all pool (List.init 8 (fun _ () -> ignore (Atomic.fetch_and_add total 1)));
@@ -317,6 +318,7 @@ let test_pool_bounded_restart_watchdog () =
      dies unreplaced, so a crash-looping task cannot spawn domains forever.
      The pool then degrades to inline execution instead of failing. *)
   let pool = Util.Pool.create ~workers:1 ~max_restarts:2 () in
+  Alcotest.(check bool) "healthy pool is not degraded" false (Util.Pool.is_degraded pool);
   for i = 0 to 2 do
     Util.Pool.submit pool (fun () -> raise (Boom i));
     (* Wait out each crash so exactly this worker (not a helper) takes it. *)
@@ -324,6 +326,8 @@ let test_pool_bounded_restart_watchdog () =
   done;
   await_or_fail "worker retired past the budget" (fun () -> Util.Pool.workers pool = 0);
   Alcotest.(check int) "budget + final crash recorded" 3 (Util.Pool.restarts pool);
+  Alcotest.(check bool) "exhausted watchdog reports degraded" true
+    (Util.Pool.is_degraded pool);
   (* Zero workers: run_all degrades to inline, submit runs inline too. *)
   let ran = ref 0 in
   Util.Pool.run_all pool [ (fun () -> incr ran); (fun () -> incr ran) ];
