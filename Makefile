@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test verify-smoke verify-deep fault-smoke torture-smoke torture-deep chaos-smoke chaos-deep clean
+.PHONY: all build test verify-smoke verify-deep fault-smoke torture-smoke torture-deep chaos-smoke chaos-deep hotpath-smoke hotpath-deep bench-hotpath clean
 
 all: build
 
@@ -41,6 +41,20 @@ chaos-smoke:
 
 chaos-deep:
 	dune build @chaos-deep
+
+# Hot-path checks: histogram-vs-exact GBT ranking agreement + frontier-vs-
+# legacy oracle equality.  Smoke (<10s) is part of the default runtest; deep
+# adds a 2k-sample GBT speedup check and the 24-vertex oracle differential.
+hotpath-smoke:
+	dune build @hotpath-smoke
+
+hotpath-deep:
+	dune build @hotpath-deep
+
+# Full hot-path sweep; asserts the speedup/equivalence claims and rewrites
+# BENCH_hotpath.json in the cwd.
+bench-hotpath:
+	dune exec bench/hotpath.exe
 
 clean:
 	dune clean

@@ -8,7 +8,13 @@
 
 type t
 
-val create : Conv.Conv_spec.t -> t
+val create : ?booster:Gbt.Booster.params -> Conv.Conv_spec.t -> t
+(** [booster] (default [Gbt.Booster.default_params]) selects the training
+    parameters every {!retrain} uses — in particular the
+    [Gbt.Booster.split_method]. *)
+
+val booster_params : t -> Gbt.Booster.params
+(** The parameters fixed at {!create} time. *)
 
 val add_measurement : t -> Config.t -> float -> unit
 (** [add_measurement m config runtime_us] appends a training sample.  Raises

@@ -1,5 +1,6 @@
 type entry = {
   n_samples : int;
+  split : string;
   snapshot : string;
 }
 
@@ -9,27 +10,41 @@ let path_for journal = journal ^ ".ckpt"
 
 let to_line e =
   if e.n_samples <= 0 then invalid_arg "Model_checkpoint.to_line: non-positive n_samples";
+  if e.split = "" || String.exists (fun c -> c = '\t' || c = '\n' || c = '\r') e.split
+  then invalid_arg "Model_checkpoint.to_line: malformed split tag";
   if String.exists (fun c -> c = '\n' || c = '\r') e.snapshot then
     invalid_arg "Model_checkpoint.to_line: newline in snapshot";
-  Printf.sprintf "c1\t%d\t%s" e.n_samples e.snapshot
+  Printf.sprintf "c2\t%d\t%s\t%s" e.n_samples e.split e.snapshot
 
-(* The snapshot itself contains tabs, so split only the two leading fields. *)
+(* The snapshot itself contains tabs, so split only the leading fields.
+   "c1" lines (pre-split_method checkpoints) carry no tag; every booster
+   they were written by trained with exact splits, so that is their tag. *)
 let of_line line =
-  if String.length line > 3 && String.sub line 0 3 = "c1\t" then begin
-    match String.index_from_opt line 3 '\t' with
-    | None -> None
-    | Some second_tab -> begin
-      match int_of_string_opt (String.sub line 3 (second_tab - 3)) with
+  let field_after start =
+    Option.map
+      (fun tab ->
+        (String.sub line start (tab - start), tab + 1))
+      (String.index_from_opt line start '\t')
+  in
+  let rest_after start = String.sub line start (String.length line - start) in
+  if String.length line > 3 && String.sub line 0 3 = "c1\t" then
+    match field_after 3 with
+    | Some (n_field, snap_start) -> begin
+      match int_of_string_opt n_field with
       | Some n when n > 0 ->
-        Some
-          {
-            n_samples = n;
-            snapshot =
-              String.sub line (second_tab + 1) (String.length line - second_tab - 1);
-          }
+        Some { n_samples = n; split = "exact"; snapshot = rest_after snap_start }
       | _ -> None
     end
-  end
+    | None -> None
+  else if String.length line > 3 && String.sub line 0 3 = "c2\t" then
+    match field_after 3 with
+    | Some (n_field, split_start) -> begin
+      match (int_of_string_opt n_field, field_after split_start) with
+      | Some n, Some (split, snap_start) when n > 0 && split <> "" ->
+        Some { n_samples = n; split; snapshot = rest_after snap_start }
+      | _ -> None
+    end
+    | None -> None
   else None
 
 let append path e = Util.Durable.append ~kind path (to_line e)
@@ -58,5 +73,5 @@ let recover path =
 
 let to_table entries =
   let table = Hashtbl.create (List.length entries * 2) in
-  List.iter (fun e -> Hashtbl.replace table e.n_samples e.snapshot) entries;
+  List.iter (fun e -> Hashtbl.replace table e.n_samples (e.split, e.snapshot)) entries;
   table

@@ -13,15 +13,32 @@
     in a fixed order, so the trained model and all predictions are
     bit-identical for every domain count. *)
 
+type split_method =
+  | Exact  (** presort-per-tree, scans every sample of a node per feature *)
+  | Hist  (** quantised histogram bins, [Tree.fit_hist] *)
+
+val split_method_tag : split_method -> string
+(** Stable lowercase tag ("exact" / "hist") used in checkpoint framing and
+    benchmark output. *)
+
+val split_method_of_tag : string -> split_method option
+(** Inverse of {!split_method_tag}; [None] on anything else. *)
+
 type params = {
   rounds : int;
   learning_rate : float;
   tree : Tree.params;
   subsample : float;  (** row subsampling fraction per round, in (0, 1] *)
+  split_method : split_method;
+  max_bins : int;  (** histogram bins per feature, only read under [Hist] *)
 }
 
 val default_params : params
-(** 60 rounds, learning rate 0.15, default trees, no subsampling. *)
+(** 60 rounds, learning rate 0.15, default trees, no subsampling, [Exact]
+    splits (bit-compatible with pre-histogram behaviour), 256 bins. *)
+
+val hist_params : params
+(** {!default_params} with [split_method = Hist]. *)
 
 type t
 

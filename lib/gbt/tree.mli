@@ -31,6 +31,29 @@ val fit : ?domains:int -> params -> Dataset.t -> grad:float array -> hess:float 
     domain count: split candidates are folded in feature order and all
     floating-point accumulations happen in a fixed sequential order. *)
 
+val fit_hist :
+  ?domains:int ->
+  ?leaf_out:float array ->
+  params ->
+  Dataset.binned ->
+  grad:float array ->
+  hess:float array ->
+  t
+(** Histogram split finding over a quantised {!Dataset.binned} view: per-node
+    per-(feature, bin) gradient/hessian sums are accumulated in O(samples x
+    features), bins are scanned for the best cut, and each level's larger
+    child derives its histogram by subtracting the (freshly accumulated)
+    smaller sibling's from the parent's.  Gain/leaf formulas, the
+    [gain > 0] requirement and all tie-breaking match {!fit}; candidate
+    thresholds are the fixed bin cuts, so on features with more distinct
+    values than bins the split is an approximation of the exact one.  Like
+    {!fit}, the result is bit-identical at every [domains] count.
+
+    When [leaf_out] (length = sample count) is given, slot [i] is set to the
+    weight of the leaf sample [i] lands in — bit-identical to
+    [predict (fit_hist ...) x_i], since bin routing and threshold routing
+    agree — letting callers skip a per-sample tree walk. *)
+
 val predict : t -> float array -> float
 
 val to_compact : t -> string

@@ -28,6 +28,24 @@ let max_game_vertices = Sys.int_size - 1
 let bit v = 1 lsl v
 let mem mask v = mask land bit v <> 0
 
+(* 16-bit table popcount: OCaml ints are 63-bit, so the usual 64-bit SWAR
+   mask constants do not fit in an int literal; four table lookups cover the
+   whole word and the hot masks (game states) are small anyway. *)
+let popcount16 =
+  let t = Array.make 65536 0 in
+  for i = 1 to 65535 do
+    t.(i) <- t.(i lsr 1) + (i land 1)
+  done;
+  t
+
+let popcount x =
+  popcount16.(x land 0xffff)
+  + popcount16.((x lsr 16) land 0xffff)
+  + popcount16.((x lsr 32) land 0xffff)
+  + popcount16.((x lsr 48) land 0xffff)
+
+let mask_subset a b = a land b = a
+
 let start g =
   let n = Dag.Graph.num_vertices g in
   if n > max_game_vertices then

@@ -53,6 +53,13 @@ type state = {
 val max_game_vertices : int
 (** Largest playable graph for the pure API: [Sys.int_size - 1]. *)
 
+val popcount : int -> int
+(** Set bits of a non-negative mask (16-bit-table implementation — the
+    64-bit SWAR constants do not fit OCaml's 63-bit int literals). *)
+
+val mask_subset : int -> int -> bool
+(** [mask_subset a b]: every bit of [a] is set in [b]. *)
+
 val start : Dag.Graph.t -> state
 (** Initial position: every DAG input blue, no red pebbles.  Raises
     [Invalid_argument] past [max_game_vertices] vertices. *)

@@ -15,14 +15,11 @@ type mode = Normalized | Reference
 
 let default_budget = 400_000
 
-let popcount x =
-  let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
-  go x 0
-
-(* A* over game positions (red mask, blue mask).  Cost is the I/O performed so
-   far; Compute and Free are free moves.  Every transition is produced by
-   [Pebble_game.apply] (via [trace]), so the search never re-implements the
-   legality rules; the returned witness replays through the same checker.
+(* Both engines below run A* over game positions (red mask, blue mask).  Cost
+   is the I/O performed so far; Compute and Free are free moves.  Every
+   transition is produced by [Pebble_game.apply] (via [trace]), so the search
+   never re-implements the legality rules; the returned witness replays
+   through the same checker.
 
    The heuristic — one store per output still lacking a blue pebble — is
    admissible (each such output needs its own red->blue transfer) and
@@ -46,14 +43,22 @@ let popcount x =
    Both modes agree exactly — a test checks them against each other on small
    random DAGs — but Normalized expands orders of magnitude fewer positions.
 
-   Dominance pruning: expanding a position is pointless when an already
-   expanded position with the same red set, a superset of blue pebbles and no
-   more accumulated I/O exists — the dominator reproduces any continuation
-   move-for-move at no extra cost (extra blue pebbles only widen the legal
-   loads; a Store the follower performs is either legal for the dominator or
-   already done).  The per-red-mask Pareto front of (blue mask, cost) pairs
-   stays tiny and removes "spill something irrelevant first" orderings. *)
-let solve ?(budget = default_budget) ?(mode = Normalized) g ~s =
+   Dominance pruning: a position is pointless when another position with the
+   same red set, a superset of blue pebbles and no more accumulated I/O is
+   already known — the dominator reproduces any continuation move-for-move at
+   no extra cost (extra blue pebbles only widen the legal loads; a Store the
+   follower performs is either legal for the dominator or already done).  The
+   per-red-mask Pareto front of (blue mask, cost) pairs stays tiny and
+   removes "spill something irrelevant first" orderings. *)
+
+type shared = {
+  n : int;
+  outputs_mask : int;
+  is_output : bool array;
+  compute_vs : G.vertex array;
+}
+
+let prepare g ~s =
   let n = G.num_vertices g in
   if n > PG.max_game_vertices then
     invalid_arg
@@ -65,8 +70,65 @@ let solve ?(budget = default_budget) ?(mode = Normalized) g ~s =
   let outputs_mask = List.fold_left (fun m v -> m lor (1 lsl v)) 0 outputs in
   let is_output = Array.make n false in
   List.iter (fun v -> is_output.(v) <- true) outputs;
-  let compute_vs = G.compute_vertices g in
-  let h (st : PG.state) = popcount (outputs_mask land lnot st.blue) in
+  { n; outputs_mask; is_output; compute_vs = G.compute_vertices g }
+
+(* Successor generation, shared verbatim by both engines so they explore the
+   same move sets in the same order; [relax] receives each candidate
+   compound. *)
+let expand_from sh g ~s ~mode ~relax (st : PG.state) =
+  match mode with
+  | Reference ->
+    if st.red_count < s then begin
+      let blue_only = st.blue land lnot st.red in
+      for v = 0 to sh.n - 1 do
+        if blue_only land (1 lsl v) <> 0 then relax st [ PG.Load v ]
+      done;
+      Array.iter
+        (fun v ->
+          if (not (PG.in_red st v)) && List.for_all (PG.in_red st) (G.preds g v) then
+            relax st [ PG.Compute v ])
+        sh.compute_vs
+    end
+    else
+      for v = 0 to sh.n - 1 do
+        if PG.in_red st v then relax st [ PG.Free v ]
+      done;
+    let red_only = st.red land lnot st.blue in
+    for v = 0 to sh.n - 1 do
+      if red_only land (1 lsl v) <> 0 then relax st [ PG.Store v ]
+    done
+  | Normalized ->
+    if st.red_count < s then begin
+      let blue_only = st.blue land lnot st.red in
+      for v = 0 to sh.n - 1 do
+        if blue_only land (1 lsl v) <> 0 && not sh.is_output.(v) then
+          relax st [ PG.Load v ]
+      done;
+      Array.iter
+        (fun v ->
+          if (not (PG.in_red st v)) && List.for_all (PG.in_red st) (G.preds g v) then
+            if sh.is_output.(v) then begin
+              if not (PG.in_blue st v) then
+                relax st [ PG.Compute v; PG.Store v; PG.Free v ]
+            end
+            else relax st [ PG.Compute v ])
+        sh.compute_vs
+    end
+    else
+      for v = 0 to sh.n - 1 do
+        if PG.in_red st v then begin
+          relax st [ PG.Free v ];
+          if not (PG.in_blue st v) then relax st [ PG.Store v; PG.Free v ]
+        end
+      done
+
+(* --- Legacy engine: per-state Hashtbl open/closed bookkeeping ---
+
+   Kept as the differential baseline the frontier engine is tested against;
+   dominance is only applied against already-expanded positions. *)
+let solve_legacy ?(budget = default_budget) ?(mode = Normalized) g ~s =
+  let sh = prepare g ~s in
+  let h (st : PG.state) = PG.popcount (sh.outputs_mask land lnot st.blue) in
   let key (st : PG.state) = (st.red, st.blue) in
   let best_g : (int * int, int) Hashtbl.t = Hashtbl.create 4096 in
   let closed : (int * int, unit) Hashtbl.t = Hashtbl.create 4096 in
@@ -77,12 +139,12 @@ let solve ?(budget = default_budget) ?(mode = Normalized) g ~s =
     match Hashtbl.find_opt fronts st.red with
     | None -> false
     | Some front ->
-      List.exists (fun (blue, c) -> c <= cost && st.blue land blue = st.blue) front
+      List.exists (fun (blue, c) -> c <= cost && PG.mask_subset st.blue blue) front
   in
   let add_front (st : PG.state) cost =
     let front = Option.value (Hashtbl.find_opt fronts st.red) ~default:[] in
     let survivors =
-      List.filter (fun (blue, c) -> not (cost <= c && blue land st.blue = blue)) front
+      List.filter (fun (blue, c) -> not (cost <= c && PG.mask_subset blue st.blue)) front
     in
     Hashtbl.replace fronts st.red ((st.blue, cost) :: survivors)
   in
@@ -101,8 +163,8 @@ let solve ?(budget = default_budget) ?(mode = Normalized) g ~s =
   push (h init) init;
   let expanded = ref 0 in
   let cur_f = ref 0 in
-  let relax (prev_key : int * int) (st : PG.state) moves =
-    match PG.trace g ~s ~init:st moves with
+  let relax (prev : PG.state) moves =
+    match PG.trace g ~s ~init:prev moves with
     | Error _ -> ()
     | Ok st' ->
       let g' = PG.state_io st' in
@@ -110,59 +172,10 @@ let solve ?(budget = default_budget) ?(mode = Normalized) g ~s =
       let known = Hashtbl.find_opt best_g k' in
       if (match known with None -> true | Some old -> g' < old) then begin
         Hashtbl.replace best_g k' g';
-        Hashtbl.replace parent k' (moves, prev_key);
+        Hashtbl.replace parent k' (moves, key prev);
         push (g' + h st') st'
       end
   in
-  let expand_reference (st : PG.state) =
-    let k = key st in
-    if st.red_count < s then begin
-      let blue_only = st.blue land lnot st.red in
-      for v = 0 to n - 1 do
-        if blue_only land (1 lsl v) <> 0 then relax k st [ PG.Load v ]
-      done;
-      Array.iter
-        (fun v ->
-          if (not (PG.in_red st v)) && List.for_all (PG.in_red st) (G.preds g v) then
-            relax k st [ PG.Compute v ])
-        compute_vs
-    end
-    else
-      for v = 0 to n - 1 do
-        if PG.in_red st v then relax k st [ PG.Free v ]
-      done;
-    let red_only = st.red land lnot st.blue in
-    for v = 0 to n - 1 do
-      if red_only land (1 lsl v) <> 0 then relax k st [ PG.Store v ]
-    done
-  in
-  let expand_normalized (st : PG.state) =
-    let k = key st in
-    if st.red_count < s then begin
-      let blue_only = st.blue land lnot st.red in
-      for v = 0 to n - 1 do
-        if blue_only land (1 lsl v) <> 0 && not is_output.(v) then
-          relax k st [ PG.Load v ]
-      done;
-      Array.iter
-        (fun v ->
-          if (not (PG.in_red st v)) && List.for_all (PG.in_red st) (G.preds g v) then
-            if is_output.(v) then begin
-              if not (PG.in_blue st v) then
-                relax k st [ PG.Compute v; PG.Store v; PG.Free v ]
-            end
-            else relax k st [ PG.Compute v ])
-        compute_vs
-    end
-    else
-      for v = 0 to n - 1 do
-        if PG.in_red st v then begin
-          relax k st [ PG.Free v ];
-          if not (PG.in_blue st v) then relax k st [ PG.Store v; PG.Free v ]
-        end
-      done
-  in
-  let expand = match mode with Normalized -> expand_normalized | Reference -> expand_reference in
   let reconstruct goal_key =
     let rec back k acc =
       match Hashtbl.find_opt parent k with
@@ -199,7 +212,7 @@ let solve ?(budget = default_budget) ?(mode = Normalized) g ~s =
           incr expanded;
           if !expanded > budget then Budget_exhausted { expanded = !expanded }
           else begin
-            expand st;
+            expand_from sh g ~s ~mode ~relax st;
             search ()
           end
         end
@@ -207,8 +220,208 @@ let solve ?(budget = default_budget) ?(mode = Normalized) g ~s =
   in
   search ()
 
+(* --- Frontier engine ---
+
+   The default.  Positions are packed int keys [(red lsl n) lor blue], the
+   open list is an array of cost-layered frontiers (one append-only Bigarray
+   buffer of keys per f value, expanded whole layers at a time — zero-cost
+   successors land in the layer being processed and are consumed by the same
+   sweep), and the per-red-mask Pareto fronts are flat Bigarray buffers of
+   (blue, cost) pairs checked with bitwise subset tests.
+
+   The fronts subsume the legacy engine's [best_g]/[closed] tables: dominance
+   is applied at *generation* (the legacy engine only pruned against expanded
+   positions), every key ever admitted is weakly dominated by some current
+   front entry, and a popped key is expanded only if its exact (blue, cost)
+   pair is still present — absence means something at least as good was
+   admitted since, which the f-ordered sweep expands no later.  Duplicate
+   admissions are impossible (an equal pair dominates), so each (position,
+   cost) is expanded at most once, and the first goal popped is optimal just
+   as in plain A*.
+
+   [g] is not stored in the layers: a key's blue mask determines h, and
+   within layer f the cost is g = f - h.
+
+   [want_witness] gates the parent table — the only per-state allocation
+   left — so pure [q_opt] queries keep no path bookkeeping at all. *)
+
+type buf = {
+  mutable data : (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t;
+  mutable len : int;
+}
+
+let buf_create cap =
+  { data = Bigarray.Array1.create Bigarray.int Bigarray.c_layout (max cap 4); len = 0 }
+
+let buf_push b x =
+  if b.len = Bigarray.Array1.dim b.data then begin
+    let bigger = Bigarray.Array1.create Bigarray.int Bigarray.c_layout (2 * b.len) in
+    Bigarray.Array1.blit b.data (Bigarray.Array1.sub bigger 0 b.len);
+    b.data <- bigger
+  end;
+  Bigarray.Array1.unsafe_set b.data b.len x;
+  b.len <- b.len + 1
+
+exception Found of verdict
+
+let solve_frontier ~budget ~mode ~want_witness g ~s =
+  let sh = prepare g ~s in
+  let n = sh.n in
+  let low_mask = (1 lsl n) - 1 in
+  let key_of red blue = (red lsl n) lor blue in
+  let h blue = PG.popcount (sh.outputs_mask land lnot blue) in
+  let fronts : (int, buf) Hashtbl.t = Hashtbl.create 1024 in
+  (* Admit (blue, cost) into red's front unless an entry dominates it; on
+     admission, entries the new pair dominates are compacted away. *)
+  let admit red blue cost =
+    let front =
+      match Hashtbl.find_opt fronts red with
+      | Some f -> f
+      | None ->
+        let f = buf_create 8 in
+        Hashtbl.add fronts red f;
+        f
+    in
+    let d = front.data in
+    let pairs = front.len / 2 in
+    let dominated = ref false in
+    let i = ref 0 in
+    while (not !dominated) && !i < pairs do
+      let b = Bigarray.Array1.unsafe_get d (2 * !i)
+      and c = Bigarray.Array1.unsafe_get d ((2 * !i) + 1) in
+      if c <= cost && PG.mask_subset blue b then dominated := true;
+      incr i
+    done;
+    if !dominated then false
+    else begin
+      let w = ref 0 in
+      for j = 0 to pairs - 1 do
+        let b = Bigarray.Array1.unsafe_get d (2 * j)
+        and c = Bigarray.Array1.unsafe_get d ((2 * j) + 1) in
+        if not (c >= cost && PG.mask_subset b blue) then begin
+          Bigarray.Array1.unsafe_set d (2 * !w) b;
+          Bigarray.Array1.unsafe_set d ((2 * !w) + 1) c;
+          incr w
+        end
+      done;
+      front.len <- 2 * !w;
+      buf_push front blue;
+      buf_push front cost;
+      true
+    end
+  in
+  let live red blue cost =
+    match Hashtbl.find_opt fronts red with
+    | None -> false
+    | Some front ->
+      let d = front.data in
+      let pairs = front.len / 2 in
+      let found = ref false in
+      let i = ref 0 in
+      while (not !found) && !i < pairs do
+        if
+          Bigarray.Array1.unsafe_get d (2 * !i) = blue
+          && Bigarray.Array1.unsafe_get d ((2 * !i) + 1) = cost
+        then found := true;
+        incr i
+      done;
+      !found
+  in
+  let layers = ref (Array.make 64 None) in
+  let max_f = ref 0 in
+  let layer f =
+    if f >= Array.length !layers then begin
+      let bigger = Array.make (2 * max (Array.length !layers) (f + 1)) None in
+      Array.blit !layers 0 bigger 0 (Array.length !layers);
+      layers := bigger
+    end;
+    match !layers.(f) with
+    | Some l -> l
+    | None ->
+      let l = buf_create 64 in
+      !layers.(f) <- Some l;
+      if f > !max_f then max_f := f;
+      l
+  in
+  let parent : (int, PG.move list * int) Hashtbl.t =
+    Hashtbl.create (if want_witness then 4096 else 0)
+  in
+  let relax (prev : PG.state) moves =
+    match PG.trace g ~s ~init:prev moves with
+    | Error _ -> ()
+    | Ok st' ->
+      let g' = PG.state_io st' in
+      if admit st'.red st'.blue g' then begin
+        let k' = key_of st'.red st'.blue in
+        if want_witness then
+          Hashtbl.replace parent k' (moves, key_of prev.red prev.blue);
+        buf_push (layer (g' + h st'.blue)) k'
+      end
+  in
+  let reconstruct goal_key =
+    let rec back k acc =
+      match Hashtbl.find_opt parent k with
+      | None -> acc
+      | Some (moves, prev) -> back prev (moves @ acc)
+    in
+    back goal_key []
+  in
+  let expanded = ref 0 in
+  let init = PG.start g in
+  ignore (admit init.red init.blue 0 : bool);
+  buf_push (layer (h init.blue)) (key_of init.red init.blue);
+  try
+    let f = ref 0 in
+    (* [max_f] grows as layers are seeded; zero-cost successors appended to
+       the layer being swept are picked up by the same [head] walk. *)
+    while !f <= !max_f do
+      (match !layers.(!f) with
+      | None -> ()
+      | Some l ->
+        (* LIFO within the layer: zero-cost successors appended mid-sweep are
+           expanded next, so blue-rich positions (strong dominators) enter
+           the fronts early — same depth-first-within-f order as the legacy
+           engine's bucket stacks, which prunes hardest. *)
+        while l.len > 0 do
+          l.len <- l.len - 1;
+          let k = Bigarray.Array1.unsafe_get l.data l.len in
+          let red = k lsr n and blue = k land low_mask in
+          let cost = !f - h blue in
+          if live red blue cost then begin
+            if PG.mask_subset sh.outputs_mask blue then
+              raise
+                (Found
+                   (Optimal { q_opt = cost; moves = reconstruct k; expanded = !expanded }));
+            incr expanded;
+            if !expanded > budget then
+              raise (Found (Budget_exhausted { expanded = !expanded }));
+            (* Counters beyond [loads] are not consulted by move legality;
+               carrying the cost as [loads] makes [state_io] of successors
+               come out as their true g. *)
+            let st =
+              { PG.red; blue; red_count = PG.popcount red; loads = cost; stores = 0;
+                computes = 0 }
+            in
+            expand_from sh g ~s ~mode ~relax st
+          end
+        done;
+        (* The layer is fully consumed; release its buffer. *)
+        !layers.(!f) <- None);
+      incr f
+    done;
+    (* With s >= max in-degree + 1 a store-everything topological play always
+       completes the game, so the layers cannot drain before a goal. *)
+    assert false
+  with Found v -> v
+
+let solve ?(budget = default_budget) ?(mode = Normalized) ?(want_witness = true) g ~s =
+  let n = G.num_vertices g in
+  (* The packed key needs red and blue side by side in one int. *)
+  if 2 * n <= Sys.int_size - 1 then solve_frontier ~budget ~mode ~want_witness g ~s
+  else solve_legacy ~budget ~mode g ~s
+
 let q_opt_exn ?budget ?mode g ~s =
-  match solve ?budget ?mode g ~s with
+  match solve ?budget ?mode ~want_witness:false g ~s with
   | Optimal { q_opt; _ } -> q_opt
   | Budget_exhausted { expanded } ->
     failwith (Printf.sprintf "Oracle.q_opt_exn: budget exhausted after %d states" expanded)

@@ -127,6 +127,51 @@ let test_oracle_normalized_matches_reference () =
         [ 3; 4 ])
     instances
 
+(* The frontier engine (default [solve]) against the retained per-state
+   hashtable engine: equal q_opt on every (instance, S) pair of the smoke
+   grid, and the frontier's witness still replays through the step API to
+   exactly that cost.  This is the conformance gate under the Pareto-front
+   dominance argument. *)
+let test_oracle_frontier_matches_legacy () =
+  List.iter
+    (fun (inst, ss) ->
+      List.iter
+        (fun s ->
+          let name = Printf.sprintf "%s S=%d" inst.Sandwich.name s in
+          match
+            ( Oracle.solve_legacy ~budget inst.Sandwich.graph ~s,
+              Oracle.solve ~budget inst.Sandwich.graph ~s )
+          with
+          | Oracle.Budget_exhausted _, _ | _, Oracle.Budget_exhausted _ ->
+            Alcotest.failf "%s: budget exhausted on a smoke-grid instance" name
+          | Oracle.Optimal legacy, Oracle.Optimal frontier -> (
+            Alcotest.(check int) (name ^ " q_opt") legacy.q_opt frontier.q_opt;
+            match PG.trace inst.Sandwich.graph ~s frontier.moves with
+            | Error msg -> Alcotest.failf "%s: frontier witness illegal: %s" name msg
+            | Ok final ->
+              Alcotest.(check bool)
+                (name ^ " witness complete")
+                true
+                (PG.complete inst.Sandwich.graph final);
+              Alcotest.(check int)
+                (name ^ " witness I/O")
+                frontier.q_opt (PG.state_io final)))
+        ss)
+    (Sandwich.grid ~deep:false)
+
+let test_oracle_want_witness_off () =
+  let inst = Sandwich.matmul_instance ~m:2 ~k:2 ~n:1 () in
+  match
+    ( Oracle.solve ~budget inst.Sandwich.graph ~s:3,
+      Oracle.solve ~budget ~want_witness:false inst.Sandwich.graph ~s:3 )
+  with
+  | Oracle.Optimal with_w, Oracle.Optimal without_w ->
+    Alcotest.(check int) "same q_opt" with_w.q_opt without_w.q_opt;
+    Alcotest.(check int) "same expansion count" with_w.expanded without_w.expanded;
+    Alcotest.(check bool) "no moves without witness" true (without_w.moves = []);
+    Alcotest.(check bool) "moves with witness" true (with_w.moves <> [])
+  | _ -> Alcotest.fail "budget exhausted on 12-vertex DAG"
+
 let test_oracle_rejects_bad_args () =
   let inst = Sandwich.matmul_instance ~m:1 ~k:2 ~n:1 () in
   Alcotest.check_raises "s below min_red"
@@ -187,6 +232,10 @@ let () =
             test_oracle_witness_replays;
           Alcotest.test_case "normalized search matches reference search" `Quick
             test_oracle_normalized_matches_reference;
+          Alcotest.test_case "frontier engine matches legacy engine" `Quick
+            test_oracle_frontier_matches_legacy;
+          Alcotest.test_case "want_witness:false skips the moves" `Quick
+            test_oracle_want_witness_off;
           Alcotest.test_case "rejects bad arguments" `Quick test_oracle_rejects_bad_args;
           Alcotest.test_case "oracle beats worst schedule" `Quick
             test_oracle_beats_by_step_somewhere;
