@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test verify-smoke verify-deep fault-smoke torture-smoke torture-deep chaos-smoke chaos-deep hotpath-smoke hotpath-deep bench-hotpath clean
+.PHONY: all build test verify-smoke verify-deep fault-smoke torture-smoke torture-deep chaos-smoke chaos-deep hotpath-smoke hotpath-deep bench-hotpath service-smoke service-deep bench-service ci clean
 
 all: build
 
@@ -55,6 +55,28 @@ hotpath-deep:
 # BENCH_hotpath.json in the cwd.
 bench-hotpath:
 	dune exec bench/hotpath.exe
+
+# Tuning-service gates: protocol/cache/engine suites plus scripted kill -9 +
+# corruption + restart chaos campaigns, all through the in-process Sim
+# harness (<5s).  Deep widens the seed sweep and adds the live-socket
+# daemon smoke (spawned domain, real Unix socket, idle deadlines, drain).
+service-smoke:
+	dune build @service-smoke
+
+service-deep:
+	dune build @service-deep
+
+# Cold-vs-warm cache latency, coalescing factor under a burst of identical
+# requests, and corruption-recovery time; rewrites BENCH_service.json.
+bench-service:
+	dune exec bench/service_bench.exe
+
+# The full fast gate a commit must pass: build, every test suite (the
+# default runtest already folds in the @*-smoke aliases), and the bench
+# smoke checks (parallel == sequential scaling, service cache/coalescing).
+ci: build
+	dune runtest
+	dune build @bench-smoke @service-bench-smoke
 
 clean:
 	dune clean

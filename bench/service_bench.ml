@@ -1,0 +1,193 @@
+(* Tuning-service benchmark: what the shared result cache and request
+   coalescing buy, and what crash recovery costs.
+
+   Usage:
+     dune exec bench/service_bench.exe            full sweep (ResNet-stage
+                                                  shapes, 200-trial budget);
+                                                  writes BENCH_service.json
+                                                  to the cwd
+     dune exec bench/service_bench.exe -- smoke   <5s sanity check, no file
+                                                  output: asserts warm-cache
+                                                  hits are faster than cold
+                                                  tunes, N identical
+                                                  concurrent requests run
+                                                  exactly one tuning task,
+                                                  and a corrupted cache
+                                                  salvages and serves
+
+   Three measurements, all through the same deterministic Engine the daemon
+   runs (in-process; no sockets, so the numbers isolate the service logic
+   from kernel round-trips):
+
+   - cold vs warm latency per shape: a first-ever TUNE pays the full
+     supervised search; a repeat is a content-addressed cache hit;
+   - coalescing factor: N identical requests arriving together share one
+     tuning task (factor = N requests answered / tunes run);
+   - recovery: after kill -9 (no drain) plus seeded Fs_faults corruption,
+     the time to salvage + repair the cache and answer warm again. *)
+
+let smoke = Array.length Sys.argv > 1 && Sys.argv.(1) = "smoke"
+
+(* Salvage warnings from the deliberate corruption phase are expected. *)
+let () = Util.Log.set_quiet true
+
+let shapes =
+  if smoke then [ "tiny-3x3", "TUNE cin=4 size=8 cout=4 k=3"; "tiny-1x1", "TUNE cin=8 size=8 cout=4 k=1" ]
+  else
+    [
+      ("resnet-conv2", "TUNE cin=64 size=56 cout=64 k=3 pad=1");
+      ("resnet-conv3", "TUNE cin=128 size=28 cout=128 k=3 pad=1");
+      ("resnet-conv4", "TUNE cin=256 size=14 cout=256 k=3 pad=1");
+    ]
+
+let settings =
+  {
+    Service.Engine.default_settings with
+    budget_trials = (if smoke then 16 else 200);
+    max_pending = 32;
+  }
+
+let temp_cache () =
+  let path = Filename.temp_file "service-bench" ".cache" in
+  Sys.remove path;
+  path
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)
+
+let one_request engine line =
+  let client = Service.Engine.connect engine in
+  Service.Engine.submit engine client line;
+  match Service.Engine.run_until_idle engine with
+  | [ (_, reply) ] -> (
+    match Service.Protocol.parse_response reply with
+    | Some (Service.Protocol.Result p) -> p
+    | _ ->
+      Printf.eprintf "FAIL: expected an OK response, got %s\n" reply;
+      exit 1)
+  | rs ->
+    Printf.eprintf "FAIL: expected one response, got %d\n" (List.length rs);
+    exit 1
+
+let source p = Service.Protocol.source_to_string p.Service.Protocol.source
+
+let json_escape = String.map (fun c -> if c = '"' || c = '\\' then '_' else c)
+
+let () =
+  let cache = temp_cache () in
+  let engine = Service.Engine.create ~settings ~cache () in
+
+  (* --- cold vs warm ------------------------------------------------- *)
+  Printf.printf "Service bench (%s): %d shapes, %d trials/tune\n%!"
+    (if smoke then "smoke" else "full")
+    (List.length shapes) settings.budget_trials;
+  let per_shape =
+    List.map
+      (fun (name, line) ->
+        let cold_p, cold = time (fun () -> one_request engine line) in
+        let warm_p, warm = time (fun () -> one_request engine line) in
+        if source cold_p <> "tuned" || source warm_p <> "cached" || warm_p.trials <> 0
+        then begin
+          Printf.eprintf "FAIL: %s expected tuned-then-cached, got %s/%s\n" name
+            (source cold_p) (source warm_p);
+          exit 1
+        end;
+        Printf.printf "  %-14s cold %8.2f ms (%d trials)   warm %8.3f ms   x%.0f\n%!"
+          name (cold *. 1e3) cold_p.trials (warm *. 1e3) (cold /. Float.max warm 1e-9);
+        (name, cold, warm))
+      shapes
+  in
+
+  (* --- coalescing under N identical concurrent requests ------------- *)
+  let n = if smoke then 8 else 32 in
+  let burst_line = "TUNE cin=32 size=14 cout=32 k=3 pad=1" in
+  let before = (Service.Engine.counters engine).tunes_run in
+  let responses, burst_wall =
+    time (fun () ->
+        let clients = List.init n (fun _ -> Service.Engine.connect engine) in
+        List.iter (fun c -> Service.Engine.submit engine c burst_line) clients;
+        Service.Engine.run_until_idle engine)
+  in
+  let burst_tunes = (Service.Engine.counters engine).tunes_run - before in
+  if List.length responses <> n || burst_tunes <> 1 then begin
+    Printf.eprintf "FAIL: burst of %d answered %d times with %d tunes\n" n
+      (List.length responses) burst_tunes;
+    exit 1
+  end;
+  Printf.printf
+    "  burst: %d identical requests -> %d tuning task(s), %.2f ms total (coalescing factor %d)\n%!"
+    n burst_tunes (burst_wall *. 1e3) (n / burst_tunes);
+
+  (* --- crash + corruption recovery ---------------------------------- *)
+  (* Kill -9: no drain, the append-only file is all that survives.  The
+     smoke gate injects a fixed garbage-append (the valid prefix — every
+     entry — must survive, so it can assert); the full bench draws a random
+     operation and reports whatever the salvage managed. *)
+  let op =
+    if smoke then begin
+      let op = Util.Fs_faults.Garbage_append "torn tail \x00\xff" in
+      Util.Fs_faults.apply cache op;
+      op
+    end
+    else Util.Fs_faults.inject (Util.Rng.create 42) cache
+  in
+  let generation = Service.Engine.generation_of_settings settings in
+  let salvaged, salvage_wall =
+    time (fun () -> Service.Result_cache.load ~generation cache)
+  in
+  let restarted = Service.Engine.create ~settings ~cache () in
+  let warm_after, restart_warm_wall =
+    time (fun () -> one_request restarted (snd (List.hd shapes)))
+  in
+  let survived = source warm_after = "cached" in
+  Printf.printf
+    "  recovery: %s -> salvage %.3f ms (%d/%d entries, %d dropped), first answer %.3f ms (%s)\n%!"
+    (Util.Fs_faults.describe op) (salvage_wall *. 1e3)
+    (Service.Result_cache.entries salvaged)
+    (List.length shapes + 1)
+    (Service.Result_cache.dropped salvaged)
+    (restart_warm_wall *. 1e3) (source warm_after);
+  if smoke && Service.Result_cache.entries salvaged = 0 then begin
+    (* Garbage appends and mid-file bit flips keep a valid prefix; only a
+       truncation landing inside the first record can empty the smoke
+       cache, and seed 42 does not. *)
+    Printf.eprintf "FAIL: salvage kept nothing\n";
+    exit 1
+  end;
+
+  if smoke then print_endline "service bench smoke ok"
+  else begin
+    let buf = Buffer.create 2048 in
+    Buffer.add_string buf "{\n  \"bench\": \"service\",\n";
+    Buffer.add_string buf
+      (Printf.sprintf "  \"budget_trials\": %d,\n" settings.budget_trials);
+    Buffer.add_string buf "  \"shapes\": [\n";
+    List.iteri
+      (fun i (name, cold, warm) ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    {\"name\": \"%s\", \"cold_ms\": %.3f, \"warm_ms\": %.4f, \"speedup\": %.0f}"
+             (json_escape name) (cold *. 1e3) (warm *. 1e3)
+             (cold /. Float.max warm 1e-9)))
+      per_shape;
+    Buffer.add_string buf "\n  ],\n";
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"coalescing\": {\"requests\": %d, \"tunes_run\": %d, \"factor\": %d, \"wall_ms\": %.3f},\n"
+         n burst_tunes (n / burst_tunes) (burst_wall *. 1e3));
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"recovery\": {\"injection\": \"%s\", \"salvage_ms\": %.4f, \"entries_salvaged\": %d, \"entries_dropped\": %d, \"warm_after_restart\": %b, \"first_answer_ms\": %.4f}\n"
+         (json_escape (Util.Fs_faults.describe op))
+         (salvage_wall *. 1e3)
+         (Service.Result_cache.entries salvaged)
+         (Service.Result_cache.dropped salvaged)
+         survived (restart_warm_wall *. 1e3));
+    Buffer.add_string buf "}\n";
+    Util.Durable.write_atomic "BENCH_service.json" (Buffer.contents buf);
+    print_endline "wrote BENCH_service.json"
+  end;
+  if Sys.file_exists cache then Sys.remove cache

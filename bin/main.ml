@@ -5,7 +5,9 @@
      pebble   run the red-blue pebble game on a convolution DAG
      tune     auto-tune a layer on a simulated GPU
      models   end-to-end CNN comparison (Figure 12 style)
-     verify   run one convolution through every kernel and cross-check *)
+     verify   run one convolution through every kernel and cross-check
+     serve    tuning-as-a-service daemon on a Unix socket
+     ask      one-shot client for a running serve daemon *)
 
 open Cmdliner
 
@@ -255,10 +257,171 @@ let explain_cmd =
   let info = Cmd.info "explain" ~doc:"Roofline breakdown of the tuned kernel vs the library." in
   Cmd.v info Term.(const run $ spec_term $ arch_arg $ seed_arg)
 
+(* --- serve --- *)
+
+let serve_cmd =
+  let socket =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~doc:"Unix-domain socket path to listen on.")
+  in
+  let cache =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "cache" ]
+          ~doc:
+            "Durable result-cache file (created if missing; salvaged and \
+             repaired if corrupted).  Survives kill -9: repeat queries after a \
+             restart answer without re-tuning.")
+  in
+  let budget =
+    Arg.(value & opt int 300 & info [ "budget" ] ~doc:"Measurement budget per tune.")
+  in
+  let budget_us =
+    Arg.(
+      value
+      & opt float infinity
+      & info [ "budget-us" ]
+          ~doc:
+            "Global virtual-time tuning budget shared fairly across requests; \
+             once exhausted, answers degrade to analytic configurations (typed \
+             $(b,source=degraded)).")
+  in
+  let max_pending =
+    Arg.(
+      value & opt int 8
+      & info [ "max-pending" ]
+          ~doc:"Distinct queued tunes beyond which requests get BUSY retry-after.")
+  in
+  let read_deadline =
+    Arg.(
+      value & opt float 30.0
+      & info [ "read-deadline" ]
+          ~doc:"Seconds an idle connection may hold a descriptor before ERR timeout.")
+  in
+  let journal_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal-dir" ]
+          ~doc:
+            "Directory for per-request tune journals: a daemon killed mid-tune \
+             resumes the interrupted search from its journal on the next request.")
+  in
+  let chaos =
+    Arg.(
+      value & flag
+      & info [ "chaos" ] ~doc:"Inject the default GPU fault profile (demo/testing).")
+  in
+  let run socket cache seed budget budget_us max_pending read_deadline journal_dir chaos =
+    let settings =
+      {
+        Service.Engine.default_settings with
+        budget_trials = budget;
+        seed;
+        max_pending;
+        journal_dir;
+        faults = (if chaos then Some Gpu_sim.Faults.default else None);
+        policy = { Core.Supervisor.default_policy with budget_us };
+      }
+    in
+    Printf.printf "conv_io serve: socket %s, cache %s, generation %s\n%!" socket cache
+      (Service.Engine.generation_of_settings settings);
+    let engine =
+      Service.Daemon.serve ~socket ~cache ~settings ~read_deadline_s:read_deadline ()
+    in
+    Printf.printf "drained; final stats:\n";
+    List.iter (fun (k, v) -> Printf.printf "  %-16s %s\n" k v) (Service.Engine.stats engine);
+    print_string (Core.Supervisor.report_to_string (Service.Engine.health engine))
+  in
+  let info =
+    Cmd.info "serve"
+      ~doc:
+        "Tuning-as-a-service daemon: a Unix-socket line protocol in front of a \
+         crash-safe shared result cache with request coalescing, admission \
+         control and graceful SIGTERM drain."
+  in
+  Cmd.v info
+    Term.(
+      const run $ socket $ cache $ seed_arg $ budget $ budget_us $ max_pending
+      $ read_deadline $ journal_dir $ chaos)
+
+(* --- ask --- *)
+
+let ask_cmd =
+  let socket =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~doc:"Socket of a running $(b,conv_io serve) daemon.")
+  in
+  let wino =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "winograd" ] ~doc:"Ask for the Winograd dataflow with tile e.")
+  in
+  let raw =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "raw" ] ~doc:"Send this raw request line instead (e.g. PING, STATS).")
+  in
+  let run spec arch wino raw socket =
+    let line =
+      match raw with
+      | Some l -> l
+      | None ->
+        let algorithm =
+          match wino with
+          | None -> Core.Config.Direct_dataflow
+          | Some e -> Core.Config.Winograd_dataflow e
+        in
+        Service.Protocol.render_tune
+          { Service.Protocol.spec; arch; algorithm; pruned = true }
+    in
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        Unix.connect fd (Unix.ADDR_UNIX socket);
+        let msg = line ^ "\n" in
+        ignore (Unix.write_substring fd msg 0 (String.length msg));
+        let buf = Buffer.create 256 in
+        let chunk = Bytes.create 1024 in
+        let rec read_line () =
+          if not (String.contains (Buffer.contents buf) '\n') then begin
+            match Unix.read fd chunk 0 (Bytes.length chunk) with
+            | 0 -> ()
+            | n ->
+              Buffer.add_subbytes buf chunk 0 n;
+              read_line ()
+          end
+        in
+        read_line ();
+        let reply =
+          match String.index_opt (Buffer.contents buf) '\n' with
+          | Some i -> String.sub (Buffer.contents buf) 0 i
+          | None -> Buffer.contents buf
+        in
+        print_endline reply;
+        if not (Service.Protocol.is_typed_line reply) then exit 2;
+        match Service.Protocol.parse_response reply with
+        | Some (Service.Protocol.Error _) -> exit 1
+        | _ -> ())
+  in
+  let info = Cmd.info "ask" ~doc:"Send one request to a serve daemon and print the reply." in
+  Cmd.v info Term.(const run $ spec_term $ arch_arg $ wino $ raw $ socket)
+
 let () =
   let doc = "I/O lower bounds and auto-tuning for CNN convolutions (PPoPP'21 reproduction)" in
   let info = Cmd.info "conv_io" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ bounds_cmd; pebble_cmd; tune_cmd; models_cmd; verify_cmd; explain_cmd ]))
+          [
+            bounds_cmd; pebble_cmd; tune_cmd; models_cmd; verify_cmd; explain_cmd;
+            serve_cmd; ask_cmd;
+          ]))

@@ -48,6 +48,15 @@ let input_shape t = Tensor.Shape.of_list [ t.batch; t.c_in; t.h_in; t.w_in ]
 let weight_shape t = Tensor.Shape.of_list [ t.c_out; t.c_in / t.groups; t.k_h; t.k_w ]
 let output_shape t = Tensor.Shape.of_list [ t.batch; t.c_out; h_out t; w_out t ]
 
+(* Canonical form: every field explicit, fixed order, no defaults elided.
+   Two specs are semantically equal exactly when their canonical strings are
+   byte-equal, whichever constructor path (or request-line field order)
+   produced them — the foundation of content-addressed result caching. *)
+let canonical t =
+  Printf.sprintf
+    "batch=%d,cin=%d,hin=%d,win=%d,cout=%d,kh=%d,kw=%d,stride=%d,padh=%d,padw=%d,groups=%d"
+    t.batch t.c_in t.h_in t.w_in t.c_out t.k_h t.k_w t.stride t.pad_h t.pad_w t.groups
+
 let to_string t =
   let groups = if t.groups = 1 then "" else Printf.sprintf ", g=%d" t.groups in
   Printf.sprintf "conv[n=%d %dx%dx%d -> %d, k=%dx%d, s=%d, p=%dx%d%s]" t.batch t.c_in t.h_in

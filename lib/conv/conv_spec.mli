@@ -58,5 +58,12 @@ val input_shape : t -> Tensor.Shape.t
 val weight_shape : t -> Tensor.Shape.t
 val output_shape : t -> Tensor.Shape.t
 
+val canonical : t -> string
+(** Stable canonical rendering: every field explicit (normalized defaults
+    included), fixed [batch,cin,hin,win,cout,kh,kw,stride,padh,padw,groups]
+    order, no whitespace.  Semantically equal specs — whatever constructor
+    path or request field order produced them — canonicalize to byte-equal
+    strings, so hashes of the canonical form are stable cache keys. *)
+
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit

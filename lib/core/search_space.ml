@@ -16,6 +16,21 @@ let algorithm t = t.algorithm
 let pruned t = t.pruned
 let tile_candidates t = t.tiles
 
+(* Canonical domain identity: arch, canonical spec, algorithm and pruning
+   in a fixed order.  Computable without constructing the domain, so a
+   result cache can key a lookup before paying for [make]. *)
+let canonical_key (arch : Gpu_sim.Arch.t) spec algorithm ~pruned =
+  let algo =
+    match algorithm with
+    | Config.Direct_dataflow -> "direct"
+    | Config.Winograd_dataflow e -> Printf.sprintf "winograd:%d" e
+  in
+  Printf.sprintf "arch=%s;%s;algo=%s;pruned=%b" arch.name
+    (Conv.Conv_spec.canonical spec)
+    algo pruned
+
+let canonical t = canonical_key t.arch t.spec t.algorithm ~pruned:t.pruned
+
 let budget_bytes (arch : Gpu_sim.Arch.t) =
   min (arch.shared_mem_per_sm / 2) arch.max_shared_mem_per_block
 

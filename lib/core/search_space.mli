@@ -29,6 +29,19 @@ val arch : t -> Gpu_sim.Arch.t
 val algorithm : t -> Config.algorithm
 val pruned : t -> bool
 
+val canonical_key :
+  Gpu_sim.Arch.t -> Conv.Conv_spec.t -> Config.algorithm -> pruned:bool -> string
+(** Stable canonical identity of a domain before it is built: the
+    architecture name, [Conv.Conv_spec.canonical] (every field explicit, in
+    fixed order), the algorithm and the pruning flag.  Semantically equal
+    (arch, spec, algorithm, pruned) quadruples canonicalize to byte-equal
+    strings regardless of how the spec was constructed, so hashes of this
+    string are content-addressed cache keys.  Cheap: does not enumerate the
+    domain (usable even when [make] would find it empty). *)
+
+val canonical : t -> string
+(** [canonical_key (arch t) (spec t) (algorithm t) ~pruned:(pruned t)]. *)
+
 val size : t -> float
 (** Exact number of configurations in the domain. *)
 

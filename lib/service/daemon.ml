@@ -1,0 +1,173 @@
+(* Socket front end: select loop, line framing, deadlines, drain.
+
+   Everything protocol-shaped happens in Engine; this file only turns file
+   descriptors into (client, line) pairs and back, and makes sure no
+   misbehaving descriptor — half a line, a flood, a vanished peer, a
+   SIGTERM — can take the process down or wedge the loop. *)
+
+type conn = {
+  fd : Unix.file_descr;
+  client : Engine.client;
+  buf : Buffer.t;  (* bytes received, not yet terminated by '\n' *)
+  mutable last_activity : float;  (* last complete request or response *)
+  mutable open_ : bool;
+}
+
+let close_conn engine conns conn =
+  if conn.open_ then begin
+    conn.open_ <- false;
+    Engine.disconnect engine conn.client;
+    Hashtbl.remove conns conn.client;
+    try Unix.close conn.fd with Unix.Unix_error _ -> ()
+  end
+
+(* Best-effort full write; a peer that died mid-response is a disconnect,
+   not a daemon failure. *)
+let write_line engine conns conn line =
+  if conn.open_ then begin
+    let msg = line ^ "\n" in
+    let n = String.length msg in
+    let rec go off =
+      if off < n then begin
+        match Unix.write_substring conn.fd msg off (n - off) with
+        | written -> go (off + written)
+        | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+          close_conn engine conns conn
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      end
+    in
+    go 0;
+    conn.last_activity <- Unix.gettimeofday ()
+  end
+
+let deliver engine conns responses =
+  List.iter
+    (fun (client, line) ->
+      match Hashtbl.find_opt conns client with
+      | Some conn -> write_line engine conns conn line
+      | None -> () (* already closed; the engine counted it abandoned *))
+    responses
+
+(* Split out the complete lines; submit each, reject an unterminated line
+   that already exceeds the protocol bound. *)
+let drain_buffer engine conns conn =
+  let data = Buffer.contents conn.buf in
+  Buffer.clear conn.buf;
+  let rec go start =
+    match String.index_from_opt data start '\n' with
+    | Some i ->
+      let line = String.sub data start (i - start) in
+      let line =
+        (* Tolerate CRLF clients. *)
+        if line <> "" && line.[String.length line - 1] = '\r' then
+          String.sub line 0 (String.length line - 1)
+        else line
+      in
+      Engine.submit engine conn.client line;
+      conn.last_activity <- Unix.gettimeofday ();
+      go (i + 1)
+    | None ->
+      let rest = String.length data - start in
+      if rest > Protocol.max_line_bytes then begin
+        write_line engine conns conn
+          (Protocol.render_response
+             (Protocol.Error
+                (Protocol.Parse
+                   (Printf.sprintf "request longer than %d bytes" Protocol.max_line_bytes))));
+        close_conn engine conns conn
+      end
+      else Buffer.add_substring conn.buf data start rest
+  in
+  go 0
+
+let read_chunk engine conns conn =
+  let bytes = Bytes.create 4096 in
+  match Unix.read conn.fd bytes 0 (Bytes.length bytes) with
+  | 0 -> close_conn engine conns conn (* EOF *)
+  | n ->
+    Buffer.add_subbytes conn.buf bytes 0 n;
+    drain_buffer engine conns conn
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> close_conn engine conns conn
+
+let enforce_deadlines engine conns deadline_s =
+  let now = Unix.gettimeofday () in
+  let timed_out =
+    Hashtbl.fold
+      (fun _ conn acc ->
+        if conn.open_ && now -. conn.last_activity > deadline_s then conn :: acc else acc)
+      conns []
+  in
+  List.iter
+    (fun conn ->
+      write_line engine conns conn
+        (Protocol.render_response (Protocol.Error Protocol.Timeout));
+      close_conn engine conns conn)
+    timed_out
+
+let serve ~socket ~cache ?settings ?(stop = Atomic.make false)
+    ?(read_deadline_s = 30.0) ?(install_signal_handlers = true) () =
+  let engine = Engine.create ?settings ~cache () in
+  (* A response written to a vanished client must surface as EPIPE on the
+     write, not kill the process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  if install_signal_handlers then begin
+    let request_stop _ = Atomic.set stop true in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop)
+  end;
+  if Sys.file_exists socket then Unix.unlink socket;
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let conns : (Engine.client, conn) Hashtbl.t = Hashtbl.create 16 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close listener with Unix.Unix_error _ -> ());
+      if Sys.file_exists socket then try Unix.unlink socket with Sys_error _ -> ())
+    (fun () ->
+      Unix.bind listener (Unix.ADDR_UNIX socket);
+      Unix.listen listener 64;
+      while not (Atomic.get stop) do
+        let fds =
+          listener :: Hashtbl.fold (fun _ c acc -> c.fd :: acc) conns []
+        in
+        let readable =
+          match Unix.select fds [] [] 0.25 with
+          | readable, _, _ -> readable
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+        in
+        List.iter
+          (fun fd ->
+            if fd = listener then begin
+              match Unix.accept listener with
+              | client_fd, _ ->
+                let client = Engine.connect engine in
+                Hashtbl.replace conns client
+                  {
+                    fd = client_fd;
+                    client;
+                    buf = Buffer.create 256;
+                    last_activity = Unix.gettimeofday ();
+                    open_ = true;
+                  }
+              | exception Unix.Unix_error _ -> ()
+            end
+            else begin
+              match
+                Hashtbl.fold
+                  (fun _ c acc -> if c.fd = fd then Some c else acc)
+                  conns None
+              with
+              | Some conn -> read_chunk engine conns conn
+              | None -> ()
+            end)
+          readable;
+        deliver engine conns (Engine.run_until_idle engine);
+        enforce_deadlines engine conns read_deadline_s
+      done;
+      (* Graceful drain: the listener dies first (no new connections), the
+         queued tunes finish and answer, the cache compacts atomically. *)
+      (try Unix.close listener with Unix.Unix_error _ -> ());
+      deliver engine conns (Engine.drain engine);
+      Hashtbl.fold (fun _ c acc -> c :: acc) conns []
+      |> List.iter (fun c -> close_conn engine conns c);
+      engine)

@@ -1,0 +1,37 @@
+(** The Unix-domain-socket front end of the tuning service.
+
+    A thin, fault-tolerant accept loop around {!Engine}: line-framed reads
+    with per-connection deadlines, typed rejection of malformed or
+    oversized requests (the process never crashes on wire input), response
+    delivery that tolerates clients vanishing mid-tune (the shared tune
+    still completes and is cached), and graceful drain on SIGTERM/SIGINT —
+    stop accepting, finish the queued tunes, answer every waiter, flush
+    the cache atomically, remove the socket file.
+
+    The protocol work all lives in {!Engine}/{!Protocol}; this module only
+    owns file descriptors, which is what keeps the chaos campaigns honest:
+    they exercise the same engine in-process through {!Sim}. *)
+
+val serve :
+  socket:string ->
+  cache:string ->
+  ?settings:Engine.settings ->
+  ?stop:bool Atomic.t ->
+  ?read_deadline_s:float ->
+  ?install_signal_handlers:bool ->
+  unit ->
+  Engine.t
+(** Binds [socket] (replacing a stale socket file), serves until [stop]
+    flips to [true] — which the installed SIGTERM/SIGINT handlers do — then
+    drains and returns the final engine for health reporting.
+
+    [read_deadline_s] (default 30): a connection idle that long — no
+    complete request received and nothing owed to it — gets a typed
+    [ERR timeout] line and is closed, so dead or glacial clients cannot
+    pin file descriptors forever.  A single line growing past
+    [Protocol.max_line_bytes] without a newline earns [ERR parse] and a
+    close for the same reason.
+
+    [install_signal_handlers] (default [true]): tests hosting the daemon in
+    a spawned domain pass [false] and flip [stop] themselves (signal
+    handlers are process-global). *)

@@ -1,0 +1,314 @@
+(* The service core: parse -> admit -> coalesce -> tune -> cache -> answer,
+   as a deterministic step machine.  No sockets, no time, no randomness of
+   its own — the Sim harness and the real daemon drive the same code. *)
+
+type settings = {
+  budget_trials : int;
+  seed : int;
+  policy : Core.Supervisor.policy;
+  faults : Gpu_sim.Faults.profile option;
+  journal_dir : string option;
+  max_pending : int;
+  retry_after_s : int;
+}
+
+let default_settings =
+  {
+    budget_trials = 300;
+    seed = 0;
+    policy = Core.Supervisor.default_policy;
+    faults = None;
+    journal_dir = None;
+    max_pending = 8;
+    retry_after_s = 1;
+  }
+
+(* Only settings that change *what a search computes* belong in the
+   generation: serving-side knobs (admission bounds, retry hints, fault
+   injection, journalling) do not invalidate previously correct answers. *)
+let generation_of_settings s =
+  Printf.sprintf "trials=%d;seed=%d;breaker=%d" s.budget_trials s.seed s.policy.breaker_k
+
+type client = int
+
+let client_id c = c
+
+type job = {
+  key : string;
+  canonical : string;
+  request : Protocol.tune_request;
+  mutable waiters : client list;  (* newest first; delivery reverses *)
+}
+
+type counters = {
+  cache_hits : int;
+  cache_misses : int;
+  coalesced : int;
+  busy_rejected : int;
+  tunes_run : int;
+  parse_errors : int;
+  domain_errors : int;
+  tune_failures : int;
+  abandoned : int;
+}
+
+let zero_counters =
+  {
+    cache_hits = 0;
+    cache_misses = 0;
+    coalesced = 0;
+    busy_rejected = 0;
+    tunes_run = 0;
+    parse_errors = 0;
+    domain_errors = 0;
+    tune_failures = 0;
+    abandoned = 0;
+  }
+
+type t = {
+  settings : settings;
+  cache : Result_cache.t;
+  session : Core.Supervisor.session;
+  pending : (client * string) Queue.t;
+  jobs : job Queue.t;
+  inflight : (string, job) Hashtbl.t;  (* key -> queued job *)
+  connected : (client, unit) Hashtbl.t;
+  mutable next_client : int;
+  mutable draining : bool;
+  mutable c : counters;
+}
+
+let rec mkdir_p dir =
+  if dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create ?(settings = default_settings) ~cache () =
+  Option.iter mkdir_p settings.journal_dir;
+  {
+    settings;
+    cache = Result_cache.load ~generation:(generation_of_settings settings) cache;
+    session =
+      Core.Supervisor.create ~policy:settings.policy ~tasks:settings.max_pending ();
+    pending = Queue.create ();
+    jobs = Queue.create ();
+    inflight = Hashtbl.create 16;
+    connected = Hashtbl.create 16;
+    next_client = 0;
+    draining = false;
+    c = zero_counters;
+  }
+
+let settings t = t.settings
+let cache t = t.cache
+let is_draining t = t.draining
+let counters t = t.c
+
+let connect t =
+  let id = t.next_client in
+  t.next_client <- id + 1;
+  Hashtbl.replace t.connected id ();
+  id
+
+let disconnect t client = Hashtbl.remove t.connected client
+let submit t client line = Queue.add (client, line) t.pending
+
+let health t = Core.Supervisor.report t.session
+
+let stats t =
+  let c = t.c in
+  [
+    ("entries", string_of_int (Result_cache.entries t.cache));
+    ("hits", string_of_int c.cache_hits);
+    ("misses", string_of_int c.cache_misses);
+    ("coalesced", string_of_int c.coalesced);
+    ("busy", string_of_int c.busy_rejected);
+    ("tunes_run", string_of_int c.tunes_run);
+    ("parse_errors", string_of_int c.parse_errors);
+    ("domain_errors", string_of_int c.domain_errors);
+    ("tune_failures", string_of_int c.tune_failures);
+    ("abandoned", string_of_int c.abandoned);
+    ("salvage_dropped", string_of_int (Result_cache.dropped t.cache));
+    ("stale_dropped", string_of_int (Result_cache.stale t.cache));
+    ("draining", string_of_bool t.draining);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Responses. *)
+
+let entry_response ~cached (e : Result_cache.entry) =
+  Protocol.Result
+    {
+      key = e.key;
+      source = (if cached then Protocol.Src_cached else e.source);
+      runtime_us = e.runtime_us;
+      gflops = e.gflops;
+      (* A cache hit performs zero measurements — the trial counter the
+         chaos harness uses to assert "no re-tuning". *)
+      trials = (if cached then 0 else e.trials);
+      config = e.config;
+    }
+
+let deliver t out client response =
+  if Hashtbl.mem t.connected client then
+    out := (client, Protocol.render_response response) :: !out
+  else t.c <- { t.c with abandoned = t.c.abandoned + 1 }
+
+(* ------------------------------------------------------------------ *)
+(* Request admission. *)
+
+let handle_tune t out client (req : Protocol.tune_request) =
+  let canonical = Protocol.canonical_of_tune req in
+  let key = Result_cache.key_of_canonical canonical in
+  match Result_cache.find t.cache ~canonical with
+  | Some e ->
+    t.c <- { t.c with cache_hits = t.c.cache_hits + 1 };
+    deliver t out client (entry_response ~cached:true e)
+  | None ->
+    t.c <- { t.c with cache_misses = t.c.cache_misses + 1 };
+    (match Hashtbl.find_opt t.inflight key with
+    | Some job ->
+      t.c <- { t.c with coalesced = t.c.coalesced + 1 };
+      job.waiters <- client :: job.waiters
+    | None ->
+      if Queue.length t.jobs >= t.settings.max_pending then begin
+        t.c <- { t.c with busy_rejected = t.c.busy_rejected + 1 };
+        deliver t out client
+          (Protocol.Busy { retry_after_s = t.settings.retry_after_s })
+      end
+      else begin
+        let job = { key; canonical; request = req; waiters = [ client ] } in
+        Hashtbl.replace t.inflight key job;
+        Queue.add job t.jobs
+      end)
+
+let handle_line t out (client, line) =
+  match Protocol.parse_request line with
+  | Error msg ->
+    t.c <- { t.c with parse_errors = t.c.parse_errors + 1 };
+    deliver t out client (Protocol.Error (Protocol.Parse msg))
+  | Ok _ when t.draining -> deliver t out client (Protocol.Error Protocol.Draining)
+  | Ok Protocol.Ping -> deliver t out client Protocol.Pong
+  | Ok Protocol.Stats -> deliver t out client (Protocol.Stats_reply (stats t))
+  | Ok (Protocol.Tune req) -> handle_tune t out client req
+
+(* ------------------------------------------------------------------ *)
+(* Running one tuning task. *)
+
+let journal_path t key =
+  Option.map (fun dir -> Filename.concat dir (key ^ ".journal")) t.settings.journal_dir
+
+let outcome_entry job (outcome : Core.Supervisor.outcome) =
+  let spec = job.request.Protocol.spec in
+  match outcome with
+  | Core.Supervisor.Tuned r | Core.Supervisor.Replayed r ->
+    let source =
+      match outcome with
+      | Core.Supervisor.Replayed _ -> Protocol.Src_replayed
+      | _ -> Protocol.Src_tuned
+    in
+    `Cacheable
+      {
+        Result_cache.key = job.key;
+        canonical = job.canonical;
+        source;
+        runtime_us = r.Core.Tuner.best_runtime_us;
+        gflops = r.best_gflops;
+        trials = r.measurements;
+        config = r.best_config;
+      }
+  | Core.Supervisor.Degraded { config; runtime_us; faults; _ } ->
+    (* A degraded answer is truthful but below full quality (breaker or
+       budget cut the search short): serve it typed, do NOT cache it — a
+       restarted daemon with a fresh budget should tune it properly. *)
+    `Serve_only
+      (Protocol.Result
+         {
+           key = job.key;
+           source = Protocol.Src_degraded;
+           runtime_us;
+           gflops = Core.Tuner.nominal_gflops spec ~runtime_us;
+           trials = faults.Core.Tuner.failed;
+           config;
+         })
+  | Core.Supervisor.Failed cause ->
+    `Failure (Protocol.Error (Protocol.Failed (Core.Supervisor.cause_to_string cause)))
+
+let run_job t out job =
+  Hashtbl.remove t.inflight job.key;
+  let req = job.request in
+  let outcome =
+    match
+      Core.Search_space.make ~pruned:req.Protocol.pruned req.Protocol.arch
+        req.Protocol.spec req.Protocol.algorithm
+    with
+    | exception Invalid_argument msg ->
+      t.c <- { t.c with domain_errors = t.c.domain_errors + 1 };
+      (* Surface the dead-end in the supervision report too, so the daemon's
+         shutdown health summary does not hide requests it could not serve. *)
+      ignore
+        (Core.Supervisor.record_failed t.session ~key:job.key
+           (Core.Supervisor.Empty_domain msg));
+      `Domain msg
+    | space -> begin
+      t.c <- { t.c with tunes_run = t.c.tunes_run + 1 };
+      let s = t.settings in
+      match
+        Core.Supervisor.tune_task t.session ~key:job.key ~seed:s.seed
+          ~max_measurements:s.budget_trials ?faults:s.faults
+          ?journal:(journal_path t job.key) ~space ()
+      with
+      | outcome -> `Outcome outcome
+      | exception exn ->
+        (* A tune must never take the service down: an unexpected failure
+           (journal I/O, checkpoint salvage, ...) becomes a typed error for
+           this job's waiters and the daemon keeps serving. *)
+        `Crashed (Printexc.to_string exn)
+    end
+  in
+  let response =
+    match outcome with
+    | `Domain msg -> Protocol.Error (Protocol.Domain msg)
+    | `Crashed msg ->
+      t.c <- { t.c with tune_failures = t.c.tune_failures + 1 };
+      Protocol.Error (Protocol.Failed msg)
+    | `Outcome o -> begin
+      match outcome_entry job o with
+      | `Cacheable entry ->
+        Result_cache.put t.cache entry;
+        entry_response ~cached:false entry
+      | `Serve_only response -> response
+      | `Failure response ->
+        t.c <- { t.c with tune_failures = t.c.tune_failures + 1 };
+        response
+    end
+  in
+  (* Every waiter — including ones that joined by coalescing — gets the one
+     shared answer; failures propagate to all of them identically. *)
+  List.iter (fun client -> deliver t out client response) (List.rev job.waiters)
+
+(* ------------------------------------------------------------------ *)
+(* Stepping. *)
+
+let step t =
+  let out = ref [] in
+  let lines = Queue.fold (fun acc x -> x :: acc) [] t.pending |> List.rev in
+  Queue.clear t.pending;
+  List.iter (handle_line t out) lines;
+  if not (Queue.is_empty t.jobs) then run_job t out (Queue.pop t.jobs);
+  List.rev !out
+
+let rec run_until_idle t =
+  let responses = step t in
+  if Queue.is_empty t.pending && Queue.is_empty t.jobs then responses
+  else responses @ run_until_idle t
+
+let drain t =
+  (* Requests already received were accepted: serve them (finishing every
+     queued tune) before refusing anything.  Only lines submitted after
+     this point see [ERR draining]. *)
+  let responses = run_until_idle t in
+  t.draining <- true;
+  Result_cache.flush t.cache;
+  responses

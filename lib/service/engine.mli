@@ -1,0 +1,116 @@
+(** The tuning service's core state machine — everything the daemon does
+    except sockets.
+
+    The engine owns the three robustness pillars:
+
+    - the durable, content-addressed {!Result_cache} (repeat queries answer
+      without tuning; every completed tune is appended before the response
+      is emitted, so a [kill -9] after the answer never loses it);
+    - request coalescing and admission control: identical in-flight
+      requests share one tuning task (all waiters get the one result —
+      including a typed failure, truthfully), distinct queued tunes are
+      bounded by [max_pending] with an explicit [BUSY retry-after] beyond
+      it, and every tune runs under [Core.Supervisor] fair-share budgeting
+      (an exhausted budget degrades to analytic answers, typed as such);
+    - graceful drain: {!drain} stops admitting work, finishes the queued
+      tunes (their journals checkpoint progress if the process dies
+      anyway), answers every waiter, and compacts the cache atomically.
+
+    Determinism: the engine is single-stepped ({!step} processes all
+    pending request lines, then completes at most one tuning task) and
+    draws no randomness beyond the seeded tuner, so a scripted run —
+    {!Sim} — is exactly reproducible.  The daemon drives the same engine
+    from a real socket accept loop. *)
+
+type settings = {
+  budget_trials : int;  (** per-tune measurement budget *)
+  seed : int;  (** tuner seed *)
+  policy : Core.Supervisor.policy;
+      (** breaker threshold + global virtual-time budget + analytic
+          candidate count for degraded answers *)
+  faults : Gpu_sim.Faults.profile option;  (** injected GPU faults (tests) *)
+  journal_dir : string option;
+      (** per-key tune journals: a daemon killed mid-tune resumes the tune
+          from its journal instead of restarting the search *)
+  max_pending : int;  (** distinct queued tunes beyond which requests BUSY *)
+  retry_after_s : int;  (** the hint sent with BUSY *)
+}
+
+val default_settings : settings
+(** 300 trials, seed 0, [Core.Supervisor.default_policy], no faults, no
+    journals, 8 pending tunes, retry-after 1s. *)
+
+val generation_of_settings : settings -> string
+(** The cache generation string: the {e search}-relevant settings (trial
+    budget, seed, breaker, pruning lives in the request key).  Changing any
+    of them invalidates cached results — {!create} skips records of other
+    generations and the next flush removes them. *)
+
+type t
+type client
+
+val client_id : client -> int
+
+val create : ?settings:settings -> cache:string -> unit -> t
+(** Loads (salvaging + repairing if damaged) the durable cache and starts
+    an accepting engine. *)
+
+val settings : t -> settings
+val cache : t -> Result_cache.t
+
+val connect : t -> client
+(** Registers a client session.  Connecting to a draining engine still
+    succeeds; its requests get [ERR draining]. *)
+
+val disconnect : t -> client -> unit
+(** Client went away.  Requests it already submitted still run (and their
+    results are cached — the work is shared, not wasted); only the
+    response delivery is cancelled, counted in [abandoned]. *)
+
+val submit : t -> client -> string -> unit
+(** Enqueue one raw request line (without newline).  Never raises on wire
+    input; malformed lines produce typed [ERR parse] responses at the next
+    {!step}. *)
+
+val step : t -> (client * string) list
+(** One deterministic scheduling round: processes every pending line
+    (immediate answers: cache hits, coalesced joins, BUSY, errors, PING,
+    STATS), then runs at most one queued tuning task to completion and
+    answers all its waiters.  Returns the response lines emitted this
+    round, in order. *)
+
+val run_until_idle : t -> (client * string) list
+(** {!step} until no pending lines and no queued tunes remain. *)
+
+val drain : t -> (client * string) list
+(** Graceful shutdown (the SIGTERM path): {!run_until_idle} first —
+    requests already received were accepted, so every queued tune finishes
+    and every waiter is answered — then stop admitting new requests
+    (subsequent submissions get [ERR draining]) and compact the cache with
+    an atomic flush.  Idempotent. *)
+
+val is_draining : t -> bool
+
+(** {1 Observability} *)
+
+type counters = {
+  cache_hits : int;
+  cache_misses : int;  (** requests that needed (or joined) a tuning task *)
+  coalesced : int;  (** requests that joined an already-queued task *)
+  busy_rejected : int;
+  tunes_run : int;  (** tuning tasks actually executed *)
+  parse_errors : int;
+  domain_errors : int;
+  tune_failures : int;  (** tasks whose waiters got [ERR failed] *)
+  abandoned : int;  (** responses dropped because the waiter disconnected *)
+}
+
+val counters : t -> counters
+
+val stats : t -> (string * string) list
+(** The [STATS] reply payload: counters plus cache entries / salvage
+    losses / stale records and the draining flag. *)
+
+val health : t -> Core.Supervisor.report
+(** The supervision session's report (budget accounting, per-task
+    outcomes) — what the daemon prints on shutdown. *)

@@ -1,0 +1,291 @@
+(* Line protocol: tiny grammar, typed both ways, total parsers.  Nothing in
+   here raises on wire input — a malformed line becomes [Error (Parse _)]
+   at the call site, never an exception in the accept loop. *)
+
+let max_line_bytes = 4096
+
+type tune_request = {
+  spec : Conv.Conv_spec.t;
+  arch : Gpu_sim.Arch.t;
+  algorithm : Core.Config.algorithm;
+  pruned : bool;
+}
+
+type request =
+  | Ping
+  | Stats
+  | Tune of tune_request
+
+(* The CLI's short architecture aliases; [Arch.by_name] wants the display
+   name, which contains spaces and cannot appear in a key=value field. *)
+let arch_of_alias s =
+  match String.lowercase_ascii s with
+  | "1080ti" -> Some Gpu_sim.Arch.gtx_1080_ti
+  | "v100" -> Some Gpu_sim.Arch.v100
+  | "titanx" -> Some Gpu_sim.Arch.titan_x
+  | "gfx906" -> Some Gpu_sim.Arch.gfx906
+  | _ -> None
+
+let split_words line =
+  String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
+
+let parse_fields words =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | w :: rest -> begin
+      match String.index_opt w '=' with
+      | None -> Error (Printf.sprintf "expected key=value, got %S" w)
+      | Some i ->
+        let k = String.lowercase_ascii (String.sub w 0 i) in
+        let v = String.sub w (i + 1) (String.length w - i - 1) in
+        if k = "" || v = "" then Error (Printf.sprintf "empty key or value in %S" w)
+        else if List.mem_assoc k acc then Error (Printf.sprintf "duplicate field %S" k)
+        else go ((k, v) :: acc) rest
+    end
+  in
+  go [] words
+
+let known_fields =
+  [
+    "cin"; "cout"; "size"; "hin"; "win"; "k"; "kh"; "kw"; "stride"; "pad"; "padh";
+    "padw"; "batch"; "groups"; "arch"; "algo"; "e"; "pruned";
+  ]
+
+let parse_tune words =
+  let ( let* ) = Result.bind in
+  let* fields = parse_fields words in
+  let* () =
+    match List.find_opt (fun (k, _) -> not (List.mem k known_fields)) fields with
+    | Some (k, _) -> Error (Printf.sprintf "unknown field %S" k)
+    | None -> Ok ()
+  in
+  let lookup k = List.assoc_opt k fields in
+  let int_field k =
+    match lookup k with
+    | None -> Ok None
+    | Some v -> begin
+      match int_of_string_opt v with
+      | Some i -> Ok (Some i)
+      | None -> Error (Printf.sprintf "field %S: %S is not an integer" k v)
+    end
+  in
+  let require name = function
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing required field (%s)" name)
+  in
+  let* cin = int_field "cin" in
+  let* cout = int_field "cout" in
+  let* size = int_field "size" in
+  let* hin = int_field "hin" in
+  let* win = int_field "win" in
+  let* k = int_field "k" in
+  let* kh = int_field "kh" in
+  let* kw = int_field "kw" in
+  let* stride = int_field "stride" in
+  let* pad = int_field "pad" in
+  let* padh = int_field "padh" in
+  let* padw = int_field "padw" in
+  let* batch = int_field "batch" in
+  let* groups = int_field "groups" in
+  let* e = int_field "e" in
+  let first a b = match a with Some _ -> a | None -> b in
+  let* cin = require "cin" cin in
+  let* cout = require "cout" cout in
+  let* h_in = require "size or hin" (first hin size) in
+  let* w_in = require "size or win" (first win size) in
+  let* k_h = require "k or kh" (first kh k) in
+  let* k_w = require "k or kw" (first kw k) in
+  let* arch =
+    match lookup "arch" with
+    | None -> Ok Gpu_sim.Arch.v100
+    | Some a -> begin
+      match arch_of_alias a with
+      | Some arch -> Ok arch
+      | None -> Error (Printf.sprintf "unknown arch %S (1080ti|v100|titanx|gfx906)" a)
+    end
+  in
+  let* algorithm =
+    match Option.map String.lowercase_ascii (lookup "algo") with
+    | None | Some "direct" -> Ok Core.Config.Direct_dataflow
+    | Some "winograd" -> Ok (Core.Config.Winograd_dataflow (Option.value e ~default:2))
+    | Some a -> Error (Printf.sprintf "unknown algo %S (direct|winograd)" a)
+  in
+  let* pruned =
+    match Option.map String.lowercase_ascii (lookup "pruned") with
+    | None | Some "true" | Some "1" -> Ok true
+    | Some "false" | Some "0" -> Ok false
+    | Some v -> Error (Printf.sprintf "field \"pruned\": %S is not a boolean" v)
+  in
+  match
+    Conv.Conv_spec.make ?batch ?pad ?pad_h:padh ?pad_w:padw ?stride ?groups ~c_in:cin
+      ~h_in ~w_in ~c_out:cout ~k_h ~k_w ()
+  with
+  | spec -> Ok (Tune { spec; arch; algorithm; pruned })
+  | exception Invalid_argument msg -> Error msg
+
+let parse_request line =
+  if String.length line > max_line_bytes then
+    Error (Printf.sprintf "request longer than %d bytes" max_line_bytes)
+  else if String.exists (fun c -> c = '\t' || c = '\r' || Char.code c < 32) line then
+    Error "control characters in request"
+  else begin
+    match split_words line with
+    | [] -> Error "empty request"
+    | verb :: rest -> begin
+      match (String.uppercase_ascii verb, rest) with
+      | "PING", [] -> Ok Ping
+      | "STATS", [] -> Ok Stats
+      | ("PING" | "STATS"), _ :: _ -> Error (verb ^ " takes no arguments")
+      | "TUNE", fields -> parse_tune fields
+      | _ -> Error (Printf.sprintf "unknown verb %S (PING|STATS|TUNE)" verb)
+    end
+  end
+
+let canonical_of_tune r =
+  Core.Search_space.canonical_key r.arch r.spec r.algorithm ~pruned:r.pruned
+
+let render_tune r =
+  let s = r.spec in
+  let algo =
+    match r.algorithm with
+    | Core.Config.Direct_dataflow -> "algo=direct"
+    | Core.Config.Winograd_dataflow e -> Printf.sprintf "algo=winograd e=%d" e
+  in
+  let arch =
+    match r.arch.Gpu_sim.Arch.name with
+    | "GTX 1080 Ti" -> "1080ti"
+    | "V100" -> "v100"
+    | "GTX Titan X" -> "titanx"
+    | "GFX906" -> "gfx906"
+    | other -> other
+  in
+  Printf.sprintf
+    "TUNE cin=%d cout=%d hin=%d win=%d kh=%d kw=%d stride=%d padh=%d padw=%d batch=%d \
+     groups=%d arch=%s %s pruned=%b"
+    s.Conv.Conv_spec.c_in s.c_out s.h_in s.w_in s.k_h s.k_w s.stride s.pad_h s.pad_w
+    s.batch s.groups arch algo r.pruned
+
+(* ------------------------------------------------------------------ *)
+(* Responses. *)
+
+type source =
+  | Src_tuned
+  | Src_replayed
+  | Src_degraded
+  | Src_cached
+
+let source_to_string = function
+  | Src_tuned -> "tuned"
+  | Src_replayed -> "replayed"
+  | Src_degraded -> "degraded"
+  | Src_cached -> "cached"
+
+let source_of_string = function
+  | "tuned" -> Some Src_tuned
+  | "replayed" -> Some Src_replayed
+  | "degraded" -> Some Src_degraded
+  | "cached" -> Some Src_cached
+  | _ -> None
+
+type error =
+  | Parse of string
+  | Domain of string
+  | Failed of string
+  | Draining
+  | Timeout
+
+type result_payload = {
+  key : string;
+  source : source;
+  runtime_us : float;
+  gflops : float;
+  trials : int;
+  config : Core.Config.t;
+}
+
+type response =
+  | Result of result_payload
+  | Busy of { retry_after_s : int }
+  | Pong
+  | Stats_reply of (string * string) list
+  | Error of error
+
+(* Error payloads travel as the rest of the line; strip anything that would
+   break line framing or the leading-token structure. *)
+let clean_message msg =
+  String.map (fun c -> if c = '\n' || c = '\r' || c = '\t' then ' ' else c) msg
+
+let render_response = function
+  | Result r ->
+    Printf.sprintf "OK key=%s source=%s runtime_us=%.6f gflops=%.2f trials=%d config=%s"
+      r.key (source_to_string r.source) r.runtime_us r.gflops r.trials
+      (Core.Config.to_compact r.config)
+  | Busy { retry_after_s } -> Printf.sprintf "BUSY retry-after=%d" retry_after_s
+  | Pong -> "PONG"
+  | Stats_reply kvs ->
+    "STATS"
+    ^ String.concat "" (List.map (fun (k, v) -> Printf.sprintf " %s=%s" k v) kvs)
+  | Error (Parse msg) -> "ERR parse " ^ clean_message msg
+  | Error (Domain msg) -> "ERR domain " ^ clean_message msg
+  | Error (Failed msg) -> "ERR failed " ^ clean_message msg
+  | Error Draining -> "ERR draining"
+  | Error Timeout -> "ERR timeout"
+
+let field_value word key =
+  let prefix = key ^ "=" in
+  let n = String.length prefix in
+  if String.length word > n && String.sub word 0 n = prefix then
+    Some (String.sub word n (String.length word - n))
+  else None
+
+let parse_ok words =
+  match words with
+  | [ w_key; w_src; w_rt; w_gf; w_tr; w_cfg ] -> begin
+    match
+      ( field_value w_key "key",
+        Option.bind (field_value w_src "source") source_of_string,
+        Option.bind (field_value w_rt "runtime_us") float_of_string_opt,
+        Option.bind (field_value w_gf "gflops") float_of_string_opt,
+        Option.bind (field_value w_tr "trials") int_of_string_opt,
+        Option.bind (field_value w_cfg "config") Core.Config.of_compact )
+    with
+    | Some key, Some source, Some runtime_us, Some gflops, Some trials, Some config ->
+      Some (Result { key; source; runtime_us; gflops; trials; config })
+    | _ -> None
+  end
+  | _ -> None
+
+let rest_of_line line n_words =
+  (* Everything after the first [n_words] space-separated words. *)
+  let words = split_words line in
+  let rec drop n = function xs when n = 0 -> xs | _ :: xs -> drop (n - 1) xs | [] -> [] in
+  String.concat " " (drop n_words words)
+
+let parse_response line =
+  match split_words line with
+  | [ "PONG" ] -> Some Pong
+  | "STATS" :: kvs ->
+    let parsed =
+      List.map
+        (fun w ->
+          match String.index_opt w '=' with
+          | Some i ->
+            Some (String.sub w 0 i, String.sub w (i + 1) (String.length w - i - 1))
+          | None -> None)
+        kvs
+    in
+    if List.for_all Option.is_some parsed then
+      Some (Stats_reply (List.map Option.get parsed))
+    else None
+  | "OK" :: fields -> parse_ok fields
+  | [ "BUSY"; w ] ->
+    Option.bind (field_value w "retry-after") int_of_string_opt
+    |> Option.map (fun s -> Busy { retry_after_s = s })
+  | "ERR" :: "draining" :: [] -> Some (Error Draining)
+  | "ERR" :: "timeout" :: [] -> Some (Error Timeout)
+  | "ERR" :: "parse" :: _ :: _ -> Some (Error (Parse (rest_of_line line 2)))
+  | "ERR" :: "domain" :: _ :: _ -> Some (Error (Domain (rest_of_line line 2)))
+  | "ERR" :: "failed" :: _ :: _ -> Some (Error (Failed (rest_of_line line 2)))
+  | _ -> None
+
+let is_typed_line line = parse_response line <> None

@@ -1,0 +1,108 @@
+(** The tuning service's line-oriented wire protocol.
+
+    One request per line, one response line per request, both newline-free
+    ASCII.  The grammar is deliberately tiny and fully typed on both sides:
+    a request either parses into a {!request} or yields a [Parse] error
+    {e response} — the daemon never crashes on wire input, and every
+    outcome a client can observe is one of the {!response} constructors.
+
+    Requests:
+
+    {v PING
+       STATS
+       TUNE cin=64 cout=64 size=56 k=3 [hin= win= kh= kw= stride= pad=
+            padh= padw= batch= groups= arch=v100 algo=direct|winograd
+            e=2 pruned=true] v}
+
+    Responses:
+
+    {v PONG
+       STATS key=value ...
+       OK key=<16hex> source=tuned|replayed|degraded|cached
+          runtime_us=<f> gflops=<f> trials=<n> config=<compact>
+       BUSY retry-after=<seconds>
+       ERR parse|domain|failed <message>
+       ERR draining
+       ERR timeout v}
+
+    Field order in a [TUNE] request is free and defaults may be elided;
+    the daemon canonicalizes ([Core.Search_space.canonical_key]) before
+    hashing, so permutations and elided defaults address the same cache
+    entry. *)
+
+val max_line_bytes : int
+(** Upper bound on a request line (4096 bytes).  The daemon rejects longer
+    lines with a [Parse] error instead of buffering without bound. *)
+
+(** {1 Requests} *)
+
+type tune_request = {
+  spec : Conv.Conv_spec.t;
+  arch : Gpu_sim.Arch.t;
+  algorithm : Core.Config.algorithm;
+  pruned : bool;
+}
+
+type request =
+  | Ping
+  | Stats
+  | Tune of tune_request
+
+val parse_request : string -> (request, string) result
+(** Never raises.  [Error msg] covers unknown verbs, unknown or duplicate
+    fields, malformed integers, missing required fields ([cin], [cout],
+    [size] or [hin]+[win], [k] or [kh]+[kw]) and spec-level rejections
+    (non-positive sizes, empty output, groups not dividing channels). *)
+
+val canonical_of_tune : tune_request -> string
+(** [Core.Search_space.canonical_key] of the request's quadruple — the
+    string whose hash is the cache key. *)
+
+val render_tune : tune_request -> string
+(** A parseable [TUNE] request line for the tuple (used by clients; the
+    round-trip [parse_request (render_tune r)] reproduces [r]). *)
+
+(** {1 Responses} *)
+
+type source =
+  | Src_tuned  (** measured search completed live *)
+  | Src_replayed  (** satisfied from a tune journal, no live measurement *)
+  | Src_degraded  (** breaker/budget degradation: analytic or truncated best *)
+  | Src_cached  (** served from the shared result cache, zero tuning *)
+
+val source_to_string : source -> string
+val source_of_string : string -> source option
+
+type error =
+  | Parse of string  (** the request line did not parse *)
+  | Domain of string  (** the spec admits no valid configuration *)
+  | Failed of string  (** the supervised tune failed; payload is the cause *)
+  | Draining  (** the daemon is shutting down and accepts no new work *)
+  | Timeout  (** the connection idled past its read deadline *)
+
+type result_payload = {
+  key : string;  (** 16-hex content hash of the canonical request *)
+  source : source;
+  runtime_us : float;
+  gflops : float;
+  trials : int;  (** measurements behind the answer (0 for cache hits) *)
+  config : Core.Config.t;
+}
+
+type response =
+  | Result of result_payload
+  | Busy of { retry_after_s : int }
+  | Pong
+  | Stats_reply of (string * string) list
+  | Error of error
+
+val render_response : response -> string
+(** Single line, no trailing newline, never raises. *)
+
+val parse_response : string -> response option
+(** Inverse of {!render_response} (client side; [None] on malformed input).
+    Round-trips exactly for every constructor. *)
+
+val is_typed_line : string -> bool
+(** [true] iff the line parses as some {!response} — what the chaos
+    harness asserts of {e every} byte the service emits. *)

@@ -1,0 +1,129 @@
+(* Content-addressed durable result cache.
+
+   On-disk record (one Durable payload, tab-separated; the canonical string
+   goes last and the config compact form is token-shaped, so fields parse
+   unambiguously):
+
+     v1 TAB generation TAB key TAB source TAB runtime%h TAB gflops%h
+        TAB trials TAB config TAB canonical
+
+   Runtimes travel as hex floats so a reloaded entry is bit-identical to
+   the one that was stored. *)
+
+(* FNV-1a, 64-bit: cheap, stable, and good enough dispersion for a cache
+   whose correctness does not depend on collision-freedom (lookups verify
+   the canonical string before answering). *)
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let key_of_canonical s =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
+    s;
+  Printf.sprintf "%016Lx" !h
+
+type entry = {
+  key : string;
+  canonical : string;
+  source : Protocol.source;
+  runtime_us : float;
+  gflops : float;
+  trials : int;
+  config : Core.Config.t;
+}
+
+type t = {
+  path : string;
+  generation : string;
+  table : (string, entry) Hashtbl.t;  (* key -> newest entry *)
+  mutable dropped : int;
+  mutable stale : int;
+}
+
+let kind = "service-cache"
+
+let no_framing_hazard s =
+  not (String.exists (fun c -> c = '\t' || c = '\n' || c = '\r') s)
+
+let to_line ~generation e =
+  if not (no_framing_hazard e.canonical) then
+    invalid_arg "Result_cache: tab or newline in canonical string";
+  if not (Float.is_finite e.runtime_us && e.runtime_us > 0.0) then
+    invalid_arg "Result_cache: non-finite or non-positive runtime";
+  Printf.sprintf "v1\t%s\t%s\t%s\t%h\t%h\t%d\t%s\t%s" generation e.key
+    (Protocol.source_to_string e.source)
+    e.runtime_us e.gflops e.trials
+    (Core.Config.to_compact e.config)
+    e.canonical
+
+(* [None] on any malformed field: a record that survived its checksum but
+   fails semantic validation is treated as stale garbage, not a crash. *)
+let of_line ~generation line =
+  match String.split_on_char '\t' line with
+  | [ "v1"; gen; key; source; runtime; gflops; trials; config; canonical ] -> begin
+    match
+      ( Protocol.source_of_string source,
+        float_of_string_opt runtime,
+        float_of_string_opt gflops,
+        int_of_string_opt trials,
+        Core.Config.of_compact config )
+    with
+    | Some source, Some runtime_us, Some gflops, Some trials, Some config
+      when Float.is_finite runtime_us && runtime_us > 0.0
+           && key = key_of_canonical canonical ->
+      if gen = generation then
+        `Live { key; canonical; source; runtime_us; gflops; trials; config }
+      else `Stale
+    | _ -> `Malformed
+  end
+  | _ -> `Malformed
+
+let load ~generation path =
+  if not (no_framing_hazard generation) then
+    invalid_arg "Result_cache.load: tab or newline in generation";
+  let outcome = Util.Durable.repair ~kind path in
+  Util.Durable.warn_dropped ~path outcome;
+  let t =
+    {
+      path;
+      generation;
+      table = Hashtbl.create 64;
+      dropped = Util.Durable.dropped outcome;
+      stale = 0;
+    }
+  in
+  List.iter
+    (fun payload ->
+      match of_line ~generation payload with
+      | `Live e -> Hashtbl.replace t.table e.key e
+      | `Stale -> t.stale <- t.stale + 1
+      | `Malformed -> t.dropped <- t.dropped + 1)
+    (Util.Durable.records outcome);
+  t
+
+let generation t = t.generation
+let path t = t.path
+
+let find t ~canonical =
+  match Hashtbl.find_opt t.table (key_of_canonical canonical) with
+  | Some e when e.canonical = canonical -> Some e
+  | Some _ (* hash collision: a miss, never the wrong layer's answer *) | None -> None
+
+let put t e =
+  let line = to_line ~generation:t.generation e in
+  Hashtbl.replace t.table e.key e;
+  Util.Durable.append ~kind t.path line
+
+let flush t =
+  let live =
+    Hashtbl.fold (fun _ e acc -> e :: acc) t.table []
+    |> List.sort (fun a b -> compare a.key b.key)
+  in
+  Util.Durable.write_snapshot ~kind t.path
+    (List.map (to_line ~generation:t.generation) live)
+
+let entries t = Hashtbl.length t.table
+let dropped t = t.dropped
+let stale t = t.stale

@@ -1,0 +1,72 @@
+(** Content-addressed, crash-safe shared result cache.
+
+    The cache maps the hash of a canonical request
+    ([Core.Search_space.canonical_key]) to the best configuration found for
+    it, and is the reason a tuning service amortizes: millions of clients
+    mostly ask for the same few hundred layer shapes, and each shape is
+    tuned once per generation.
+
+    Durability comes from [Util.Durable]: the on-disk form is an
+    append-only CRC-framed record file ([kind = "service-cache"]), so a
+    [kill -9] mid-append costs at most the torn record, and corruption
+    injected by [Util.Fs_faults] salvages to the longest valid prefix —
+    reported, never silently dropped.  {!flush} compacts the file through
+    an atomic snapshot.
+
+    Staleness: every record carries the {e generation} — an opaque string
+    naming the search settings (budget, seed, policy) that produced it.
+    Records from other generations are ignored at {!load} and removed by
+    the next {!flush}, so changing the search settings invalidates the
+    cache without deleting the file by hand. *)
+
+val key_of_canonical : string -> string
+(** 16-hex-digit FNV-1a 64-bit hash of the canonical request string — the
+    content address.  Stable across processes and platforms. *)
+
+type entry = {
+  key : string;  (** [key_of_canonical canonical] *)
+  canonical : string;  (** kept verbatim so hash collisions are detectable *)
+  source : Protocol.source;  (** how the result was obtained originally *)
+  runtime_us : float;
+  gflops : float;
+  trials : int;
+  config : Core.Config.t;
+}
+
+type t
+
+val load : generation:string -> string -> t
+(** Opens (or creates the in-memory image of) the cache at a path.  Damaged
+    files are salvaged {e and repaired in place} ([Util.Durable.repair]), a
+    warning is emitted once per path, and the losses are reported through
+    {!dropped}.  Records of other generations are counted in {!stale} and
+    skipped.  Of duplicate keys the newest record wins (appends after a
+    crash-replay can legitimately duplicate).  Raises [Invalid_argument]
+    if [generation] contains tabs or newlines. *)
+
+val generation : t -> string
+val path : t -> string
+
+val find : t -> canonical:string -> entry option
+(** Lookup by canonical string (hashes internally; verifies the stored
+    canonical matches, so a hash collision misses instead of answering with
+    the wrong layer's configuration). *)
+
+val put : t -> entry -> unit
+(** Inserts/overwrites in memory and appends one durable record.  Entries
+    whose [canonical] or [config] fail to round-trip are rejected with
+    [Invalid_argument] (the daemon only constructs well-formed entries). *)
+
+val flush : t -> unit
+(** Atomic compaction: rewrites the file as one snapshot holding exactly
+    the live, current-generation entries (drops stale generations, torn
+    garbage and superseded duplicates).  Crash-safe: temp-then-rename. *)
+
+val entries : t -> int
+(** Live entries of the current generation. *)
+
+val dropped : t -> int
+(** Records lost to corruption when this image was loaded. *)
+
+val stale : t -> int
+(** Records of other generations ignored when this image was loaded. *)

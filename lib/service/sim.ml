@@ -1,0 +1,50 @@
+(* Script interpreter over the engine: the reproducible stand-in for the
+   socket accept loop.  Logical client numbers decouple scripts from the
+   engine's session ids, so a script survives refactors of id assignment. *)
+
+type event =
+  | Connect of int
+  | Send of int * string
+  | Disconnect of int
+  | Step
+  | Run_until_idle
+  | Drain
+
+type outcome = {
+  responses : (int * string) list;
+  engine : Engine.t;
+}
+
+let run ?settings ~cache events =
+  let engine = Engine.create ?settings ~cache () in
+  let clients = Hashtbl.create 8 in
+  let back = Hashtbl.create 8 in
+  let lookup n =
+    match Hashtbl.find_opt clients n with
+    | Some c -> c
+    | None -> invalid_arg (Printf.sprintf "Sim.run: unknown client %d" n)
+  in
+  let logical responses =
+    List.map
+      (fun (c, line) -> (Option.value ~default:(-1) (Hashtbl.find_opt back c), line))
+      responses
+  in
+  let acc = ref [] in
+  let emit rs = acc := !acc @ logical rs in
+  List.iter
+    (fun event ->
+      match event with
+      | Connect n ->
+        let c = Engine.connect engine in
+        Hashtbl.replace clients n c;
+        Hashtbl.replace back c n
+      | Send (n, line) -> Engine.submit engine (lookup n) line
+      | Disconnect n -> Engine.disconnect engine (lookup n)
+      | Step -> emit (Engine.step engine)
+      | Run_until_idle -> emit (Engine.run_until_idle engine)
+      | Drain -> emit (Engine.drain engine))
+    events;
+  { responses = !acc; engine }
+
+let transcript_of n outcome =
+  List.filter_map (fun (m, line) -> if m = n then Some line else None) outcome.responses

@@ -220,5 +220,6 @@ let warn_dropped ~path outcome =
   | Missing | Intact _ -> ()
   | Salvaged { records; dropped; reason } ->
     if dropped > 0 then
-      Log.warnf "warning: %s: salvaged %d record(s), dropped %d (%s)\n%!" path
+      Log.warn_oncef ~key:("durable-salvage:" ^ path)
+        "warning: %s: salvaged %d record(s), dropped %d (%s)\n%!" path
         (List.length records) dropped reason

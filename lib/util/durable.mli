@@ -81,7 +81,10 @@ val write_atomic : string -> string -> unit
     artifacts with their own format, like benchmark JSON. *)
 
 val warn_dropped : path:string -> read_outcome -> unit
-(** Prints one [warning:] line to stderr (through [Log.warnf], so test
-    suites can silence it with [Log.set_quiet]) when the outcome dropped
-    records; silent otherwise.  Callers use it to honour the "never
-    silently discard" contract without each inventing a message format. *)
+(** Prints one [warning:] line to stderr (through [Log.warn_oncef] keyed by
+    [path], so test suites can silence it with [Log.set_quiet]) when the
+    outcome dropped records; silent otherwise.  Deduplicated per path: a
+    long-lived process that re-reads the same damaged artifact — a daemon
+    serving many cache files, say — reports each salvage exactly once
+    (until [Log.reset_once]).  Callers use it to honour the "never silently
+    discard" contract without each inventing a message format. *)

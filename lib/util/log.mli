@@ -22,3 +22,20 @@ val set_quiet : bool -> unit
 val warnf : ('a, out_channel, unit) format -> 'a
 (** [warnf fmt ...] prints to stderr at level [Warn] and swallows the
     message (still evaluating its arguments) at [Quiet]. *)
+
+val once : string -> bool
+(** [once key] is [true] the first time [key] is seen since the last
+    {!reset_once}, [false] afterwards.  Thread-safe.  The guard behind
+    per-artifact warn-once emission: callers key by file path so a process
+    holding many durable files reports each salvage exactly once, rather
+    than once per read or once per process. *)
+
+val reset_once : unit -> unit
+(** Forget every key {!once} has seen (test suites call this between
+    cases). *)
+
+val warn_oncef : key:string -> ('a, out_channel, unit) format -> 'a
+(** {!warnf}, deduplicated by [key]: prints at most once per key at level
+    [Warn].  At [Quiet] the message is swallowed {e without} consuming the
+    key, so a salvage silenced under a quiet test harness is still reported
+    if the same path salvages again once warnings are back on. *)

@@ -174,6 +174,56 @@ let test_budget_fair_share () =
   Alcotest.(check (float 1e-9)) "garbage charges ignored" 110.0
     (Core.Supervisor.Budget.spent_us b)
 
+(* Every task trips its breaker early, spending almost none of its fair
+   share.  The surplus must flow forward — each later task's granted share
+   can only grow — and must never resurrect a tripped task: each key is
+   reported exactly once, stays degraded-by-breaker (not converted to a
+   budget verdict by the windfall), and the leftover budget survives as
+   remaining, unspent. *)
+let test_surplus_never_resurrects_tripped_tasks () =
+  let poison = { Gpu_sim.Faults.default with launch_shmem_frac = 0.0 } in
+  let policy = { Core.Supervisor.default_policy with budget_us = 5.0e7 } in
+  let session = Core.Supervisor.create ~policy ~tasks:3 () in
+  let keys = [ "t0"; "t1"; "t2" ] in
+  List.iteri
+    (fun i key ->
+      match
+        Core.Supervisor.tune_task session ~key ~seed:i ~max_measurements:40
+          ~faults:poison ~space:(space ()) ()
+      with
+      | Core.Supervisor.Degraded { reason = Core.Supervisor.Breaker_open _; _ } -> ()
+      | o ->
+        Alcotest.fail
+          (Printf.sprintf "task %s: expected breaker-open, got %s" key
+             (Core.Supervisor.outcome_label o)))
+    keys;
+  let report = Core.Supervisor.report session in
+  Alcotest.(check (list string)) "each task reported exactly once" keys
+    (List.map (fun (t : Core.Supervisor.task_report) -> t.key) report.tasks);
+  List.iter
+    (fun (t : Core.Supervisor.task_report) ->
+      (match t.outcome with
+      | Core.Supervisor.Degraded { reason = Core.Supervisor.Breaker_open _; _ } -> ()
+      | o ->
+        Alcotest.fail
+          (Printf.sprintf "%s resurrected as %s" t.key
+             (Core.Supervisor.outcome_label o)));
+      Alcotest.(check bool) (t.key ^ " spent within its granted share") true
+        (t.spent_us <= t.share_us +. 1e-6))
+    report.tasks;
+  (* Breaker trips are cheap, so each successive share strictly absorbs the
+     predecessor's surplus. *)
+  let shares = List.map (fun (t : Core.Supervisor.task_report) -> t.share_us) report.tasks in
+  (match shares with
+  | [ s0; s1; s2 ] ->
+    Alcotest.(check (float 1e-6)) "first share is the plain third" (5.0e7 /. 3.0) s0;
+    Alcotest.(check bool) "surplus flows forward, monotonically" true
+      (s1 >= s0 -. 1e-6 && s2 >= s1 -. 1e-6)
+  | _ -> Alcotest.fail "expected three shares");
+  Alcotest.(check bool) "windfall left unspent, not burned on tripped tasks" true
+    (report.budget_spent_us < 0.5 *. report.budget_total_us
+    && Core.Supervisor.budget_remaining_us session > 0.5 *. report.budget_total_us)
+
 let test_zero_budget_degrades_analytically () =
   let policy = { Core.Supervisor.default_policy with budget_us = 0.0 } in
   let session = Core.Supervisor.create ~policy ~tasks:1 () in
@@ -457,6 +507,8 @@ let () =
       ( "budget",
         [
           Alcotest.test_case "fair share redistribution" `Quick test_budget_fair_share;
+          Alcotest.test_case "surplus never resurrects tripped tasks" `Quick
+            test_surplus_never_resurrects_tripped_tasks;
           Alcotest.test_case "zero budget degrades analytically" `Quick
             test_zero_budget_degrades_analytically;
           Alcotest.test_case "finite budget stops and accounts" `Quick

@@ -972,6 +972,66 @@ let qcheck_bound_positive =
       let q2 = Core.Direct_bound.q_lower bigger ~s:256.0 in
       q > 0.0 && q2 > q)
 
+(* --- Canonicalization (the service cache key) --- *)
+
+(* Two specs built through different constructor paths but describing the
+   same layer must canonicalize — and therefore content-address — equally,
+   and any single differing field must break the equality. *)
+let qcheck_canonical_spec_equal =
+  QCheck.Test.make ~name:"semantically equal specs canonicalize equal" ~count:200
+    QCheck.(
+      quad (int_range 1 64) (int_range 1 64) (int_range 1 7) (int_range 0 3))
+    (fun (c, size, k, pad) ->
+      (* Clamp: qcheck shrinkers wander below the generator's range, and a
+         kernel larger than the padded image has no output (both
+         constructors reject it identically — nothing to compare). *)
+      let c = max 1 c and size = max 1 size and k = max 1 k and pad = max 0 pad in
+      QCheck.assume (size + (2 * pad) >= k);
+      let via_square = Spec.square ~c_in:c ~size ~c_out:c ~k ~pad () in
+      let via_axes =
+        Spec.make ~c_in:c ~h_in:size ~w_in:size ~c_out:c ~k_h:k ~k_w:k ~pad_h:pad
+          ~pad_w:pad ()
+      in
+      let via_uniform_pad =
+        Spec.make ~c_in:c ~h_in:size ~w_in:size ~c_out:c ~k_h:k ~k_w:k ~pad ()
+      in
+      let canon = Spec.canonical via_square in
+      String.equal canon (Spec.canonical via_axes)
+      && String.equal canon (Spec.canonical via_uniform_pad)
+      && String.equal
+           (Core.Search_space.canonical_key arch via_square Core.Config.Direct_dataflow
+              ~pruned:true)
+           (Core.Search_space.canonical_key arch via_axes Core.Config.Direct_dataflow
+              ~pruned:true))
+
+let qcheck_canonical_distinguishes =
+  QCheck.Test.make ~name:"canonical separates differing specs and settings" ~count:100
+    QCheck.(pair (int_range 1 32) (int_range 2 16))
+    (fun (c, size) ->
+      let c = max 1 c and size = max 3 size in
+      let spec = Spec.make ~c_in:c ~h_in:size ~w_in:size ~c_out:c ~k_h:3 ~k_w:3 () in
+      let bigger =
+        Spec.make ~c_in:c ~h_in:(size + 1) ~w_in:size ~c_out:c ~k_h:3 ~k_w:3 ()
+      in
+      let key = Core.Search_space.canonical_key arch spec Core.Config.Direct_dataflow in
+      (not (String.equal (Spec.canonical spec) (Spec.canonical bigger)))
+      && (not
+            (String.equal (key ~pruned:true)
+               (Core.Search_space.canonical_key Gpu_sim.Arch.v100 spec
+                  Core.Config.Direct_dataflow ~pruned:true)))
+      && (not
+            (String.equal (key ~pruned:true)
+               (Core.Search_space.canonical_key arch spec (Core.Config.Winograd_dataflow 2)
+                  ~pruned:true)))
+      && not (String.equal (key ~pruned:true) (key ~pruned:false)))
+
+let test_canonical_key_matches_space () =
+  let space = Core.Search_space.make arch spec_layer Core.Config.Direct_dataflow in
+  Alcotest.(check string) "canonical_key agrees with canonical of a built space"
+    (Core.Search_space.canonical_key arch spec_layer Core.Config.Direct_dataflow
+       ~pruned:true)
+    (Core.Search_space.canonical space)
+
 let () =
   Alcotest.run "core"
     [
@@ -1036,6 +1096,13 @@ let () =
           Alcotest.test_case "size matches enumeration" `Quick test_space_size_matches_enumeration;
           Alcotest.test_case "tuner near exhaustive optimum" `Slow
             test_tuner_near_exhaustive_optimum;
+        ] );
+      ( "canonical",
+        [
+          QCheck_alcotest.to_alcotest qcheck_canonical_spec_equal;
+          QCheck_alcotest.to_alcotest qcheck_canonical_distinguishes;
+          Alcotest.test_case "canonical_key matches built space" `Quick
+            test_canonical_key_matches_space;
         ] );
       ( "cost-model",
         [

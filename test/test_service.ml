@@ -1,0 +1,887 @@
+(* Service-layer suite — backs the [@service-smoke] dune alias.
+
+   The tuning daemon's three robustness pillars, exercised through the
+   deterministic in-process harness (Service.Sim drives the same Engine the
+   socket daemon does):
+
+   - the crash-safe content-addressed result cache: kill -9 (a script that
+     ends without Drain) plus injected file corruption still leaves a
+     restartable cache, and previously tuned shapes answer with zero
+     re-tuning (trials=0, tunes_run unchanged);
+   - coalescing + admission: N identical concurrent requests run exactly
+     one tuning task and all waiters get the one answer; distinct requests
+     beyond max_pending get a typed BUSY;
+   - protocol fault handling: every byte the engine emits is a typed
+     response line, malformed input never crashes, draining rejects new
+     work but finishes queued tunes.
+
+   SERVICE_DEEP=1 widens the chaos campaign seed sweep and adds the
+   real-socket daemon smoke (spawned domain, live Unix socket, idle
+   deadline, SIGTERM-equivalent stop/drain, warm restart). *)
+
+let deep = Sys.getenv_opt "SERVICE_DEEP" <> None
+let campaign_seeds = List.init (if deep then 16 else 4) (fun i -> i)
+
+(* Salvage warnings from deliberately corrupted caches are expected noise. *)
+let () = Util.Log.set_quiet true
+
+(* Small shapes keep a full tune at a few hundred microseconds of model
+   evaluation; the smoke suite stays well under the 5s gate. *)
+let line_a = "TUNE cin=4 size=8 cout=4 k=3"
+let line_b = "TUNE cin=8 size=8 cout=4 k=1"
+let line_c = "TUNE cin=4 size=10 cout=8 k=3 arch=1080ti"
+
+let spec_of_line line =
+  match Service.Protocol.parse_request line with
+  | Ok (Service.Protocol.Tune r) -> r
+  | _ -> Alcotest.failf "helper line does not parse: %s" line
+
+let fast =
+  {
+    Service.Engine.default_settings with
+    budget_trials = 16;
+    max_pending = 4;
+  }
+
+let temp_cache () =
+  let path = Filename.temp_file "service" ".cache" in
+  Sys.remove path;
+  path
+
+(* A run that never tunes never creates the cache file. *)
+let cleanup path = if Sys.file_exists path then Sys.remove path
+
+let temp_dir prefix =
+  let path = Filename.temp_file prefix "" in
+  Sys.remove path;
+  Unix.mkdir path 0o755;
+  path
+
+let parse_ok line =
+  match Service.Protocol.parse_response line with
+  | Some (Service.Protocol.Result p) -> p
+  | _ -> Alcotest.failf "expected an OK response, got: %s" line
+
+(* Rebuild the request's search space and check the answered config is a
+   member — the "validated config" half of the chaos property. *)
+let assert_config_valid line (r : Service.Protocol.tune_request) =
+  let p = parse_ok line in
+  match
+    Core.Search_space.make ~pruned:r.pruned r.arch r.spec r.algorithm
+  with
+  | exception Invalid_argument _ -> Alcotest.failf "spec lost its domain: %s" line
+  | space ->
+    Alcotest.(check bool)
+      ("config validates: " ^ line)
+      true
+      (Core.Search_space.validate space p.config = Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* Protocol. *)
+
+let test_request_roundtrip () =
+  let r = spec_of_line "TUNE cin=64 cout=32 hin=28 win=28 kh=3 kw=3 stride=2 padh=1 padw=0 batch=2 groups=2 arch=1080ti algo=winograd e=2 pruned=false" in
+  let rendered = Service.Protocol.render_tune r in
+  (match Service.Protocol.parse_request rendered with
+  | Ok (Service.Protocol.Tune r') ->
+    Alcotest.(check string) "round-trip preserves the canonical request"
+      (Service.Protocol.canonical_of_tune r)
+      (Service.Protocol.canonical_of_tune r')
+  | _ -> Alcotest.fail "rendered request did not parse back");
+  (* Field order is free and elidable defaults do not change the address. *)
+  let permuted = spec_of_line "TUNE k=3 size=8 cout=4 cin=4 arch=v100 algo=direct pruned=true" in
+  Alcotest.(check string) "permuted + explicit defaults address the same entry"
+    (Service.Protocol.canonical_of_tune (spec_of_line line_a))
+    (Service.Protocol.canonical_of_tune permuted)
+
+let test_parse_rejects_malformed () =
+  let reject line =
+    match Service.Protocol.parse_request line with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "expected a parse error for: %s" line
+  in
+  List.iter reject
+    [
+      "";
+      "FROBNICATE";
+      "TUNE";
+      "TUNE cin=4";  (* missing cout/size/k *)
+      "TUNE cin=4 size=8 cout=4 k=3 cin=5";  (* duplicate field *)
+      "TUNE cin=banana size=8 cout=4 k=3";
+      "TUNE cin=4 size=8 cout=4 k=3 mystery=1";
+      "TUNE cin=-4 size=8 cout=4 k=3";  (* spec-level rejection *)
+      "TUNE cin=4 size=8 cout=4 k=3 algo=quantum";
+      "TUNE cin=4 size=8 cout=4 k=3 arch=abacus";
+      "TUNE cin=4 size=8\tcout=4 k=3";  (* control char *)
+      "TUNE cin=4 size=8 cout=4 k=3 " ^ String.make Service.Protocol.max_line_bytes 'x';
+    ];
+  Alcotest.(check bool) "garbage is not a typed response line" false
+    (Service.Protocol.is_typed_line "how about no")
+
+let test_response_roundtrip () =
+  let space =
+    let r = spec_of_line line_a in
+    Core.Search_space.make r.arch r.spec r.algorithm
+  in
+  let config, _ = Core.Supervisor.analytic_best space in
+  let payload =
+    {
+      Service.Protocol.key = Service.Result_cache.key_of_canonical "x";
+      source = Service.Protocol.Src_tuned;
+      runtime_us = 123.456789;
+      gflops = 7.25;
+      trials = 42;
+      config;
+    }
+  in
+  let roundtrip resp =
+    let line = Service.Protocol.render_response resp in
+    Alcotest.(check bool) ("typed: " ^ line) true (Service.Protocol.is_typed_line line);
+    match Service.Protocol.parse_response line with
+    | Some resp' ->
+      Alcotest.(check string) ("round-trip: " ^ line) line
+        (Service.Protocol.render_response resp')
+    | None -> Alcotest.failf "rendered response did not parse back: %s" line
+  in
+  List.iter roundtrip
+    [
+      Service.Protocol.Result payload;
+      Service.Protocol.Result
+        { payload with source = Service.Protocol.Src_cached; trials = 0 };
+      Service.Protocol.Busy { retry_after_s = 3 };
+      Service.Protocol.Pong;
+      Service.Protocol.Stats_reply [ ("hits", "4"); ("draining", "false") ];
+      Service.Protocol.Error (Service.Protocol.Parse "unknown field 'mystery'");
+      Service.Protocol.Error (Service.Protocol.Domain "winograd unsupported");
+      Service.Protocol.Error (Service.Protocol.Failed "breaker open");
+      Service.Protocol.Error Service.Protocol.Draining;
+      Service.Protocol.Error Service.Protocol.Timeout;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Result cache. *)
+
+let sample_entry canonical =
+  let r = spec_of_line line_a in
+  let space = Core.Search_space.make r.arch r.spec r.algorithm in
+  let config, runtime_us = Core.Supervisor.analytic_best space in
+  {
+    Service.Result_cache.key = Service.Result_cache.key_of_canonical canonical;
+    canonical;
+    source = Service.Protocol.Src_tuned;
+    runtime_us;
+    gflops = 3.25;
+    trials = 16;
+    config;
+  }
+
+let test_cache_roundtrip_persists () =
+  let path = temp_cache () in
+  let cache = Service.Result_cache.load ~generation:"g1" path in
+  Alcotest.(check int) "fresh cache empty" 0 (Service.Result_cache.entries cache);
+  let e = sample_entry "spec-one" in
+  Service.Result_cache.put cache e;
+  (* A second process (or a restart after kill -9) sees the append. *)
+  let cache' = Service.Result_cache.load ~generation:"g1" path in
+  (match Service.Result_cache.find cache' ~canonical:"spec-one" with
+  | Some e' ->
+    Alcotest.(check string) "key survives" e.key e'.key;
+    Alcotest.(check bool) "runtime bit-identical" true (e.runtime_us = e'.runtime_us);
+    Alcotest.(check string) "config survives"
+      (Core.Config.to_compact e.config)
+      (Core.Config.to_compact e'.config)
+  | None -> Alcotest.fail "entry lost across reload");
+  Alcotest.(check bool) "unknown canonical misses" true
+    (Service.Result_cache.find cache' ~canonical:"spec-two" = None);
+  Service.Result_cache.flush cache';
+  let cache'' = Service.Result_cache.load ~generation:"g1" path in
+  Alcotest.(check int) "flush keeps the live entry" 1
+    (Service.Result_cache.entries cache'');
+  Sys.remove path
+
+let test_cache_generation_invalidation () =
+  let path = temp_cache () in
+  let old = Service.Result_cache.load ~generation:"trials=16;seed=0" path in
+  Service.Result_cache.put old (sample_entry "spec-one");
+  (* The operator changed the search settings: old answers are stale. *)
+  let fresh = Service.Result_cache.load ~generation:"trials=64;seed=0" path in
+  Alcotest.(check int) "stale records counted" 1 (Service.Result_cache.stale fresh);
+  Alcotest.(check int) "no live entries" 0 (Service.Result_cache.entries fresh);
+  Alcotest.(check bool) "stale entry not served" true
+    (Service.Result_cache.find fresh ~canonical:"spec-one" = None);
+  Service.Result_cache.flush fresh;
+  (* The compaction removed the stale generation for good. *)
+  let back = Service.Result_cache.load ~generation:"trials=16;seed=0" path in
+  Alcotest.(check int) "flush dropped the stale record" 0
+    (Service.Result_cache.stale back + Service.Result_cache.entries back);
+  Sys.remove path
+
+let test_cache_rejects_forged_key () =
+  (* A record whose key does not hash its canonical (disk tampering, or a
+     genuine FNV collision) must be ignored, never served. *)
+  let path = temp_cache () in
+  let cache = Service.Result_cache.load ~generation:"g1" path in
+  let e = sample_entry "spec-one" in
+  Service.Result_cache.put cache e;
+  let forged =
+    Printf.sprintf "v1\tg1\t%s\t%s\t%h\t%h\t%d\t%s\t%s"
+      (Service.Result_cache.key_of_canonical "some-other-spec")
+      "tuned" 1.0 1.0 5
+      (Core.Config.to_compact e.config)
+      "spec-forged"
+  in
+  Util.Durable.append ~kind:"service-cache" path forged;
+  let cache' = Service.Result_cache.load ~generation:"g1" path in
+  Alcotest.(check int) "only the honest entry is live" 1
+    (Service.Result_cache.entries cache');
+  Alcotest.(check bool) "forged canonical not served" true
+    (Service.Result_cache.find cache' ~canonical:"spec-forged" = None);
+  Sys.remove path
+
+let test_cache_corruption_salvage () =
+  let rounds = if deep then 200 else 25 in
+  let canonicals = [ "alpha"; "beta"; "gamma" ] in
+  for seed = 0 to rounds - 1 do
+    let path = temp_cache () in
+    let cache = Service.Result_cache.load ~generation:"g1" path in
+    let originals =
+      List.map
+        (fun c ->
+          let e = { (sample_entry c) with runtime_us = float_of_int (String.length c) } in
+          Service.Result_cache.put cache e;
+          e)
+        canonicals
+    in
+    let rng = Util.Rng.create seed in
+    for _ = 0 to Util.Rng.int rng 3 do
+      ignore (Util.Fs_faults.inject rng path)
+    done;
+    (* Salvage must never raise, never serve a damaged record, and every
+       record it does serve must be bit-identical to what was written. *)
+    let salvaged = Service.Result_cache.load ~generation:"g1" path in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: entries within bounds" seed)
+      true
+      (Service.Result_cache.entries salvaged <= List.length canonicals);
+    List.iter
+      (fun (e : Service.Result_cache.entry) ->
+        match Service.Result_cache.find salvaged ~canonical:e.canonical with
+        | None -> () (* lost to corruption: reported via [dropped]/[stale] *)
+        | Some e' ->
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d: %s survives bit-identically" seed e.canonical)
+            true
+            (e'.runtime_us = e.runtime_us && e'.key = e.key
+            && Core.Config.to_compact e'.config = Core.Config.to_compact e.config))
+      originals;
+    (* The salvage repaired the file in place: a second load is clean. *)
+    let again = Service.Result_cache.load ~generation:"g1" path in
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d: repair leaves nothing more to drop" seed)
+      0
+      (Service.Result_cache.dropped again);
+    Sys.remove path
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Engine (through the Sim harness). *)
+
+let run_sim ?(settings = fast) ~cache events = Service.Sim.run ~settings ~cache events
+
+let counters outcome = Service.Engine.counters outcome.Service.Sim.engine
+
+let test_tune_then_cached () =
+  let cache = temp_cache () in
+  let outcome =
+    run_sim ~cache
+      Service.Sim.
+        [ Connect 1; Send (1, line_a); Run_until_idle; Send (1, line_a); Run_until_idle ]
+  in
+  (match Service.Sim.transcript_of 1 outcome with
+  | [ first; second ] ->
+    let p1 = parse_ok first and p2 = parse_ok second in
+    Alcotest.(check string) "first answer is a live tune" "tuned"
+      (Service.Protocol.source_to_string p1.source);
+    Alcotest.(check bool) "live tune measured" true (p1.trials > 0);
+    Alcotest.(check string) "repeat served from cache" "cached"
+      (Service.Protocol.source_to_string p2.source);
+    Alcotest.(check int) "cache hit measures nothing" 0 p2.trials;
+    Alcotest.(check string) "same key" p1.key p2.key;
+    Alcotest.(check string) "same config"
+      (Core.Config.to_compact p1.config)
+      (Core.Config.to_compact p2.config);
+    assert_config_valid first (spec_of_line line_a)
+  | t -> Alcotest.failf "expected two responses, got %d" (List.length t));
+  let c = counters outcome in
+  Alcotest.(check int) "one tune ran" 1 c.tunes_run;
+  Alcotest.(check int) "one hit" 1 c.cache_hits;
+  Alcotest.(check int) "one miss" 1 c.cache_misses;
+  cleanup cache
+
+let test_identical_requests_coalesce () =
+  let cache = temp_cache () in
+  let n = 4 in
+  let connects = List.init n (fun i -> Service.Sim.Connect i) in
+  let sends = List.init n (fun i -> Service.Sim.Send (i, line_a)) in
+  let outcome = run_sim ~cache (connects @ sends @ [ Service.Sim.Run_until_idle ]) in
+  let c = counters outcome in
+  Alcotest.(check int) "exactly one tuning task for N identical requests" 1 c.tunes_run;
+  Alcotest.(check int) "the other N-1 joined it" (n - 1) c.coalesced;
+  Alcotest.(check int) "nobody bounced" 0 c.busy_rejected;
+  let lines =
+    List.init n (fun i ->
+        match Service.Sim.transcript_of i outcome with
+        | [ line ] -> line
+        | t -> Alcotest.failf "client %d: expected one response, got %d" i (List.length t))
+  in
+  (* One shared answer, delivered to every waiter. *)
+  List.iter
+    (fun line -> Alcotest.(check string) "shared answer" (List.hd lines) line)
+    lines;
+  assert_config_valid (List.hd lines) (spec_of_line line_a);
+  cleanup cache
+
+let test_admission_control_busy () =
+  let cache = temp_cache () in
+  let settings = { fast with max_pending = 1; retry_after_s = 7 } in
+  let outcome =
+    run_sim ~settings ~cache
+      Service.Sim.
+        [
+          Connect 1; Connect 2; Connect 3;
+          Send (1, line_a); Send (2, line_b); Send (3, line_c);
+          Run_until_idle;
+        ]
+  in
+  let c = counters outcome in
+  Alcotest.(check int) "beyond max_pending rejected" 2 c.busy_rejected;
+  Alcotest.(check int) "admitted tune ran" 1 c.tunes_run;
+  ignore (parse_ok (List.hd (Service.Sim.transcript_of 1 outcome)));
+  List.iter
+    (fun i ->
+      match Service.Sim.transcript_of i outcome with
+      | [ line ] -> (
+        match Service.Protocol.parse_response line with
+        | Some (Service.Protocol.Busy { retry_after_s }) ->
+          Alcotest.(check int) "retry hint from settings" 7 retry_after_s
+        | _ -> Alcotest.failf "client %d: expected BUSY, got %s" i line)
+      | t -> Alcotest.failf "client %d: expected one response, got %d" i (List.length t))
+    [ 2; 3 ];
+  cleanup cache
+
+let test_disconnect_still_tunes_and_caches () =
+  let cache = temp_cache () in
+  let outcome =
+    run_sim ~cache
+      Service.Sim.
+        [
+          Connect 1; Send (1, line_a); Disconnect 1; Run_until_idle;
+          Connect 2; Send (2, line_a); Run_until_idle;
+        ]
+  in
+  Alcotest.(check (list string)) "the vanished client hears nothing" []
+    (Service.Sim.transcript_of 1 outcome);
+  let c = counters outcome in
+  Alcotest.(check int) "its response counted abandoned" 1 c.abandoned;
+  Alcotest.(check int) "the tune still ran once" 1 c.tunes_run;
+  (* The abandoned tune's work was cached, so the next client hits. *)
+  let p = parse_ok (List.hd (Service.Sim.transcript_of 2 outcome)) in
+  Alcotest.(check string) "second client served from cache" "cached"
+    (Service.Protocol.source_to_string p.source);
+  cleanup cache
+
+let test_drain_finishes_then_rejects () =
+  let cache = temp_cache () in
+  let outcome =
+    run_sim ~cache
+      Service.Sim.
+        [
+          Connect 1; Send (1, line_a);
+          Drain;  (* queued tune finishes and answers *)
+          Send (1, line_b); Run_until_idle;  (* new work after drain: rejected *)
+          Drain;  (* idempotent *)
+        ]
+  in
+  (match Service.Sim.transcript_of 1 outcome with
+  | [ first; second ] ->
+    ignore (parse_ok first);
+    (match Service.Protocol.parse_response second with
+    | Some (Service.Protocol.Error Service.Protocol.Draining) -> ()
+    | _ -> Alcotest.failf "expected ERR draining, got %s" second)
+  | t -> Alcotest.failf "expected two responses, got %d" (List.length t));
+  Alcotest.(check bool) "engine reports draining" true
+    (Service.Engine.is_draining outcome.engine);
+  (* Drain flushed atomically: the file reloads clean with the tuned entry. *)
+  let reloaded =
+    Service.Result_cache.load
+      ~generation:(Service.Engine.generation_of_settings fast)
+      cache
+  in
+  Alcotest.(check int) "drained cache holds the finished tune" 1
+    (Service.Result_cache.entries reloaded);
+  Alcotest.(check int) "compacted: no salvage loss" 0
+    (Service.Result_cache.dropped reloaded);
+  cleanup cache
+
+let test_protocol_lines_through_engine () =
+  let cache = temp_cache () in
+  let outcome =
+    run_sim ~cache
+      Service.Sim.
+        [
+          Connect 1;
+          Send (1, "PING");
+          Send (1, "TUNE cin=banana");
+          Send (1, "STATS");
+          Run_until_idle;
+        ]
+  in
+  (match Service.Sim.transcript_of 1 outcome with
+  | [ pong; err; stats ] ->
+    Alcotest.(check string) "ping" "PONG" pong;
+    (match Service.Protocol.parse_response err with
+    | Some (Service.Protocol.Error (Service.Protocol.Parse _)) -> ()
+    | _ -> Alcotest.failf "expected ERR parse, got %s" err);
+    (match Service.Protocol.parse_response stats with
+    | Some (Service.Protocol.Stats_reply kvs) ->
+      Alcotest.(check (option string)) "stats count the parse error" (Some "1")
+        (List.assoc_opt "parse_errors" kvs)
+    | _ -> Alcotest.failf "expected STATS, got %s" stats)
+  | t -> Alcotest.failf "expected three responses, got %d" (List.length t));
+  Alcotest.(check int) "parse error counted" 1 (counters outcome).parse_errors;
+  cleanup cache
+
+let test_sim_deterministic () =
+  let script =
+    Service.Sim.
+      [
+        Connect 1; Connect 2;
+        Send (1, line_a); Send (2, line_a); Send (2, "PING");
+        Step; Send (1, line_b); Run_until_idle; Drain;
+      ]
+  in
+  let c1 = temp_cache () and c2 = temp_cache () in
+  let o1 = run_sim ~cache:c1 script and o2 = run_sim ~cache:c2 script in
+  Alcotest.(check (list (pair int string))) "scripted runs are byte-identical"
+    o1.responses o2.responses;
+  Sys.remove c1;
+  Sys.remove c2
+
+(* The tentpole crash property: a daemon killed without drain (script ends,
+   no Drain event), its cache then corrupted on disk, restarts into a
+   salvaged cache and serves every shape it had already tuned with zero
+   re-tuning. *)
+let test_kill9_corrupt_restart_warm () =
+  let cache = temp_cache () in
+  let first =
+    run_sim ~cache
+      Service.Sim.
+        [
+          Connect 1;
+          Send (1, line_a); Run_until_idle;
+          Send (1, line_b); Run_until_idle;
+          (* no Drain: kill -9 *)
+        ]
+  in
+  Alcotest.(check int) "two tunes before the crash" 2 (counters first).tunes_run;
+  (* Half-finished foreign writer scribbles on the file. *)
+  Util.Fs_faults.apply cache (Util.Fs_faults.Garbage_append "partial write \x01\x02");
+  let second =
+    run_sim ~cache
+      Service.Sim.
+        [
+          Connect 1;
+          Send (1, line_a); Send (1, line_b);
+          Run_until_idle;
+        ]
+  in
+  let c = counters second in
+  Alcotest.(check int) "restart re-tunes nothing" 0 c.tunes_run;
+  Alcotest.(check int) "both answered from the salvaged cache" 2 c.cache_hits;
+  List.iter
+    (fun line ->
+      let p = parse_ok line in
+      Alcotest.(check string) "served from cache" "cached"
+        (Service.Protocol.source_to_string p.source);
+      Alcotest.(check int) "zero trials" 0 p.trials)
+    (Service.Sim.transcript_of 1 second);
+  cleanup cache
+
+let test_settings_change_invalidates_cache () =
+  let cache = temp_cache () in
+  let first =
+    run_sim ~cache Service.Sim.[ Connect 1; Send (1, line_a); Run_until_idle; Drain ]
+  in
+  Alcotest.(check int) "tuned once" 1 (counters first).tunes_run;
+  (* A bigger trial budget means better answers: stale cache must not mask
+     them. *)
+  let second =
+    run_sim
+      ~settings:{ fast with budget_trials = 24 }
+      ~cache
+      Service.Sim.[ Connect 1; Send (1, line_a); Run_until_idle ]
+  in
+  let c = counters second in
+  Alcotest.(check int) "changed settings force a fresh tune" 1 c.tunes_run;
+  Alcotest.(check int) "no hit from the stale generation" 0 c.cache_hits;
+  Alcotest.(check int) "the stale record was recognized" 1
+    (Service.Result_cache.stale (Service.Engine.cache second.engine));
+  let p = parse_ok (List.hd (Service.Sim.transcript_of 1 second)) in
+  Alcotest.(check string) "fresh live tune" "tuned"
+    (Service.Protocol.source_to_string p.source);
+  cleanup cache
+
+let test_degraded_not_cached () =
+  let cache = temp_cache () in
+  (* Zero virtual-time budget: the supervisor degrades every tune to the
+     analytic answer.  Degraded answers are served typed but never cached —
+     a restarted daemon with a fresh budget must tune properly. *)
+  let settings =
+    {
+      fast with
+      policy = { Core.Supervisor.default_policy with budget_us = 0.0 };
+    }
+  in
+  let outcome =
+    run_sim ~settings ~cache
+      Service.Sim.
+        [ Connect 1; Send (1, line_a); Run_until_idle; Send (1, line_a); Run_until_idle ]
+  in
+  (match Service.Sim.transcript_of 1 outcome with
+  | [ first; second ] ->
+    List.iter
+      (fun line ->
+        let p = parse_ok line in
+        Alcotest.(check string) "typed as degraded" "degraded"
+          (Service.Protocol.source_to_string p.source);
+        assert_config_valid line (spec_of_line line_a))
+      [ first; second ]
+  | t -> Alcotest.failf "expected two responses, got %d" (List.length t));
+  Alcotest.(check int) "degraded answers never enter the cache" 0
+    (Service.Result_cache.entries (Service.Engine.cache outcome.engine));
+  Alcotest.(check int) "so the repeat tuned again" 2 (counters outcome).tunes_run;
+  cleanup cache
+
+let test_domain_error_typed () =
+  let cache = temp_cache () in
+  (* Winograd on a strided layer: Search_space.make rejects the domain. *)
+  let outcome =
+    run_sim ~cache
+      Service.Sim.
+        [
+          Connect 1;
+          Send (1, "TUNE cin=4 size=8 cout=4 k=3 stride=2 algo=winograd e=2");
+          Run_until_idle;
+        ]
+  in
+  (match Service.Sim.transcript_of 1 outcome with
+  | [ line ] -> (
+    match Service.Protocol.parse_response line with
+    | Some (Service.Protocol.Error (Service.Protocol.Domain _)) -> ()
+    | _ -> Alcotest.failf "expected ERR domain, got %s" line)
+  | t -> Alcotest.failf "expected one response, got %d" (List.length t));
+  Alcotest.(check int) "counted" 1 (counters outcome).domain_errors;
+  (* The dead-end surfaces in the supervision health report too. *)
+  let report = Service.Engine.health outcome.engine in
+  Alcotest.(check int) "reported to the supervisor" 1
+    (List.length report.Core.Supervisor.tasks);
+  cleanup cache
+
+(* ------------------------------------------------------------------ *)
+(* Seeded chaos campaign: scripted clients, injected GPU faults, kill -9,
+   file corruption, restart.  The contract, per seed:
+   - every emitted line is a typed response;
+   - every OK response carries a config valid for its request's space;
+   - after the crash + corruption + restart, shapes still present in the
+     salvaged cache answer with zero re-tuning (trials=0), and the restart
+     runs exactly one tune per shape the salvage lost. *)
+
+let chaos_campaign seed =
+  let cache = temp_cache () in
+  let journals = temp_dir "service-journals" in
+  let rng = Util.Rng.create (1000 + seed) in
+  let settings =
+    {
+      fast with
+      seed;
+      journal_dir = Some journals;
+      max_pending = 2 + Util.Rng.int rng 3;
+      faults = (if seed mod 2 = 1 then Some Gpu_sim.Faults.default else None);
+    }
+  in
+  let lines = [| line_a; line_b; line_c |] in
+  let requests = Array.map spec_of_line lines in
+  (* Phase 1: three clients, randomized interleaving of good requests,
+     garbage, PING, a disconnect; ends without drain (kill -9). *)
+  let script = ref Service.Sim.[ Connect 0; Connect 1; Connect 2 ] in
+  let add e = script := !script @ [ e ] in
+  for _ = 1 to 8 + Util.Rng.int rng 8 do
+    let client = Util.Rng.int rng 3 in
+    match Util.Rng.int rng 6 with
+    | 0 -> add (Service.Sim.Send (client, "PING"))
+    | 1 -> add (Service.Sim.Send (client, "definitely not a request"))
+    | 2 | 3 -> add (Service.Sim.Send (client, lines.(Util.Rng.int rng 3)))
+    | 4 -> add Service.Sim.Step
+    | _ -> add Service.Sim.Run_until_idle
+  done;
+  add (Service.Sim.Send (2, lines.(Util.Rng.int rng 3)));
+  add (Service.Sim.Disconnect 2);
+  add Service.Sim.Run_until_idle;
+  let phase1 = run_sim ~settings ~cache !script in
+  List.iter
+    (fun (_, line) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: typed line %s" seed line)
+        true
+        (Service.Protocol.is_typed_line line))
+    phase1.responses;
+  let c1 = counters phase1 in
+  (* Coalescing bound: without GPU faults every tuned shape is cached, so
+     repeats never re-tune.  (Under faults a breaker-degraded answer is
+     deliberately not cached, so a later repeat may legitimately tune
+     again.) *)
+  if settings.faults = None then
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: at most one tune per distinct shape" seed)
+      true
+      (c1.tunes_run <= Array.length lines);
+  (* kill -9, then the disk takes damage. *)
+  for _ = 0 to Util.Rng.int rng 2 do
+    ignore (Util.Fs_faults.inject rng cache)
+  done;
+  (* What did the salvage keep?  (Inspect with an independent load so the
+     restart assertions below are exact, not probabilistic.) *)
+  let generation = Service.Engine.generation_of_settings settings in
+  let salvaged = Service.Result_cache.load ~generation cache in
+  let kept r =
+    Service.Result_cache.find salvaged
+      ~canonical:(Service.Protocol.canonical_of_tune r)
+    <> None
+  in
+  let n_kept = Array.to_list requests |> List.filter kept |> List.length in
+  (* Phase 2: restart, one client re-asks every shape, graceful drain.
+     Admission bounds are a serving-side knob — raising max_pending across
+     the restart must NOT invalidate the cache (same generation). *)
+  let settings = { settings with max_pending = Array.length lines } in
+  let phase2 =
+    run_sim ~settings ~cache
+      (Service.Sim.Connect 0
+      :: (Array.to_list lines |> List.map (fun l -> Service.Sim.Send (0, l)))
+      @ [ Service.Sim.Run_until_idle; Service.Sim.Drain ])
+  in
+  let c2 = counters phase2 in
+  Alcotest.(check int)
+    (Printf.sprintf "seed %d: salvaged shapes answer without re-tuning" seed)
+    n_kept c2.cache_hits;
+  Alcotest.(check int)
+    (Printf.sprintf "seed %d: exactly one tune per lost shape" seed)
+    (Array.length lines - n_kept)
+    c2.tunes_run;
+  (* Responses arrive hits-first, then one tune per step — not in request
+     order.  Match each response back to its request by content hash. *)
+  let by_key =
+    Array.to_list requests
+    |> List.map (fun r ->
+           ( Service.Result_cache.key_of_canonical
+               (Service.Protocol.canonical_of_tune r),
+             r ))
+  in
+  let cacheable = ref 0 in
+  List.iter
+    (fun line ->
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: restart line typed" seed)
+        true
+        (Service.Protocol.is_typed_line line);
+      let p = parse_ok line in
+      let r =
+        match List.assoc_opt p.Service.Protocol.key by_key with
+        | Some r -> r
+        | None -> Alcotest.failf "seed %d: unknown key in %s" seed line
+      in
+      (match p.source with
+      | Service.Protocol.Src_cached ->
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d: cache hit was salvaged" seed)
+          true (kept r);
+        Alcotest.(check int)
+          (Printf.sprintf "seed %d: cache hit measured nothing" seed)
+          0 p.trials
+      | Service.Protocol.Src_tuned | Service.Protocol.Src_replayed ->
+        incr cacheable
+      | Service.Protocol.Src_degraded -> () (* typed, truthful, not cached *));
+      assert_config_valid line r)
+    (Service.Sim.transcript_of 0 phase2);
+  (* The drain compacted the cache: a final load is clean and holds exactly
+     the salvaged entries plus the restart's cacheable tunes. *)
+  let final = Service.Result_cache.load ~generation cache in
+  Alcotest.(check int)
+    (Printf.sprintf "seed %d: drained cache clean" seed)
+    0
+    (Service.Result_cache.dropped final + Service.Result_cache.stale final);
+  Alcotest.(check int)
+    (Printf.sprintf "seed %d: drained cache complete" seed)
+    (n_kept + !cacheable)
+    (Service.Result_cache.entries final);
+  cleanup cache;
+  let rec rm_rf path =
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  rm_rf journals
+
+let test_chaos_campaign () = List.iter chaos_campaign campaign_seeds
+
+(* ------------------------------------------------------------------ *)
+(* Real socket smoke (SERVICE_DEEP): the daemon in a spawned domain, live
+   Unix-domain socket, idle deadline, stop/drain, warm restart. *)
+
+let connect_client socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let rec attempt tries =
+    match Unix.connect fd (Unix.ADDR_UNIX socket) with
+    | () -> ()
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+      when tries > 0 ->
+      Unix.sleepf 0.05;
+      attempt (tries - 1)
+  in
+  attempt 100;
+  fd
+
+let send_line fd line =
+  let msg = line ^ "\n" in
+  ignore (Unix.write_substring fd msg 0 (String.length msg))
+
+let read_line_fd fd =
+  let buf = Buffer.create 128 in
+  let byte = Bytes.create 1 in
+  let rec go () =
+    match Unix.read fd byte 0 1 with
+    | 0 -> Alcotest.fail "daemon closed the connection before answering"
+    | _ ->
+      if Bytes.get byte 0 = '\n' then Buffer.contents buf
+      else begin
+        Buffer.add_char buf (Bytes.get byte 0);
+        go ()
+      end
+  in
+  go ()
+
+let test_socket_daemon () =
+  let dir = temp_dir "service-socket" in
+  let socket = Filename.concat dir "tuned.sock" in
+  let cache = Filename.concat dir "cache.durable" in
+  let start () =
+    let stop = Atomic.make false in
+    let daemon =
+      Domain.spawn (fun () ->
+          Service.Daemon.serve ~socket ~cache ~settings:fast ~stop
+            ~read_deadline_s:1.0 ~install_signal_handlers:false ())
+    in
+    (stop, daemon)
+  in
+  let stop, daemon = start () in
+  let fd = connect_client socket in
+  send_line fd "PING";
+  Alcotest.(check string) "ping" "PONG" (read_line_fd fd);
+  send_line fd line_a;
+  let first = parse_ok (read_line_fd fd) in
+  Alcotest.(check string) "live tune over the wire" "tuned"
+    (Service.Protocol.source_to_string first.source);
+  (* A second connection shares the cache. *)
+  let fd2 = connect_client socket in
+  send_line fd2 line_a;
+  let hit = parse_ok (read_line_fd fd2) in
+  Alcotest.(check string) "second client hits the cache" "cached"
+    (Service.Protocol.source_to_string hit.source);
+  Unix.close fd2;
+  (* Malformed wire input earns a typed line, not a dead daemon. *)
+  send_line fd "TUNE cin=banana";
+  (match Service.Protocol.parse_response (read_line_fd fd) with
+  | Some (Service.Protocol.Error (Service.Protocol.Parse _)) -> ()
+  | _ -> Alcotest.fail "expected ERR parse over the wire");
+  (* An idle connection trips the read deadline. *)
+  let idle = connect_client socket in
+  (match Service.Protocol.parse_response (read_line_fd idle) with
+  | Some (Service.Protocol.Error Service.Protocol.Timeout) -> ()
+  | _ -> Alcotest.fail "expected ERR timeout for the idle connection");
+  Unix.close idle;
+  Unix.close fd;
+  (* SIGTERM-equivalent: stop, drain, return the engine for health. *)
+  Atomic.set stop true;
+  let engine = Domain.join daemon in
+  Alcotest.(check int) "daemon ran one tune" 1
+    (Service.Engine.counters engine).tunes_run;
+  Alcotest.(check bool) "socket file removed on shutdown" false
+    (Sys.file_exists socket);
+  (* Warm restart: the drained cache answers without tuning. *)
+  let stop2, daemon2 = start () in
+  let fd3 = connect_client socket in
+  send_line fd3 line_a;
+  let warm = parse_ok (read_line_fd fd3) in
+  Alcotest.(check string) "restarted daemon serves from disk" "cached"
+    (Service.Protocol.source_to_string warm.source);
+  Alcotest.(check int) "zero trials after restart" 0 warm.trials;
+  Unix.close fd3;
+  Atomic.set stop2 true;
+  let engine2 = Domain.join daemon2 in
+  Alcotest.(check int) "restart tuned nothing" 0
+    (Service.Engine.counters engine2).tunes_run
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "request roundtrip + canonical addressing" `Quick
+            test_request_roundtrip;
+          Alcotest.test_case "malformed requests rejected" `Quick
+            test_parse_rejects_malformed;
+          Alcotest.test_case "response roundtrip" `Quick test_response_roundtrip;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "roundtrip persists across reload" `Quick
+            test_cache_roundtrip_persists;
+          Alcotest.test_case "generation change invalidates" `Quick
+            test_cache_generation_invalidation;
+          Alcotest.test_case "forged keys ignored" `Quick test_cache_rejects_forged_key;
+          Alcotest.test_case "corruption salvages, never lies" `Quick
+            test_cache_corruption_salvage;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "tune then cached" `Quick test_tune_then_cached;
+          Alcotest.test_case "identical requests coalesce to one tune" `Quick
+            test_identical_requests_coalesce;
+          Alcotest.test_case "admission control answers BUSY" `Quick
+            test_admission_control_busy;
+          Alcotest.test_case "disconnect still tunes and caches" `Quick
+            test_disconnect_still_tunes_and_caches;
+          Alcotest.test_case "drain finishes then rejects" `Quick
+            test_drain_finishes_then_rejects;
+          Alcotest.test_case "ping/stats/parse errors typed" `Quick
+            test_protocol_lines_through_engine;
+          Alcotest.test_case "scripted runs deterministic" `Quick test_sim_deterministic;
+          Alcotest.test_case "degraded answers served, not cached" `Quick
+            test_degraded_not_cached;
+          Alcotest.test_case "empty domains answer ERR domain" `Quick
+            test_domain_error_typed;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "kill -9 + corruption + warm restart" `Quick
+            test_kill9_corrupt_restart_warm;
+          Alcotest.test_case "settings change invalidates cache" `Quick
+            test_settings_change_invalidates_cache;
+          Alcotest.test_case "seeded chaos campaign" `Quick test_chaos_campaign;
+        ] );
+      ( "socket",
+        if deep then
+          [ Alcotest.test_case "live daemon smoke" `Quick test_socket_daemon ]
+        else [] );
+    ]
