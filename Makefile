@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test verify-smoke verify-deep fault-smoke torture-smoke torture-deep chaos-smoke chaos-deep hotpath-smoke hotpath-deep bench-hotpath service-smoke service-deep bench-service ci clean
+.PHONY: all build test verify-smoke verify-deep fault-smoke torture-smoke torture-deep chaos-smoke chaos-deep hotpath-smoke hotpath-deep bench-hotpath service-smoke service-deep bench-service gold gold-smoke gold-deep regress bench-fleet ci clean
 
 all: build
 
@@ -71,12 +71,37 @@ service-deep:
 bench-service:
 	dune exec bench/service_bench.exe
 
+# Gold-file regression fleet: 6 CNNs x 4 simulated architectures.
+# `make gold` re-records the golden per-layer results under regress/gold/
+# (deterministic: two runs from a clean checkout are byte-identical) and
+# seeds the shared result cache; `make regress` re-sweeps the fleet warm
+# through that cache (sub-second) and diffs against gold, failing with a
+# typed mismatch report on any drift.  Both rewrite BENCH_fleet.json.
+# @gold-smoke (a cold 2x2 slice, part of the default runtest) and
+# @gold-deep (the full fleet, cold) are the hermetic dune-side gates.
+gold: build
+	dune exec bin/main.exe -- gold --bench BENCH_fleet.json
+
+regress: build
+	dune exec bin/main.exe -- regress --bench BENCH_fleet.json
+
+gold-smoke:
+	dune build @gold-smoke
+
+gold-deep:
+	dune build @gold-deep
+
+# Cross-architecture sweep bench (Figure 13 axis); rewrites BENCH_fleet.json.
+bench-fleet:
+	dune exec bench/fleet.exe
+
 # The full fast gate a commit must pass: build, every test suite (the
-# default runtest already folds in the @*-smoke aliases), and the bench
-# smoke checks (parallel == sequential scaling, service cache/coalescing).
+# default runtest already folds in the @*-smoke aliases, including the
+# cold gold-file slice @gold-smoke), and the bench smoke checks (parallel
+# == sequential scaling, service cache/coalescing, fleet sweep).
 ci: build
 	dune runtest
-	dune build @bench-smoke @service-bench-smoke
+	dune build @bench-smoke @service-bench-smoke @fleet-smoke
 
 clean:
 	dune clean

@@ -1,0 +1,53 @@
+(* Cross-architecture fleet sweep bench (the paper's Figure 13 axis: the same
+   networks tuned on every GPU preset), riding the gold-harness sweep so the
+   bench, the golden files and the zoo all measure through one code path.
+
+   Usage:  dune exec bench/fleet.exe        full fleet (6 models x 4 arches)
+           dune exec bench/fleet.exe smoke  2 models x 2 arches
+
+   Prints the per-pair fleet table plus a per-architecture aggregate and
+   writes BENCH_fleet.json to the cwd.  Scratch output (gold snapshots of
+   this run, timing markers) goes under fleet_bench_out/. *)
+
+let smoke_models () =
+  List.filter
+    (fun (m : Cnn.Models.t) ->
+      List.mem (Regress.Gold.slug m.name) [ "resnet-18"; "mobilenet-v1" ])
+    (Regress.Sweep.fleet_models ())
+
+let smoke_arches () = [ Gpu_sim.Arch.v100; Gpu_sim.Arch.gfx906 ]
+
+let () =
+  let smoke = Array.length Sys.argv > 1 && Sys.argv.(1) = "smoke" in
+  let models = if smoke then Some (smoke_models ()) else None in
+  let arches = if smoke then Some (smoke_arches ()) else None in
+  let summary =
+    Regress.Harness.run ?models ?arches ~gold_dir:"fleet_bench_out/gold"
+      ~out_dir:"fleet_bench_out" ~bench_path:"BENCH_fleet.json"
+      Regress.Harness.Gold
+  in
+  Regress.Harness.print_summary summary;
+  let by_arch = Hashtbl.create 8 in
+  List.iter
+    (fun (r : Regress.Harness.pair_report) ->
+      let alias = Gpu_sim.Arch.alias r.pair.arch in
+      let logs, wall = try Hashtbl.find by_arch alias with Not_found -> ([], 0.0) in
+      Hashtbl.replace by_arch alias
+        (log r.pair.timing.speedup :: logs, wall +. r.pair.wall_s))
+    summary.reports;
+  let table = Util.Table.create [ "arch"; "models"; "geomean speedup"; "wall (s)" ] in
+  List.iter
+    (fun arch ->
+      let alias = Gpu_sim.Arch.alias arch in
+      match Hashtbl.find_opt by_arch alias with
+      | None -> ()
+      | Some (logs, wall) ->
+        let n = List.length logs in
+        let geomean = exp (List.fold_left ( +. ) 0.0 logs /. float_of_int n) in
+        Util.Table.add_row table
+          [ alias; string_of_int n; Util.Table.cell_f geomean;
+            Printf.sprintf "%.2f" wall ])
+    Gpu_sim.Arch.all;
+  print_newline ();
+  Util.Table.print table;
+  print_endline "wrote BENCH_fleet.json"

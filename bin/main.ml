@@ -13,18 +13,22 @@ open Cmdliner
 
 (* --- shared arguments --- *)
 
+let arch_aliases () =
+  String.concat ", " (List.map Gpu_sim.Arch.alias Gpu_sim.Arch.all)
+
+let arch_conv =
+  let parse s =
+    match Gpu_sim.Arch.of_alias s with
+    | Some a -> Ok a
+    | None ->
+      Error (`Msg (Printf.sprintf "unknown architecture %S (%s)" s (arch_aliases ())))
+  in
+  let print fmt (a : Gpu_sim.Arch.t) = Format.pp_print_string fmt (Gpu_sim.Arch.alias a) in
+  Arg.conv (parse, print)
+
 let arch_arg =
   let doc = "GPU architecture: 1080ti, v100, titanx or gfx906." in
-  let parse s =
-    match String.lowercase_ascii s with
-    | "1080ti" -> Ok Gpu_sim.Arch.gtx_1080_ti
-    | "v100" -> Ok Gpu_sim.Arch.v100
-    | "titanx" -> Ok Gpu_sim.Arch.titan_x
-    | "gfx906" -> Ok Gpu_sim.Arch.gfx906
-    | other -> Error (`Msg ("unknown architecture: " ^ other))
-  in
-  let print fmt (a : Gpu_sim.Arch.t) = Format.pp_print_string fmt a.name in
-  Arg.(value & opt (conv (parse, print)) Gpu_sim.Arch.v100 & info [ "arch" ] ~doc)
+  Arg.(value & opt arch_conv Gpu_sim.Arch.v100 & info [ "arch" ] ~doc)
 
 let spec_term =
   let cin = Arg.(value & opt int 64 & info [ "cin" ] ~doc:"Input channels.") in
@@ -415,6 +419,128 @@ let ask_cmd =
   let info = Cmd.info "ask" ~doc:"Send one request to a serve daemon and print the reply." in
   Cmd.v info Term.(const run $ spec_term $ arch_arg $ wino $ raw $ socket)
 
+(* --- gold / regress --- *)
+
+(* The two commands share everything but the mode: same fleet selection, same
+   directories, same sweep settings — so a regress run is guaranteed to
+   re-measure exactly what the gold run recorded. *)
+let fleet_term =
+  let model_conv =
+    let parse s =
+      let slug = Regress.Gold.slug s in
+      match
+        List.find_opt
+          (fun (m : Cnn.Models.t) -> Regress.Gold.slug m.name = slug)
+          (Regress.Sweep.fleet_models ())
+      with
+      | Some m -> Ok m
+      | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown model %S (%s)" s
+                (String.concat ", "
+                   (List.map
+                      (fun (m : Cnn.Models.t) -> Regress.Gold.slug m.name)
+                      (Regress.Sweep.fleet_models ())))))
+    in
+    let print fmt (m : Cnn.Models.t) =
+      Format.pp_print_string fmt (Regress.Gold.slug m.name)
+    in
+    Arg.conv (parse, print)
+  in
+  let models =
+    Arg.(
+      value
+      & opt (some (list model_conv)) None
+      & info [ "models" ]
+          ~doc:"Comma-separated model subset (slugs, e.g. resnet-18,mobilenet-v1).")
+  in
+  let arches =
+    Arg.(
+      value
+      & opt (some (list arch_conv)) None
+      & info [ "arches" ] ~doc:"Comma-separated architecture subset (aliases).")
+  in
+  let gold_dir =
+    Arg.(
+      value & opt string "regress/gold"
+      & info [ "gold-dir" ] ~doc:"Directory of golden files.")
+  in
+  let out_dir =
+    Arg.(
+      value & opt string "regress/out"
+      & info [ "out-dir" ] ~doc:"Directory for .pass and .timing markers.")
+  in
+  let cache =
+    Arg.(
+      value
+      & opt string "regress/cache/fleet.cache"
+      & info [ "cache" ]
+          ~doc:
+            "Shared result-cache file: written by $(b,gold), primes the warm \
+             replay layer of $(b,regress).")
+  in
+  let no_cache =
+    Arg.(value & flag & info [ "no-cache" ] ~doc:"Run without the result cache.")
+  in
+  let bench =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bench" ] ~doc:"Write the fleet sweep trajectory to this JSON file.")
+  in
+  let budget =
+    Arg.(
+      value & opt int Regress.Sweep.default_settings.budget
+      & info [ "budget" ] ~doc:"Measurement budget per tuning run.")
+  in
+  let make models arches gold_dir out_dir cache no_cache bench seed budget =
+    let settings = { Regress.Sweep.default_settings with seed; budget } in
+    let cache_path = if no_cache then None else Some cache in
+    fun ?tolerance mode ->
+      let summary =
+        Regress.Harness.run ?models ?arches ~settings ?tolerance ?cache_path
+          ?bench_path:bench ~gold_dir ~out_dir mode
+      in
+      Regress.Harness.print_summary summary;
+      if Regress.Harness.failed summary then exit 1
+  in
+  Term.(
+    const make $ models $ arches $ gold_dir $ out_dir $ cache $ no_cache $ bench
+    $ seed_arg $ budget)
+
+let gold_cmd =
+  let run (fleet : ?tolerance:float -> Regress.Harness.mode -> unit) =
+    fleet Regress.Harness.Gold
+  in
+  let info =
+    Cmd.info "gold"
+      ~doc:
+        "Sweep the CNN fleet across every simulated architecture and record \
+         golden per-layer results (deterministic: re-running produces \
+         byte-identical files)."
+  in
+  Cmd.v info Term.(const run $ fleet_term)
+
+let regress_cmd =
+  let tolerance =
+    Arg.(
+      value
+      & opt float Regress.Harness.default_tolerance
+      & info [ "tolerance" ] ~doc:"Relative drift allowed on cost fields.")
+  in
+  let run (fleet : ?tolerance:float -> Regress.Harness.mode -> unit) tolerance =
+    fleet ~tolerance Regress.Harness.Regress
+  in
+  let info =
+    Cmd.info "regress"
+      ~doc:
+        "Re-sweep the fleet (warm, via the shared result cache) and diff \
+         against the golden files; exits 1 with a typed mismatch report on \
+         any drift."
+  in
+  Cmd.v info Term.(const run $ fleet_term $ tolerance)
+
 let () =
   let doc = "I/O lower bounds and auto-tuning for CNN convolutions (PPoPP'21 reproduction)" in
   let info = Cmd.info "conv_io" ~version:"1.0.0" ~doc in
@@ -423,5 +549,5 @@ let () =
        (Cmd.group info
           [
             bounds_cmd; pebble_cmd; tune_cmd; models_cmd; verify_cmd; explain_cmd;
-            serve_cmd; ask_cmd;
+            serve_cmd; ask_cmd; gold_cmd; regress_cmd;
           ]))

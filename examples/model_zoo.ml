@@ -1,38 +1,40 @@
-(* Time every CNN in the zoo against the simulated cuDNN, reusing tuning
-   results across runs through a persistent log: the first invocation tunes
-   every distinct layer shape; later invocations load the log and finish in
-   seconds.
+(* Time every CNN in the zoo against the simulated vendor library on a chosen
+   architecture, reusing tuning results across runs through a persistent log:
+   the first invocation tunes every distinct layer shape; later invocations
+   load the log and finish in seconds.
 
-   Run with: dune exec examples/model_zoo.exe [-- log-file] *)
+   The timing itself routes through the fleet-sweep machinery (Regress.Sweep)
+   — the same code path `conv-io gold` and `conv-io regress` enforce — so the
+   zoo table and the golden files can never disagree about what was measured.
+
+   Run with: dune exec examples/model_zoo.exe [-- arch [log-file]]
+   where arch is one of: 1080ti, v100, titanx, gfx906 (default v100). *)
 
 let () =
-  let log_path =
-    match Array.to_list Sys.argv with _ :: path :: _ -> path | _ -> "model_zoo_tuning.log"
+  let arch, log_path =
+    match Array.to_list Sys.argv with
+    | _ :: alias :: rest -> (
+      match Gpu_sim.Arch.of_alias alias with
+      | Some arch ->
+        (arch, match rest with path :: _ -> path | [] -> "model_zoo_tuning.log")
+      | None ->
+        Printf.eprintf "unknown architecture %S (expected %s)\n" alias
+          (String.concat ", " (List.map Gpu_sim.Arch.alias Gpu_sim.Arch.all));
+        exit 2)
+    | _ -> (Gpu_sim.Arch.v100, "model_zoo_tuning.log")
   in
-  let arch = Gpu_sim.Arch.v100 in
   let primed = Cnn.Runner.prime_from_log log_path in
   if primed > 0 then
     Printf.printf "Loaded %d tuned configurations from %s.\n\n" primed log_path
   else Printf.printf "No tuning log at %s yet; tuning from scratch.\n\n" log_path;
 
-  let table =
-    Util.Table.create
-      [ "model"; "conv layers"; "GFlop"; "ours (us)"; "cuDNN (us)"; "speedup" ]
+  let settings = { Regress.Sweep.default_settings with budget = 150 } in
+  let pairs =
+    List.map
+      (fun m -> Regress.Sweep.run_pair ~settings arch m)
+      (Regress.Sweep.fleet_models ())
   in
-  List.iter
-    (fun (m : Cnn.Models.t) ->
-      let t = Cnn.Runner.time_model ~max_measurements:150 arch m in
-      Util.Table.add_row table
-        [
-          t.model;
-          string_of_int (Cnn.Models.num_layers m);
-          Printf.sprintf "%.2f" (Cnn.Models.total_flops m /. 1e9);
-          Printf.sprintf "%.0f" t.ours_total_us;
-          Printf.sprintf "%.0f" t.library_total_us;
-          Printf.sprintf "%.2fx" t.speedup;
-        ])
-    (Cnn.Models.evaluation_models @ [ Cnn.Models.mobilenet ]);
-  Util.Table.print table;
+  Util.Table.print (Regress.Sweep.summary_table pairs);
 
   let written = Cnn.Runner.save_log log_path in
   Printf.printf "\nSaved %d tuned configurations to %s (rerun to skip tuning).\n" written

@@ -4,6 +4,7 @@ type layer_timing = {
   layer : Layer.t;
   ours_us : float;
   ours_algorithm : string;
+  ours_result : Core.Tuner.result option;
   library_us : float;
   library_algorithm : string;
 }
@@ -99,6 +100,17 @@ let tuned_runtime ?(seed = 0) ?(max_measurements = 200) ?faults ?journal_dir arc
     Hashtbl.add cache key result;
     result
 
+let find_result ?(seed = 0) arch spec algorithm =
+  Hashtbl.find_opt cache (cache_key arch spec algorithm seed)
+
+let prime_result ?(seed = 0) arch spec algorithm result =
+  let key = cache_key arch spec algorithm seed in
+  if Hashtbl.mem cache key then false
+  else begin
+    Hashtbl.add cache key result;
+    true
+  end
+
 (* --- supervised tuning: route one memo key through a Supervisor session --- *)
 
 (* The memoised runtime becomes whatever the outcome carries, so repeated
@@ -153,6 +165,13 @@ let supervised_outcome session ~seed ~max_measurements ?faults ?journal_dir arch
 let winograd_e (spec : Conv.Conv_spec.t) =
   if Conv.Conv_spec.h_out spec >= 16 && spec.k_h = 3 then 4 else 2
 
+let candidates (layer : Layer.t) =
+  Core.Config.Direct_dataflow
+  ::
+  (if Layer.winograd_eligible layer then
+     [ Core.Config.Winograd_dataflow (winograd_e layer.spec) ]
+   else [])
+
 let library_timing ~backend arch (layer : Layer.t) =
   let spec = layer.spec in
   let lib_direct =
@@ -174,22 +193,28 @@ let time_layer ?(seed = 0) ?(max_measurements = 200) ?(backend = Cudnn) ?faults
     ?journal_dir ?session arch (layer : Layer.t) =
   let spec = layer.spec in
   let library = library_timing ~backend arch layer in
-  let ours_us, ours_algorithm =
+  (* [chosen] carries the winning algorithm variant so the memoised tuning
+     result can be surfaced in [ours_result]; [None] means library fallback. *)
+  let ours_us, ours_algorithm, chosen =
     match session with
     | None ->
       let direct =
         tuned_runtime ~seed ~max_measurements ?faults ?journal_dir arch spec
           Core.Config.Direct_dataflow
       in
-      let ours_direct = (direct.best_runtime_us, "direct-dataflow") in
+      let ours_direct =
+        (direct.best_runtime_us, "direct-dataflow", Some Core.Config.Direct_dataflow)
+      in
       if Layer.winograd_eligible layer then begin
         let e = winograd_e spec in
         let wino =
           tuned_runtime ~seed ~max_measurements ?faults ?journal_dir arch spec
             (Core.Config.Winograd_dataflow e)
         in
-        if wino.best_runtime_us < fst ours_direct then
-          (wino.best_runtime_us, Printf.sprintf "winograd-dataflow-F(%d)" e)
+        if wino.best_runtime_us < direct.best_runtime_us then
+          ( wino.best_runtime_us,
+            Printf.sprintf "winograd-dataflow-F(%d)" e,
+            Some (Core.Config.Winograd_dataflow e) )
         else ours_direct
       end
       else ours_direct
@@ -205,7 +230,7 @@ let time_layer ?(seed = 0) ?(max_measurements = 200) ?(backend = Cudnn) ?faults
       in
       let best =
         Option.map
-          (fun us -> (us, "direct-dataflow"))
+          (fun us -> (us, "direct-dataflow", Core.Config.Direct_dataflow))
           (Core.Supervisor.outcome_runtime_us direct)
       in
       let best =
@@ -218,20 +243,25 @@ let time_layer ?(seed = 0) ?(max_measurements = 200) ?(backend = Cudnn) ?faults
           match Core.Supervisor.outcome_runtime_us wino with
           | Some us -> (
             match best with
-            | Some (b, _) when b <= us -> best
-            | _ -> Some (us, Printf.sprintf "winograd-dataflow-F(%d)" e))
+            | Some (b, _, _) when b <= us -> best
+            | _ ->
+              Some
+                ( us,
+                  Printf.sprintf "winograd-dataflow-F(%d)" e,
+                  Core.Config.Winograd_dataflow e ))
           | None -> best
         end
         else best
       in
       match best with
-      | Some (us, name) -> (us, name)
-      | None -> (library.runtime_us, "library-fallback:" ^ library.algorithm))
+      | Some (us, name, algo) -> (us, name, Some algo)
+      | None -> (library.runtime_us, "library-fallback:" ^ library.algorithm, None))
   in
   {
     layer;
     ours_us;
     ours_algorithm;
+    ours_result = Option.bind chosen (fun algo -> find_result ~seed arch spec algo);
     library_us = library.runtime_us;
     library_algorithm = library.algorithm;
   }

@@ -19,6 +19,11 @@ type layer_timing = {
   layer : Layer.t;
   ours_us : float;  (** per single execution of the layer *)
   ours_algorithm : string;
+  ours_result : Core.Tuner.result option;
+      (** the winning algorithm's memoised tuning result — best
+          configuration, measured runtime, stop reason — for harnesses
+          (the golden-file sweep) that need more than the headline time.
+          [None] when the layer fell back to the library kernel. *)
   library_us : float;
   library_algorithm : string;
 }
@@ -46,6 +51,27 @@ val prime_from_log : ?seed:int -> string -> int
 val save_log : string -> int
 (** Writes the memo table's best configurations to a tuning-log file;
     returns the number of entries written. *)
+
+val candidates : Layer.t -> Core.Config.algorithm list
+(** The algorithm variants {!time_layer} tunes for a layer: the direct
+    dataflow always, plus the Winograd dataflow at the layer's tile
+    parameter when eligible.  Exposed so warm-cache harnesses can prime
+    exactly the keys a timing run will ask for. *)
+
+val find_result :
+  ?seed:int -> Gpu_sim.Arch.t -> Conv.Conv_spec.t -> Core.Config.algorithm ->
+  Core.Tuner.result option
+(** The memoised result for one (architecture, layer shape, algorithm) key,
+    if that key has been tuned or primed in this process.  Seed defaults
+    to 0, matching {!tuned_runtime}. *)
+
+val prime_result :
+  ?seed:int -> Gpu_sim.Arch.t -> Conv.Conv_spec.t -> Core.Config.algorithm ->
+  Core.Tuner.result -> bool
+(** Inserts a result into the memo table (e.g. replayed from a
+    [Service.Result_cache]), so subsequent {!time_layer} calls on the same
+    key answer without tuning.  Returns [false] — and changes nothing —
+    when the key is already present. *)
 
 val time_layer :
   ?seed:int -> ?max_measurements:int -> ?backend:backend ->

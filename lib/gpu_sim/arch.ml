@@ -88,3 +88,27 @@ let shared_elems_per_sm t = t.shared_mem_per_sm / 4
 let shared_elems_per_block_max t = t.max_shared_mem_per_block / 4
 
 let by_name name = List.find_opt (fun a -> a.name = name) all
+
+(* The historical CLI/wire short names; any preset without one falls back to
+   the sanitised display name, so a new architecture is addressable the
+   moment it joins [all] (the service suite asserts the mapping stays a
+   bijection over [all]). *)
+let alias t =
+  match t.name with
+  | "GTX 1080 Ti" -> "1080ti"
+  | "V100" -> "v100"
+  | "GTX Titan X" -> "titanx"
+  | "GFX906" -> "gfx906"
+  | name ->
+    let b = Buffer.create (String.length name) in
+    String.iter
+      (fun c ->
+        match Char.lowercase_ascii c with
+        | ('a' .. 'z' | '0' .. '9') as c -> Buffer.add_char b c
+        | _ -> ())
+      name;
+    Buffer.contents b
+
+let of_alias s =
+  let s = String.lowercase_ascii s in
+  List.find_opt (fun a -> alias a = s) all

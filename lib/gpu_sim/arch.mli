@@ -39,3 +39,16 @@ val shared_elems_per_sm : t -> int
 val shared_elems_per_block_max : t -> int
 
 val by_name : string -> t option
+(** Lookup among {!all} by the display [name] field. *)
+
+val alias : t -> string
+(** The short name used by the CLI, the wire protocol and golden-file names
+    ("1080ti" | "v100" | "titanx" | "gfx906"): lowercase, nonempty, no
+    spaces.  Presets without a hand-assigned alias fall back to the
+    sanitised display name, so every member of {!all} — including future
+    ones — has an alias by construction. *)
+
+val of_alias : string -> t option
+(** Case-insensitive inverse of {!alias} over {!all} — the one place short
+    architecture names are resolved ([Service.Protocol] and the CLI both
+    delegate here). *)

@@ -1,0 +1,202 @@
+let kind = "regress-gold"
+
+type meta = {
+  model : string;
+  arch : string;
+  seed : int;
+  budget : int;
+  backend : string;
+}
+
+type layer_record = {
+  layer : string;
+  spec : string;
+  algorithm : string;
+  config : string;
+  ours_us : float;
+  predicted_us : float;
+  library_us : float;
+  library_algorithm : string;
+  q_ratio : float;
+  stop : string;
+  trials : int;
+}
+
+type file = { meta : meta; layers : layer_record list }
+
+let stop_token = function
+  | Core.Tuner.Converged -> "converged"
+  | Core.Tuner.Trial_budget -> "trial-budget"
+  | Core.Tuner.Deadline_reached -> "deadline"
+  | Core.Tuner.Breaker_tripped k -> Printf.sprintf "breaker:%d" k
+
+(* Hex floats ("%h") round-trip through [float_of_string] bit-exactly and
+   render identically on every platform, which is what makes two gold runs
+   byte-identical.  Tabs separate fields; none of the encoded strings can
+   contain one (specs, compact configs and algorithm labels are ASCII
+   words/punctuation). *)
+let fl = Printf.sprintf "%h"
+
+let fl_of_string s =
+  match float_of_string_opt s with
+  | Some v -> Some v
+  | None -> None
+
+let encode_meta (m : meta) =
+  String.concat "\t"
+    [ "meta"; "1"; m.model; m.arch; string_of_int m.seed; string_of_int m.budget;
+      m.backend ]
+
+let decode_meta payload =
+  match String.split_on_char '\t' payload with
+  | [ "meta"; "1"; model; arch; seed; budget; backend ] -> (
+    match (int_of_string_opt seed, int_of_string_opt budget) with
+    | Some seed, Some budget -> Some { model; arch; seed; budget; backend }
+    | _ -> None)
+  | _ -> None
+
+let encode_layer (r : layer_record) =
+  String.concat "\t"
+    [
+      "layer"; r.layer; r.spec; r.algorithm; r.config; fl r.ours_us;
+      fl r.predicted_us; fl r.library_us; r.library_algorithm; fl r.q_ratio;
+      r.stop; string_of_int r.trials;
+    ]
+
+let decode_layer payload =
+  match String.split_on_char '\t' payload with
+  | [ "layer"; layer; spec; algorithm; config; ours; predicted; library;
+      library_algorithm; q; stop; trials ] -> (
+    match
+      ( fl_of_string ours, fl_of_string predicted, fl_of_string library,
+        fl_of_string q, int_of_string_opt trials )
+    with
+    | Some ours_us, Some predicted_us, Some library_us, Some q_ratio, Some trials ->
+      Some
+        {
+          layer; spec; algorithm; config; ours_us; predicted_us; library_us;
+          library_algorithm; q_ratio; stop; trials;
+        }
+    | _ -> None)
+  | _ -> None
+
+let slug name =
+  let b = Buffer.create (String.length name) in
+  String.iter
+    (fun c ->
+      match Char.lowercase_ascii c with
+      | ('a' .. 'z' | '0' .. '9' | '-') as c -> Buffer.add_char b c
+      | _ -> Buffer.add_char b '-')
+    name;
+  Buffer.contents b
+
+let path ~dir ~model ~arch = Filename.concat dir (Printf.sprintf "%s.%s.gold" (slug model) arch)
+
+let write p (f : file) =
+  Util.Durable.write_snapshot ~kind p (encode_meta f.meta :: List.map encode_layer f.layers)
+
+let read p =
+  let outcome = Util.Durable.read ~kind p in
+  match outcome with
+  | Util.Durable.Missing -> Error (Printf.sprintf "no golden file at %s" p)
+  | Util.Durable.Intact [] -> Error (Printf.sprintf "empty golden file at %s" p)
+  | Util.Durable.Salvaged { records = []; reason; _ } ->
+    Error (Printf.sprintf "golden file %s unreadable (%s)" p reason)
+  | Util.Durable.Intact (m :: rest) | Util.Durable.Salvaged { records = m :: rest; _ }
+    -> (
+    Util.Durable.warn_dropped ~path:p outcome;
+    match decode_meta m with
+    | None -> Error (Printf.sprintf "golden file %s has no meta record" p)
+    | Some meta ->
+      (* A record that frames (CRC passes) but no longer decodes is format
+         drift, not corruption — fail loudly rather than diff a subset. *)
+      let rec decode acc = function
+        | [] -> Ok { meta; layers = List.rev acc }
+        | payload :: tl -> (
+          match decode_layer payload with
+          | Some r -> decode (r :: acc) tl
+          | None ->
+            Error (Printf.sprintf "golden file %s: undecodable record %S" p payload))
+      in
+      decode [] rest)
+
+(* --- typed diff --- *)
+
+type mismatch =
+  | Missing_pair of { path : string }
+  | Meta_drift of { field : string; gold : string; got : string }
+  | Missing_layer of { layer : string }
+  | Extra_layer of { layer : string }
+  | Config_drift of { layer : string; field : string; gold : string; got : string }
+  | Cost_drift of { layer : string; field : string; gold : float; got : float; rel : float }
+  | Stop_drift of { layer : string; gold : string; got : string }
+
+let mismatch_to_string = function
+  | Missing_pair { path } -> Printf.sprintf "missing-pair: no golden file at %s" path
+  | Meta_drift { field; gold; got } ->
+    Printf.sprintf "meta-drift: %s was %s, sweep ran with %s" field gold got
+  | Missing_layer { layer } -> Printf.sprintf "missing-layer: %s absent from sweep" layer
+  | Extra_layer { layer } -> Printf.sprintf "extra-layer: %s absent from gold" layer
+  | Config_drift { layer; field; gold; got } ->
+    Printf.sprintf "config-drift: %s %s was %s, got %s" layer field gold got
+  | Cost_drift { layer; field; gold; got; rel } ->
+    Printf.sprintf "cost-drift: %s %s was %.6g, got %.6g (rel %.3g)" layer field gold
+      got rel
+  | Stop_drift { layer; gold; got } ->
+    Printf.sprintf "stop-drift: %s was %s, got %s" layer gold got
+
+let compare_files ~tolerance ~(gold : file) ~(got : file) =
+  let out = ref [] in
+  let add m = out := m :: !out in
+  let meta_field field g o = if g <> o then add (Meta_drift { field; gold = g; got = o }) in
+  meta_field "model" gold.meta.model got.meta.model;
+  meta_field "arch" gold.meta.arch got.meta.arch;
+  meta_field "seed" (string_of_int gold.meta.seed) (string_of_int got.meta.seed);
+  meta_field "budget" (string_of_int gold.meta.budget) (string_of_int got.meta.budget);
+  meta_field "backend" gold.meta.backend got.meta.backend;
+  let config_field layer field g o =
+    if g <> o then add (Config_drift { layer; field; gold = g; got = o })
+  in
+  (* [not (rel <= tolerance)] rather than [rel > tolerance]: a NaN on one
+     side makes [rel] NaN, and NaN must read as drift, not as agreement. *)
+  let cost_field layer field g o =
+    if not (Float.is_nan g && Float.is_nan o) then begin
+      let rel = Float.abs (o -. g) /. Float.max (Float.abs g) 1e-12 in
+      if not (rel <= tolerance) then add (Cost_drift { layer; field; gold = g; got = o; rel })
+    end
+  in
+  List.iter
+    (fun (g : layer_record) ->
+      match List.find_opt (fun (o : layer_record) -> o.layer = g.layer) got.layers with
+      | None -> add (Missing_layer { layer = g.layer })
+      | Some o ->
+        config_field g.layer "spec" g.spec o.spec;
+        config_field g.layer "algorithm" g.algorithm o.algorithm;
+        config_field g.layer "config" g.config o.config;
+        config_field g.layer "library-algorithm" g.library_algorithm o.library_algorithm;
+        cost_field g.layer "ours_us" g.ours_us o.ours_us;
+        cost_field g.layer "predicted_us" g.predicted_us o.predicted_us;
+        cost_field g.layer "library_us" g.library_us o.library_us;
+        cost_field g.layer "q_ratio" g.q_ratio o.q_ratio;
+        (* A warm replay carries the cache's answer, not a fresh search —
+           there is no stop reason or trial count of its own to hold against
+           the gold record. *)
+        if o.stop <> "replayed" then begin
+          if g.stop <> o.stop then
+            add (Stop_drift { layer = g.layer; gold = g.stop; got = o.stop });
+          if g.trials <> o.trials then
+            add
+              (Stop_drift
+                 {
+                   layer = g.layer;
+                   gold = Printf.sprintf "%d trials" g.trials;
+                   got = Printf.sprintf "%d trials" o.trials;
+                 })
+        end)
+    gold.layers;
+  List.iter
+    (fun (o : layer_record) ->
+      if not (List.exists (fun (g : layer_record) -> g.layer = o.layer) gold.layers)
+      then add (Extra_layer { layer = o.layer }))
+    got.layers;
+  List.rev !out

@@ -1,0 +1,105 @@
+(** Golden result files — the enforced contract of the fleet sweep.
+
+    One golden file per (model, architecture) pair, MapGraph-style
+    ([regressions/] in the MirrorOfMapGraph repo: per-(graph, algorithm)
+    [.gold] / [.pass] / [.timing] files), stored as a [Util.Durable] record
+    file of kind ["regress-gold"] so corruption is detected and salvaged,
+    never silently replayed.
+
+    A file holds one meta record (the sweep settings that produced it:
+    seed, measurement budget, backend) followed by one record per layer of
+    the model: the canonical layer shape, the winning algorithm, the best
+    configuration found (compact encoding), the measured and
+    analytically-predicted runtimes, the library baseline, the Q-bound
+    ratio (dataflow traffic of the chosen tile over the paper's I/O lower
+    bound at [S] = half an SM) and the tuner's stop reason.
+
+    Floats are written as hexadecimal literals ([%h]), so a golden file is
+    {e byte-deterministic}: the simulated GPU and the tuner are pure
+    functions of the seed, and two [gold] runs from a clean checkout
+    produce byte-identical files. *)
+
+val kind : string
+(** The durable-file kind tag, ["regress-gold"]. *)
+
+type meta = {
+  model : string;  (** display name, e.g. ["ResNet-18"] *)
+  arch : string;  (** short alias, e.g. ["v100"] ([Gpu_sim.Arch.alias]) *)
+  seed : int;
+  budget : int;  (** measurement budget per tuning run *)
+  backend : string;  (** ["cudnn"] or ["miopen"] *)
+}
+
+type layer_record = {
+  layer : string;  (** layer name within the model *)
+  spec : string;  (** [Conv.Conv_spec.canonical] of the shape *)
+  algorithm : string;  (** winning algorithm label, e.g. ["direct-dataflow"] *)
+  config : string;  (** [Core.Config.to_compact] of the best configuration *)
+  ours_us : float;  (** tuned runtime (single execution) *)
+  predicted_us : float;  (** noise-free analytic runtime of the best config *)
+  library_us : float;  (** simulated vendor-library baseline *)
+  library_algorithm : string;
+  q_ratio : float;
+      (** dataflow traffic of the winning tile over the analytic I/O lower
+          bound (Theorem 4.12 / 4.20) at [S] = half an SM — the per-layer
+          optimality-gap figure the sweep must not regress *)
+  stop : string;  (** stop-reason token; ["replayed"] when served warm *)
+  trials : int;  (** measurements the tuning run spent *)
+}
+
+type file = { meta : meta; layers : layer_record list }
+
+val stop_token : Core.Tuner.stop_reason -> string
+(** Compact encoding: ["converged" | "trial-budget" | "deadline" |
+    "breaker:<k>"]. *)
+
+val encode_layer : layer_record -> string
+val decode_layer : string -> layer_record option
+(** Tab-separated payload round-trip; [decode_layer (encode_layer r) =
+    Some r] for records whose string fields are tab- and newline-free
+    (everything the sweep produces). *)
+
+val slug : string -> string
+(** Filesystem-safe lowercase model name (["ResNet-18"] → ["resnet-18"]). *)
+
+val path : dir:string -> model:string -> arch:string -> string
+(** [<dir>/<slug model>.<arch>.gold] — the MapGraph naming scheme. *)
+
+val write : string -> file -> unit
+(** Atomic snapshot ([Util.Durable.write_snapshot]) — byte-deterministic
+    for equal contents. *)
+
+val read : string -> (file, string) result
+(** Salvage-tolerant read: corrupt suffixes are dropped (with the standard
+    one-line warning) and whatever decodes is returned; [Error] for a
+    missing file, a file of another kind, or one without a decodable meta
+    record. *)
+
+(** {1 Typed regression reports} *)
+
+type mismatch =
+  | Missing_pair of { path : string }
+      (** no golden file for a swept (model, arch) pair *)
+  | Meta_drift of { field : string; gold : string; got : string }
+      (** the sweep ran with different settings than the gold was made with *)
+  | Missing_layer of { layer : string }  (** in gold, absent from the sweep *)
+  | Extra_layer of { layer : string }  (** swept, absent from gold *)
+  | Config_drift of { layer : string; field : string; gold : string; got : string }
+      (** the winning algorithm, configuration, spec or library pick changed *)
+  | Cost_drift of { layer : string; field : string; gold : float; got : float; rel : float }
+      (** a runtime or Q-ratio moved beyond tolerance *)
+  | Stop_drift of { layer : string; gold : string; got : string }
+      (** a live tuning run stopped for a different reason or trial count *)
+
+val mismatch_to_string : mismatch -> string
+
+val compare_files : tolerance:float -> gold:file -> got:file -> mismatch list
+(** Typed diff, gold-layer order.  [tolerance] is the relative drift
+    allowed on every cost field ([ours_us], [predicted_us], [library_us],
+    [q_ratio]); the simulator is deterministic, so the default harness
+    tolerance is a tight 1e-6 — absorbing last-ulp wobble from compiler or
+    libm changes while flagging any real drift.  Stop reason and trial
+    count are compared only for records the sweep tuned live
+    ([got.stop <> "replayed"]): a warm replay has no search of its own to
+    compare.  NaN costs never pass silently: a NaN on either side (but not
+    both) is a drift. *)

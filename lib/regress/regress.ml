@@ -1,0 +1,11 @@
+(** Gold-file regression harness for the cross-architecture fleet sweep.
+
+    {!Gold} is the golden-file format (durable records, typed mismatch
+    diff), {!Sweep} runs one (model, architecture) pair through the CNN
+    runner with a shared-result-cache warm layer, and {!Harness} drives the
+    whole fleet in [gold] (record) or [regress] (enforce) mode, MapGraph
+    [.gold]/[.pass]/[.timing] style. *)
+
+module Gold = Gold
+module Sweep = Sweep
+module Harness = Harness

@@ -16,15 +16,11 @@ type request =
   | Stats
   | Tune of tune_request
 
-(* The CLI's short architecture aliases; [Arch.by_name] wants the display
-   name, which contains spaces and cannot appear in a key=value field. *)
-let arch_of_alias s =
-  match String.lowercase_ascii s with
-  | "1080ti" -> Some Gpu_sim.Arch.gtx_1080_ti
-  | "v100" -> Some Gpu_sim.Arch.v100
-  | "titanx" -> Some Gpu_sim.Arch.titan_x
-  | "gfx906" -> Some Gpu_sim.Arch.gfx906
-  | _ -> None
+(* Short architecture aliases; display names contain spaces and cannot
+   appear in a key=value field.  [Gpu_sim.Arch] owns the mapping, so every
+   preset reachable from the CLI is reachable from the wire too. *)
+let arch_of_alias = Gpu_sim.Arch.of_alias
+let alias_of_arch = Gpu_sim.Arch.alias
 
 let split_words line =
   String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
@@ -151,14 +147,7 @@ let render_tune r =
     | Core.Config.Direct_dataflow -> "algo=direct"
     | Core.Config.Winograd_dataflow e -> Printf.sprintf "algo=winograd e=%d" e
   in
-  let arch =
-    match r.arch.Gpu_sim.Arch.name with
-    | "GTX 1080 Ti" -> "1080ti"
-    | "V100" -> "v100"
-    | "GTX Titan X" -> "titanx"
-    | "GFX906" -> "gfx906"
-    | other -> other
-  in
+  let arch = alias_of_arch r.arch in
   Printf.sprintf
     "TUNE cin=%d cout=%d hin=%d win=%d kh=%d kw=%d stride=%d padh=%d padw=%d batch=%d \
      groups=%d arch=%s %s pruned=%b"

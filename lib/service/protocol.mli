@@ -62,6 +62,14 @@ val render_tune : tune_request -> string
 (** A parseable [TUNE] request line for the tuple (used by clients; the
     round-trip [parse_request (render_tune r)] reproduces [r]). *)
 
+val arch_of_alias : string -> Gpu_sim.Arch.t option
+val alias_of_arch : Gpu_sim.Arch.t -> string
+(** The wire-level short architecture names, delegated to
+    [Gpu_sim.Arch.of_alias]/[alias].  The service suite checks the mapping
+    is a total bijection over [Gpu_sim.Arch.all] (round-tripping
+    [1080ti|v100|titanx|gfx906]), so a new preset cannot silently become
+    unreachable from the wire. *)
+
 (** {1 Responses} *)
 
 type source =

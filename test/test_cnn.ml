@@ -192,6 +192,95 @@ let test_figure12_shape () =
       (squeezenet.speedup > resnet.speedup)
   | _ -> Alcotest.fail "expected two timings"
 
+(* --- memo accounting: cache hits are free Replayed tasks --- *)
+
+(* A two-layer model whose layers share one shape: the second layer's
+   candidates must be served from the memo table — reported as [Replayed]
+   tasks that charge the session budget nothing — and a warm re-run must
+   reproduce the cold golden cost bit for bit. *)
+let test_memo_replayed_accounting () =
+  Cnn.Runner.clear_cache ();
+  let spec = Spec.square ~c_in:8 ~size:12 ~c_out:8 ~k:3 () in
+  let model =
+    {
+      Cnn.Models.name = "Mini-Twin";
+      layers = [ Cnn.Layer.make "a" spec; Cnn.Layer.make ~count:2 "b" spec ];
+    }
+  in
+  Alcotest.(check int) "two candidates per layer" 2
+    (List.length (Cnn.Runner.candidates (List.hd model.layers)));
+  let policy = Core.Supervisor.default_policy in
+  let cold = Cnn.Runner.time_model ~max_measurements:60 ~supervise:policy arch model in
+  let report = Option.get cold.health in
+  let replayed, live =
+    List.partition
+      (fun (t : Core.Supervisor.task_report) ->
+        match t.outcome with Core.Supervisor.Replayed _ -> true | _ -> false)
+      report.tasks
+  in
+  Alcotest.(check int) "layer b's candidates replayed" 2 (List.length replayed);
+  Alcotest.(check int) "layer a's candidates tuned live" 2 (List.length live);
+  List.iter
+    (fun (t : Core.Supervisor.task_report) ->
+      Alcotest.(check (float 0.0)) ("replay is free: " ^ t.key) 0.0 t.spent_us)
+    replayed;
+  (* Warm re-run: every task replays, the whole session costs nothing, and
+     the timings are identical to the cold run's — the invariant the gold
+     regress harness leans on. *)
+  let warm = Cnn.Runner.time_model ~max_measurements:60 ~supervise:policy arch model in
+  let wreport = Option.get warm.health in
+  List.iter
+    (fun (t : Core.Supervisor.task_report) ->
+      match t.outcome with
+      | Core.Supervisor.Replayed _ -> ()
+      | o -> Alcotest.failf "warm task %s not replayed (%s)" t.key (Core.Supervisor.outcome_label o))
+    wreport.tasks;
+  Alcotest.(check (float 0.0)) "warm session spends no budget" 0.0
+    wreport.budget_spent_us;
+  Alcotest.(check (float 0.0)) "golden cost identical warm vs cold"
+    cold.ours_total_us warm.ours_total_us;
+  List.iter2
+    (fun (c : Cnn.Runner.layer_timing) (w : Cnn.Runner.layer_timing) ->
+      Alcotest.(check (float 0.0)) ("layer " ^ c.layer.name) c.ours_us w.ours_us)
+    cold.layers warm.layers;
+  Cnn.Runner.clear_cache ()
+
+(* [prime_result]/[find_result]: a primed key answers without tuning and
+   surfaces through [layer_timing.ours_result]. *)
+let test_prime_and_find_result () =
+  Cnn.Runner.clear_cache ();
+  (* 1x1 kernel: not Winograd-eligible, so the direct dataflow is the only
+     candidate and the primed result must win outright. *)
+  let spec = Spec.square ~c_in:8 ~size:12 ~c_out:8 ~k:1 () in
+  let space = Core.Search_space.make arch spec Core.Config.Direct_dataflow in
+  let fake =
+    {
+      Core.Tuner.best_config = Core.Search_space.default_config space;
+      best_runtime_us = 0.125;
+      best_gflops = 1.0;
+      measurements = 7;
+      converged_at = 0;
+      history = [];
+      space_size = 0.0;
+      faults = Core.Tuner.no_faults;
+      stop = Core.Tuner.Converged;
+    }
+  in
+  Alcotest.(check bool) "nothing memoised yet" true
+    (Cnn.Runner.find_result arch spec Core.Config.Direct_dataflow = None);
+  Alcotest.(check bool) "primed" true
+    (Cnn.Runner.prime_result arch spec Core.Config.Direct_dataflow fake);
+  Alcotest.(check bool) "second prime refused" false
+    (Cnn.Runner.prime_result arch spec Core.Config.Direct_dataflow fake);
+  let t = Cnn.Runner.time_layer ~max_measurements:60 arch (Cnn.Layer.make "p" spec) in
+  Alcotest.(check (float 0.0)) "primed runtime served" 0.125 t.ours_us;
+  (match t.ours_result with
+  | Some r ->
+    Alcotest.(check int) "primed trial count surfaced" 7 r.measurements;
+    Alcotest.(check bool) "primed config surfaced" true (r.best_config = fake.best_config)
+  | None -> Alcotest.fail "ours_result missing for tuned layer");
+  Cnn.Runner.clear_cache ()
+
 let () =
   Alcotest.run "cnn"
     [
@@ -218,5 +307,8 @@ let () =
           Alcotest.test_case "model aggregates" `Slow test_runner_model_aggregates;
           Alcotest.test_case "log roundtrip" `Slow test_runner_log_roundtrip;
           Alcotest.test_case "figure 12 shape" `Slow test_figure12_shape;
+          Alcotest.test_case "memo hits are free replays" `Slow
+            test_memo_replayed_accounting;
+          Alcotest.test_case "prime/find result" `Quick test_prime_and_find_result;
         ] );
     ]

@@ -832,6 +832,48 @@ let test_socket_daemon () =
   Alcotest.(check int) "restart tuned nothing" 0
     (Service.Engine.counters engine2).tunes_run
 
+(* --- arch alias mapping: how the wire (and the gold fleet) addresses GPUs --- *)
+
+let test_alias_known_names () =
+  List.iter
+    (fun (alias, (arch : Gpu_sim.Arch.t)) ->
+      Alcotest.(check string) ("alias of " ^ arch.name) alias
+        (Service.Protocol.alias_of_arch arch);
+      match Service.Protocol.arch_of_alias alias with
+      | Some a -> Alcotest.(check string) ("arch of " ^ alias) arch.name a.Gpu_sim.Arch.name
+      | None -> Alcotest.failf "alias %s unmapped" alias)
+    [
+      ("1080ti", Gpu_sim.Arch.gtx_1080_ti);
+      ("v100", Gpu_sim.Arch.v100);
+      ("titanx", Gpu_sim.Arch.titan_x);
+      ("gfx906", Gpu_sim.Arch.gfx906);
+    ];
+  Alcotest.(check bool) "case-insensitive" true
+    (Service.Protocol.arch_of_alias "V100" = Some Gpu_sim.Arch.v100);
+  Alcotest.(check bool) "unknown alias rejected" true
+    (Service.Protocol.arch_of_alias "tpu" = None)
+
+let test_alias_distinct () =
+  let aliases = List.map Service.Protocol.alias_of_arch Gpu_sim.Arch.all in
+  Alcotest.(check int) "aliases pairwise distinct"
+    (List.length Gpu_sim.Arch.all)
+    (List.length (List.sort_uniq compare aliases))
+
+(* Totality + injectivity over [Arch.all], and the wire-format constraint
+   (non-empty lowercase alphanumerics): together with [test_alias_distinct]
+   this is the bijection the protocol doc promises — no preset can silently
+   become unaddressable from the wire or the gold fleet. *)
+let qcheck_alias_bijection =
+  QCheck.Test.make ~name:"arch alias round-trips over Arch.all" ~count:200
+    (QCheck.make (QCheck.Gen.oneofl Gpu_sim.Arch.all))
+    (fun a ->
+      let alias = Service.Protocol.alias_of_arch a in
+      alias <> ""
+      && String.for_all (function 'a' .. 'z' | '0' .. '9' -> true | _ -> false) alias
+      && (match Service.Protocol.arch_of_alias alias with
+         | Some b -> b.Gpu_sim.Arch.name = a.Gpu_sim.Arch.name
+         | None -> false))
+
 let () =
   Alcotest.run "service"
     [
@@ -842,6 +884,9 @@ let () =
           Alcotest.test_case "malformed requests rejected" `Quick
             test_parse_rejects_malformed;
           Alcotest.test_case "response roundtrip" `Quick test_response_roundtrip;
+          Alcotest.test_case "arch aliases map both ways" `Quick test_alias_known_names;
+          Alcotest.test_case "arch aliases distinct" `Quick test_alias_distinct;
+          QCheck_alcotest.to_alcotest qcheck_alias_bijection;
         ] );
       ( "cache",
         [
