@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test verify-smoke verify-deep fault-smoke torture-smoke torture-deep chaos-smoke chaos-deep hotpath-smoke hotpath-deep bench-hotpath service-smoke service-deep bench-service gold gold-smoke gold-deep regress bench-fleet ci clean
+.PHONY: all build test verify-smoke verify-deep fault-smoke torture-smoke torture-deep chaos-smoke chaos-deep hotpath-smoke hotpath-deep bench-hotpath service-smoke service-deep bench-service net-smoke net-deep bench-net gold gold-smoke gold-deep regress bench-fleet ci clean
 
 all: build
 
@@ -71,6 +71,22 @@ service-deep:
 bench-service:
 	dune exec bench/service_bench.exe
 
+# Wire-level chaos gates: fault-plan invariants, partial-write continuation,
+# byzantine-client hardening (oversized lines, slow-loris, connection
+# ceiling) and live-socket chaos campaigns through a daemon kill/restart.
+# Smoke runs one campaign seed plus its byte-for-byte replay (a few
+# seconds); deep sweeps 16 seeds with more concurrent clients.
+net-smoke:
+	dune build @net-smoke
+
+net-deep:
+	dune build @net-deep
+
+# Ask latency (p50/p99) through the resilient client against a live daemon
+# at 0/10/30% injected fault rates; rewrites BENCH_net.json.
+bench-net:
+	dune exec bench/net_bench.exe
+
 # Gold-file regression fleet: 6 CNNs x 4 simulated architectures.
 # `make gold` re-records the golden per-layer results under regress/gold/
 # (deterministic: two runs from a clean checkout are byte-identical) and
@@ -101,7 +117,7 @@ bench-fleet:
 # == sequential scaling, service cache/coalescing, fleet sweep).
 ci: build
 	dune runtest
-	dune build @bench-smoke @service-bench-smoke @fleet-smoke
+	dune build @bench-smoke @service-bench-smoke @net-bench-smoke @fleet-smoke
 
 clean:
 	dune clean

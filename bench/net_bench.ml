@@ -1,0 +1,186 @@
+(* Network-path benchmark: what the wire costs, and what faults cost.
+
+   Usage:
+     dune exec bench/net_bench.exe            full sweep (200 asks per fault
+                                              rate over a live Unix socket);
+                                              writes BENCH_net.json to the cwd
+     dune exec bench/net_bench.exe -- smoke   <5s sanity check, no file
+                                              output: asserts every ask
+                                              terminates Ok at every fault
+                                              rate, fault-free asks take one
+                                              attempt each, and the faulty
+                                              sweep actually retried
+
+   The question the sweep answers: given the resilient client's retry loop
+   (seeded backoff, BUSY floors, idempotent re-asks), what does ask latency
+   look like as the link degrades?  Rates 0%, 10% and 30% — the last being
+   the chaos campaign's acceptance rate — against a live daemon, with every
+   shape pre-warmed so the numbers isolate wire round-trips and retry
+   machinery from tuning time.  All fault draws are seeded per (ask index),
+   so a sweep replays bit-identically. *)
+
+let smoke = Array.length Sys.argv > 1 && Sys.argv.(1) = "smoke"
+let () = Util.Log.set_quiet true
+let () = try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ()
+
+let shapes =
+  [ "TUNE cin=4 size=8 cout=4 k=3"; "TUNE cin=8 size=8 cout=4 k=1" ]
+
+let rates = if smoke then [ 0.0; 0.30 ] else [ 0.0; 0.10; 0.30 ]
+let asks_per_rate = if smoke then 30 else 200
+
+let settings =
+  { Service.Engine.default_settings with budget_trials = 16; max_pending = 32 }
+
+let temp_dir () =
+  let path = Filename.temp_file "net-bench" "" in
+  Sys.remove path;
+  Unix.mkdir path 0o755;
+  path
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
+
+let spec_of_line line =
+  match Service.Protocol.parse_request line with
+  | Ok (Service.Protocol.Tune r) -> r
+  | _ ->
+    Printf.eprintf "FAIL: bench shape does not parse: %s\n" line;
+    exit 1
+
+let () =
+  let dir = temp_dir () in
+  let socket = Filename.concat dir "tuned.sock" in
+  let stop = Atomic.make false in
+  let daemon =
+    Domain.spawn (fun () ->
+        Service.Daemon.serve ~socket ~cache:(Filename.concat dir "cache")
+          ~settings ~stop ~install_signal_handlers:false ())
+  in
+  let clean =
+    {
+      Service.Client.default_settings with
+      max_attempts = 100;
+      attempt_timeout_ms = 1000;
+      backoff_base_ms = 10;
+      backoff_cap_ms = 50;
+    }
+  in
+  (match Service.Client.ask_raw ~settings:clean ~socket "PING" with
+  | Ok Service.Protocol.Pong, _ -> ()
+  | _ ->
+    Printf.eprintf "FAIL: daemon did not become ready\n";
+    exit 1);
+  (* Pre-warm every shape: the sweep then measures wire + retry machinery,
+     not tuning. *)
+  List.iter
+    (fun line ->
+      match
+        Service.Client.ask ~settings:clean ~socket
+          (Service.Protocol.Tune (spec_of_line line))
+      with
+      | Ok (Service.Protocol.Result _), _ -> ()
+      | _ ->
+        Printf.eprintf "FAIL: warmup failed for %s\n" line;
+        exit 1)
+    shapes;
+  Printf.printf "Net bench (%s): %d asks per rate over %s\n%!"
+    (if smoke then "smoke" else "full")
+    asks_per_rate socket;
+
+  let sweep rate =
+    let faults =
+      if rate > 0.0 then Service.Net_faults.with_rate rate
+      else Service.Net_faults.none
+    in
+    let latencies = Array.make asks_per_rate 0.0 in
+    let attempts = ref 0 in
+    for i = 0 to asks_per_rate - 1 do
+      let line = List.nth shapes (i mod List.length shapes) in
+      let ask_settings =
+        {
+          Service.Client.default_settings with
+          faults;
+          seed = i;
+          conn_base = i * 100;
+          max_attempts = 12;
+          backoff_base_ms = 5;
+          backoff_cap_ms = 50;
+        }
+      in
+      let (result, trace), wall =
+        time (fun () ->
+            Service.Client.ask ~settings:ask_settings ~socket
+              (Service.Protocol.Tune (spec_of_line line)))
+      in
+      (match result with
+      | Ok (Service.Protocol.Result p) ->
+        if Service.Protocol.source_to_string p.Service.Protocol.source <> "cached"
+        then begin
+          Printf.eprintf "FAIL: ask %d at rate %.2f not served warm\n" i rate;
+          exit 1
+        end
+      | _ ->
+        Printf.eprintf "FAIL: ask %d at rate %.2f did not terminate Ok\n" i rate;
+        exit 1);
+      latencies.(i) <- wall *. 1e3;
+      attempts := !attempts + List.length trace
+    done;
+    Array.sort compare latencies;
+    let mean = Array.fold_left ( +. ) 0.0 latencies /. float_of_int asks_per_rate in
+    let p50 = percentile latencies 0.50 in
+    let p99 = percentile latencies 0.99 in
+    Printf.printf
+      "  rate %4.0f%%: p50 %7.3f ms   p99 %7.3f ms   mean %7.3f ms   %d attempts for %d asks\n%!"
+      (rate *. 100.) p50 p99 mean !attempts asks_per_rate;
+    (rate, p50, p99, mean, !attempts)
+  in
+  let results = List.map sweep rates in
+
+  Atomic.set stop true;
+  ignore (Domain.join daemon);
+
+  if smoke then begin
+    (* Fault-free asks retry nothing; the faulty sweep must have exercised
+       the retry loop (draws are seeded, so this is deterministic). *)
+    List.iter
+      (fun (rate, p50, p99, _, attempts) ->
+        if p99 < p50 then begin
+          Printf.eprintf "FAIL: p99 below p50 at rate %.2f\n" rate;
+          exit 1
+        end;
+        if rate = 0.0 && attempts <> asks_per_rate then begin
+          Printf.eprintf "FAIL: clean sweep took %d attempts for %d asks\n"
+            attempts asks_per_rate;
+          exit 1
+        end;
+        if rate > 0.0 && attempts <= asks_per_rate then begin
+          Printf.eprintf "FAIL: faulty sweep never retried\n";
+          exit 1
+        end)
+      results;
+    print_endline "net bench smoke ok"
+  end
+  else begin
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "{\n  \"bench\": \"net\",\n";
+    Buffer.add_string buf
+      (Printf.sprintf "  \"asks_per_rate\": %d,\n  \"rates\": [\n" asks_per_rate);
+    List.iteri
+      (fun i (rate, p50, p99, mean, attempts) ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    {\"fault_rate\": %.2f, \"p50_ms\": %.4f, \"p99_ms\": %.4f, \"mean_ms\": %.4f, \"attempts\": %d}"
+             rate p50 p99 mean attempts))
+      results;
+    Buffer.add_string buf "\n  ]\n}\n";
+    Util.Durable.write_atomic "BENCH_net.json" (Buffer.contents buf);
+    print_endline "wrote BENCH_net.json"
+  end

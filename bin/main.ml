@@ -314,12 +314,29 @@ let serve_cmd =
             "Directory for per-request tune journals: a daemon killed mid-tune \
              resumes the interrupted search from its journal on the next request.")
   in
+  let request_deadline =
+    Arg.(
+      value & opt float 10.0
+      & info [ "request-deadline" ]
+          ~doc:
+            "Seconds a partial request may dribble in (or a stalled response \
+             flush may linger) before ERR timeout — the slow-loris bound.")
+  in
+  let max_conns =
+    Arg.(
+      value & opt int 64
+      & info [ "max-conns" ]
+          ~doc:
+            "Concurrent-connection ceiling; accepts beyond it are answered \
+             BUSY retry-after immediately and closed.")
+  in
   let chaos =
     Arg.(
       value & flag
       & info [ "chaos" ] ~doc:"Inject the default GPU fault profile (demo/testing).")
   in
-  let run socket cache seed budget budget_us max_pending read_deadline journal_dir chaos =
+  let run socket cache seed budget budget_us max_pending read_deadline
+      request_deadline max_conns journal_dir chaos =
     let settings =
       {
         Service.Engine.default_settings with
@@ -334,7 +351,8 @@ let serve_cmd =
     Printf.printf "conv_io serve: socket %s, cache %s, generation %s\n%!" socket cache
       (Service.Engine.generation_of_settings settings);
     let engine =
-      Service.Daemon.serve ~socket ~cache ~settings ~read_deadline_s:read_deadline ()
+      Service.Daemon.serve ~socket ~cache ~settings ~read_deadline_s:read_deadline
+        ~request_deadline_s:request_deadline ~max_conns ()
     in
     Printf.printf "drained; final stats:\n";
     List.iter (fun (k, v) -> Printf.printf "  %-16s %s\n" k v) (Service.Engine.stats engine);
@@ -350,7 +368,7 @@ let serve_cmd =
   Cmd.v info
     Term.(
       const run $ socket $ cache $ seed_arg $ budget $ budget_us $ max_pending
-      $ read_deadline $ journal_dir $ chaos)
+      $ read_deadline $ request_deadline $ max_conns $ journal_dir $ chaos)
 
 (* --- ask --- *)
 
@@ -373,51 +391,103 @@ let ask_cmd =
       & opt (some string) None
       & info [ "raw" ] ~doc:"Send this raw request line instead (e.g. PING, STATS).")
   in
-  let run spec arch wino raw socket =
-    let line =
+  let deadline =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline" ]
+          ~doc:
+            "Total request deadline in milliseconds, spanning all retries and \
+             propagated to the daemon as the $(b,deadline-ms) field so it can \
+             shed work nobody will collect.")
+  in
+  let retries =
+    Arg.(
+      value & opt int 8
+      & info [ "retries" ]
+          ~doc:"Attempt budget: retries are idempotent (same canonical key).")
+  in
+  let attempt_timeout =
+    Arg.(
+      value & opt int 2000
+      & info [ "attempt-timeout" ]
+          ~doc:"Milliseconds to wait for an answer on one attempt.")
+  in
+  let chaos_rate =
+    Arg.(
+      value & opt float 0.0
+      & info [ "chaos-rate" ]
+          ~doc:
+            "Inject wire faults at this per-attempt rate (0..1) on the way \
+             out — the flaky-network walkthrough.  Deterministic per \
+             $(b,--chaos-seed).")
+  in
+  let chaos_seed =
+    Arg.(
+      value & opt int 0
+      & info [ "chaos-seed" ] ~doc:"Seed for wire-fault plans and retry jitter.")
+  in
+  let trace =
+    Arg.(
+      value & flag
+      & info [ "trace" ] ~doc:"Print the per-attempt retry trace to stderr.")
+  in
+  let run spec arch wino raw socket deadline retries attempt_timeout chaos_rate
+      chaos_seed trace =
+    let settings =
+      {
+        Service.Client.default_settings with
+        deadline_ms = deadline;
+        max_attempts = retries;
+        attempt_timeout_ms = attempt_timeout;
+        seed = chaos_seed;
+        faults =
+          (if chaos_rate > 0.0 then Service.Net_faults.with_rate chaos_rate
+           else Service.Net_faults.none);
+      }
+    in
+    let result, attempts =
       match raw with
-      | Some l -> l
+      | Some line -> Service.Client.ask_raw ~settings ~socket line
       | None ->
         let algorithm =
           match wino with
           | None -> Core.Config.Direct_dataflow
           | Some e -> Core.Config.Winograd_dataflow e
         in
-        Service.Protocol.render_tune
-          { Service.Protocol.spec; arch; algorithm; pruned = true }
+        Service.Client.ask ~settings ~socket
+          (Service.Protocol.Tune
+             {
+               Service.Protocol.spec;
+               arch;
+               algorithm;
+               pruned = true;
+               deadline_ms = deadline;
+             })
     in
-    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    Fun.protect
-      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-      (fun () ->
-        Unix.connect fd (Unix.ADDR_UNIX socket);
-        let msg = line ^ "\n" in
-        ignore (Unix.write_substring fd msg 0 (String.length msg));
-        let buf = Buffer.create 256 in
-        let chunk = Bytes.create 1024 in
-        let rec read_line () =
-          if not (String.contains (Buffer.contents buf) '\n') then begin
-            match Unix.read fd chunk 0 (Bytes.length chunk) with
-            | 0 -> ()
-            | n ->
-              Buffer.add_subbytes buf chunk 0 n;
-              read_line ()
-          end
-        in
-        read_line ();
-        let reply =
-          match String.index_opt (Buffer.contents buf) '\n' with
-          | Some i -> String.sub (Buffer.contents buf) 0 i
-          | None -> Buffer.contents buf
-        in
-        print_endline reply;
-        if not (Service.Protocol.is_typed_line reply) then exit 2;
-        match Service.Protocol.parse_response reply with
-        | Some (Service.Protocol.Error _) -> exit 1
-        | _ -> ())
+    if trace || Result.is_error result then
+      List.iter
+        (fun a -> Printf.eprintf "%s\n%!" (Service.Client.attempt_to_string a))
+        attempts;
+    match result with
+    | Ok resp ->
+      print_endline (Service.Protocol.render_response resp);
+      (match resp with Service.Protocol.Error _ -> exit 1 | _ -> ())
+    | Error failure ->
+      Printf.eprintf "ask: %s\n%!" (Service.Client.failure_to_string failure);
+      exit 2
   in
-  let info = Cmd.info "ask" ~doc:"Send one request to a serve daemon and print the reply." in
-  Cmd.v info Term.(const run $ spec_term $ arch_arg $ wino $ raw $ socket)
+  let info =
+    Cmd.info "ask"
+      ~doc:
+        "Send one request to a serve daemon through the resilient client: \
+         retries with capped jittered backoff, BUSY retry-after honored, \
+         idempotent by canonical key, total deadline propagated."
+  in
+  Cmd.v info
+    Term.(
+      const run $ spec_term $ arch_arg $ wino $ raw $ socket $ deadline
+      $ retries $ attempt_timeout $ chaos_rate $ chaos_seed $ trace)
 
 (* --- gold / regress --- *)
 

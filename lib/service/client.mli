@@ -1,0 +1,96 @@
+(** The resilient client — what [conv-io ask] and the chaos campaigns use
+    to talk to a daemon over a hostile wire.
+
+    One call to {!ask} owns the whole request lifecycle: connect, send
+    (optionally through a seeded {!Net_faults} plan), read with a
+    per-attempt timeout, classify, and retry with capped exponential
+    backoff and deterministic seeded jitter until a final answer, the
+    attempt budget, or the total deadline — which is also propagated to
+    the daemon as the [deadline-ms] field so the server can shed work the
+    client will no longer collect.
+
+    Retries are idempotent by construction: a [TUNE] re-sent after a torn
+    connection re-addresses the same canonical cache entry, so the worst
+    case is answering from the cache the first attempt already paid for.
+    Two consequences shape the classifier:
+
+    - [ERR parse] while a [TUNE] answer is expected is {e skipped}, not
+      accepted: on a garbling wire the rejection is as likely the link's
+      fault as the request's, and reading on (then retrying) converges to
+      the real answer;
+    - an [OK] whose [key] is not the hash of {e this} request's canonical
+      is skipped too — the one way a garbled request can silently become a
+      {e wrong} answer (bytes mutating one field into another valid spec)
+      is cut off by the content address.
+
+    Determinism: with injected [now_ms]/[sleep_ms] and a fault profile,
+    the full attempt trace is a pure function of (settings, request) —
+    campaign transcripts replay byte-for-byte from their seed. *)
+
+type settings = {
+  attempt_timeout_ms : int;  (** per-attempt wait for an acceptable line *)
+  deadline_ms : int option;
+      (** total request budget; sent to the daemon as [deadline-ms] *)
+  max_attempts : int;
+  backoff_base_ms : int;  (** first retry delay; doubles per attempt *)
+  backoff_cap_ms : int;  (** backoff ceiling *)
+  seed : int;  (** drives jitter and the fault plans *)
+  faults : Net_faults.profile;  (** wire chaos for campaigns; [none] = clean *)
+  conn_base : int;
+      (** logical id of this client's first connection; attempt [n] uses
+          [conn_base + n - 1], which is what makes two clients' fault
+          plans independent and one client's replay exact *)
+}
+
+val default_settings : settings
+(** 2s attempts, no total deadline, 8 attempts, backoff 25ms doubling to a
+    1s cap, seed 0, no faults, connection ids from 0. *)
+
+(** Why {!ask} gave up. *)
+type failure =
+  | Deadline_exceeded  (** the total deadline expired before an answer *)
+  | Attempts_exhausted of string
+      (** every attempt failed; payload describes the last failure *)
+
+val failure_to_string : failure -> string
+
+type attempt = {
+  n : int;  (** 1-based attempt number *)
+  conn : int;  (** logical connection id ([Net_faults] plan input) *)
+  fault : Net_faults.kind option;  (** the fault injected on this attempt *)
+  note : string;  (** outcome: the answer, or why it retried *)
+}
+(** One entry of the retry trace — the campaign ledger's raw material. *)
+
+val attempt_to_string : attempt -> string
+
+val ask :
+  ?settings:settings ->
+  ?now_ms:(unit -> float) ->
+  ?sleep_ms:(float -> unit) ->
+  socket:string ->
+  Protocol.request ->
+  (Protocol.response, failure) result * attempt list
+(** Sends one typed request, riding out resets, garbage, dribble, BUSY
+    and daemon restarts.  [Ok response] is a final typed answer — which
+    may itself be a typed error ([ERR domain], [ERR failed]: determinate
+    rejections that retrying cannot change).  [BUSY retry-after] is
+    honored (the hint bounds the next backoff from below), [ERR draining]
+    and [ERR timeout] retry, and for [Tune] requests the [deadline-ms]
+    field is refreshed with the remaining budget on every attempt.
+
+    [now_ms] (default: a fresh monotonic clock) and [sleep_ms] (default:
+    real sleep) are injectable for deterministic tests.  Never raises on
+    socket errors; a daemon that is down simply costs retries. *)
+
+val ask_raw :
+  ?settings:settings ->
+  ?now_ms:(unit -> float) ->
+  ?sleep_ms:(float -> unit) ->
+  socket:string ->
+  string ->
+  (Protocol.response, failure) result * attempt list
+(** {!ask} for a raw request line (the CLI's [--raw] escape hatch).  No
+    key check is possible, so the first line that parses as any response
+    is final — except [BUSY]/[ERR draining]/[ERR timeout], which still
+    retry. *)

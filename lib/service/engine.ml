@@ -38,6 +38,9 @@ type job = {
   canonical : string;
   request : Protocol.tune_request;
   mutable waiters : client list;  (* newest first; delivery reverses *)
+  mutable deadline_at : float option;
+      (* absolute ms on the engine clock; [Some] only while *every* waiter
+         carries a deadline — one patient waiter pins the job runnable *)
 }
 
 type counters = {
@@ -50,6 +53,7 @@ type counters = {
   domain_errors : int;
   tune_failures : int;
   abandoned : int;
+  deadline_shed : int;
 }
 
 let zero_counters =
@@ -63,10 +67,12 @@ let zero_counters =
     domain_errors = 0;
     tune_failures = 0;
     abandoned = 0;
+    deadline_shed = 0;
   }
 
 type t = {
   settings : settings;
+  now_ms : unit -> float;
   cache : Result_cache.t;
   session : Core.Supervisor.session;
   pending : (client * string) Queue.t;
@@ -84,10 +90,15 @@ let rec mkdir_p dir =
     try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
-let create ?(settings = default_settings) ~cache () =
+(* The default clock is the constant zero, NOT wall time: the engine stays
+   a deterministic step machine (Sim scripts replay byte-identically), and
+   with a frozen clock no deadline ever passes, so shedding is off unless a
+   real clock is injected — which the daemon does. *)
+let create ?(settings = default_settings) ?(now_ms = fun () -> 0.0) ~cache () =
   Option.iter mkdir_p settings.journal_dir;
   {
     settings;
+    now_ms;
     cache = Result_cache.load ~generation:(generation_of_settings settings) cache;
     session =
       Core.Supervisor.create ~policy:settings.policy ~tasks:settings.max_pending ();
@@ -116,6 +127,10 @@ let submit t client line = Queue.add (client, line) t.pending
 
 let health t = Core.Supervisor.report t.session
 
+(* The daemon's accept-level load shedding answers BUSY before the engine
+   ever sees a line; it still belongs in the one shared ledger. *)
+let record_load_shed t = t.c <- { t.c with busy_rejected = t.c.busy_rejected + 1 }
+
 let stats t =
   let c = t.c in
   [
@@ -129,6 +144,7 @@ let stats t =
     ("domain_errors", string_of_int c.domain_errors);
     ("tune_failures", string_of_int c.tune_failures);
     ("abandoned", string_of_int c.abandoned);
+    ("deadline_shed", string_of_int c.deadline_shed);
     ("salvage_dropped", string_of_int (Result_cache.dropped t.cache));
     ("stale_dropped", string_of_int (Result_cache.stale t.cache));
     ("draining", string_of_bool t.draining);
@@ -161,6 +177,9 @@ let deliver t out client response =
 let handle_tune t out client (req : Protocol.tune_request) =
   let canonical = Protocol.canonical_of_tune req in
   let key = Result_cache.key_of_canonical canonical in
+  let deadline_at =
+    Option.map (fun d -> t.now_ms () +. float_of_int d) req.Protocol.deadline_ms
+  in
   match Result_cache.find t.cache ~canonical with
   | Some e ->
     t.c <- { t.c with cache_hits = t.c.cache_hits + 1 };
@@ -170,7 +189,13 @@ let handle_tune t out client (req : Protocol.tune_request) =
     (match Hashtbl.find_opt t.inflight key with
     | Some job ->
       t.c <- { t.c with coalesced = t.c.coalesced + 1 };
-      job.waiters <- client :: job.waiters
+      job.waiters <- client :: job.waiters;
+      (* A joining waiter can only relax the job's deadline: shedding is
+         legitimate only once *no* waiter can still be satisfied. *)
+      job.deadline_at <-
+        (match (job.deadline_at, deadline_at) with
+        | Some a, Some b -> Some (Float.max a b)
+        | _ -> None)
     | None ->
       if Queue.length t.jobs >= t.settings.max_pending then begin
         t.c <- { t.c with busy_rejected = t.c.busy_rejected + 1 };
@@ -178,7 +203,7 @@ let handle_tune t out client (req : Protocol.tune_request) =
           (Protocol.Busy { retry_after_s = t.settings.retry_after_s })
       end
       else begin
-        let job = { key; canonical; request = req; waiters = [ client ] } in
+        let job = { key; canonical; request = req; waiters = [ client ]; deadline_at } in
         Hashtbl.replace t.inflight key job;
         Queue.add job t.jobs
       end)
@@ -235,8 +260,12 @@ let outcome_entry job (outcome : Core.Supervisor.outcome) =
   | Core.Supervisor.Failed cause ->
     `Failure (Protocol.Error (Protocol.Failed (Core.Supervisor.cause_to_string cause)))
 
-let run_job t out job =
-  Hashtbl.remove t.inflight job.key;
+let answer_waiters t out job response =
+  (* Every waiter — including ones that joined by coalescing — gets the one
+     shared answer; failures propagate to all of them identically. *)
+  List.iter (fun client -> deliver t out client response) (List.rev job.waiters)
+
+let run_job_now t out job =
   let req = job.request in
   let outcome =
     match
@@ -284,9 +313,19 @@ let run_job t out job =
         response
     end
   in
-  (* Every waiter — including ones that joined by coalescing — gets the one
-     shared answer; failures propagate to all of them identically. *)
-  List.iter (fun client -> deliver t out client response) (List.rev job.waiters)
+  answer_waiters t out job response
+
+let run_job t out job =
+  Hashtbl.remove t.inflight job.key;
+  match job.deadline_at with
+  | Some d when t.now_ms () > d ->
+    (* Every waiter's deadline has already passed: tuning now would burn
+       budget answering connections that stopped listening.  Shed with a
+       typed line — a patient waiter (no deadline) keeps the job runnable
+       via [deadline_at = None]. *)
+    t.c <- { t.c with deadline_shed = t.c.deadline_shed + 1 };
+    answer_waiters t out job (Protocol.Error Protocol.Deadline)
+  | _ -> run_job_now t out job
 
 (* ------------------------------------------------------------------ *)
 (* Stepping. *)

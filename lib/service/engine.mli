@@ -51,9 +51,16 @@ type client
 
 val client_id : client -> int
 
-val create : ?settings:settings -> cache:string -> unit -> t
+val create : ?settings:settings -> ?now_ms:(unit -> float) -> cache:string -> unit -> t
 (** Loads (salvaging + repairing if damaged) the durable cache and starts
-    an accepting engine. *)
+    an accepting engine.
+
+    [now_ms] is the engine's only clock, used solely to shed queued tunes
+    whose every waiter's [deadline-ms] has already expired (typed
+    [ERR deadline]).  It defaults to the {e constant zero} — not wall
+    time — so the engine stays a deterministic step machine and shedding
+    is inert unless a real (monotonic) clock is injected, which the
+    daemon does. *)
 
 val settings : t -> settings
 val cache : t -> Result_cache.t
@@ -103,9 +110,16 @@ type counters = {
   domain_errors : int;
   tune_failures : int;  (** tasks whose waiters got [ERR failed] *)
   abandoned : int;  (** responses dropped because the waiter disconnected *)
+  deadline_shed : int;
+      (** queued tunes skipped because every waiter's deadline had passed *)
 }
 
 val counters : t -> counters
+
+val record_load_shed : t -> unit
+(** Counts one accept-level [BUSY] the daemon answered before the engine
+    saw a line (connection-ceiling load shedding), folding it into
+    [busy_rejected] so [STATS] reports one honest total. *)
 
 val stats : t -> (string * string) list
 (** The [STATS] reply payload: counters plus cache entries / salvage

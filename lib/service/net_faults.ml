@@ -1,0 +1,128 @@
+(* Wire chaos with a steady hand: the plan for a connection is a pure
+   function of (profile, seed, conn, payload), so a campaign that records
+   its seed can replay every split point, garbage byte and reset
+   bit-identically.  The executor is callback-based so the same plans run
+   against live sockets and in-memory buffers alike. *)
+
+type kind = Garbage | Truncate | Reset | Dribble | Duplicate
+
+type profile = {
+  rate : float;
+  kinds : kind list;
+  max_pause_ms : int;
+}
+
+let all_kinds = [ Garbage; Truncate; Reset; Dribble; Duplicate ]
+let none = { rate = 0.0; kinds = all_kinds; max_pause_ms = 0 }
+let default = { rate = 0.30; kinds = all_kinds; max_pause_ms = 2 }
+let with_rate rate = { default with rate }
+
+let only ?(max_pause_ms = default.max_pause_ms) kinds =
+  if kinds = [] then invalid_arg "Net_faults.only: empty kind list";
+  { rate = 1.0; kinds; max_pause_ms }
+
+let kind_to_string = function
+  | Garbage -> "garbage"
+  | Truncate -> "truncate"
+  | Reset -> "reset"
+  | Dribble -> "dribble"
+  | Duplicate -> "duplicate"
+
+let profile_to_string p =
+  Printf.sprintf "rate=%.2f kinds=%s max_pause_ms=%d" p.rate
+    (String.concat "," (List.map kind_to_string p.kinds))
+    p.max_pause_ms
+
+type op =
+  | Send of string
+  | Pause_ms of int
+  | Close
+
+let describe = function
+  | Send s -> Printf.sprintf "send %d bytes (%S)" (String.length s) s
+  | Pause_ms n -> Printf.sprintf "pause %dms" n
+  | Close -> "close"
+
+(* One rng per (seed, conn): the draw order below is part of the replay
+   contract — [fault_of] consumes exactly the prefix [plan] does before
+   they diverge. *)
+let rng_of ~seed ~conn = Util.Rng.create ((seed * 1_000_003) + (conn * 7919) + 17)
+
+let draw_fault profile rng =
+  if profile.kinds <> [] && Util.Rng.float rng 1.0 < profile.rate then
+    Some (List.nth profile.kinds (Util.Rng.int rng (List.length profile.kinds)))
+  else None
+
+let fault_of profile ~seed ~conn = draw_fault profile (rng_of ~seed ~conn)
+
+(* Split [s] into [Send] chunks of size in [1, max_chunk], optionally
+   pausing up to [max_pause] ms between chunks.  Concatenation of the
+   chunks is exactly [s]. *)
+let chunked rng ?(max_pause = 0) ~max_chunk s =
+  let n = String.length s in
+  let rec go pos acc =
+    if pos >= n then List.rev acc
+    else begin
+      let len = min (n - pos) (1 + Util.Rng.int rng max_chunk) in
+      let acc = Send (String.sub s pos len) :: acc in
+      let acc =
+        if pos + len < n && max_pause > 0 then
+          Pause_ms (Util.Rng.int rng (max_pause + 1)) :: acc
+        else acc
+      in
+      go (pos + len) acc
+    end
+  in
+  go 0 []
+
+let garble rng line =
+  let n_bytes = 1 + Util.Rng.int rng 8 in
+  let junk = String.init n_bytes (fun _ -> Char.chr (Util.Rng.int rng 256)) in
+  let pos = Util.Rng.int rng (String.length line + 1) in
+  String.sub line 0 pos ^ junk ^ String.sub line pos (String.length line - pos)
+
+let plan profile ~seed ~conn line =
+  let rng = rng_of ~seed ~conn in
+  let fault = draw_fault profile rng in
+  let payload = line ^ "\n" in
+  let benign_chunk = max 1 (String.length payload / 2) in
+  match fault with
+  | None -> chunked rng ~max_chunk:benign_chunk payload
+  | Some Garbage ->
+    (* The line is corrupted mid-flight; whatever frames the daemon carves
+       out of it earn typed ERR parse (or a wrong-key OK the client
+       rejects) — never a crash. *)
+    chunked rng ~max_chunk:benign_chunk (garble rng line ^ "\n")
+  | Some Truncate ->
+    let keep = 1 + Util.Rng.int rng (max 1 (String.length line - 1)) in
+    chunked rng ~max_chunk:benign_chunk (String.sub payload 0 keep) @ [ Close ]
+  | Some Reset ->
+    (* Full delivery, then the connection dies before the answer is read:
+       the daemon's work is not wasted (disconnects still cache), the
+       client's retry lands on the warm entry. *)
+    chunked rng ~max_chunk:benign_chunk payload @ [ Close ]
+  | Some Dribble ->
+    chunked rng ~max_pause:profile.max_pause_ms ~max_chunk:3 payload
+  | Some Duplicate ->
+    (* Two deliveries, split without respect for the line boundary — the
+       coalesced-write case a naive framer gets wrong. *)
+    chunked rng ~max_chunk:(String.length payload) (payload ^ payload)
+
+let delivers ops = not (List.exists (fun op -> op = Close) ops)
+
+let default_sleep ms = if ms > 0 then Unix.sleepf (float_of_int ms /. 1000.)
+
+let apply ?(sleep_ms = default_sleep) ~write ~close ops =
+  let rec go = function
+    | [] -> `Delivered
+    | Send s :: rest ->
+      write s;
+      go rest
+    | Pause_ms n :: rest ->
+      sleep_ms n;
+      go rest
+    | Close :: _ ->
+      close ();
+      `Closed
+  in
+  go ops

@@ -1,0 +1,88 @@
+(** Deterministic, seed-driven fault injection over the wire.
+
+    The byte stream between a client and the daemon is the last failure
+    domain the repo did not inject: flaky links split and coalesce writes,
+    garble bytes, cut connections mid-line, dribble one byte at a time
+    (slow-loris, whether malicious or just a congested path) and deliver
+    duplicates.  This module reproduces all of it in the house style of
+    [Util.Fs_faults] and [Gpu_sim.Faults]: every decision derives from
+    [(profile, seed, connection id, payload)] — never from global state or
+    the wall clock — so a chaos campaign replays bit-identically from its
+    seed.
+
+    The injector is wrappable around {e any} connection: {!plan} turns one
+    outbound line into a list of abstract {!op}s, and {!apply} executes
+    them against caller-supplied [write]/[close] callbacks — a real socket
+    in the live campaigns, a string buffer in unit tests. *)
+
+(** The fault vocabulary.  [Garbage], [Truncate] and [Reset] are {e lossy}
+    (the request cannot be answered from this attempt); [Dribble] and
+    [Duplicate] are {e deliverable} (hostile framing, but the full line
+    still arrives) — the distinction the resilient client's convergence
+    argument rests on. *)
+type kind =
+  | Garbage  (** random bytes spliced into the line mid-flight *)
+  | Truncate  (** a strict prefix, then the connection dies *)
+  | Reset  (** the connection is cut after the write, before the read *)
+  | Dribble  (** byte-at-a-time pacing with injected pauses *)
+  | Duplicate  (** the whole line delivered twice on one connection *)
+
+type profile = {
+  rate : float;  (** per-attempt probability that some fault fires *)
+  kinds : kind list;  (** the faults the draw may choose, uniformly *)
+  max_pause_ms : int;  (** upper bound on one injected [Dribble] pause *)
+}
+
+val none : profile
+(** Rate zero: {!plan} degrades to benign random write-splitting (the
+    payload always arrives intact — split/coalesced framing is exercised
+    even without faults, since a correct peer must tolerate it). *)
+
+val default : profile
+(** The campaign profile: 30% fault rate over every {!kind}, pauses up to
+    2ms. *)
+
+val with_rate : float -> profile
+(** {!default} with another fault rate. *)
+
+val only : ?max_pause_ms:int -> kind list -> profile
+(** Rate 1.0 restricted to the given kinds — for scripting one specific
+    hostile behaviour (e.g. a pure slow-loris client). *)
+
+val kind_to_string : kind -> string
+val profile_to_string : profile -> string
+
+(** One step of a delivery plan. *)
+type op =
+  | Send of string
+  | Pause_ms of int
+  | Close  (** abrupt close; any ops after it are unreachable *)
+
+val describe : op -> string
+
+val plan : profile -> seed:int -> conn:int -> string -> op list
+(** [plan p ~seed ~conn line] is the delivery schedule for [line ^ "\n"]
+    on logical connection [conn].  Pure: equal arguments yield equal
+    plans, byte for byte.  Under [Close]-free plans the concatenation of
+    the [Send] payloads is exactly [line ^ "\n"] (faults [Dribble],
+    [Duplicate] and no-fault), possibly twice for [Duplicate]. *)
+
+val fault_of : profile -> seed:int -> conn:int -> kind option
+(** The fault {!plan} will inject for this (seed, connection) — the same
+    draw, exposed so campaign ledgers can record intent without parsing
+    plans. *)
+
+val delivers : op list -> bool
+(** [true] iff the plan keeps the connection open through the read (no
+    [Close]) — a necessary condition for this attempt to be answered. *)
+
+val apply :
+  ?sleep_ms:(int -> unit) ->
+  write:(string -> unit) ->
+  close:(unit -> unit) ->
+  op list ->
+  [ `Delivered | `Closed ]
+(** Executes a plan.  [sleep_ms] defaults to a real [Unix.sleepf]; tests
+    pass [ignore] to run schedules instantly.  Returns [`Closed] iff the
+    plan closed the connection (in which case [close] was called exactly
+    once and no further ops ran). *)

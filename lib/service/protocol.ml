@@ -9,6 +9,7 @@ type tune_request = {
   arch : Gpu_sim.Arch.t;
   algorithm : Core.Config.algorithm;
   pruned : bool;
+  deadline_ms : int option;
 }
 
 type request =
@@ -41,20 +42,13 @@ let parse_fields words =
   in
   go [] words
 
-let known_fields =
-  [
-    "cin"; "cout"; "size"; "hin"; "win"; "k"; "kh"; "kw"; "stride"; "pad"; "padh";
-    "padw"; "batch"; "groups"; "arch"; "algo"; "e"; "pruned";
-  ]
-
+(* Unknown fields are ignored, not rejected: a newer client may attach
+   fields (the way [deadline-ms] was added) and still talk to an older
+   daemon.  Malformed words, duplicates and bad values in {e known} fields
+   are still typed parse errors — tolerance is for vocabulary, not shape. *)
 let parse_tune words =
   let ( let* ) = Result.bind in
   let* fields = parse_fields words in
-  let* () =
-    match List.find_opt (fun (k, _) -> not (List.mem k known_fields)) fields with
-    | Some (k, _) -> Error (Printf.sprintf "unknown field %S" k)
-    | None -> Ok ()
-  in
   let lookup k = List.assoc_opt k fields in
   let int_field k =
     match lookup k with
@@ -84,6 +78,12 @@ let parse_tune words =
   let* batch = int_field "batch" in
   let* groups = int_field "groups" in
   let* e = int_field "e" in
+  let* deadline_ms = int_field "deadline-ms" in
+  let* () =
+    match deadline_ms with
+    | Some d when d < 0 -> Error (Printf.sprintf "field \"deadline-ms\": %d is negative" d)
+    | _ -> Ok ()
+  in
   let first a b = match a with Some _ -> a | None -> b in
   let* cin = require "cin" cin in
   let* cout = require "cout" cout in
@@ -116,7 +116,7 @@ let parse_tune words =
     Conv.Conv_spec.make ?batch ?pad ?pad_h:padh ?pad_w:padw ?stride ?groups ~c_in:cin
       ~h_in ~w_in ~c_out:cout ~k_h ~k_w ()
   with
-  | spec -> Ok (Tune { spec; arch; algorithm; pruned })
+  | spec -> Ok (Tune { spec; arch; algorithm; pruned; deadline_ms })
   | exception Invalid_argument msg -> Error msg
 
 let parse_request line =
@@ -148,11 +148,16 @@ let render_tune r =
     | Core.Config.Winograd_dataflow e -> Printf.sprintf "algo=winograd e=%d" e
   in
   let arch = alias_of_arch r.arch in
+  let deadline =
+    match r.deadline_ms with
+    | None -> ""
+    | Some d -> Printf.sprintf " deadline-ms=%d" d
+  in
   Printf.sprintf
     "TUNE cin=%d cout=%d hin=%d win=%d kh=%d kw=%d stride=%d padh=%d padw=%d batch=%d \
-     groups=%d arch=%s %s pruned=%b"
+     groups=%d arch=%s %s pruned=%b%s"
     s.Conv.Conv_spec.c_in s.c_out s.h_in s.w_in s.k_h s.k_w s.stride s.pad_h s.pad_w
-    s.batch s.groups arch algo r.pruned
+    s.batch s.groups arch algo r.pruned deadline
 
 (* ------------------------------------------------------------------ *)
 (* Responses. *)
@@ -182,6 +187,7 @@ type error =
   | Failed of string
   | Draining
   | Timeout
+  | Deadline
 
 type result_payload = {
   key : string;
@@ -219,6 +225,7 @@ let render_response = function
   | Error (Failed msg) -> "ERR failed " ^ clean_message msg
   | Error Draining -> "ERR draining"
   | Error Timeout -> "ERR timeout"
+  | Error Deadline -> "ERR deadline"
 
 let field_value word key =
   let prefix = key ^ "=" in
@@ -272,9 +279,12 @@ let parse_response line =
     |> Option.map (fun s -> Busy { retry_after_s = s })
   | "ERR" :: "draining" :: [] -> Some (Error Draining)
   | "ERR" :: "timeout" :: [] -> Some (Error Timeout)
-  | "ERR" :: "parse" :: _ :: _ -> Some (Error (Parse (rest_of_line line 2)))
-  | "ERR" :: "domain" :: _ :: _ -> Some (Error (Domain (rest_of_line line 2)))
-  | "ERR" :: "failed" :: _ :: _ -> Some (Error (Failed (rest_of_line line 2)))
+  | "ERR" :: "deadline" :: [] -> Some (Error Deadline)
+  (* An empty payload is still a typed error: the chaos harness asserts
+     every emitted line parses, whatever the message ended up being. *)
+  | "ERR" :: "parse" :: _ -> Some (Error (Parse (rest_of_line line 2)))
+  | "ERR" :: "domain" :: _ -> Some (Error (Domain (rest_of_line line 2)))
+  | "ERR" :: "failed" :: _ -> Some (Error (Failed (rest_of_line line 2)))
   | _ -> None
 
 let is_typed_line line = parse_response line <> None

@@ -12,7 +12,7 @@
        STATS
        TUNE cin=64 cout=64 size=56 k=3 [hin= win= kh= kw= stride= pad=
             padh= padw= batch= groups= arch=v100 algo=direct|winograd
-            e=2 pruned=true] v}
+            e=2 pruned=true deadline-ms=5000] v}
 
     Responses:
 
@@ -23,12 +23,16 @@
        BUSY retry-after=<seconds>
        ERR parse|domain|failed <message>
        ERR draining
-       ERR timeout v}
+       ERR timeout
+       ERR deadline v}
 
     Field order in a [TUNE] request is free and defaults may be elided;
     the daemon canonicalizes ([Core.Search_space.canonical_key]) before
     hashing, so permutations and elided defaults address the same cache
-    entry. *)
+    entry.  Unknown [key=value] fields are {e ignored} — the
+    forward-compatibility rule that let [deadline-ms] be added without
+    breaking older daemons; malformed words, duplicate keys and bad values
+    in known fields remain parse errors. *)
 
 val max_line_bytes : int
 (** Upper bound on a request line (4096 bytes).  The daemon rejects longer
@@ -41,6 +45,13 @@ type tune_request = {
   arch : Gpu_sim.Arch.t;
   algorithm : Core.Config.algorithm;
   pruned : bool;
+  deadline_ms : int option;
+      (** client's total request deadline, milliseconds of budget remaining
+          when the request was sent.  Serving-side only: it never enters
+          the canonical key, so the same shape with different deadlines
+          addresses the same cache entry.  The engine sheds a queued tune
+          whose every waiter's deadline has already passed ([ERR deadline])
+          instead of tuning for a client that stopped listening. *)
 }
 
 type request =
@@ -87,6 +98,9 @@ type error =
   | Failed of string  (** the supervised tune failed; payload is the cause *)
   | Draining  (** the daemon is shutting down and accepts no new work *)
   | Timeout  (** the connection idled past its read deadline *)
+  | Deadline
+      (** the request's [deadline-ms] expired before its tune could start;
+          the engine shed the work instead of tuning into a dead wait *)
 
 type result_payload = {
   key : string;  (** 16-hex content hash of the canonical request *)

@@ -1,0 +1,24 @@
+(* Backward steps are absorbed, not clamped flat: freezing the source until
+   the raw clock re-passes its high-water mark would disable deadlines for
+   exactly as long as the step was large, which is the failure mode this
+   module exists to remove. *)
+
+type source = unit -> float
+
+let monotonic ?(raw = Unix.gettimeofday) () =
+  let last_raw = ref nan in
+  let offset = ref 0.0 in
+  let high = ref neg_infinity in
+  fun () ->
+    let r = raw () in
+    if (not (Float.is_nan !last_raw)) && r < !last_raw then
+      offset := !offset +. (!last_raw -. r);
+    last_raw := r;
+    let t = r +. !offset in
+    let t = if t > !high then t else !high in
+    high := t;
+    t
+
+let manual t0 =
+  let now = ref t0 in
+  ((fun () -> !now), fun t -> now := t)

@@ -1,0 +1,29 @@
+(** Monotonic time sources, injectable for tests.
+
+    Deadline enforcement that subtracts two [Unix.gettimeofday] readings is
+    silently disabled when NTP steps the wall clock backward: [now - start]
+    goes negative and every deadline looks far away until the clock catches
+    up.  A {!monotonic} source never decreases — backward steps of the
+    underlying clock are absorbed into an offset so elapsed time keeps
+    accumulating at the raw clock's forward rate.
+
+    Sources are plain [unit -> float] closures (seconds), so tests inject a
+    {!manual} clock and step it explicitly instead of sleeping. *)
+
+type source = unit -> float
+(** A clock: seconds since some arbitrary origin.  Only differences are
+    meaningful. *)
+
+val monotonic : ?raw:(unit -> float) -> unit -> source
+(** [monotonic ()] wraps [raw] (default [Unix.gettimeofday]) into a
+    never-decreasing source.  Each backward step of [raw] (an NTP
+    adjustment, a VM migration) adds its magnitude to an internal offset,
+    so subsequent forward progress of [raw] advances the source at the
+    same rate — elapsed-time measurements keep working through the step
+    instead of stalling until the wall clock recovers.  Each call to
+    [monotonic] builds an independent source with its own state. *)
+
+val manual : float -> source * (float -> unit)
+(** [manual t0] is a test clock: a source returning whatever the setter
+    last stored (initially [t0]).  The setter does not clamp — wrap the
+    source in [monotonic ~raw] to test the clamping itself. *)

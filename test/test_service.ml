@@ -108,7 +108,7 @@ let test_parse_rejects_malformed () =
       "TUNE cin=4";  (* missing cout/size/k *)
       "TUNE cin=4 size=8 cout=4 k=3 cin=5";  (* duplicate field *)
       "TUNE cin=banana size=8 cout=4 k=3";
-      "TUNE cin=4 size=8 cout=4 k=3 mystery=1";
+      "TUNE cin=4 size=8 cout=4 k=3 deadline-ms=-5";  (* bad known value *)
       "TUNE cin=-4 size=8 cout=4 k=3";  (* spec-level rejection *)
       "TUNE cin=4 size=8 cout=4 k=3 algo=quantum";
       "TUNE cin=4 size=8 cout=4 k=3 arch=abacus";
@@ -117,6 +117,22 @@ let test_parse_rejects_malformed () =
     ];
   Alcotest.(check bool) "garbage is not a typed response line" false
     (Service.Protocol.is_typed_line "how about no")
+
+(* The forward-compatibility rule: unknown key=value fields are ignored (the
+   mechanism that let deadline-ms ship without breaking older daemons), and
+   the ignored fields never perturb the cache address. *)
+let test_parse_ignores_unknown_fields () =
+  let with_unknown = spec_of_line (line_a ^ " mystery=1 future-proof=yes") in
+  Alcotest.(check string) "unknown fields do not change the address"
+    (Service.Protocol.canonical_of_tune (spec_of_line line_a))
+    (Service.Protocol.canonical_of_tune with_unknown);
+  (* deadline-ms is a known serving-side field: parsed, never addressed. *)
+  let with_deadline = spec_of_line (line_a ^ " deadline-ms=5000") in
+  Alcotest.(check (option int)) "deadline-ms parsed"
+    (Some 5000) with_deadline.deadline_ms;
+  Alcotest.(check string) "deadline-ms does not change the address"
+    (Service.Protocol.canonical_of_tune (spec_of_line line_a))
+    (Service.Protocol.canonical_of_tune with_deadline)
 
 let test_response_roundtrip () =
   let space =
@@ -154,8 +170,11 @@ let test_response_roundtrip () =
       Service.Protocol.Error (Service.Protocol.Parse "unknown field 'mystery'");
       Service.Protocol.Error (Service.Protocol.Domain "winograd unsupported");
       Service.Protocol.Error (Service.Protocol.Failed "breaker open");
+      Service.Protocol.Error (Service.Protocol.Parse "");  (* empty payload *)
       Service.Protocol.Error Service.Protocol.Draining;
       Service.Protocol.Error Service.Protocol.Timeout;
+      Service.Protocol.Error Service.Protocol.Deadline;
+      Service.Protocol.Busy { retry_after_s = 0 };
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -863,6 +882,87 @@ let test_alias_distinct () =
    (non-empty lowercase alphanumerics): together with [test_alias_distinct]
    this is the bijection the protocol doc promises — no preset can silently
    become unaddressable from the wire or the gold fleet. *)
+(* Satellite of the wire-chaos PR: render/parse round-trip over EVERY
+   response constructor with generated payloads, not just the handful of
+   deterministic cases above.  The property is idempotence of one
+   normalization pass: render, parse, re-render reproduces the line byte
+   for byte.  Messages are generated pre-normalized (single-space-separated
+   lowercase words, possibly empty) because the line format cannot
+   represent other whitespace — that lossiness is deliberate and tested by
+   [test_parse_rejects_malformed]'s control-character case. *)
+let qcheck_response_roundtrip =
+  let config_pool =
+    List.map
+      (fun line ->
+        let r = spec_of_line line in
+        let space =
+          Core.Search_space.make ~pruned:r.pruned r.arch r.spec r.algorithm
+        in
+        fst (Core.Supervisor.analytic_best space))
+      [ line_a; line_b; line_c ]
+  in
+  let open QCheck in
+  let word =
+    Gen.string_size ~gen:(Gen.char_range 'a' 'z') (Gen.int_range 1 8)
+  in
+  let message =
+    Gen.map (String.concat " ") (Gen.list_size (Gen.int_range 0 4) word)
+  in
+  let payload =
+    Gen.map
+      (fun ((canon, config), (runtime_us, gflops), (source, trials)) ->
+        {
+          Service.Protocol.key = Service.Result_cache.key_of_canonical canon;
+          source;
+          runtime_us;
+          gflops;
+          trials;
+          config;
+        })
+      (Gen.triple
+         (Gen.pair word (Gen.oneofl config_pool))
+         (Gen.pair
+            (Gen.float_bound_inclusive 1e7)
+            (Gen.float_bound_inclusive 1e4))
+         (Gen.pair
+            (Gen.oneofl
+               [
+                 Service.Protocol.Src_tuned;
+                 Service.Protocol.Src_replayed;
+                 Service.Protocol.Src_degraded;
+                 Service.Protocol.Src_cached;
+               ])
+            (Gen.int_range 0 100_000)))
+  in
+  let stats =
+    Gen.list_size (Gen.int_range 0 6) (Gen.pair word word)
+  in
+  let response =
+    Gen.oneof
+      [
+        Gen.map (fun p -> Service.Protocol.Result p) payload;
+        Gen.map
+          (fun n -> Service.Protocol.Busy { retry_after_s = n })
+          (Gen.int_range 0 3600);
+        Gen.return Service.Protocol.Pong;
+        Gen.map (fun kvs -> Service.Protocol.Stats_reply kvs) stats;
+        Gen.map (fun m -> Service.Protocol.Error (Service.Protocol.Parse m)) message;
+        Gen.map (fun m -> Service.Protocol.Error (Service.Protocol.Domain m)) message;
+        Gen.map (fun m -> Service.Protocol.Error (Service.Protocol.Failed m)) message;
+        Gen.return (Service.Protocol.Error Service.Protocol.Draining);
+        Gen.return (Service.Protocol.Error Service.Protocol.Timeout);
+        Gen.return (Service.Protocol.Error Service.Protocol.Deadline);
+      ]
+  in
+  Test.make ~name:"every response constructor round-trips" ~count:500
+    (make response) (fun resp ->
+      let line = Service.Protocol.render_response resp in
+      Service.Protocol.is_typed_line line
+      &&
+      match Service.Protocol.parse_response line with
+      | Some resp' -> String.equal line (Service.Protocol.render_response resp')
+      | None -> false)
+
 let qcheck_alias_bijection =
   QCheck.Test.make ~name:"arch alias round-trips over Arch.all" ~count:200
     (QCheck.make (QCheck.Gen.oneofl Gpu_sim.Arch.all))
@@ -883,7 +983,10 @@ let () =
             test_request_roundtrip;
           Alcotest.test_case "malformed requests rejected" `Quick
             test_parse_rejects_malformed;
+          Alcotest.test_case "unknown fields ignored (forward compat)" `Quick
+            test_parse_ignores_unknown_fields;
           Alcotest.test_case "response roundtrip" `Quick test_response_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_response_roundtrip;
           Alcotest.test_case "arch aliases map both ways" `Quick test_alias_known_names;
           Alcotest.test_case "arch aliases distinct" `Quick test_alias_distinct;
           QCheck_alcotest.to_alcotest qcheck_alias_bijection;

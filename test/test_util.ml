@@ -407,6 +407,55 @@ let test_float32_round () =
   Util.Float32.round_inplace a;
   Alcotest.(check (array (float 0.0))) "inplace = array" b a
 
+(* ------------------------------------------------------------------ *)
+(* Clock: the monotonic source behind every daemon deadline.  The property
+   that matters is NOT "backward steps are flattened" but "backward steps
+   are absorbed": after NTP steps the raw clock back an hour, elapsed time
+   must keep accumulating immediately — a clamp-flat clock would silently
+   disable deadline enforcement for the whole hour. *)
+
+let test_clock_monotonic_absorbs_backward_step () =
+  (* Scripted raw clock: advances 1s per call, with a 3600s backward step
+     in the middle. *)
+  let script = [ 100.0; 101.0; 102.0; (* NTP step: *) -3498.0; -3497.0; -3496.0 ] in
+  let remaining = ref script in
+  let raw () =
+    match !remaining with
+    | [] -> Alcotest.fail "raw clock over-consumed"
+    | t :: rest ->
+      remaining := rest;
+      t
+  in
+  let clock = Util.Clock.monotonic ~raw () in
+  let t0 = clock () in
+  let t1 = clock () in
+  let t2 = clock () in
+  Alcotest.(check (float 1e-9)) "advances with raw" 1.0 (t1 -. t0);
+  Alcotest.(check (float 1e-9)) "advances with raw (2)" 1.0 (t2 -. t1);
+  let t3 = clock () in
+  Alcotest.(check bool) "never goes backward" true (t3 >= t2);
+  (* The crucial half: time resumes advancing at the raw rate right away,
+     instead of waiting 3600s for raw to catch back up. *)
+  let t4 = clock () in
+  let t5 = clock () in
+  Alcotest.(check (float 1e-9)) "elapsed accrues across the step" 1.0 (t4 -. t3);
+  Alcotest.(check (float 1e-9)) "elapsed accrues across the step (2)" 1.0 (t5 -. t4)
+
+let test_clock_monotonic_real () =
+  let clock = Util.Clock.monotonic () in
+  let a = clock () in
+  let b = clock () in
+  Alcotest.(check bool) "real clock is monotone" true (b >= a)
+
+let test_clock_manual () =
+  let clock, set = Util.Clock.manual 10.0 in
+  Alcotest.(check (float 0.0)) "starts at t0" 10.0 (clock ());
+  set 42.5;
+  Alcotest.(check (float 0.0)) "steps forward" 42.5 (clock ());
+  set 1.0;
+  Alcotest.(check (float 0.0)) "manual clock is raw: tests own monotonicity"
+    1.0 (clock ())
+
 let test_csv_escape () =
   Alcotest.(check string) "plain" "abc" (Util.Csv.escape "abc");
   Alcotest.(check string) "comma" "\"a,b\"" (Util.Csv.escape "a,b");
@@ -589,6 +638,13 @@ let () =
         [
           Alcotest.test_case "rounding" `Quick test_float32_round;
           QCheck_alcotest.to_alcotest qcheck_float32_idempotent;
+        ] );
+      ( "clock",
+        [
+          Alcotest.test_case "backward step absorbed, not flattened" `Quick
+            test_clock_monotonic_absorbs_backward_step;
+          Alcotest.test_case "real source monotone" `Quick test_clock_monotonic_real;
+          Alcotest.test_case "manual clock" `Quick test_clock_manual;
         ] );
       ( "csv",
         [
