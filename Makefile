@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test verify-smoke verify-deep fault-smoke torture-smoke torture-deep chaos-smoke chaos-deep hotpath-smoke hotpath-deep bench-hotpath service-smoke service-deep bench-service net-smoke net-deep bench-net gold gold-smoke gold-deep regress bench-fleet ci clean
+.PHONY: all build test verify-smoke verify-deep fault-smoke torture-smoke torture-deep chaos-smoke chaos-deep hotpath-smoke hotpath-deep bench-hotpath service-smoke service-deep bench-service net-smoke net-deep bench-net audit-smoke audit-deep bench-audit gold gold-smoke gold-deep regress bench-fleet ci clean
 
 all: build
 
@@ -87,6 +87,22 @@ net-deep:
 bench-net:
 	dune exec bench/net_bench.exe
 
+# Answer-integrity auditor gates: the Verify.Audit invariant suite at every
+# trust boundary (cache load/hit, post-tune, client wire, gold read) plus
+# the per-check / warm-hit overhead envelope and scrub throughput.  Smoke
+# (<10s, part of the default runtest) measures and sanity-checks; deep
+# (AUDIT_DEEP=1) raises iteration counts and audits every checked-in gold
+# file against the strict policy.
+audit-smoke:
+	dune build @audit-smoke
+
+audit-deep:
+	dune build @audit-deep
+
+# Audit overhead sweep; rewrites BENCH_audit.json in the cwd.
+bench-audit:
+	dune exec bench/audit_bench.exe
+
 # Gold-file regression fleet: 6 CNNs x 4 simulated architectures.
 # `make gold` re-records the golden per-layer results under regress/gold/
 # (deterministic: two runs from a clean checkout are byte-identical) and
@@ -113,11 +129,12 @@ bench-fleet:
 
 # The full fast gate a commit must pass: build, every test suite (the
 # default runtest already folds in the @*-smoke aliases, including the
-# cold gold-file slice @gold-smoke), and the bench smoke checks (parallel
-# == sequential scaling, service cache/coalescing, fleet sweep).
+# cold gold-file slice @gold-smoke and the audit envelope @audit-smoke),
+# and the bench smoke checks (parallel == sequential scaling, service
+# cache/coalescing, network resilience, fleet sweep, audit overhead).
 ci: build
 	dune runtest
-	dune build @bench-smoke @service-bench-smoke @net-bench-smoke @fleet-smoke
+	dune build @bench-smoke @service-bench-smoke @net-bench-smoke @fleet-smoke @audit-smoke
 
 clean:
 	dune clean

@@ -1,0 +1,241 @@
+(* Audit-overhead benchmark: what one answer-integrity check costs at each
+   trust boundary, and how fast the cache scrubber moves.
+
+   Modes:
+     smoke  - tiny run: checks the auditor accepts genuine entries and
+              rejects a tampered one, prints timings (runs in @audit-smoke;
+              AUDIT_DEEP=1 raises the iteration counts)
+     json   - full measurement, writes BENCH_audit.json
+     gold   - audits every checked-in gold file and prints the q-ratio and
+              runtime-band envelope (a calibration diagnostic) *)
+
+let deep = Sys.getenv_opt "AUDIT_DEEP" = Some "1"
+
+let time_us f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, (Unix.gettimeofday () -. t0) *. 1e6)
+
+let percentile p xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  a.(min (Array.length a - 1) (int_of_float (p *. float_of_int (Array.length a))))
+
+(* --- a pool of genuine claims -------------------------------------------- *)
+
+let arches = Gpu_sim.Arch.all
+
+let specs =
+  [
+    Conv.Conv_spec.square ~c_in:64 ~size:56 ~c_out:64 ~k:3 ();
+    Conv.Conv_spec.square ~c_in:128 ~size:28 ~c_out:128 ~k:3 ();
+    Conv.Conv_spec.square ~c_in:32 ~size:14 ~c_out:64 ~k:1 ();
+    Conv.Conv_spec.square ~c_in:16 ~size:16 ~c_out:16 ~k:3 ~pad:1 ();
+  ]
+
+type claim = {
+  canonical : string;
+  key : string;
+  config : Core.Config.t;
+  runtime_us : float;
+  gflops : float;
+  predicted : float;
+}
+
+let genuine_claims () =
+  List.concat_map
+    (fun arch ->
+      List.map
+        (fun spec ->
+          let space = Core.Search_space.make arch spec Core.Config.Direct_dataflow in
+          let config = Core.Search_space.default_config space in
+          let canonical = Core.Search_space.canonical space in
+          let predicted = Verify.Audit.predicted_us arch spec config in
+          {
+            canonical;
+            key = Verify.Audit.content_key canonical;
+            config;
+            runtime_us = predicted;
+            gflops = Core.Tuner.nominal_gflops spec ~runtime_us:predicted;
+            predicted;
+          })
+        specs)
+    arches
+
+let check_claim c =
+  Verify.Audit.check ~key:c.key ~gflops:c.gflops ~predicted_us:c.predicted
+    ~canonical:c.canonical ~config:c.config ~runtime_us:c.runtime_us ()
+
+(* --- the measured quantities --------------------------------------------- *)
+
+let audit_latency_us ~iters claims =
+  let samples = ref [] in
+  for _ = 1 to iters do
+    List.iter
+      (fun c ->
+        let v, us = time_us (fun () -> check_claim c) in
+        (match v with
+        | Verify.Audit.Ok -> ()
+        | Verify.Audit.Suspect _ ->
+          failwith ("genuine claim rejected: " ^ Verify.Audit.verdict_to_string v));
+        samples := us :: !samples)
+      claims
+  done;
+  !samples
+
+let cache_with ~audit ~dir claims =
+  let path = Filename.concat dir (Printf.sprintf "bench-%b.cache" audit) in
+  if Sys.file_exists path then Sys.remove path;
+  let qp = path ^ ".quarantine" in
+  if Sys.file_exists qp then Sys.remove qp;
+  let cache = Service.Result_cache.load ~audit ~generation:"bench" path in
+  List.iter
+    (fun c ->
+      Service.Result_cache.put cache
+        {
+          Service.Result_cache.key = c.key;
+          canonical = c.canonical;
+          source = Service.Protocol.Src_tuned;
+          runtime_us = c.runtime_us;
+          gflops = c.gflops;
+          predicted_us = c.predicted;
+          trials = 1;
+          config = c.config;
+        })
+    claims;
+  cache
+
+let warm_hit_p50_us ~audit ~dir ~iters claims =
+  let cache = cache_with ~audit ~dir claims in
+  let samples = ref [] in
+  for _ = 1 to iters do
+    List.iter
+      (fun c ->
+        let hit, us =
+          time_us (fun () -> Service.Result_cache.find cache ~canonical:c.canonical)
+        in
+        if hit = None then failwith "warm hit missed";
+        samples := us :: !samples)
+      claims
+  done;
+  percentile 0.5 !samples
+
+let scrub_throughput ~dir ~rounds claims =
+  let cache = cache_with ~audit:false ~dir claims in
+  let n = Service.Result_cache.entries cache in
+  let t0 = Unix.gettimeofday () in
+  let examined = ref 0 in
+  for _ = 1 to rounds do
+    (* full passes via the incremental stepper, as the engine would run it *)
+    let pass = ref 0 in
+    while !pass < n do
+      pass := !pass + Service.Result_cache.scrub_step cache ~n:8
+    done;
+    examined := !examined + !pass
+  done;
+  float_of_int !examined /. (Unix.gettimeofday () -. t0)
+
+(* --- modes --------------------------------------------------------------- *)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "audit_bench" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () -> f dir)
+
+let tampered_rejected claims =
+  let c = List.hd claims in
+  match
+    Verify.Audit.check ~key:c.key ~gflops:c.gflops
+      ~canonical:c.canonical ~config:c.config ~runtime_us:(c.runtime_us *. 2.0) ()
+  with
+  | Verify.Audit.Suspect _ -> true
+  | Verify.Audit.Ok -> false
+
+let run_measurements ~iters ~rounds =
+  let claims = genuine_claims () in
+  if not (tampered_rejected claims) then failwith "tampered claim passed the audit";
+  let lat = audit_latency_us ~iters claims in
+  with_temp_dir (fun dir ->
+      let hit_plain = warm_hit_p50_us ~audit:false ~dir ~iters claims in
+      let hit_audited = warm_hit_p50_us ~audit:true ~dir ~iters claims in
+      let scrub = scrub_throughput ~dir ~rounds claims in
+      ( List.length claims,
+        percentile 0.5 lat,
+        percentile 0.9 lat,
+        hit_plain,
+        hit_audited,
+        scrub ))
+
+let smoke () =
+  let iters = if deep then 200 else 20 in
+  let rounds = if deep then 50 else 5 in
+  let n, p50, p90, hit_plain, hit_audited, scrub = run_measurements ~iters ~rounds in
+  Printf.printf "audit bench (%s): %d claims x %d iters\n"
+    (if deep then "deep" else "smoke")
+    n iters;
+  Printf.printf "  audit check      p50 %.1fus  p90 %.1fus\n" p50 p90;
+  Printf.printf "  warm hit         p50 %.2fus plain -> %.2fus audited (delta %.2fus)\n"
+    hit_plain hit_audited (hit_audited -. hit_plain);
+  Printf.printf "  scrub throughput %.0f entries/s\n" scrub
+
+let json path =
+  let iters = if deep then 500 else 100 in
+  let rounds = if deep then 100 else 20 in
+  let n, p50, p90, hit_plain, hit_audited, scrub = run_measurements ~iters ~rounds in
+  let b = Buffer.create 512 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"bench\": \"audit\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"claims\": %d,\n" n);
+  Buffer.add_string b (Printf.sprintf "  \"iters\": %d,\n" iters);
+  Buffer.add_string b (Printf.sprintf "  \"audit_check_p50_us\": %.2f,\n" p50);
+  Buffer.add_string b (Printf.sprintf "  \"audit_check_p90_us\": %.2f,\n" p90);
+  Buffer.add_string b (Printf.sprintf "  \"warm_hit_p50_us_plain\": %.2f,\n" hit_plain);
+  Buffer.add_string b (Printf.sprintf "  \"warm_hit_p50_us_audited\": %.2f,\n" hit_audited);
+  Buffer.add_string b
+    (Printf.sprintf "  \"warm_hit_p50_delta_us\": %.2f,\n" (hit_audited -. hit_plain));
+  Buffer.add_string b (Printf.sprintf "  \"scrub_entries_per_s\": %.0f\n" scrub);
+  Buffer.add_string b "}\n";
+  Util.Durable.write_atomic path (Buffer.contents b);
+  Printf.printf "wrote %s\n" path
+
+(* Audits every checked-in gold file; prints the envelope the strict policy
+   must accommodate (smallest q ratio, widest measured-vs-analytic gap). *)
+let gold dir =
+  let files = Sys.readdir dir |> Array.to_list |> List.filter (fun f -> Filename.check_suffix f ".gold") in
+  let min_q = ref Float.infinity and max_band = ref 0.0 and rows = ref 0 and bad = ref 0 in
+  List.iter
+    (fun f ->
+      let path = Filename.concat dir f in
+      match Regress.Gold.read path with
+      | Error e ->
+        incr bad;
+        Printf.printf "FAIL %s: %s\n" f e
+      | Ok file ->
+        List.iter
+          (fun (r : Regress.Gold.layer_record) ->
+            if r.config <> "library" then begin
+              incr rows;
+              if Float.is_finite r.q_ratio && r.q_ratio < !min_q then min_q := r.q_ratio;
+              let band = Float.abs ((r.ours_us /. r.predicted_us) -. 1.0) in
+              if Float.is_finite band && band > !max_band then max_band := band
+            end)
+          file.layers)
+    files;
+  Printf.printf "gold audit: %d files, %d tuned rows, %d failures\n" (List.length files)
+    !rows !bad;
+  Printf.printf "  min q_ratio %.6f, max |ours/predicted - 1| %.6f\n" !min_q !max_band;
+  if !bad > 0 then exit 1
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _; "smoke" ] -> smoke ()
+  | [ _; "json"; path ] -> json path
+  | [ _; "gold"; dir ] -> gold dir
+  | _ ->
+    prerr_endline "usage: audit_bench (smoke | json FILE | gold DIR)";
+    exit 2

@@ -7,7 +7,8 @@
      models   end-to-end CNN comparison (Figure 12 style)
      verify   run one convolution through every kernel and cross-check
      serve    tuning-as-a-service daemon on a Unix socket
-     ask      one-shot client for a running serve daemon *)
+     ask      one-shot client for a running serve daemon
+     scrub    offline audit pass over a result-cache file *)
 
 open Cmdliner
 
@@ -335,8 +336,27 @@ let serve_cmd =
       value & flag
       & info [ "chaos" ] ~doc:"Inject the default GPU fault profile (demo/testing).")
   in
+  let no_audit =
+    Arg.(
+      value & flag
+      & info [ "no-audit" ]
+          ~doc:
+            "Disable the answer-integrity audit (cache records at load and \
+             before each hit, fresh results after tuning).  Audited rejects \
+             are quarantined to CACHE.quarantine and re-tuned; with this \
+             flag the daemon trusts whatever the cache file says.")
+  in
+  let scrub_per_step =
+    Arg.(
+      value & opt int 0
+      & info [ "scrub-per-step" ]
+          ~doc:
+            "Background cache scrubbing: re-audit this many cache entries \
+             per engine step (0 = off).  A full pass quarantines every \
+             record that no longer re-derives.")
+  in
   let run socket cache seed budget budget_us max_pending read_deadline
-      request_deadline max_conns journal_dir chaos =
+      request_deadline max_conns journal_dir chaos no_audit scrub_per_step =
     let settings =
       {
         Service.Engine.default_settings with
@@ -346,6 +366,8 @@ let serve_cmd =
         journal_dir;
         faults = (if chaos then Some Gpu_sim.Faults.default else None);
         policy = { Core.Supervisor.default_policy with budget_us };
+        audit = not no_audit;
+        scrub_per_step;
       }
     in
     Printf.printf "conv_io serve: socket %s, cache %s, generation %s\n%!" socket cache
@@ -368,7 +390,8 @@ let serve_cmd =
   Cmd.v info
     Term.(
       const run $ socket $ cache $ seed_arg $ budget $ budget_us $ max_pending
-      $ read_deadline $ request_deadline $ max_conns $ journal_dir $ chaos)
+      $ read_deadline $ request_deadline $ max_conns $ journal_dir $ chaos
+      $ no_audit $ scrub_per_step)
 
 (* --- ask --- *)
 
@@ -430,10 +453,21 @@ let ask_cmd =
   let trace =
     Arg.(
       value & flag
-      & info [ "trace" ] ~doc:"Print the per-attempt retry trace to stderr.")
+      & info [ "trace" ]
+          ~doc:
+            "Print the per-attempt retry trace to stderr (audited answers \
+             are marked $(b,[audit=ok]); rejects show their reason tokens).")
+  in
+  let no_audit =
+    Arg.(
+      value & flag
+      & info [ "no-audit" ]
+          ~doc:
+            "Accept OK answers without re-deriving their analytic claims \
+             through the client-side audit.")
   in
   let run spec arch wino raw socket deadline retries attempt_timeout chaos_rate
-      chaos_seed trace =
+      chaos_seed trace no_audit =
     let settings =
       {
         Service.Client.default_settings with
@@ -444,6 +478,7 @@ let ask_cmd =
         faults =
           (if chaos_rate > 0.0 then Service.Net_faults.with_rate chaos_rate
            else Service.Net_faults.none);
+        audit = not no_audit;
       }
     in
     let result, attempts =
@@ -487,7 +522,58 @@ let ask_cmd =
   Cmd.v info
     Term.(
       const run $ spec_term $ arch_arg $ wino $ raw $ socket $ deadline
-      $ retries $ attempt_timeout $ chaos_rate $ chaos_seed $ trace)
+      $ retries $ attempt_timeout $ chaos_rate $ chaos_seed $ trace $ no_audit)
+
+(* --- scrub --- *)
+
+let scrub_cmd =
+  let cache =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "cache" ] ~doc:"Result-cache file to scrub.")
+  in
+  let budget =
+    Arg.(
+      value & opt int 300
+      & info [ "budget" ]
+          ~doc:
+            "Measurement budget of the daemon that owns the cache — part of \
+             the cache generation; records of other generations are stale, \
+             not scrubbed.")
+  in
+  let run cache seed budget =
+    let settings =
+      { Service.Engine.default_settings with budget_trials = budget; seed }
+    in
+    let generation = Service.Engine.generation_of_settings settings in
+    (* Audited load: records that fail even to decode honestly (forged key,
+       mangled floats) are quarantined right here; the scrub pass below
+       re-derives everything the load admitted. *)
+    let c = Service.Result_cache.load ~audit:true ~generation cache in
+    let load_rejects = Service.Result_cache.quarantined c in
+    Printf.printf "conv_io scrub: cache %s, generation %s, %d live entries\n" cache
+      generation
+      (Service.Result_cache.entries c);
+    let report = Service.Result_cache.scrub c in
+    Printf.printf "examined %d, quarantined %d at load + %d in the pass, %d entries remain\n"
+      report.Service.Result_cache.examined load_rejects report.quarantined
+      report.remaining;
+    let qpath = Service.Result_cache.quarantine_path c in
+    Printf.printf "quarantine ledger: %s (%d records)\n" qpath
+      (Service.Quarantine.count qpath);
+    if load_rejects + report.quarantined > 0 then exit 1
+  in
+  let info =
+    Cmd.info "scrub"
+      ~doc:
+        "Offline audit pass over a result-cache file: every record is \
+         re-derived through the answer-integrity auditor; records that lie \
+         are moved to the durable quarantine sidecar and the cache is \
+         compacted to exactly the entries that passed.  Exits 1 if anything \
+         was quarantined."
+  in
+  Cmd.v info Term.(const run $ cache $ seed_arg $ budget)
 
 (* --- gold / regress --- *)
 
@@ -619,5 +705,5 @@ let () =
        (Cmd.group info
           [
             bounds_cmd; pebble_cmd; tune_cmd; models_cmd; verify_cmd; explain_cmd;
-            serve_cmd; ask_cmd; gold_cmd; regress_cmd;
+            serve_cmd; ask_cmd; scrub_cmd; gold_cmd; regress_cmd;
           ]))

@@ -95,7 +95,50 @@ let path ~dir ~model ~arch = Filename.concat dir (Printf.sprintf "%s.%s.gold" (s
 let write p (f : file) =
   Util.Durable.write_snapshot ~kind p (encode_meta f.meta :: List.map encode_layer f.layers)
 
-let read p =
+(* Gold files are an audit boundary too: a record that frames and decodes
+   can still carry a tampered config or cost.  Every tuned row (library
+   baselines carry no config to check) must re-derive through the auditor —
+   the same strict policy the service cache is held to, minus the content
+   key (gold files are addressed by path, not hash). *)
+let audit_file p (f : file) =
+  match Gpu_sim.Arch.of_alias f.meta.arch with
+  | None -> Error (Printf.sprintf "golden file %s: unknown arch alias %S" p f.meta.arch)
+  | Some arch ->
+    let rec check = function
+      | [] -> Ok f
+      | (r : layer_record) :: tl when r.config = "library" -> check tl
+      | (r : layer_record) :: tl -> (
+        match Core.Config.of_compact r.config with
+        | None ->
+          Error
+            (Printf.sprintf "golden file %s: layer %s has undecodable config %S" p
+               r.layer r.config)
+        | Some config -> (
+          match Verify.Audit.parse_spec_canonical r.spec with
+          | None ->
+            Error
+              (Printf.sprintf "golden file %s: layer %s has unparseable spec %S" p
+                 r.layer r.spec)
+          | Some spec -> (
+            let canonical =
+              Core.Search_space.canonical_key arch spec config.Core.Config.algorithm
+                ~pruned:true
+            in
+            match
+              Verify.Audit.check ~predicted_us:r.predicted_us ~q_ratio:r.q_ratio
+                ~canonical ~config ~runtime_us:r.ours_us ()
+            with
+            | Verify.Audit.Ok -> check tl
+            | Verify.Audit.Suspect reasons ->
+              Error
+                (Printf.sprintf "golden file %s: audit rejected layer %s (%s)" p
+                   r.layer
+                   (String.concat ","
+                      (List.map Verify.Audit.reason_token reasons))))))
+    in
+    check f.layers
+
+let read ?(audit = true) p =
   let outcome = Util.Durable.read ~kind p in
   match outcome with
   | Util.Durable.Missing -> Error (Printf.sprintf "no golden file at %s" p)
@@ -118,12 +161,15 @@ let read p =
           | None ->
             Error (Printf.sprintf "golden file %s: undecodable record %S" p payload))
       in
-      decode [] rest)
+      match decode [] rest with
+      | Error _ as e -> e
+      | Ok f -> if audit then audit_file p f else Ok f)
 
 (* --- typed diff --- *)
 
 type mismatch =
   | Missing_pair of { path : string }
+  | Gold_rejected of { path : string; why : string }
   | Meta_drift of { field : string; gold : string; got : string }
   | Missing_layer of { layer : string }
   | Extra_layer of { layer : string }
@@ -133,6 +179,7 @@ type mismatch =
 
 let mismatch_to_string = function
   | Missing_pair { path } -> Printf.sprintf "missing-pair: no golden file at %s" path
+  | Gold_rejected { path; why } -> Printf.sprintf "gold-rejected: %s (%s)" path why
   | Meta_drift { field; gold; got } ->
     Printf.sprintf "meta-drift: %s was %s, sweep ran with %s" field gold got
   | Missing_layer { layer } -> Printf.sprintf "missing-layer: %s absent from sweep" layer

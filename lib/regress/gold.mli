@@ -69,17 +69,28 @@ val write : string -> file -> unit
 (** Atomic snapshot ([Util.Durable.write_snapshot]) — byte-deterministic
     for equal contents. *)
 
-val read : string -> (file, string) result
+val read : ?audit:bool -> string -> (file, string) result
 (** Salvage-tolerant read: corrupt suffixes are dropped (with the standard
     one-line warning) and whatever decodes is returned; [Error] for a
     missing file, a file of another kind, or one without a decodable meta
-    record. *)
+    record.
+
+    With [audit = true] (the default) every tuned layer record is
+    additionally re-derived through [Verify.Audit] (strict policy, minus
+    the content key — gold files are addressed by path): the config must
+    be a validated member of its pruned search space, [predicted_us] and
+    [q_ratio] must reprice bit-identically, [ours_us] must sit in the
+    noise band.  The first rejected record fails the whole read — a gold
+    that frames cleanly but lies is corruption, not a baseline. *)
 
 (** {1 Typed regression reports} *)
 
 type mismatch =
   | Missing_pair of { path : string }
       (** no golden file for a swept (model, arch) pair *)
+  | Gold_rejected of { path : string; why : string }
+      (** a golden file exists but failed to read or was rejected by the
+          audit-on-read — tampering or rot, reported as its own failure *)
   | Meta_drift of { field : string; gold : string; got : string }
       (** the sweep ran with different settings than the gold was made with *)
   | Missing_layer of { layer : string }  (** in gold, absent from the sweep *)

@@ -44,6 +44,10 @@ let set_pass_marker ~out_dir (p : Sweep.pair) pass =
 
 let diff_pair ~tolerance ~gold_path (p : Sweep.pair) =
   match Gold.read gold_path with
+  | Error why when Sys.file_exists gold_path ->
+    (* The file is there but unreadable or audit-rejected — a tampered or
+       rotten gold is its own failure mode, not a missing pair. *)
+    [ Gold.Gold_rejected { path = gold_path; why } ]
   | Error _ -> [ Gold.Missing_pair { path = gold_path } ]
   | Ok gold -> Gold.compare_files ~tolerance ~gold ~got:p.gold
 
@@ -124,7 +128,10 @@ let run ?models ?arches ?settings ?tolerance ?cache_path ?bench_path ~gold_dir
       (fun path ->
         if mode = Gold && Sys.file_exists path then Sys.remove path;
         mkdir_p (Filename.dirname path);
-        Service.Result_cache.load ~generation:(Sweep.generation settings) path)
+        (* Audited: a poisoned warm-replay entry would otherwise flow
+           straight into the sweep's timings. *)
+        Service.Result_cache.load ~audit:true
+          ~generation:(Sweep.generation settings) path)
       cache_path
   in
   let reports =

@@ -36,6 +36,12 @@ let reset_replays () = Hashtbl.reset replayed
 let canonical_of arch spec algorithm =
   Core.Search_space.canonical_key arch spec algorithm ~pruned:true
 
+(* The per-layer optimality gap and the analytic price both come from the
+   auditor — gold files must reprice bit-identically through the same code
+   path [Verify.Audit.check] uses, or audit-on-read would reject them. *)
+let q_ratio = Verify.Audit.q_ratio
+let predicted_us = Verify.Audit.predicted_us
+
 (* Rebuild a memoisable tuner result from a cache entry.  The search history
    is gone — only the answer survives — so [stop] is a placeholder; sweep
    records mark these keys ["replayed"] (via the registry above) and the
@@ -102,31 +108,12 @@ let writeback ~cache ~settings arch (model : Cnn.Models.t) =
                     source = Service.Protocol.Src_tuned;
                     runtime_us = r.best_runtime_us;
                     gflops = r.best_gflops;
+                    predicted_us = predicted_us arch l.spec r.best_config;
                     trials = r.measurements;
                     config = r.best_config;
                   })
           (Cnn.Runner.candidates l))
       model.layers
-
-(* The per-layer optimality gap: dataflow traffic of the winning tile over
-   the paper's I/O lower bound, both at S = half an SM's shared memory (the
-   same budget the search space enforces, so two blocks stay resident). *)
-let q_ratio arch (spec : Conv.Conv_spec.t) (config : Core.Config.t) =
-  let s = float_of_int (Gpu_sim.Arch.shared_elems_per_sm arch / 2) in
-  let x = float_of_int config.tile_x
-  and y = float_of_int config.tile_y
-  and z = float_of_int config.tile_z in
-  match config.algorithm with
-  | Core.Config.Direct_dataflow ->
-    Core.Dataflow_cost.q_dc_tile spec ~x ~y ~z /. Core.Direct_bound.q_lower spec ~s
-  | Core.Config.Winograd_dataflow e ->
-    Core.Dataflow_cost.q_wa_tile ~e spec ~x ~y ~z
-    /. Core.Winograd_bound.q_lower ~e spec ~s
-
-let predicted_us arch spec config =
-  match Core.Config.to_kernel arch spec config with
-  | exception Invalid_argument _ -> Float.nan
-  | kernel -> Gpu_sim.Kernel_cost.runtime_us arch kernel
 
 let record_of_timing arch (lt : Cnn.Runner.layer_timing) =
   let spec = lt.layer.spec in

@@ -7,6 +7,7 @@ type settings = {
   seed : int;
   faults : Net_faults.profile;
   conn_base : int;
+  audit : bool;
 }
 
 let default_settings =
@@ -19,6 +20,7 @@ let default_settings =
     seed = 0;
     faults = Net_faults.none;
     conn_base = 0;
+    audit = true;
   }
 
 type failure = Deadline_exceeded | Attempts_exhausted of string
@@ -71,8 +73,14 @@ let write_all fd s =
    request the daemon answered may not be the request we meant: typed
    rejections and foreign-key results are then grounds to retry, where on a
    clean attempt they would be final (or skipped, conservatively, for a
-   foreign key that should be impossible). *)
-let classify ~expected_key ~suspect line =
+   foreign key that should be impossible).
+
+   [audit] is the client-side trust boundary: a [Verify.Audit] check of any
+   OK payload before it is accepted as final.  An audit reject retries
+   exactly like a garbled answer — the daemon (or the wire) handed us
+   something whose analytic claims do not re-derive, and asking again is
+   strictly better than returning it. *)
+let classify ~expected_key ~suspect ~audit line =
   match Protocol.parse_response line with
   | None -> `Skip
   | Some (Protocol.Busy { retry_after_s }) -> `Busy retry_after_s
@@ -87,7 +95,16 @@ let classify ~expected_key ~suspect line =
     match expected_key with
     | Some k when not (String.equal p.Protocol.key k) ->
       if suspect then `Retry "answered under a foreign key" else `Skip
-    | _ -> `Final resp)
+    | _ -> (
+      match audit with
+      | None -> `Final resp
+      | Some f -> (
+        match (f p : Verify.Audit.verdict) with
+        | Verify.Audit.Ok -> `Final resp
+        | Verify.Audit.Suspect reasons ->
+          `Retry
+            ("audit rejected the answer: "
+            ^ String.concat "," (List.map Verify.Audit.reason_token reasons)))))
   | Some ((Protocol.Pong | Protocol.Stats_reply _) as resp) -> (
     match expected_key with Some _ -> `Skip | None -> `Final resp)
   | Some (Protocol.Error (Protocol.Domain _ | Protocol.Failed _) as resp) ->
@@ -95,7 +112,7 @@ let classify ~expected_key ~suspect line =
       `Retry "typed error on a garbled attempt"
     else `Final resp
 
-let read_answer ~now_ms ~deadline_at ~expected_key ~suspect fd =
+let read_answer ~now_ms ~deadline_at ~expected_key ~suspect ~audit fd =
   let pending = ref "" in
   let chunk = Bytes.create 512 in
   let next_line () =
@@ -109,7 +126,7 @@ let read_answer ~now_ms ~deadline_at ~expected_key ~suspect fd =
   let rec loop () =
     match next_line () with
     | Some line -> (
-      match classify ~expected_key ~suspect line with
+      match classify ~expected_key ~suspect ~audit line with
       | `Final resp -> `Answer resp
       | `Busy r -> `Busy r
       | `Retry reason -> `Retry reason
@@ -139,7 +156,7 @@ let read_answer ~now_ms ~deadline_at ~expected_key ~suspect fd =
 (* -- one attempt --------------------------------------------------------- *)
 
 let run_attempt ~settings ~now_ms ~sleep_ms ~socket ~conn ~line ~expected_key
-    ~fault ~rem_ms =
+    ~audit ~fault ~rem_ms =
   match connect socket with
   | Error msg -> `Retry ("connect: " ^ msg)
   | Ok fd ->
@@ -179,14 +196,14 @@ let run_attempt ~settings ~now_ms ~sleep_ms ~socket ~conn ~line ~expected_key
         in
         let deadline_at = now_ms () +. budget in
         let suspect = fault = Some Net_faults.Garbage in
-        read_answer ~now_ms ~deadline_at ~expected_key ~suspect fd
+        read_answer ~now_ms ~deadline_at ~expected_key ~suspect ~audit fd
     in
     close ();
     result
 
 (* -- the retry loop ------------------------------------------------------ *)
 
-let run ~settings ~now_ms ~sleep_ms ~socket ~render ~expected_key =
+let run ~settings ~now_ms ~sleep_ms ~socket ~render ~expected_key ~audit =
   let rng = Util.Rng.create (settings.seed lxor 0x636c6e74) in
   let start = now_ms () in
   let deadline_at =
@@ -229,10 +246,18 @@ let run ~settings ~now_ms ~sleep_ms ~socket ~render ~expected_key =
         let line = render (Option.map int_of_float rem) in
         match
           run_attempt ~settings ~now_ms ~sleep_ms ~socket ~conn ~line
-            ~expected_key ~fault ~rem_ms:rem
+            ~expected_key ~audit ~fault ~rem_ms:rem
         with
         | `Answer resp ->
-          push n conn fault ("answered: " ^ Protocol.render_response resp);
+          let note =
+            match (resp, audit) with
+            | Protocol.Result _, Some _ ->
+              (* the verdict is in the trace, not just the absence of a
+                 retry: an audited answer is marked as such *)
+              "answered [audit=ok]: " ^ Protocol.render_response resp
+            | _ -> "answered: " ^ Protocol.render_response resp
+          in
+          push n conn fault note;
           finish (Ok resp)
         | `Busy retry_after_s ->
           push n conn fault
@@ -269,14 +294,25 @@ let ask ?(settings = default_settings) ?now_ms ?sleep_ms ~socket request =
   | Protocol.Ping ->
     run ~settings ~now_ms ~sleep_ms ~socket
       ~render:(fun _ -> "PING")
-      ~expected_key:None
+      ~expected_key:None ~audit:None
   | Protocol.Stats ->
     run ~settings ~now_ms ~sleep_ms ~socket
       ~render:(fun _ -> "STATS")
-      ~expected_key:None
+      ~expected_key:None ~audit:None
   | Protocol.Tune tr ->
-    let expected_key =
-      Some (Result_cache.key_of_canonical (Protocol.canonical_of_tune tr))
+    let canonical = Protocol.canonical_of_tune tr in
+    let expected_key = Some (Result_cache.key_of_canonical canonical) in
+    (* The wire policy tolerates the OK line's decimal rounding of runtime
+       and gflops; everything structural (domain membership, launch
+       feasibility, the Q bound) is checked at full strength. *)
+    let audit =
+      if not settings.audit then None
+      else
+        Some
+          (fun (p : Protocol.result_payload) ->
+            Verify.Audit.check ~policy:Verify.Audit.wire ~key:p.Protocol.key
+              ~gflops:p.Protocol.gflops ~canonical ~config:p.Protocol.config
+              ~runtime_us:p.Protocol.runtime_us ())
     in
     (* Each attempt re-renders with the budget left *now*, so the daemon's
        shedding decision tracks the truth, not the first attempt's view. *)
@@ -288,10 +324,10 @@ let ask ?(settings = default_settings) ?now_ms ?sleep_ms ~socket request =
       in
       Protocol.render_tune { tr with Protocol.deadline_ms }
     in
-    run ~settings ~now_ms ~sleep_ms ~socket ~render ~expected_key
+    run ~settings ~now_ms ~sleep_ms ~socket ~render ~expected_key ~audit
 
 let ask_raw ?(settings = default_settings) ?now_ms ?sleep_ms ~socket line =
   let now_ms, sleep_ms = hooks now_ms sleep_ms in
   run ~settings ~now_ms ~sleep_ms ~socket
     ~render:(fun _ -> line)
-    ~expected_key:None
+    ~expected_key:None ~audit:None

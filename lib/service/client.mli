@@ -21,7 +21,13 @@
     - an [OK] whose [key] is not the hash of {e this} request's canonical
       is skipped too — the one way a garbled request can silently become a
       {e wrong} answer (bytes mutating one field into another valid spec)
-      is cut off by the content address.
+      is cut off by the content address;
+    - with [audit = true] (the default) every [OK] that survives the key
+      check is additionally re-derived through [Verify.Audit] (wire
+      policy: structural checks at full strength, float comparisons
+      widened to the OK line's decimal rounding).  A suspect answer
+      retries exactly like a garbled one, and the trace marks accepted
+      answers with [[audit=ok]].
 
     Determinism: with injected [now_ms]/[sleep_ms] and a fault profile,
     the full attempt trace is a pure function of (settings, request) —
@@ -40,11 +46,14 @@ type settings = {
       (** logical id of this client's first connection; attempt [n] uses
           [conn_base + n - 1], which is what makes two clients' fault
           plans independent and one client's replay exact *)
+  audit : bool;
+      (** audit received [OK] payloads through [Verify.Audit] (wire
+          policy) before accepting them; a reject retries *)
 }
 
 val default_settings : settings
 (** 2s attempts, no total deadline, 8 attempts, backoff 25ms doubling to a
-    1s cap, seed 0, no faults, connection ids from 0. *)
+    1s cap, seed 0, no faults, connection ids from 0, auditing on. *)
 
 (** Why {!ask} gave up. *)
 type failure =

@@ -10,6 +10,8 @@ type settings = {
   journal_dir : string option;
   max_pending : int;
   retry_after_s : int;
+  audit : bool;
+  scrub_per_step : int;
 }
 
 let default_settings =
@@ -21,6 +23,8 @@ let default_settings =
     journal_dir = None;
     max_pending = 8;
     retry_after_s = 1;
+    audit = true;
+    scrub_per_step = 0;
   }
 
 (* Only settings that change *what a search computes* belong in the
@@ -82,6 +86,11 @@ type t = {
   mutable next_client : int;
   mutable draining : bool;
   mutable c : counters;
+  (* Post-tune audits are the engine's own (the cache counts load/hit/scrub
+     audits); a reject here means the tuner itself produced something the
+     invariants refuse — served (it is the truth we have) but never cached. *)
+  mutable post_audits : int;
+  mutable post_rejects : int;
 }
 
 let rec mkdir_p dir =
@@ -99,7 +108,9 @@ let create ?(settings = default_settings) ?(now_ms = fun () -> 0.0) ~cache () =
   {
     settings;
     now_ms;
-    cache = Result_cache.load ~generation:(generation_of_settings settings) cache;
+    cache =
+      Result_cache.load ~audit:settings.audit
+        ~generation:(generation_of_settings settings) cache;
     session =
       Core.Supervisor.create ~policy:settings.policy ~tasks:settings.max_pending ();
     pending = Queue.create ();
@@ -109,6 +120,8 @@ let create ?(settings = default_settings) ?(now_ms = fun () -> 0.0) ~cache () =
     next_client = 0;
     draining = false;
     c = zero_counters;
+    post_audits = 0;
+    post_rejects = 0;
   }
 
 let settings t = t.settings
@@ -147,6 +160,10 @@ let stats t =
     ("deadline_shed", string_of_int c.deadline_shed);
     ("salvage_dropped", string_of_int (Result_cache.dropped t.cache));
     ("stale_dropped", string_of_int (Result_cache.stale t.cache));
+    ("audited", string_of_int (Result_cache.audited t.cache + t.post_audits));
+    ("quarantined", string_of_int (Result_cache.quarantined t.cache));
+    ("scrubbed", string_of_int (Result_cache.scrubbed t.cache));
+    ("audit_rejected", string_of_int t.post_rejects);
     ("draining", string_of_bool t.draining);
   ]
 
@@ -240,6 +257,8 @@ let outcome_entry job (outcome : Core.Supervisor.outcome) =
         source;
         runtime_us = r.Core.Tuner.best_runtime_us;
         gflops = r.best_gflops;
+        predicted_us =
+          Verify.Audit.predicted_us job.request.Protocol.arch spec r.best_config;
         trials = r.measurements;
         config = r.best_config;
       }
@@ -305,7 +324,30 @@ let run_job_now t out job =
     | `Outcome o -> begin
       match outcome_entry job o with
       | `Cacheable entry ->
-        Result_cache.put t.cache entry;
+        (* Audit after tuning, before the entry can reach disk or another
+           client: a fresh result that fails its own invariants (it should
+           not happen — the tuner only emits domain members and the noise
+           model is bounded) is served to this job's waiters as the best
+           truth available, but never cached. *)
+        let cacheable =
+          (not t.settings.audit)
+          ||
+          (t.post_audits <- t.post_audits + 1;
+           match
+             Verify.Audit.check ~key:entry.Result_cache.key
+               ~gflops:entry.gflops ~predicted_us:entry.predicted_us
+               ~canonical:entry.canonical ~config:entry.config
+               ~runtime_us:entry.runtime_us ()
+           with
+           | Verify.Audit.Ok -> true
+           | Verify.Audit.Suspect reasons ->
+             t.post_rejects <- t.post_rejects + 1;
+             Util.Log.warn_oncef ~key:("post-tune-audit:" ^ entry.key)
+               "warning: post-tune audit rejected %s (%s); serving uncached\n%!" entry.key
+               (String.concat "," (List.map Verify.Audit.reason_token reasons));
+             false)
+        in
+        if cacheable then Result_cache.put t.cache entry;
         entry_response ~cached:false entry
       | `Serve_only response -> response
       | `Failure response ->
@@ -336,6 +378,10 @@ let step t =
   Queue.clear t.pending;
   List.iter (handle_line t out) lines;
   if not (Queue.is_empty t.jobs) then run_job t out (Queue.pop t.jobs);
+  (* Background scrubbing: a bounded slice of the cache re-audited per tick,
+     so a long-lived daemon sweeps its whole cache without ever pausing. *)
+  if t.settings.scrub_per_step > 0 then
+    ignore (Result_cache.scrub_step t.cache ~n:t.settings.scrub_per_step);
   List.rev !out
 
 let rec run_until_idle t =

@@ -34,11 +34,20 @@ type settings = {
           from its journal instead of restarting the search *)
   max_pending : int;  (** distinct queued tunes beyond which requests BUSY *)
   retry_after_s : int;  (** the hint sent with BUSY *)
+  audit : bool;
+      (** audit every trust boundary through [Verify.Audit]: cache records
+          at load and before each hit (rejects quarantined, the key tunes
+          afresh), and every fresh result after tuning (a reject is served
+          to its waiters but never cached) *)
+  scrub_per_step : int;
+      (** cache entries re-audited per {!step} tick (0 = no background
+          scrubbing) *)
 }
 
 val default_settings : settings
 (** 300 trials, seed 0, [Core.Supervisor.default_policy], no faults, no
-    journals, 8 pending tunes, retry-after 1s. *)
+    journals, 8 pending tunes, retry-after 1s, auditing on, no background
+    scrubbing. *)
 
 val generation_of_settings : settings -> string
 (** The cache generation string: the {e search}-relevant settings (trial
@@ -123,7 +132,9 @@ val record_load_shed : t -> unit
 
 val stats : t -> (string * string) list
 (** The [STATS] reply payload: counters plus cache entries / salvage
-    losses / stale records and the draining flag. *)
+    losses / stale records, the audit ledger ([audited] checks performed,
+    [quarantined] records sidelined, [scrubbed] entries swept,
+    [audit_rejected] post-tune rejects) and the draining flag. *)
 
 val health : t -> Core.Supervisor.report
 (** The supervision session's report (budget accounting, per-task

@@ -1,0 +1,33 @@
+(* One record per rejected cache line: "reason TAB payload".  The payload
+   itself contains tabs (it is a whole Result_cache line), so parsing
+   splits at the *first* tab only. *)
+
+let kind = "service-quarantine"
+let path_for cache_path = cache_path ^ ".quarantine"
+
+type record = { reason : string; payload : string }
+
+let to_line r =
+  if String.exists (fun c -> c = '\t' || c = '\n' || c = '\r') r.reason then
+    invalid_arg "Quarantine: framing bytes in reason";
+  if String.exists (fun c -> c = '\n' || c = '\r') r.payload then
+    invalid_arg "Quarantine: newline in payload";
+  r.reason ^ "\t" ^ r.payload
+
+let of_line line =
+  match String.index_opt line '\t' with
+  | Some i ->
+    {
+      reason = String.sub line 0 i;
+      payload = String.sub line (i + 1) (String.length line - i - 1);
+    }
+  | None -> { reason = line; payload = "" }
+
+let append ~path r = Util.Durable.append ~kind path (to_line r)
+
+let read path =
+  let outcome = Util.Durable.read ~kind path in
+  Util.Durable.warn_dropped ~path outcome;
+  List.map of_line (Util.Durable.records outcome)
+
+let count path = List.length (read path)

@@ -1,0 +1,30 @@
+(** Durable quarantine ledger — where audited-out cache records go.
+
+    A record the auditor rejects is evidence, not garbage: it is appended
+    to a sidecar file next to the cache ([<cache>.quarantine], a
+    [Util.Durable] file of kind ["service-quarantine"]) with the typed
+    reason tokens and the original payload bytes, never silently dropped.
+    Operators inspect the ledger to tell media rot from poisoning; tests
+    assert its exact contents. *)
+
+type record = {
+  reason : string;  (** comma-joined {!Verify.Audit.reason_token}s *)
+  payload : string;  (** the rejected cache line, verbatim *)
+}
+
+val path_for : string -> string
+(** The sidecar path for a cache file: [path ^ ".quarantine"]. *)
+
+val append : path:string -> record -> unit
+(** Appends one record durably (CRC-framed, header self-healing).  Raises
+    [Invalid_argument] if the reason contains tabs or newlines, or the
+    payload contains newlines (cache payloads never do — they are single
+    [Util.Durable] record lines). *)
+
+val read : string -> record list
+(** All ledger records, oldest first; [[]] when the file is missing.
+    Read-only: salvages without repairing, so a damaged ledger is still
+    evidence. *)
+
+val count : string -> int
+(** [List.length (read path)]. *)

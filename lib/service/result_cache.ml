@@ -4,25 +4,16 @@
    goes last and the config compact form is token-shaped, so fields parse
    unambiguously):
 
-     v1 TAB generation TAB key TAB source TAB runtime%h TAB gflops%h
-        TAB trials TAB config TAB canonical
+     v2 TAB generation TAB key TAB source TAB runtime%h TAB gflops%h
+        TAB predicted%h TAB trials TAB config TAB canonical
 
    Runtimes travel as hex floats so a reloaded entry is bit-identical to
-   the one that was stored. *)
+   the one that was stored; [predicted] is the noise-free analytic price of
+   the stored config, carried so the auditor can demand a bit-identical
+   reprice.  "v1" records (which lacked the analytic price) read as stale —
+   a schema bump is a soft invalidation, exactly like a generation change. *)
 
-(* FNV-1a, 64-bit: cheap, stable, and good enough dispersion for a cache
-   whose correctness does not depend on collision-freedom (lookups verify
-   the canonical string before answering). *)
-let fnv_offset = 0xcbf29ce484222325L
-let fnv_prime = 0x100000001b3L
-
-let key_of_canonical s =
-  let h = ref fnv_offset in
-  String.iter
-    (fun c ->
-      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
-    s;
-  Printf.sprintf "%016Lx" !h
+let key_of_canonical = Verify.Audit.content_key
 
 type entry = {
   key : string;
@@ -30,6 +21,7 @@ type entry = {
   source : Protocol.source;
   runtime_us : float;
   gflops : float;
+  predicted_us : float;
   trials : int;
   config : Core.Config.t;
 }
@@ -38,8 +30,13 @@ type t = {
   path : string;
   generation : string;
   table : (string, entry) Hashtbl.t;  (* key -> newest entry *)
+  audit : bool;
   mutable dropped : int;
   mutable stale : int;
+  mutable audited : int;
+  mutable quarantined : int;
+  mutable scrubbed : int;
+  mutable scrub_cursor : string list;  (* keys left in the current pass *)
 }
 
 let kind = "service-cache"
@@ -52,69 +49,56 @@ let to_line ~generation e =
     invalid_arg "Result_cache: tab or newline in canonical string";
   if not (Float.is_finite e.runtime_us && e.runtime_us > 0.0) then
     invalid_arg "Result_cache: non-finite or non-positive runtime";
-  Printf.sprintf "v1\t%s\t%s\t%s\t%h\t%h\t%d\t%s\t%s" generation e.key
+  Printf.sprintf "v2\t%s\t%s\t%s\t%h\t%h\t%h\t%d\t%s\t%s" generation e.key
     (Protocol.source_to_string e.source)
-    e.runtime_us e.gflops e.trials
+    e.runtime_us e.gflops e.predicted_us e.trials
     (Core.Config.to_compact e.config)
     e.canonical
 
-(* [None] on any malformed field: a record that survived its checksum but
-   fails semantic validation is treated as stale garbage, not a crash. *)
+(* A record that survived its checksum but fails to decode is reported with
+   a reason token: audited loads quarantine it (the bytes are evidence of
+   *semantic* corruption, which framing CRCs cannot see), plain loads count
+   it in [dropped] as before. *)
 let of_line ~generation line =
   match String.split_on_char '\t' line with
-  | [ "v1"; gen; key; source; runtime; gflops; trials; config; canonical ] -> begin
+  | "v2" :: gen :: _ when gen <> generation -> `Stale
+  | [ "v2"; _; key; source; runtime; gflops; predicted; trials; config; canonical ]
+    -> begin
     match
       ( Protocol.source_of_string source,
         float_of_string_opt runtime,
         float_of_string_opt gflops,
+        float_of_string_opt predicted,
         int_of_string_opt trials,
         Core.Config.of_compact config )
     with
-    | Some source, Some runtime_us, Some gflops, Some trials, Some config
-      when Float.is_finite runtime_us && runtime_us > 0.0
-           && key = key_of_canonical canonical ->
-      if gen = generation then
-        `Live { key; canonical; source; runtime_us; gflops; trials; config }
-      else `Stale
-    | _ -> `Malformed
+    | Some source, Some runtime_us, Some gflops, Some predicted_us, Some trials,
+      Some config ->
+      if not (Float.is_finite runtime_us && runtime_us > 0.0) then `Bad "cost-not-finite"
+      else if key <> key_of_canonical canonical then `Bad "key-mismatch"
+      else `Live { key; canonical; source; runtime_us; gflops; predicted_us; trials; config }
+    | _ -> `Bad "undecodable"
   end
-  | _ -> `Malformed
+  | "v1" :: _ -> `Stale
+  | _ -> `Bad "schema"
 
-let load ~generation path =
-  if not (no_framing_hazard generation) then
-    invalid_arg "Result_cache.load: tab or newline in generation";
-  let outcome = Util.Durable.repair ~kind path in
-  Util.Durable.warn_dropped ~path outcome;
-  let t =
-    {
-      path;
-      generation;
-      table = Hashtbl.create 64;
-      dropped = Util.Durable.dropped outcome;
-      stale = 0;
-    }
-  in
-  List.iter
-    (fun payload ->
-      match of_line ~generation payload with
-      | `Live e -> Hashtbl.replace t.table e.key e
-      | `Stale -> t.stale <- t.stale + 1
-      | `Malformed -> t.dropped <- t.dropped + 1)
-    (Util.Durable.records outcome);
-  t
+(* The full strict audit of one live entry: domain membership, launch
+   feasibility, bit-identical reprice of predicted cost / gflops / Q ratio,
+   runtime inside the noise band, key = hash(canonical). *)
+let audit_entry (e : entry) =
+  Verify.Audit.check ~key:e.key ~gflops:e.gflops ~predicted_us:e.predicted_us
+    ~canonical:e.canonical ~config:e.config ~runtime_us:e.runtime_us ()
 
-let generation t = t.generation
-let path t = t.path
+let quarantine_path t = Quarantine.path_for t.path
 
-let find t ~canonical =
-  match Hashtbl.find_opt t.table (key_of_canonical canonical) with
-  | Some e when e.canonical = canonical -> Some e
-  | Some _ (* hash collision: a miss, never the wrong layer's answer *) | None -> None
+let quarantine t ~reason ~payload =
+  t.quarantined <- t.quarantined + 1;
+  Quarantine.append ~path:(quarantine_path t) { Quarantine.reason; payload }
 
-let put t e =
-  let line = to_line ~generation:t.generation e in
-  Hashtbl.replace t.table e.key e;
-  Util.Durable.append ~kind t.path line
+let reason_of_verdict = function
+  | Verify.Audit.Ok -> None
+  | Verify.Audit.Suspect reasons ->
+    Some (String.concat "," (List.map Verify.Audit.reason_token reasons))
 
 let flush t =
   let live =
@@ -124,6 +108,131 @@ let flush t =
   Util.Durable.write_snapshot ~kind t.path
     (List.map (to_line ~generation:t.generation) live)
 
+let load ?(audit = false) ~generation path =
+  if not (no_framing_hazard generation) then
+    invalid_arg "Result_cache.load: tab or newline in generation";
+  let outcome = Util.Durable.repair ~kind path in
+  Util.Durable.warn_dropped ~path outcome;
+  let t =
+    {
+      path;
+      generation;
+      table = Hashtbl.create 64;
+      audit;
+      dropped = Util.Durable.dropped outcome;
+      stale = 0;
+      audited = 0;
+      quarantined = 0;
+      scrubbed = 0;
+      scrub_cursor = [];
+    }
+  in
+  List.iter
+    (fun payload ->
+      match of_line ~generation payload with
+      | `Live e ->
+        if not audit then Hashtbl.replace t.table e.key e
+        else begin
+          t.audited <- t.audited + 1;
+          match reason_of_verdict (audit_entry e) with
+          | None -> Hashtbl.replace t.table e.key e
+          | Some reason -> quarantine t ~reason ~payload
+        end
+      | `Stale -> t.stale <- t.stale + 1
+      | `Bad reason ->
+        if audit then quarantine t ~reason ~payload
+        else t.dropped <- t.dropped + 1)
+    (Util.Durable.records outcome);
+  (* Quarantined lines stay in the ledger, not in the cache file: compact
+     immediately so the next load starts from a clean, [Intact] snapshot
+     and does not quarantine the same bytes twice. *)
+  if t.quarantined > 0 then flush t;
+  t
+
+let generation t = t.generation
+let path t = t.path
+
+let find t ~canonical =
+  match Hashtbl.find_opt t.table (key_of_canonical canonical) with
+  | Some e when e.canonical = canonical ->
+    if not t.audit then Some e
+    else begin
+      (* Hit-time re-audit: the table is trusted memory, but it was filled
+         from disk — re-checking before answering costs microseconds and
+         turns a poisoned hit into a fresh tune instead of a wrong answer. *)
+      t.audited <- t.audited + 1;
+      match reason_of_verdict (audit_entry e) with
+      | None -> Some e
+      | Some reason ->
+        quarantine t ~reason ~payload:(to_line ~generation:t.generation e);
+        Hashtbl.remove t.table e.key;
+        None
+    end
+  | Some _ (* hash collision: a miss, never the wrong layer's answer *) | None -> None
+
+let put t e =
+  let line = to_line ~generation:t.generation e in
+  Hashtbl.replace t.table e.key e;
+  Util.Durable.append ~kind t.path line
+
+(* --- scrubbing ----------------------------------------------------------- *)
+
+(* The incremental scrubber audits [n] entries per call, round-robin over a
+   sorted key snapshot, wrapping to a fresh pass when the cursor drains.
+   Audits run regardless of the load-time [audit] flag: scrubbing is an
+   explicit request. *)
+
+let scrub_one t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> ()  (* removed since the pass began *)
+  | Some e -> (
+    t.audited <- t.audited + 1;
+    t.scrubbed <- t.scrubbed + 1;
+    match reason_of_verdict (audit_entry e) with
+    | None -> ()
+    | Some reason ->
+      quarantine t ~reason ~payload:(to_line ~generation:t.generation e);
+      Hashtbl.remove t.table e.key)
+
+let sorted_keys t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.table [] |> List.sort compare
+
+let scrub_step t ~n =
+  let examined = ref 0 in
+  let budget = ref n in
+  while
+    !budget > 0
+    &&
+    (if t.scrub_cursor = [] then t.scrub_cursor <- sorted_keys t;
+     t.scrub_cursor <> [])
+  do
+    match t.scrub_cursor with
+    | [] -> ()
+    | key :: rest ->
+      t.scrub_cursor <- rest;
+      scrub_one t key;
+      incr examined;
+      decr budget
+  done;
+  !examined
+
+type scrub_report = { examined : int; quarantined : int; remaining : int }
+
+let scrub t =
+  let keys = sorted_keys t in
+  let q0 = t.quarantined in
+  List.iter (scrub_one t) keys;
+  t.scrub_cursor <- [];
+  flush t;
+  {
+    examined = List.length keys;
+    quarantined = t.quarantined - q0;
+    remaining = Hashtbl.length t.table;
+  }
+
 let entries t = Hashtbl.length t.table
 let dropped t = t.dropped
 let stale t = t.stale
+let audited (t : t) = t.audited
+let quarantined (t : t) = t.quarantined
+let scrubbed (t : t) = t.scrubbed

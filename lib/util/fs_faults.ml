@@ -7,11 +7,15 @@ type op =
   | Truncate_to of int
   | Bit_flip of { offset : int; bit : int }
   | Garbage_append of string
+  | Semantic_flip of { record : int; offset : int; bit : int }
 
 let describe = function
   | Truncate_to n -> Printf.sprintf "truncate to %d bytes" n
   | Bit_flip { offset; bit } -> Printf.sprintf "flip bit %d of byte %d" bit offset
   | Garbage_append s -> Printf.sprintf "append %d garbage bytes (%S)" (String.length s) s
+  | Semantic_flip { record; offset; bit } ->
+    Printf.sprintf "flip bit %d of payload byte %d in record %d, re-framed with a valid CRC"
+      bit offset record
 
 let file_size path =
   if not (Sys.file_exists path) then 0
@@ -41,6 +45,36 @@ let read_file path =
       (fun () -> really_input_string ic (in_channel_length ic))
   end
 
+(* A [Durable] record line is [r TAB crc8 TAB payload]: the payload starts
+   at byte 11.  Semantic corruption mutates the payload and re-frames it
+   with a freshly computed (valid!) CRC — the adversary that framing
+   checksums are structurally blind to, and the reason the cache needs a
+   semantic auditor on top of [Durable]. *)
+let payload_start = 11
+
+let is_record line =
+  String.length line > payload_start && String.sub line 0 2 = "r\t"
+
+let record_lines lines =
+  List.mapi (fun i l -> (i, l)) lines |> List.filter (fun (_, l) -> is_record l)
+
+(* Flip one payload bit, but never into a framing byte: a mutation that
+   lands on '\n' or '\r' would tear the file instead of lying inside it.
+   Trying the requested bit first and walking on keeps the draw
+   deterministic; a single-bit flip can only produce 2 of 256 values, so a
+   safe bit always exists and the payload always actually changes. *)
+let flip_payload_byte payload ~offset ~bit =
+  let offset = offset mod String.length payload in
+  let bytes = Bytes.of_string payload in
+  let b = Char.code (Bytes.get bytes offset) in
+  let rec pick k =
+    let candidate = b lxor (1 lsl ((bit + k) land 7)) in
+    if candidate = Char.code '\n' || candidate = Char.code '\r' then pick (k + 1)
+    else candidate
+  in
+  Bytes.set bytes offset (Char.chr (pick 0));
+  Bytes.to_string bytes
+
 let apply path op =
   let content = read_file path in
   let corrupted =
@@ -55,6 +89,22 @@ let apply path op =
         Bytes.to_string bytes
       end
     | Garbage_append s -> content ^ s
+    | Semantic_flip { record; offset; bit } -> (
+      let lines = String.split_on_char '\n' content in
+      match record_lines lines with
+      | [] -> content
+      | records ->
+        let target, _ = List.nth records (record mod List.length records) in
+        String.concat "\n"
+          (List.mapi
+             (fun i line ->
+               if i <> target then line
+               else
+                 let payload =
+                   String.sub line payload_start (String.length line - payload_start)
+                 in
+                 Durable.frame (flip_payload_byte payload ~offset ~bit))
+             lines))
   in
   Durable.write_atomic path corrupted
 
@@ -62,3 +112,25 @@ let inject rng path =
   let op = draw rng ~size:(file_size path) in
   apply path op;
   op
+
+let draw_semantic rng path =
+  let lines = String.split_on_char '\n' (read_file path) in
+  match record_lines lines with
+  | [] -> None
+  | records ->
+    let record = Rng.int rng (List.length records) in
+    let _, line = List.nth records record in
+    Some
+      (Semantic_flip
+         {
+           record;
+           offset = Rng.int rng (String.length line - payload_start);
+           bit = Rng.int rng 8;
+         })
+
+let inject_semantic rng path =
+  match draw_semantic rng path with
+  | None -> None
+  | Some op ->
+    apply path op;
+    Some op

@@ -16,6 +16,14 @@ type op =
       (** flip bit [bit] (0-7) of the byte at [offset] — media rot *)
   | Garbage_append of string
       (** append raw bytes — a foreign or half-initialised writer *)
+  | Semantic_flip of { record : int; offset : int; bit : int }
+      (** mutate one payload bit of the [record]-th [Durable] record line,
+          then re-frame it with a freshly computed {e valid} CRC — the lie
+          framing checksums cannot see.  [offset] is taken modulo the
+          payload length; a flip that would land on a framing byte
+          (['\n']/['\r']) deterministically walks to the next bit, so the
+          payload always actually changes and the file never tears.  A file
+          with no record lines is left untouched. *)
 
 val describe : op -> string
 (** One-line human description, for test failure messages. *)
@@ -37,4 +45,16 @@ val apply : string -> op -> unit
 
 val inject : Rng.t -> string -> op
 (** [inject rng path] draws an operation for the file's current size,
-    applies it, and returns what it did. *)
+    applies it, and returns what it did.  Never draws {!Semantic_flip} —
+    semantic corruption is a distinct adversary requested explicitly. *)
+
+val draw_semantic : Rng.t -> string -> op option
+(** One random {!Semantic_flip} aimed at the file's current record lines:
+    record index uniform over the records present, offset uniform over the
+    chosen record's payload, bit uniform over 0-7.  [None] when the file
+    holds no record lines (nothing to lie about). *)
+
+val inject_semantic : Rng.t -> string -> op option
+(** Draws and applies one semantic flip; [None] (and no change) when the
+    file has no record lines.  The result still passes [Durable.read] as
+    [Intact] — only a semantic audit of the payload can catch it. *)

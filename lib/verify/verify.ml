@@ -5,8 +5,11 @@
     schedules on either side of it; [Conformance] is the property-based
     differential harness cross-checking every convolution implementation,
     the analytic I/O formulas against instrumented traffic counters, and the
-    GPU cost model's monotonicity invariants. *)
+    GPU cost model's monotonicity invariants; [Audit] is the pure
+    answer-integrity invariant suite the tuning service runs at every trust
+    boundary. *)
 
 module Oracle = Oracle
 module Sandwich = Sandwich
 module Conformance = Conformance
+module Audit = Audit

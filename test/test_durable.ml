@@ -158,8 +158,43 @@ let test_faults_empty_file_never_flips () =
       for _ = 1 to 64 do
         match Util.Fs_faults.draw rng ~size:0 with
         | Bit_flip _ -> Alcotest.fail "bit flip drawn for empty file"
+        | Semantic_flip _ -> Alcotest.fail "draw never yields a semantic flip"
         | Truncate_to _ | Garbage_append _ -> ()
       done)
+
+(* The lie framing cannot see: a semantic flip mutates a record's payload
+   and re-frames it with a fresh, valid CRC.  [Util.Durable.read] must
+   report the file [Intact] — same record count, every checksum good —
+   while at least one payload changed.  Catching THAT is the auditor's job
+   (test_service's semantic poison campaign), not this layer's. *)
+let test_semantic_flip_reads_intact () =
+  with_temp (fun path ->
+      let originals = [ "alpha\tone"; "beta\ttwo"; "gamma\tthree" ] in
+      List.iter (Util.Durable.append ~kind path) originals;
+      let rng = Util.Rng.create 11 in
+      for round = 1 to 32 do
+        match Util.Fs_faults.inject_semantic rng path with
+        | None -> Alcotest.fail "record file offered no semantic target"
+        | Some op -> (
+          match Util.Durable.read ~kind path with
+          | Util.Durable.Intact payloads ->
+            Alcotest.(check int)
+              (Printf.sprintf "round %d: record count preserved" round)
+              (List.length originals) (List.length payloads)
+          | _ ->
+            Alcotest.failf "round %d: %s tripped the CRC" round
+              (Util.Fs_faults.describe op))
+      done;
+      (* 32 single-bit flips never cancel back to the original bytes all at
+         once in every round; assert the final content truly changed. *)
+      (match Util.Durable.read ~kind path with
+      | Util.Durable.Intact payloads ->
+        Alcotest.(check bool) "content was mutated" true (payloads <> originals)
+      | _ -> Alcotest.fail "final read not Intact");
+      (* A file with no record lines offers nothing to flip. *)
+      write_file path "not a durable file\n";
+      Alcotest.(check bool) "no record, no target" true
+        (Util.Fs_faults.draw_semantic rng path = None))
 
 (* --- qcheck torture properties --- *)
 
@@ -385,6 +420,8 @@ let () =
         [
           Alcotest.test_case "deterministic draws" `Quick test_faults_deterministic;
           Alcotest.test_case "exact application" `Quick test_faults_apply_exact;
+          Alcotest.test_case "semantic flip reads Intact" `Quick
+            test_semantic_flip_reads_intact;
           Alcotest.test_case "empty file never flips" `Quick
             test_faults_empty_file_never_flips;
         ] );

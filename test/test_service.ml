@@ -13,7 +13,11 @@
      beyond max_pending get a typed BUSY;
    - protocol fault handling: every byte the engine emits is a typed
      response line, malformed input never crashes, draining rejects new
-     work but finishes queued tunes.
+     work but finishes queued tunes;
+   - answer integrity: semantic corruption the framing CRC endorses
+     (mutate-and-reframe) is caught by the Verify.Audit trust boundaries —
+     load, hit, post-tune, background scrub — quarantined with typed
+     reasons, and the poisoned shapes fall through to fresh tunes.
 
    SERVICE_DEEP=1 widens the chaos campaign seed sweep and adds the
    real-socket daemon smoke (spawned domain, live Unix socket, idle
@@ -190,6 +194,7 @@ let sample_entry canonical =
     source = Service.Protocol.Src_tuned;
     runtime_us;
     gflops = 3.25;
+    predicted_us = runtime_us;
     trials = 16;
     config;
   }
@@ -243,9 +248,9 @@ let test_cache_rejects_forged_key () =
   let e = sample_entry "spec-one" in
   Service.Result_cache.put cache e;
   let forged =
-    Printf.sprintf "v1\tg1\t%s\t%s\t%h\t%h\t%d\t%s\t%s"
+    Printf.sprintf "v2\tg1\t%s\t%s\t%h\t%h\t%h\t%d\t%s\t%s"
       (Service.Result_cache.key_of_canonical "some-other-spec")
-      "tuned" 1.0 1.0 5
+      "tuned" 1.0 1.0 1.0 5
       (Core.Config.to_compact e.config)
       "spec-forged"
   in
@@ -755,6 +760,236 @@ let chaos_campaign seed =
 let test_chaos_campaign () = List.iter chaos_campaign campaign_seeds
 
 (* ------------------------------------------------------------------ *)
+(* Semantic-corruption campaign (the audit tentpole): poisoned records
+   whose framing CRC is VALID — [Util.Fs_faults.Semantic_flip] mutates the
+   payload and re-frames it, the lie [Util.Durable] cannot see.  The
+   contract, per seed:
+   - the poisoned file still reads [Intact] (the checksum endorses it);
+   - the restarted daemon serves ZERO corrupt answers — every answer is
+     bit-identical to the honest pre-corruption tune for its key;
+   - every poisoned record lands in the quarantine ledger with its typed
+     reason, and STATS reports the exact ledger;
+   - the shapes the audit condemned fall through to fresh tunes;
+   - after the dust settles the file on disk reloads clean and a full
+     scrub pass finds nothing further. *)
+
+let semantic_campaign seed =
+  let cache = temp_cache () in
+  let rng = Util.Rng.create (2000 + seed) in
+  let settings = { fast with seed } in
+  let generation = Service.Engine.generation_of_settings settings in
+  let lines = [| line_a; line_b; line_c |] in
+  let ask_all =
+    Service.Sim.Connect 0
+    :: (Array.to_list lines |> List.map (fun l -> Service.Sim.Send (0, l)))
+  in
+  (* Phase 1: tune every shape, graceful drain -> compacted snapshot. *)
+  let phase1 =
+    run_sim ~settings ~cache
+      (ask_all @ [ Service.Sim.Run_until_idle; Service.Sim.Drain ])
+  in
+  Alcotest.(check int)
+    (Printf.sprintf "seed %d: every shape tuned live" seed)
+    (Array.length lines)
+    (counters phase1).tunes_run;
+  (* The honest answers, by content key: the ground truth the restart must
+     reproduce bit for bit. *)
+  let honest =
+    List.map
+      (fun line ->
+        let p = parse_ok line in
+        (p.Service.Protocol.key, p))
+      (Service.Sim.transcript_of 0 phase1)
+  in
+  (* Poison >= 10% (here 33-100%) of the entries: flip one bit inside the
+     content-key field of [n_corrupt] records and re-frame each with a
+     fresh, VALID checksum.  A hex digit can never bit-flip into a field
+     separator, so the record still decodes — into a lie only the auditor's
+     key = hash(canonical) invariant can catch. *)
+  let n_corrupt = 1 + (seed mod Array.length lines) in
+  for record = 0 to n_corrupt - 1 do
+    let offset = 4 + String.length generation + Util.Rng.int rng 16 in
+    let bit = Util.Rng.int rng 8 in
+    Util.Fs_faults.apply cache
+      (Util.Fs_faults.Semantic_flip { record; offset; bit })
+  done;
+  (match Util.Durable.read ~kind:"service-cache" cache with
+  | Util.Durable.Intact payloads ->
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d: the CRC blesses the poisoned file" seed)
+      (Array.length lines) (List.length payloads)
+  | _ ->
+    Alcotest.failf "seed %d: semantic corruption tripped the framing CRC" seed);
+  (* Phase 2: warm restart with auditing on (the default), re-ask every
+     shape, then pull STATS. *)
+  let phase2 =
+    run_sim ~settings ~cache
+      (ask_all
+      @ [
+          Service.Sim.Run_until_idle;
+          Service.Sim.Send (0, "STATS");
+          Service.Sim.Run_until_idle;
+          Service.Sim.Drain;
+        ])
+  in
+  let c2 = counters phase2 in
+  Alcotest.(check int)
+    (Printf.sprintf "seed %d: surviving shapes answer from cache" seed)
+    (Array.length lines - n_corrupt)
+    c2.cache_hits;
+  Alcotest.(check int)
+    (Printf.sprintf "seed %d: one fresh tune per poisoned shape" seed)
+    n_corrupt c2.tunes_run;
+  let answers, stats_line =
+    match List.rev (Service.Sim.transcript_of 0 phase2) with
+    | stats :: rev_answers -> (List.rev rev_answers, stats)
+    | [] -> Alcotest.failf "seed %d: empty restart transcript" seed
+  in
+  Alcotest.(check int)
+    (Printf.sprintf "seed %d: every shape answered" seed)
+    (Array.length lines) (List.length answers);
+  (* Zero corrupt answers: whether it hit or re-tuned, every served line is
+     bit-identical to the honest pre-corruption result for its key. *)
+  List.iter
+    (fun line ->
+      let p = parse_ok line in
+      let h =
+        match List.assoc_opt p.Service.Protocol.key honest with
+        | Some h -> h
+        | None -> Alcotest.failf "seed %d: unknown key in %s" seed line
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: runtime matches the honest tune" seed)
+        true
+        (p.Service.Protocol.runtime_us = h.Service.Protocol.runtime_us);
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d: config matches the honest tune" seed)
+        (Core.Config.to_compact h.Service.Protocol.config)
+        (Core.Config.to_compact p.Service.Protocol.config))
+    answers;
+  (* The ledger holds exactly the poisoned records, each with the typed
+     reason the key invariant produces. *)
+  let ledger = Service.Quarantine.read (Service.Quarantine.path_for cache) in
+  Alcotest.(check int)
+    (Printf.sprintf "seed %d: exact quarantine ledger" seed)
+    n_corrupt (List.length ledger);
+  List.iter
+    (fun (r : Service.Quarantine.record) ->
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d: typed quarantine reason" seed)
+        "key-mismatch" r.reason)
+    ledger;
+  (* STATS exposes the same ledger (and the reply round-trips). *)
+  (match Service.Protocol.parse_response stats_line with
+  | Some (Service.Protocol.Stats_reply kvs as resp) ->
+    Alcotest.(check string)
+      (Printf.sprintf "seed %d: stats reply round-trips" seed)
+      stats_line
+      (Service.Protocol.render_response resp);
+    Alcotest.(check (option string))
+      (Printf.sprintf "seed %d: stats count the quarantined records" seed)
+      (Some (string_of_int n_corrupt))
+      (List.assoc_opt "quarantined" kvs);
+    Alcotest.(check (option string))
+      (Printf.sprintf "seed %d: no post-tune rejects" seed)
+      (Some "0")
+      (List.assoc_opt "audit_rejected" kvs);
+    let audited =
+      match Option.bind (List.assoc_opt "audited" kvs) int_of_string_opt with
+      | Some n -> n
+      | None -> Alcotest.failf "seed %d: STATS lacks audited: %s" seed stats_line
+    in
+    (* Load admits 3 - n_corrupt live records (each audited), every hit
+       re-audits, and every fresh tune is audited before caching. *)
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: audits at every trust boundary" seed)
+      true
+      (audited >= (2 * (Array.length lines - n_corrupt)) + n_corrupt)
+  | _ -> Alcotest.failf "seed %d: expected STATS, got %s" seed stats_line);
+  (* The daemon healed the cache: a fresh audited load is clean and at full
+     strength, and a full scrub pass condemns nothing further, leaving an
+     [Intact] snapshot on disk. *)
+  let final = Service.Result_cache.load ~audit:true ~generation cache in
+  Alcotest.(check int)
+    (Printf.sprintf "seed %d: cache healed to full strength" seed)
+    (Array.length lines)
+    (Service.Result_cache.entries final);
+  Alcotest.(check int)
+    (Printf.sprintf "seed %d: nothing further quarantined" seed)
+    0
+    (Service.Result_cache.quarantined final);
+  let report = Service.Result_cache.scrub final in
+  Alcotest.(check int)
+    (Printf.sprintf "seed %d: scrub examined everything" seed)
+    (Array.length lines)
+    report.Service.Result_cache.examined;
+  Alcotest.(check int)
+    (Printf.sprintf "seed %d: scrub pass finds nothing" seed)
+    0 report.Service.Result_cache.quarantined;
+  (match Util.Durable.read ~kind:"service-cache" cache with
+  | Util.Durable.Intact _ -> ()
+  | _ -> Alcotest.failf "seed %d: post-scrub file not Intact" seed);
+  cleanup (Service.Quarantine.path_for cache);
+  cleanup cache
+
+let test_semantic_campaign () = List.iter semantic_campaign campaign_seeds
+
+(* The background scrubber: a daemon whose operator disabled load/hit
+   auditing still sweeps its cache one entry per tick, condemns a poisoned
+   record mid-flight, and the next request for that shape tunes fresh
+   instead of serving the lie. *)
+let test_background_scrub () =
+  let cache = temp_cache () in
+  let settings = { fast with audit = false } in
+  let generation = Service.Engine.generation_of_settings settings in
+  let first =
+    run_sim ~settings ~cache
+      Service.Sim.
+        [ Connect 1; Send (1, line_a); Send (1, line_b); Run_until_idle; Drain ]
+  in
+  Alcotest.(check int) "two honest tunes" 2 (counters first).tunes_run;
+  let honest =
+    (parse_ok (List.hd (Service.Sim.transcript_of 1 first)))
+      .Service.Protocol.runtime_us
+  in
+  (* Poison line_a's record in place: same key, runtime inflated 8x.  The
+     un-audited load admits it without complaint. *)
+  let plain = Service.Result_cache.load ~generation cache in
+  let canonical = Service.Protocol.canonical_of_tune (spec_of_line line_a) in
+  (match Service.Result_cache.find plain ~canonical with
+  | Some e ->
+    Service.Result_cache.put plain
+      { e with Service.Result_cache.runtime_us = e.runtime_us *. 8.0 }
+  | None -> Alcotest.fail "tuned entry missing from the drained cache");
+  let second =
+    run_sim
+      ~settings:{ settings with scrub_per_step = 1 }
+      ~cache
+      Service.Sim.[ Connect 1; Step; Step; Send (1, line_a); Run_until_idle ]
+  in
+  let c = counters second in
+  Alcotest.(check int) "poisoned shape re-tuned" 1 c.tunes_run;
+  Alcotest.(check int) "the lie never served" 0 c.cache_hits;
+  let sc = Service.Engine.cache second.engine in
+  Alcotest.(check bool) "sweep covered the cache" true
+    (Service.Result_cache.scrubbed sc >= 2);
+  Alcotest.(check int) "one record condemned" 1
+    (Service.Result_cache.quarantined sc);
+  (match Service.Quarantine.read (Service.Result_cache.quarantine_path sc) with
+  | [ r ] ->
+    Alcotest.(check bool) "typed runtime reason" true
+      (String.split_on_char ',' r.Service.Quarantine.reason
+      |> List.mem "runtime-implausible")
+  | l -> Alcotest.failf "expected one ledger record, got %d" (List.length l));
+  let p = parse_ok (List.hd (Service.Sim.transcript_of 1 second)) in
+  Alcotest.(check string) "fresh live tune" "tuned"
+    (Service.Protocol.source_to_string p.source);
+  Alcotest.(check bool) "honest runtime restored" true
+    (p.Service.Protocol.runtime_us = honest);
+  cleanup (Service.Result_cache.quarantine_path sc);
+  cleanup cache
+
+(* ------------------------------------------------------------------ *)
 (* Real socket smoke (SERVICE_DEEP): the daemon in a spawned domain, live
    Unix-domain socket, idle deadline, stop/drain, warm restart. *)
 
@@ -1027,6 +1262,13 @@ let () =
           Alcotest.test_case "settings change invalidates cache" `Quick
             test_settings_change_invalidates_cache;
           Alcotest.test_case "seeded chaos campaign" `Quick test_chaos_campaign;
+        ] );
+      ( "audit",
+        [
+          Alcotest.test_case "semantic poison campaign" `Quick
+            test_semantic_campaign;
+          Alcotest.test_case "background scrubber evicts poison" `Quick
+            test_background_scrub;
         ] );
       ( "socket",
         if deep then

@@ -214,6 +214,173 @@ let test_oracle_beats_by_step_somewhere () =
     (Printf.sprintf "Q_opt %d < worst schedule %d" q worst)
     true (q < worst)
 
+(* --- answer-integrity audit ------------------------------------------- *)
+
+module Audit = Verify.Audit
+
+let audit_arches = Gpu_sim.Arch.all
+
+let audit_specs =
+  [
+    Conv.Conv_spec.square ~c_in:16 ~size:16 ~c_out:16 ~k:3 ~pad:1 ();
+    Conv.Conv_spec.square ~c_in:8 ~size:8 ~c_out:32 ~k:1 ();
+    Conv.Conv_spec.square ~c_in:32 ~size:14 ~c_out:64 ~k:3 ();
+  ]
+
+(* A genuine answer tuple as the service would produce it: a sampled member
+   of the pruned space, priced by the noise-free cost model. *)
+type audit_claim = {
+  canonical : string;
+  key : string;
+  config : Core.Config.t;
+  runtime_us : float;
+  gflops : float;
+  predicted : float;
+  q : float;
+}
+
+let claim_of ~arch_i ~spec_i ~cfg_seed =
+  let arch = List.nth audit_arches (arch_i mod List.length audit_arches) in
+  let spec = List.nth audit_specs (spec_i mod List.length audit_specs) in
+  let space = Core.Search_space.make arch spec Core.Config.Direct_dataflow in
+  let config = Core.Search_space.sample space (Util.Rng.create cfg_seed) in
+  let canonical = Core.Search_space.canonical space in
+  let predicted = Audit.predicted_us arch spec config in
+  ( space,
+    arch,
+    spec,
+    {
+      canonical;
+      key = Audit.content_key canonical;
+      config;
+      runtime_us = predicted;
+      gflops = Core.Tuner.nominal_gflops spec ~runtime_us:predicted;
+      predicted;
+      q = Audit.q_ratio arch spec config;
+    } )
+
+let check_claim c =
+  Audit.check ~key:c.key ~gflops:c.gflops ~predicted_us:c.predicted
+    ~q_ratio:c.q ~canonical:c.canonical ~config:c.config
+    ~runtime_us:c.runtime_us ()
+
+let has_token tok = function
+  | Audit.Ok -> false
+  | Audit.Suspect reasons ->
+    List.exists (fun r -> Audit.reason_token r = tok) reasons
+
+(* Replace hex digit [i] with the next one — guaranteed to change the key. *)
+let flip_hex s i =
+  let i = i mod String.length s in
+  let hex = "0123456789abcdef" in
+  let b = Bytes.of_string s in
+  Bytes.set b i hex.[(String.index hex s.[i] + 1) mod 16];
+  Bytes.to_string b
+
+(* Bump the first decimal digit at or after [j] (cyclic) — a canonical
+   string always contains digits, and the result is a different string. *)
+let bump_digit s j =
+  let n = String.length s in
+  let rec find k =
+    if k >= n then None
+    else
+      let i = (j + k) mod n in
+      match s.[i] with '0' .. '9' -> Some i | _ -> find (k + 1)
+  in
+  match find 0 with
+  | None -> s
+  | Some i ->
+    let b = Bytes.of_string s in
+    Bytes.set b i (if s.[i] = '9' then '0' else Char.chr (Char.code s.[i] + 1));
+    Bytes.to_string b
+
+(* Another valid member of the same domain whose analytic price differs
+   bitwise from [config]'s — so swapping it in is always observable. *)
+let alt_tile_config space config arch spec =
+  let orig = Audit.predicted_us arch spec config in
+  let tiles = Core.Search_space.tile_candidates space in
+  let rec go i =
+    if i >= Array.length tiles then None
+    else
+      let cand = Core.Search_space.config_for_tile space tiles.(i) in
+      if cand <> config && Audit.predicted_us arch spec cand <> orig then
+        Some cand
+      else go (i + 1)
+  in
+  go 0
+
+let test_audit_genuine_ok () =
+  List.iteri
+    (fun arch_i _ ->
+      List.iteri
+        (fun spec_i _ ->
+          let _, _, _, c = claim_of ~arch_i ~spec_i ~cfg_seed:7 in
+          match check_claim c with
+          | Audit.Ok -> ()
+          | v ->
+            Alcotest.failf "genuine claim rejected: %s" (Audit.verdict_to_string v))
+        audit_specs)
+    audit_arches
+
+let test_audit_reason_tokens () =
+  let _, _, _, c = claim_of ~arch_i:1 ~spec_i:0 ~cfg_seed:3 in
+  Alcotest.(check bool)
+    "key flip -> key-mismatch" true
+    (has_token "key-mismatch" (check_claim { c with key = flip_hex c.key 0 }));
+  Alcotest.(check bool)
+    "runtime x2 -> runtime-implausible" true
+    (has_token "runtime-implausible"
+       (check_claim { c with runtime_us = c.runtime_us *. 2.0 }));
+  Alcotest.(check bool)
+    "predicted drift -> reprice-drift" true
+    (has_token "reprice-drift"
+       (check_claim { c with predicted = c.predicted *. 1.5 }));
+  Alcotest.(check bool)
+    "gflops drift -> gflops-inconsistent" true
+    (has_token "gflops-inconsistent"
+       (check_claim { c with gflops = c.gflops +. 1.0 }));
+  Alcotest.(check bool)
+    "garbage canonical -> canonical-unparseable" true
+    (has_token "canonical-unparseable"
+       (check_claim { c with canonical = "not a canonical string" }))
+
+(* The tentpole property: a genuine tuple audits [Ok]; any single-field
+   mutation that changes an audited value is rejected.  Every mutation
+   below is constructed to be observable (runtime factors sit outside the
+   5% noise band; hex/digit bumps always change the string; the config
+   swap is filtered to a bitwise-different analytic price), so the
+   property is exactly "mutated => Suspect". *)
+let qcheck_audit_mutation =
+  let count = if deep then 500 else 120 in
+  QCheck.Test.make ~count
+    ~name:"single-field mutations of a genuine tuple are rejected"
+    QCheck.(pair (triple small_nat small_nat small_nat) (pair small_nat small_nat))
+    (fun ((arch_i, spec_i, cfg_seed), (m, j)) ->
+      let space, arch, spec, c = claim_of ~arch_i ~spec_i ~cfg_seed in
+      (match check_claim c with
+      | Audit.Ok -> ()
+      | v ->
+        QCheck.Test.fail_reportf "genuine claim rejected: %s"
+          (Audit.verdict_to_string v));
+      let f = [| 0.5; 0.8; 1.25; 2.0 |].(j mod 4) in
+      let mutated =
+        match m mod 7 with
+        | 0 -> { c with key = flip_hex c.key j }
+        | 1 -> { c with runtime_us = c.runtime_us *. f }
+        | 2 -> { c with gflops = c.gflops *. f }
+        | 3 -> { c with predicted = c.predicted *. f }
+        | 4 -> { c with q = c.q *. f }
+        | 5 -> { c with canonical = bump_digit c.canonical j }
+        | _ -> (
+          match alt_tile_config space c.config arch spec with
+          | Some cand -> { c with config = cand }
+          | None -> { c with key = flip_hex c.key j })
+      in
+      match check_claim mutated with
+      | Audit.Suspect _ -> true
+      | Audit.Ok ->
+        QCheck.Test.fail_reportf "mutation %d (factor %g) accepted" (m mod 7) f)
+
 let () =
   let conformance =
     List.map QCheck_alcotest.to_alcotest (Verify.Conformance.all_tests ~deep)
@@ -241,5 +408,12 @@ let () =
             test_oracle_beats_by_step_somewhere;
         ] );
       ("sandwich", [ Alcotest.test_case "grid" `Quick test_sandwich_grid ]);
+      ( "audit",
+        [
+          Alcotest.test_case "genuine claims audit Ok" `Quick test_audit_genuine_ok;
+          Alcotest.test_case "tampering yields typed reasons" `Quick
+            test_audit_reason_tokens;
+          QCheck_alcotest.to_alcotest qcheck_audit_mutation;
+        ] );
       ("conformance", conformance);
     ]
